@@ -1,0 +1,549 @@
+//! The redundant disk array: addressed page I/O with parity maintenance,
+//! degraded reads, and rebuild.
+
+use crate::geometry::BlockContent;
+use crate::{
+    ArrayConfig, ArrayError, DataPageId, DiskId, Geometry, GroupId, IoKind, IoStats, Page,
+    ParitySlot, PhysLoc, Result,
+};
+use std::sync::Arc;
+
+/// A simulated redundant disk array.
+///
+/// The array provides *mechanism*, not *policy*: it reads and writes data
+/// and parity pages at the caller's direction and keeps honest count of the
+/// physical transfers. Which parity twin is "committed" for a group is a
+/// recovery-manager concern (`rda-core`); the array only guarantees the
+/// layout invariants (group members on distinct disks) and implements the
+/// XOR machinery.
+///
+/// All methods take `&self`; per-disk locks serialize physical access, and
+/// higher layers are responsible for serializing read-modify-write cycles
+/// on the same parity group.
+pub struct DiskArray {
+    cfg: ArrayConfig,
+    geo: Geometry,
+    disks: Vec<crate::SimDisk>,
+    stats: Arc<IoStats>,
+}
+
+impl DiskArray {
+    /// Build an array (all pages zero-initialized, so parity = XOR of data
+    /// trivially holds everywhere).
+    #[must_use]
+    pub fn new(cfg: ArrayConfig) -> DiskArray {
+        let geo = Geometry::new(&cfg);
+        let disks = (0..geo.disks())
+            .map(|d| crate::SimDisk::new(DiskId(d), geo.blocks_per_disk(), cfg.page_size))
+            .collect();
+        let stats = Arc::new(IoStats::with_disks(geo.disks()));
+        DiskArray { cfg, geo, disks, stats }
+    }
+
+    /// The configuration the array was built with.
+    #[must_use]
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    /// The computed layout.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Shared transfer counters.
+    #[must_use]
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A zeroed page of the configured size.
+    #[must_use]
+    pub fn blank_page(&self) -> Page {
+        Page::zeroed(self.cfg.page_size)
+    }
+
+    /// Effective number of data pages.
+    #[must_use]
+    pub fn data_pages(&self) -> u32 {
+        self.geo.data_pages()
+    }
+
+    /// Effective number of parity groups.
+    #[must_use]
+    pub fn groups(&self) -> u32 {
+        self.geo.groups()
+    }
+
+    /// Physical location of a data page (convenience passthrough).
+    #[must_use]
+    pub fn locate_data(&self, page: DataPageId) -> PhysLoc {
+        self.geo.data_loc(page)
+    }
+
+    fn check_data(&self, page: DataPageId) -> Result<()> {
+        if page.0 >= self.geo.data_pages() {
+            return Err(ArrayError::BadDataPage(page));
+        }
+        Ok(())
+    }
+
+    fn check_group(&self, g: GroupId) -> Result<()> {
+        if g.0 >= self.geo.groups() {
+            return Err(ArrayError::BadGroup(g));
+        }
+        Ok(())
+    }
+
+    fn disk(&self, id: DiskId) -> &crate::SimDisk {
+        &self.disks[usize::from(id.0)]
+    }
+
+    fn read_phys(&self, loc: PhysLoc) -> Result<Page> {
+        let page = self.disk(loc.disk).read(loc.block)?;
+        self.stats.record_on(IoKind::Read, loc.disk.0);
+        Ok(page)
+    }
+
+    fn write_phys(&self, loc: PhysLoc, page: &Page) -> Result<()> {
+        self.disk(loc.disk).write(loc.block, page)?;
+        self.stats.record_on(IoKind::Write, loc.disk.0);
+        Ok(())
+    }
+
+    // ---- data-page I/O ---------------------------------------------------
+
+    /// Read a data page (one transfer). Falls back to XOR reconstruction via
+    /// parity slot `P0` when the direct read fails; pass a different slot
+    /// through [`DiskArray::read_data_via`] if another twin holds the valid
+    /// parity.
+    ///
+    /// # Errors
+    /// Propagates [`ArrayError::Unrecoverable`] when reconstruction is also
+    /// impossible.
+    pub fn read_data(&self, page: DataPageId) -> Result<Page> {
+        self.read_data_via(page, ParitySlot::P0)
+    }
+
+    /// Read a data page, reconstructing through the given parity slot when
+    /// the direct read fails.
+    pub fn read_data_via(&self, page: DataPageId, slot: ParitySlot) -> Result<Page> {
+        self.check_data(page)?;
+        match self.read_phys(self.geo.data_loc(page)) {
+            Ok(p) => Ok(p),
+            Err(ArrayError::DiskFailed(_) | ArrayError::MediaError { .. }) => {
+                self.reconstruct_data(page, slot)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read a data page with **no** degraded fallback (one transfer or an
+    /// error). Recovery managers use this to distinguish a clean read from
+    /// a reconstruction.
+    pub fn try_read_data(&self, page: DataPageId) -> Result<Page> {
+        self.check_data(page)?;
+        self.read_phys(self.geo.data_loc(page))
+    }
+
+    /// Write a data page **without touching parity** (one transfer).
+    ///
+    /// This intentionally breaks the parity invariant; it exists for array
+    /// initialization, rebuild internals, and tests. Normal mutation goes
+    /// through [`DiskArray::small_write`].
+    pub fn write_data_unprotected(&self, page: DataPageId, data: &Page) -> Result<()> {
+        self.check_data(page)?;
+        self.write_phys(self.geo.data_loc(page), data)
+    }
+
+    // ---- parity I/O ------------------------------------------------------
+
+    /// Read a parity page (one transfer).
+    pub fn read_parity(&self, g: GroupId, slot: ParitySlot) -> Result<Page> {
+        self.check_group(g)?;
+        let loc = self.geo.parity_loc(g, slot).ok_or(ArrayError::NoTwinParity)?;
+        self.read_phys(loc)
+    }
+
+    /// Write a parity page (one transfer).
+    pub fn write_parity(&self, g: GroupId, slot: ParitySlot, parity: &Page) -> Result<()> {
+        self.check_group(g)?;
+        let loc = self.geo.parity_loc(g, slot).ok_or(ArrayError::NoTwinParity)?;
+        self.write_phys(loc, parity)
+    }
+
+    // ---- composite operations ---------------------------------------------
+
+    /// The paper's small-write protocol (§3.1): read the old data (unless
+    /// the caller already holds it, e.g. in the buffer pool), read the old
+    /// parity, XOR old data and new data into it, then write data and
+    /// parity back.
+    ///
+    /// Costs 3 transfers when `old_data` is supplied, 4 otherwise — exactly
+    /// the model's `a ∈ {3, 4}`.
+    ///
+    /// The updated parity is written to `parity_slot`; on a twin array the
+    /// other twin is untouched (that asymmetry is what the twin-page UNDO
+    /// scheme exploits).
+    ///
+    /// Returns the new parity page so callers can chain further updates
+    /// without re-reading.
+    pub fn small_write(
+        &self,
+        page: DataPageId,
+        new_data: &Page,
+        old_data: Option<&Page>,
+        parity_slot: ParitySlot,
+    ) -> Result<Page> {
+        self.check_data(page)?;
+        let g = self.geo.group_of(page);
+        let old = match old_data {
+            Some(p) => p.clone(),
+            None => self.try_read_data(page)?,
+        };
+        let mut parity = self.read_parity(g, parity_slot)?;
+        parity.xor_in_place(&old);
+        parity.xor_in_place(new_data);
+        self.write_phys(self.geo.data_loc(page), new_data)?;
+        self.write_parity(g, parity_slot, &parity)?;
+        Ok(parity)
+    }
+
+    /// Write an entire parity group in one full-stripe operation: `n` data
+    /// pages plus freshly computed parity into the given slots. `n + k`
+    /// transfers, no reads.
+    ///
+    /// # Errors
+    /// Rejects a wrong-length `pages` slice via panic in debug builds and
+    /// `BadGroup`-adjacent misuse via the usual range checks.
+    pub fn full_group_write(
+        &self,
+        g: GroupId,
+        pages: &[Page],
+        slots: &[ParitySlot],
+    ) -> Result<()> {
+        self.check_group(g)?;
+        let members = self.geo.members(g);
+        assert_eq!(
+            pages.len(),
+            members.len(),
+            "full_group_write: expected {} pages",
+            members.len()
+        );
+        let mut parity = self.blank_page();
+        for (member, page) in members.iter().zip(pages) {
+            self.write_phys(self.geo.data_loc(*member), page)?;
+            parity.xor_in_place(page);
+        }
+        for slot in slots {
+            self.write_parity(g, *slot, &parity)?;
+        }
+        Ok(())
+    }
+
+    /// Read an entire parity group's data pages in one full-stripe access
+    /// (§3: the striped organization "allows both large (full stripe)
+    /// concurrent accesses or small (individual disk) accesses"). `n`
+    /// transfers; results are in member order.
+    pub fn read_full_group(&self, g: GroupId) -> Result<Vec<Page>> {
+        self.check_group(g)?;
+        self.geo
+            .members(g)
+            .into_iter()
+            .map(|m| self.read_phys(self.geo.data_loc(m)))
+            .collect()
+    }
+
+    /// Reconstruct a data page by XORing the surviving group members with
+    /// the parity page in `slot` (`n` transfers: `n − 1` sibling reads plus
+    /// one parity read).
+    ///
+    /// # Errors
+    /// [`ArrayError::Unrecoverable`] if a sibling or the parity page is
+    /// also unreadable.
+    pub fn reconstruct_data(&self, page: DataPageId, slot: ParitySlot) -> Result<Page> {
+        self.check_data(page)?;
+        let g = self.geo.group_of(page);
+        let mut acc = self
+            .read_parity(g, slot)
+            .map_err(|_| ArrayError::Unrecoverable(g))?;
+        for member in self.geo.members(g) {
+            if member == page {
+                continue;
+            }
+            let sibling = self
+                .read_phys(self.geo.data_loc(member))
+                .map_err(|_| ArrayError::Unrecoverable(g))?;
+            acc.xor_in_place(&sibling);
+        }
+        Ok(acc)
+    }
+
+    /// Recompute a group's parity from its data members (`n` reads) and
+    /// return it. Does not write anything.
+    pub fn compute_group_parity(&self, g: GroupId) -> Result<Page> {
+        self.check_group(g)?;
+        let mut acc = self.blank_page();
+        for member in self.geo.members(g) {
+            let sibling = self
+                .read_phys(self.geo.data_loc(member))
+                .map_err(|_| ArrayError::Unrecoverable(g))?;
+            acc.xor_in_place(&sibling);
+        }
+        Ok(acc)
+    }
+
+    /// Does the parity page in `slot` equal the XOR of the group's data
+    /// pages? Used by tests and consistency checkers.
+    pub fn group_parity_ok(&self, g: GroupId, slot: ParitySlot) -> Result<bool> {
+        let actual = self.read_parity(g, slot)?;
+        let expect = self.compute_group_parity(g)?;
+        Ok(actual == expect)
+    }
+
+    // ---- failure injection & media recovery --------------------------------
+
+    /// Fail a whole disk.
+    pub fn fail_disk(&self, disk: DiskId) {
+        self.disk(disk).fail();
+    }
+
+    /// Inject a latent sector error at a physical location.
+    pub fn corrupt(&self, loc: PhysLoc) {
+        self.disk(loc.disk).corrupt_block(loc.block);
+    }
+
+    /// Swap a failed disk for a factory-blank replacement *without*
+    /// rebuilding its contents (field service installing new hardware).
+    /// Follow with [`DiskArray::rebuild_disk`] — or, after a multi-disk
+    /// disaster, an archive restore at a higher layer.
+    pub fn replace_disk_blank(&self, disk: DiskId) {
+        self.disk(disk).replace();
+    }
+
+    /// Is the disk currently failed?
+    #[must_use]
+    pub fn disk_failed(&self, disk: DiskId) -> bool {
+        self.disk(disk).is_failed()
+    }
+
+    /// Replace a failed disk with a blank one and rebuild its contents from
+    /// the surviving disks — the paper's media recovery (§1: redundant
+    /// arrays deal with media failure without requiring operator
+    /// intervention).
+    ///
+    /// `valid_slot` names, per group, the parity twin holding the *valid*
+    /// (committed) parity — the recovery manager knows this from its
+    /// `Current_Parity` bitmap. Lost data pages are reconstructed through
+    /// that twin; lost parity pages are recomputed from the data members
+    /// and written for **both** twins' block (each twin gets the recomputed
+    /// committed parity, which is correct once losers have been undone).
+    ///
+    /// Returns the number of blocks rebuilt.
+    pub fn rebuild_disk(
+        &self,
+        disk: DiskId,
+        mut valid_slot: impl FnMut(GroupId) -> ParitySlot,
+    ) -> Result<u64> {
+        self.disk(disk).replace();
+        let mut rebuilt = 0;
+        for block in 0..self.geo.blocks_per_disk() {
+            let content = self.geo.locate_block(disk, block);
+            let page = match content {
+                BlockContent::Data(d) => {
+                    let slot = valid_slot(self.geo.group_of(d));
+                    self.reconstruct_data(d, slot)?
+                }
+                BlockContent::Parity(g, _slot) => self.compute_group_parity(g)?,
+            };
+            self.disk(disk).write(block, &page)?;
+            self.stats.record_on(IoKind::Write, disk.0);
+            rebuilt += 1;
+        }
+        Ok(rebuilt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Organization;
+
+    fn array(org: Organization, twin: bool) -> DiskArray {
+        DiskArray::new(ArrayConfig::new(org, 4, 6).twin(twin).page_size(64))
+    }
+
+    fn patterned(array: &DiskArray, seed: u8) -> Page {
+        let mut p = array.blank_page();
+        for (i, b) in p.as_mut().iter_mut().enumerate() {
+            *b = seed.wrapping_add(i as u8);
+        }
+        p
+    }
+
+    #[test]
+    fn fresh_array_parity_consistent() {
+        let a = array(Organization::RotatedParity, false);
+        for g in 0..a.groups() {
+            assert!(a.group_parity_ok(GroupId(g), ParitySlot::P0).unwrap());
+        }
+    }
+
+    #[test]
+    fn small_write_updates_parity() {
+        let a = array(Organization::RotatedParity, false);
+        let d = DataPageId(5);
+        let new = patterned(&a, 3);
+        a.small_write(d, &new, None, ParitySlot::P0).unwrap();
+        assert_eq!(a.read_data(d).unwrap(), new);
+        let g = a.geometry().group_of(d);
+        assert!(a.group_parity_ok(g, ParitySlot::P0).unwrap());
+    }
+
+    #[test]
+    fn small_write_transfer_counts() {
+        let a = array(Organization::RotatedParity, false);
+        let new = patterned(&a, 1);
+        let before = a.stats().snapshot();
+        // Old data not supplied: 2 reads + 2 writes = 4 transfers (a = 4).
+        a.small_write(DataPageId(0), &new, None, ParitySlot::P0).unwrap();
+        let mid = a.stats().snapshot();
+        assert_eq!(mid.delta(&before).transfers(), 4);
+        assert_eq!(mid.delta(&before).reads, 2);
+        // Old data supplied: 1 read + 2 writes = 3 transfers (a = 3).
+        let old = a.read_data(DataPageId(0)).unwrap();
+        let before = a.stats().snapshot();
+        let newer = patterned(&a, 9);
+        a.small_write(DataPageId(0), &newer, Some(&old), ParitySlot::P0).unwrap();
+        let after = a.stats().snapshot();
+        assert_eq!(after.delta(&before).transfers(), 3);
+        assert_eq!(after.delta(&before).reads, 1);
+    }
+
+    #[test]
+    fn degraded_read_reconstructs() {
+        for org in [Organization::RotatedParity, Organization::ParityStriping] {
+            let a = array(org, false);
+            let d = DataPageId(7);
+            let new = patterned(&a, 0x5A);
+            a.small_write(d, &new, None, ParitySlot::P0).unwrap();
+            a.fail_disk(a.locate_data(d).disk);
+            assert_eq!(a.read_data(d).unwrap(), new, "org {org:?}");
+        }
+    }
+
+    #[test]
+    fn latent_error_triggers_reconstruction() {
+        let a = array(Organization::RotatedParity, false);
+        let d = DataPageId(9);
+        let new = patterned(&a, 0x77);
+        a.small_write(d, &new, None, ParitySlot::P0).unwrap();
+        a.corrupt(a.locate_data(d));
+        assert_eq!(a.read_data(d).unwrap(), new);
+    }
+
+    #[test]
+    fn double_failure_is_unrecoverable() {
+        let a = array(Organization::RotatedParity, false);
+        let d = DataPageId(0);
+        let g = a.geometry().group_of(d);
+        let sibling = a.geometry().members(g)[1];
+        a.fail_disk(a.locate_data(d).disk);
+        a.fail_disk(a.locate_data(sibling).disk);
+        assert_eq!(a.read_data(d).unwrap_err(), ArrayError::Unrecoverable(g));
+    }
+
+    #[test]
+    fn twin_small_write_leaves_other_twin_stale() {
+        let a = array(Organization::RotatedParity, true);
+        let d = DataPageId(2);
+        let g = a.geometry().group_of(d);
+        let new = patterned(&a, 0x11);
+        a.small_write(d, &new, None, ParitySlot::P1).unwrap();
+        // P1 now matches the data; P0 is stale (still all-zero parity).
+        assert!(a.group_parity_ok(g, ParitySlot::P1).unwrap());
+        assert!(!a.group_parity_ok(g, ParitySlot::P0).unwrap());
+        // Undo identity (paper Figure 6): D_old = (P ⊕ P') ⊕ D_new.
+        let p0 = a.read_parity(g, ParitySlot::P0).unwrap();
+        let p1 = a.read_parity(g, ParitySlot::P1).unwrap();
+        let d_old = p0.xor(&p1).xor(&new);
+        assert!(d_old.is_zeroed(), "original page was zeroed");
+    }
+
+    #[test]
+    fn full_group_write_consistent() {
+        let a = array(Organization::ParityStriping, true);
+        let g = GroupId(3);
+        let pages: Vec<Page> =
+            (0..4).map(|i| patterned(&a, i as u8 * 17 + 1)).collect();
+        a.full_group_write(g, &pages, &[ParitySlot::P0, ParitySlot::P1]).unwrap();
+        assert!(a.group_parity_ok(g, ParitySlot::P0).unwrap());
+        assert!(a.group_parity_ok(g, ParitySlot::P1).unwrap());
+        for (m, p) in a.geometry().members(g).iter().zip(&pages) {
+            assert_eq!(&a.read_data(*m).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn full_group_read_returns_members_in_order() {
+        let a = array(Organization::RotatedParity, false);
+        let members = a.geometry().members(GroupId(2));
+        for (i, m) in members.iter().enumerate() {
+            a.small_write(*m, &patterned(&a, i as u8 + 1), None, ParitySlot::P0).unwrap();
+        }
+        let before = a.stats().snapshot();
+        let pages = a.read_full_group(GroupId(2)).unwrap();
+        assert_eq!(pages.len(), 4);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p, &patterned(&a, i as u8 + 1));
+        }
+        assert_eq!(a.stats().snapshot().delta(&before).reads, 4);
+    }
+
+    #[test]
+    fn rebuild_restores_everything() {
+        let a = array(Organization::RotatedParity, true);
+        // Dirty a bunch of pages, keeping both twins committed-equal.
+        for i in 0..a.data_pages() {
+            let p = patterned(&a, (i % 251) as u8);
+            a.small_write(DataPageId(i), &p, None, ParitySlot::P0).unwrap();
+            let parity = a.read_parity(a.geometry().group_of(DataPageId(i)), ParitySlot::P0).unwrap();
+            a.write_parity(a.geometry().group_of(DataPageId(i)), ParitySlot::P1, &parity)
+                .unwrap();
+        }
+        let victim = DiskId(2);
+        a.fail_disk(victim);
+        let rebuilt = a.rebuild_disk(victim, |_| ParitySlot::P0).unwrap();
+        assert_eq!(rebuilt, a.geometry().blocks_per_disk());
+        for i in 0..a.data_pages() {
+            let expect = patterned(&a, (i % 251) as u8);
+            assert_eq!(a.try_read_data(DataPageId(i)).unwrap(), expect, "page {i}");
+        }
+        for g in 0..a.groups() {
+            assert!(a.group_parity_ok(GroupId(g), ParitySlot::P0).unwrap());
+            assert!(a.group_parity_ok(GroupId(g), ParitySlot::P1).unwrap());
+        }
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let a = array(Organization::RotatedParity, false);
+        let bad_page = DataPageId(a.data_pages());
+        assert_eq!(a.read_data(bad_page).unwrap_err(), ArrayError::BadDataPage(bad_page));
+        let bad_group = GroupId(a.groups());
+        assert_eq!(
+            a.read_parity(bad_group, ParitySlot::P0).unwrap_err(),
+            ArrayError::BadGroup(bad_group)
+        );
+    }
+
+    #[test]
+    fn p1_on_single_parity_array_rejected() {
+        let a = array(Organization::RotatedParity, false);
+        assert_eq!(
+            a.read_parity(GroupId(0), ParitySlot::P1).unwrap_err(),
+            ArrayError::NoTwinParity
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Array configuration.
+
+/// The two array organizations evaluated by the paper (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Organization {
+    /// Data striping with rotated parity — RAID level 5 (paper Figure 1;
+    /// Patterson, Gibson, Katz 1988). Blocks of data are interleaved across
+    /// the disks and the parity of each stripe is rotated over the disks to
+    /// avoid contention on a dedicated parity disk.
+    RotatedParity,
+    /// A dedicated parity disk (RAID level 4) — the organization Figure 1's
+    /// rotation exists to avoid: every small write hits the same parity
+    /// spindle, which the `ablation_diskload` bench shows saturating at
+    /// roughly N× the average load. Included as the contention baseline.
+    DedicatedParity,
+    /// Parity striping (paper Figure 2; Gray, Horst, Walker 1990). Data is
+    /// written *sequentially* on each disk — each disk is divided into
+    /// areas, one (or two, for twin parity) of which holds parity covering
+    /// the matching areas of the other disks. Preferred for OLTP because a
+    /// small request is serviced by a single disk.
+    ParityStriping,
+}
+
+/// Static configuration of a [`DiskArray`](crate::DiskArray).
+///
+/// `n` is the number of *data* pages per parity group (the paper's `N`);
+/// the array uses `n + 1` disks (single parity) or `n + 2` disks (twin
+/// parity). `groups` is the number of parity groups, so the usable database
+/// size is `S = n * groups` data pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayConfig {
+    /// Array organization.
+    pub organization: Organization,
+    /// Data pages per parity group (paper's `N`).
+    pub n: u32,
+    /// Number of parity groups.
+    pub groups: u32,
+    /// Twin parity (two parity pages per group on distinct disks)?
+    pub twin: bool,
+    /// Page size in bytes. The paper's model uses 2020-byte pages.
+    pub page_size: usize,
+}
+
+impl ArrayConfig {
+    /// Default page size (the paper's `l_p`).
+    pub const DEFAULT_PAGE_SIZE: usize = 2020;
+
+    /// Create a configuration with the default page size and single parity.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `groups == 0`.
+    #[must_use]
+    pub fn new(organization: Organization, n: u32, groups: u32) -> ArrayConfig {
+        assert!(n > 0, "parity group must contain at least one data page");
+        assert!(groups > 0, "array must contain at least one group");
+        ArrayConfig {
+            organization,
+            n,
+            groups,
+            twin: false,
+            page_size: Self::DEFAULT_PAGE_SIZE,
+        }
+    }
+
+    /// Enable or disable twin parity.
+    #[must_use]
+    pub fn twin(mut self, twin: bool) -> ArrayConfig {
+        self.twin = twin;
+        self
+    }
+
+    /// Override the page size.
+    ///
+    /// # Panics
+    /// Panics if `page_size == 0`.
+    #[must_use]
+    pub fn page_size(mut self, page_size: usize) -> ArrayConfig {
+        assert!(page_size > 0, "page size must be positive");
+        self.page_size = page_size;
+        self
+    }
+
+    /// Number of parity pages per group (1 or 2).
+    #[must_use]
+    pub fn parity_replicas(&self) -> u32 {
+        if self.twin {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Number of physical disks in the array: `n + 1` or `n + 2`.
+    #[must_use]
+    pub fn disks(&self) -> u16 {
+        (self.n + self.parity_replicas()) as u16
+    }
+
+    /// Total data pages (`S = n * groups`).
+    #[must_use]
+    pub fn data_pages(&self) -> u32 {
+        self.n * self.groups
+    }
+
+    /// Fractional storage overhead of parity relative to data.
+    ///
+    /// The paper's conclusion claims the extra storage is about `(100/N)%`
+    /// of the database size for single parity; twin parity doubles it.
+    #[must_use]
+    pub fn storage_overhead(&self) -> f64 {
+        f64::from(self.parity_replicas()) / f64::from(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_count_single_and_twin() {
+        let c = ArrayConfig::new(Organization::RotatedParity, 10, 50);
+        assert_eq!(c.disks(), 11);
+        assert_eq!(c.parity_replicas(), 1);
+        let c = c.twin(true);
+        assert_eq!(c.disks(), 12);
+        assert_eq!(c.parity_replicas(), 2);
+    }
+
+    #[test]
+    fn data_pages_is_n_times_groups() {
+        let c = ArrayConfig::new(Organization::ParityStriping, 4, 25);
+        assert_eq!(c.data_pages(), 100);
+    }
+
+    #[test]
+    fn overhead_formula() {
+        // CLAIM in paper conclusions: extra storage ≈ (100/N)% of database.
+        let c = ArrayConfig::new(Organization::RotatedParity, 10, 1);
+        assert!((c.storage_overhead() - 0.10).abs() < 1e-12);
+        let twin = c.twin(true);
+        assert!((twin.storage_overhead() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = ArrayConfig::new(Organization::RotatedParity, 3, 2).page_size(512);
+        assert_eq!(c.page_size, 512);
+        assert_eq!(c.organization, Organization::RotatedParity);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data page")]
+    fn zero_n_rejected() {
+        let _ = ArrayConfig::new(Organization::RotatedParity, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_rejected() {
+        let _ = ArrayConfig::new(Organization::RotatedParity, 1, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulated block devices.
+//!
+//! A [`SimDisk`] stores its blocks in memory and supports the two failure
+//! modes the paper's recovery story must survive:
+//!
+//! * **whole-disk failure** (the media-failure case motivating redundant
+//!   arrays: "a media failure ... when the storage subsystem ... is quite
+//!   high [cost]"), and
+//! * **latent sector errors** — individual unreadable blocks, which force
+//!   the array into its degraded (reconstruct-by-XOR) read path.
+//!
+//! Blocks are allocated lazily: untouched blocks read back as zeroes, like
+//! a freshly formatted device.
+
+use crate::{ArrayError, DiskId, Page};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+struct DiskInner {
+    blocks: HashMap<u64, Page>,
+    bad_blocks: HashSet<u64>,
+    failed: bool,
+}
+
+/// An in-memory simulated disk.
+pub struct SimDisk {
+    id: DiskId,
+    block_count: u64,
+    page_size: usize,
+    inner: Mutex<DiskInner>,
+}
+
+impl SimDisk {
+    /// Create a zero-filled disk with `block_count` blocks of `page_size`
+    /// bytes.
+    #[must_use]
+    pub fn new(id: DiskId, block_count: u64, page_size: usize) -> SimDisk {
+        SimDisk {
+            id,
+            block_count,
+            page_size,
+            inner: Mutex::new(DiskInner {
+                blocks: HashMap::new(),
+                bad_blocks: HashSet::new(),
+                failed: false,
+            }),
+        }
+    }
+
+    /// This disk's identifier.
+    #[must_use]
+    pub fn id(&self) -> DiskId {
+        self.id
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn block_count(&self) -> u64 {
+        self.block_count
+    }
+
+    /// Read a block. Zero-filled if never written.
+    ///
+    /// # Errors
+    /// [`ArrayError::DiskFailed`] if the disk has failed;
+    /// [`ArrayError::MediaError`] if the block has a latent sector error.
+    pub fn read(&self, block: u64) -> crate::Result<Page> {
+        debug_assert!(block < self.block_count, "block out of range");
+        let inner = self.inner.lock();
+        if inner.failed {
+            return Err(ArrayError::DiskFailed(self.id));
+        }
+        if inner.bad_blocks.contains(&block) {
+            return Err(ArrayError::MediaError { disk: self.id, block });
+        }
+        Ok(inner
+            .blocks
+            .get(&block)
+            .cloned()
+            .unwrap_or_else(|| Page::zeroed(self.page_size)))
+    }
+
+    /// Write a block.
+    ///
+    /// Writing a block clears any latent sector error on it (a rewrite
+    /// remaps the sector, as real drives do).
+    ///
+    /// # Errors
+    /// [`ArrayError::DiskFailed`] if the disk has failed;
+    /// [`ArrayError::PageSizeMismatch`] on a wrong-size buffer.
+    pub fn write(&self, block: u64, page: &Page) -> crate::Result<()> {
+        debug_assert!(block < self.block_count, "block out of range");
+        if page.len() != self.page_size {
+            return Err(ArrayError::PageSizeMismatch {
+                expected: self.page_size,
+                got: page.len(),
+            });
+        }
+        let mut inner = self.inner.lock();
+        if inner.failed {
+            return Err(ArrayError::DiskFailed(self.id));
+        }
+        inner.bad_blocks.remove(&block);
+        inner.blocks.insert(block, page.clone());
+        Ok(())
+    }
+
+    /// Mark the whole disk failed. All subsequent I/O errors out until
+    /// [`SimDisk::replace`] is called.
+    pub fn fail(&self) {
+        self.inner.lock().failed = true;
+    }
+
+    /// Has this disk failed?
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.inner.lock().failed
+    }
+
+    /// Inject a latent sector error on one block.
+    pub fn corrupt_block(&self, block: u64) {
+        debug_assert!(block < self.block_count);
+        self.inner.lock().bad_blocks.insert(block);
+    }
+
+    /// Replace the failed drive with a factory-fresh (zeroed) one.
+    ///
+    /// The caller (the array's rebuild logic) is responsible for
+    /// reconstructing the contents from the surviving disks.
+    pub fn replace(&self) {
+        let mut inner = self.inner.lock();
+        inner.failed = false;
+        inner.blocks.clear();
+        inner.bad_blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskId(0), 16, 32)
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let d = disk();
+        assert!(d.read(5).unwrap().is_zeroed());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let d = disk();
+        let p = Page::from_bytes(&[7u8; 32]);
+        d.write(3, &p).unwrap();
+        assert_eq!(d.read(3).unwrap(), p);
+        // Other blocks untouched.
+        assert!(d.read(4).unwrap().is_zeroed());
+    }
+
+    #[test]
+    fn failed_disk_errors() {
+        let d = disk();
+        d.fail();
+        assert!(d.is_failed());
+        assert_eq!(d.read(0).unwrap_err(), ArrayError::DiskFailed(DiskId(0)));
+        let p = Page::zeroed(32);
+        assert_eq!(d.write(0, &p).unwrap_err(), ArrayError::DiskFailed(DiskId(0)));
+    }
+
+    #[test]
+    fn replace_gives_fresh_disk() {
+        let d = disk();
+        d.write(1, &Page::from_bytes(&[1u8; 32])).unwrap();
+        d.fail();
+        d.replace();
+        assert!(!d.is_failed());
+        assert!(d.read(1).unwrap().is_zeroed(), "replacement must be blank");
+    }
+
+    #[test]
+    fn latent_error_and_rewrite_heals() {
+        let d = disk();
+        d.write(2, &Page::from_bytes(&[9u8; 32])).unwrap();
+        d.corrupt_block(2);
+        assert!(matches!(d.read(2), Err(ArrayError::MediaError { block: 2, .. })));
+        // Other blocks still readable.
+        assert!(d.read(1).is_ok());
+        // Rewriting heals the sector.
+        d.write(2, &Page::from_bytes(&[4u8; 32])).unwrap();
+        assert_eq!(d.read(2).unwrap().as_ref()[0], 4);
+    }
+
+    #[test]
+    fn wrong_page_size_rejected() {
+        let d = disk();
+        let err = d.write(0, &Page::zeroed(16)).unwrap_err();
+        assert_eq!(err, ArrayError::PageSizeMismatch { expected: 32, got: 16 });
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for array operations.
+
+use crate::{DataPageId, DiskId, GroupId};
+use std::fmt;
+
+/// Errors surfaced by [`DiskArray`](crate::DiskArray) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// The addressed disk is marked failed and the operation cannot be
+    /// served even in degraded mode (e.g. two failed disks in one group).
+    DiskFailed(DiskId),
+    /// A latent sector error was hit while reading.
+    MediaError {
+        /// Disk on which the bad sector lives.
+        disk: DiskId,
+        /// Block index within the disk.
+        block: u64,
+    },
+    /// More than one page of the same parity group is unavailable, so XOR
+    /// reconstruction is impossible.
+    Unrecoverable(GroupId),
+    /// A data page id outside the configured database size.
+    BadDataPage(DataPageId),
+    /// A group id outside the configured group count.
+    BadGroup(GroupId),
+    /// Twin parity slot `P1` addressed on a single-parity array.
+    NoTwinParity,
+    /// A page buffer of the wrong size was supplied.
+    PageSizeMismatch {
+        /// Size the array was configured with.
+        expected: usize,
+        /// Size of the supplied buffer.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::DiskFailed(d) => write!(f, "{d} has failed"),
+            ArrayError::MediaError { disk, block } => {
+                write!(f, "latent sector error on {disk} block {block}")
+            }
+            ArrayError::Unrecoverable(g) => {
+                write!(f, "group {g} has lost more than one page; cannot reconstruct")
+            }
+            ArrayError::BadDataPage(p) => write!(f, "data page {p} out of range"),
+            ArrayError::BadGroup(g) => write!(f, "group {g} out of range"),
+            ArrayError::NoTwinParity => {
+                write!(f, "parity slot P1 addressed on a single-parity array")
+            }
+            ArrayError::PageSizeMismatch { expected, got } => {
+                write!(f, "page size mismatch: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArrayError::MediaError { disk: DiskId(3), block: 77 };
+        assert!(e.to_string().contains("disk3"));
+        assert!(e.to_string().contains("77"));
+        let e = ArrayError::PageSizeMismatch { expected: 4096, got: 512 };
+        assert!(e.to_string().contains("4096"));
+    }
+}

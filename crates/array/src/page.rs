@@ -1,0 +1,242 @@
+//! Page buffers and strongly-typed identifiers.
+
+use std::fmt;
+
+/// Identifier of a *logical data page* in the database address space.
+///
+/// Data pages are numbered `0..S` where `S` is the database size in pages;
+/// the array [`Geometry`](crate::Geometry) maps each data page to a physical
+/// location. Parity pages are *not* data pages — they are addressed by
+/// ([`GroupId`], [`ParitySlot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataPageId(pub u32);
+
+/// Identifier of a parity group.
+///
+/// A parity group is the set of `N` data pages that share parity (paper
+/// §4.1: "we will use the term parity group to denote a page parity group
+/// ... the set of pages that share the same parity page").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// Identifier of a physical disk in the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DiskId(pub u16);
+
+/// Which of the (up to two) parity pages of a group is being addressed.
+///
+/// Single-parity organizations only have [`ParitySlot::P0`]; twin-parity
+/// organizations (paper Figures 4 and 5) also have [`ParitySlot::P1`]. The
+/// paper calls these `P` and `P'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParitySlot {
+    /// The first parity page (`P` in the paper).
+    P0,
+    /// The twin parity page (`P'` in the paper). Only present when the
+    /// array was configured with `twin(true)`.
+    P1,
+}
+
+impl ParitySlot {
+    /// The other twin.
+    #[must_use]
+    pub fn other(self) -> ParitySlot {
+        match self {
+            ParitySlot::P0 => ParitySlot::P1,
+            ParitySlot::P1 => ParitySlot::P0,
+        }
+    }
+
+    /// Slot index (0 or 1).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            ParitySlot::P0 => 0,
+            ParitySlot::P1 => 1,
+        }
+    }
+
+    /// Both slots, in order.
+    pub const BOTH: [ParitySlot; 2] = [ParitySlot::P0, ParitySlot::P1];
+}
+
+impl fmt::Display for DataPageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk{}", self.0)
+    }
+}
+
+/// A fixed-size page buffer.
+///
+/// The page size is a property of the [`ArrayConfig`](crate::ArrayConfig)
+/// (the paper's model uses 2020-byte pages, `l_p = 2020`); all pages handled
+/// by one array share the same size. `Page` supports the XOR algebra used
+/// for parity maintenance.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page(Box<[u8]>);
+
+impl Page {
+    /// An all-zero page of `size` bytes.
+    #[must_use]
+    pub fn zeroed(size: usize) -> Page {
+        Page(vec![0u8; size].into_boxed_slice())
+    }
+
+    /// Build a page from raw bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Page {
+        Page(bytes.to_vec().into_boxed_slice())
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the page has zero length (never for array-managed pages).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True if every byte is zero.
+    #[must_use]
+    pub fn is_zeroed(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// XOR `other` into this page in place.
+    ///
+    /// # Panics
+    /// Panics if the page sizes differ — mixing pages from differently
+    /// configured arrays is a logic error.
+    pub fn xor_in_place(&mut self, other: &Page) {
+        crate::xor::xor_in_place(&mut self.0, &other.0);
+    }
+
+    /// Return `self ⊕ other` as a new page.
+    #[must_use]
+    pub fn xor(&self, other: &Page) -> Page {
+        let mut out = self.clone();
+        out.xor_in_place(other);
+        out
+    }
+
+    /// A cheap non-cryptographic checksum (FNV-1a), handy in tests and for
+    /// simulated "page contents" assertions.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for &b in self.0.iter() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+impl AsRef<[u8]> for Page {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsMut<[u8]> for Page {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page[{}B, fnv={:016x}]", self.0.len(), self.checksum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_zeroed() {
+        let p = Page::zeroed(128);
+        assert_eq!(p.len(), 128);
+        assert!(p.is_zeroed());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn xor_self_is_zero() {
+        let p = Page::from_bytes(&[1, 2, 3, 255]);
+        let z = p.xor(&p);
+        assert!(z.is_zeroed());
+    }
+
+    #[test]
+    fn xor_is_commutative_and_associative() {
+        let a = Page::from_bytes(&[0xAA, 0x01, 0x00, 0x42]);
+        let b = Page::from_bytes(&[0x55, 0xFF, 0x10, 0x24]);
+        let c = Page::from_bytes(&[0x0F, 0xF0, 0x99, 0x18]);
+        assert_eq!(a.xor(&b), b.xor(&a));
+        assert_eq!(a.xor(&b).xor(&c), a.xor(&b.xor(&c)));
+    }
+
+    #[test]
+    fn xor_identity_for_undo() {
+        // Paper Figure 6: D_old = (P ⊕ P') ⊕ D_new when P' = P_old_parity
+        // and P = parity after replacing D_old with D_new.
+        let d_old = Page::from_bytes(&[7, 7, 7, 7]);
+        let d_new = Page::from_bytes(&[9, 1, 9, 1]);
+        let rest = Page::from_bytes(&[3, 0, 0, 3]); // XOR of other group members
+        let p_committed = d_old.xor(&rest);
+        let p_working = d_new.xor(&rest);
+        let recovered = p_committed.xor(&p_working).xor(&d_new);
+        assert_eq!(recovered, d_old);
+    }
+
+    #[test]
+    #[should_panic]
+    fn xor_size_mismatch_panics() {
+        let mut a = Page::zeroed(4);
+        let b = Page::zeroed(8);
+        a.xor_in_place(&b);
+    }
+
+    #[test]
+    fn checksum_changes_with_content() {
+        let a = Page::from_bytes(&[0, 0, 0, 1]);
+        let b = Page::from_bytes(&[0, 0, 1, 0]);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn parity_slot_other_roundtrip() {
+        assert_eq!(ParitySlot::P0.other(), ParitySlot::P1);
+        assert_eq!(ParitySlot::P1.other(), ParitySlot::P0);
+        assert_eq!(ParitySlot::P0.other().other(), ParitySlot::P0);
+        assert_eq!(ParitySlot::P0.index(), 0);
+        assert_eq!(ParitySlot::P1.index(), 1);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(DataPageId(4).to_string(), "D4");
+        assert_eq!(GroupId(2).to_string(), "G2");
+        assert_eq!(DiskId(1).to_string(), "disk1");
+    }
+}

@@ -1,0 +1,94 @@
+//! XOR kernels for parity maintenance.
+//!
+//! Parity in a redundant disk array is the byte-wise XOR of the data pages
+//! in a group. These helpers are the only place the XOR loop is written;
+//! `rustc` auto-vectorizes the byte loop on chunked `u64` words.
+
+/// XOR `src` into `dst` in place.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "xor_in_place: length mismatch ({} vs {})",
+        dst.len(),
+        src.len()
+    );
+    // Process 8 bytes at a time; chunks_exact splits both slices at the
+    // same boundary regardless of pointer alignment. This is the hot loop
+    // of every small write in the simulated array.
+    let mut dst_chunks = dst.chunks_exact_mut(8);
+    let mut src_chunks = src.chunks_exact(8);
+    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
+        let dv = u64::from_ne_bytes(d.try_into().expect("chunk of 8"));
+        let sv = u64::from_ne_bytes(s.try_into().expect("chunk of 8"));
+        d.copy_from_slice(&(dv ^ sv).to_ne_bytes());
+    }
+    for (d, s) in dst_chunks.into_remainder().iter_mut().zip(src_chunks.remainder()) {
+        *d ^= *s;
+    }
+}
+
+/// Compute the XOR of many equally-sized slices into a fresh buffer.
+///
+/// Returns `None` when `inputs` is empty.
+pub fn xor_many(inputs: &[&[u8]]) -> Option<Vec<u8>> {
+    let first = inputs.first()?;
+    let mut acc = first.to_vec();
+    for rest in &inputs[1..] {
+        xor_in_place(&mut acc, rest);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_in_place_basic() {
+        let mut a = vec![0xFFu8; 17];
+        let b = vec![0x0Fu8; 17];
+        xor_in_place(&mut a, &b);
+        assert!(a.iter().all(|&x| x == 0xF0));
+    }
+
+    #[test]
+    fn xor_many_empty_is_none() {
+        assert!(xor_many(&[]).is_none());
+    }
+
+    #[test]
+    fn xor_many_single_is_copy() {
+        let a = [1u8, 2, 3];
+        assert_eq!(xor_many(&[&a]).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn xor_many_cancels_pairs() {
+        let a = [0xAAu8; 9];
+        let b = [0x55u8; 9];
+        let out = xor_many(&[&a, &b, &a, &b]).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn xor_unaligned_tail_lengths() {
+        for len in 0..40 {
+            let mut a: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            let expect: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+            xor_in_place(&mut a, &b);
+            assert_eq!(a, expect, "len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_length_mismatch_panics() {
+        let mut a = vec![0u8; 3];
+        xor_in_place(&mut a, &[0u8; 4]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion benches for the array substrate: the small-write
+//! read-modify-write cycle (the paper's `a = 3/4` operation), full-stripe
+//! writes, degraded reads, and rebuild — across both organizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rda_array::{ArrayConfig, DataPageId, DiskArray, DiskId, GroupId, Organization, ParitySlot};
+use std::hint::black_box;
+
+const PAGE: usize = 2020; // the paper's l_p
+
+fn array(org: Organization, twin: bool) -> DiskArray {
+    DiskArray::new(ArrayConfig::new(org, 10, 50).twin(twin).page_size(PAGE))
+}
+
+fn bench_small_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_write");
+    for org in [Organization::RotatedParity, Organization::ParityStriping] {
+        let a = array(org, false);
+        let page = a.blank_page();
+        let mut i = 0u32;
+        group.bench_with_input(BenchmarkId::new("no_old", format!("{org:?}")), &a, |b, a| {
+            b.iter(|| {
+                i = (i + 7) % a.data_pages();
+                a.small_write(DataPageId(i), black_box(&page), None, ParitySlot::P0).unwrap()
+            })
+        });
+        let old = a.read_data(DataPageId(0)).unwrap();
+        group.bench_with_input(BenchmarkId::new("with_old", format!("{org:?}")), &a, |b, a| {
+            b.iter(|| {
+                a.small_write(DataPageId(0), black_box(&page), Some(&old), ParitySlot::P0)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_group_write(c: &mut Criterion) {
+    let a = array(Organization::RotatedParity, true);
+    let pages: Vec<_> = (0..10).map(|_| a.blank_page()).collect();
+    c.bench_function("full_group_write_twin", |b| {
+        b.iter(|| {
+            a.full_group_write(GroupId(3), black_box(&pages), &ParitySlot::BOTH).unwrap();
+        })
+    });
+}
+
+fn bench_degraded_read(c: &mut Criterion) {
+    let a = array(Organization::RotatedParity, false);
+    let victim = a.locate_data(DataPageId(5)).disk;
+    a.fail_disk(victim);
+    c.bench_function("degraded_read_n10", |b| {
+        b.iter(|| black_box(a.read_data(DataPageId(5)).unwrap()))
+    });
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    c.bench_function("rebuild_disk_50_groups", |b| {
+        b.iter_with_setup(
+            || {
+                let a = array(Organization::RotatedParity, false);
+                a.fail_disk(DiskId(0));
+                a
+            },
+            |a| {
+                black_box(a.rebuild_disk(DiskId(0), |_| ParitySlot::P0).unwrap());
+            },
+        )
+    });
+}
+
+fn bench_xor(c: &mut Criterion) {
+    let a = rda_array::Page::from_bytes(&vec![0xA5u8; PAGE]);
+    let mut d = rda_array::Page::from_bytes(&vec![0x5Au8; PAGE]);
+    c.bench_function("xor_page_2020B", |b| {
+        b.iter(|| {
+            d.xor_in_place(black_box(&a));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_small_write,
+    bench_full_group_write,
+    bench_degraded_read,
+    bench_rebuild,
+    bench_xor
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the rda-kv record layer: put/get/delete through
+//! full transactions, RDA engine vs the WAL baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rda_core::{Database, DbConfig, EngineKind, LogGranularity};
+use rda_kv::KvStore;
+use std::hint::black_box;
+
+fn store(engine: EngineKind) -> KvStore {
+    let mut cfg = DbConfig::paper_like(engine, 400, 64).granularity(LogGranularity::Record);
+    cfg.array.page_size = 512;
+    KvStore::create(Database::open(cfg), 32).expect("format")
+}
+
+fn bench_put_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_put_commit");
+    for engine in [EngineKind::Rda, EngineKind::Wal] {
+        let s = store(engine);
+        let mut i = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{engine:?}")),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    i += 1;
+                    let key = format!("key-{}", i % 512);
+                    let mut tx = s.db().begin();
+                    s.put(&mut tx, key.as_bytes(), b"value-payload-32-bytes-long!!").unwrap();
+                    black_box(tx.commit().unwrap());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let s = store(EngineKind::Rda);
+    let mut tx = s.db().begin();
+    for i in 0..256u32 {
+        s.put(&mut tx, format!("key-{i}").as_bytes(), b"v").unwrap();
+    }
+    tx.commit().unwrap();
+    let mut i = 0u32;
+    c.bench_function("kv_get_hot", |b| {
+        let mut tx = s.db().begin();
+        b.iter(|| {
+            i = (i + 7) % 256;
+            black_box(s.get(&mut tx, format!("key-{i}").as_bytes()).unwrap())
+        });
+    });
+}
+
+fn bench_txn_of_five_puts_abort(c: &mut Criterion) {
+    let s = store(EngineKind::Rda);
+    let mut i = 0u64;
+    c.bench_function("kv_5put_abort", |b| {
+        b.iter(|| {
+            i += 1;
+            let mut tx = s.db().begin();
+            for k in 0..5 {
+                s.put(&mut tx, format!("k{}-{}", i % 64, k).as_bytes(), b"payload").unwrap();
+            }
+            tx.abort().unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_put_commit, bench_get, bench_txn_of_five_puts_abort);
+criterion_main!(benches);

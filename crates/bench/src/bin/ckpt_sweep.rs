@@ -1,0 +1,63 @@
+//! The checkpoint-interval trade-off, measured on the engine — the
+//! empirical analogue of the model's optimal-`I` derivation (§5,
+//! equation (1)): frequent ACC checkpoints cost flush I/O, infrequent ones
+//! cost redo at restart. We run a ¬FORCE workload with crashes injected at
+//! a fixed rate across a sweep of checkpoint intervals and report total
+//! transfers per committed transaction (workload + checkpoints + restart).
+//! The model predicts a U-shape; the engine's curve flattens instead —
+//! see the closing note for why that difference is real.
+//!
+//! Run: `cargo run --release -p rda-bench --bin ckpt_sweep`
+
+use rda_bench::write_json;
+use rda_core::{CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity};
+use rda_sim::{run_workload, SimConfig, WorkloadSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    ckpt_every_ops: u64,
+    page_mode: f64,
+    record_mode: f64,
+    crashes: u64,
+}
+
+fn run(ops: u64, granularity: LogGranularity) -> (f64, u64) {
+    let mut cfg = SimConfig::new({
+        let mut db = DbConfig::paper_like(EngineKind::Rda, 1000, 100);
+        db.eot = EotPolicy::NoForce;
+        db.granularity = granularity;
+        db.checkpoint = CheckpointPolicy::AccEvery { ops };
+        db
+    });
+    cfg.warmup = 50;
+    cfg.concurrency = 6;
+    cfg.verify = granularity == LogGranularity::Page;
+    cfg.crash_every = Some(60); // a crash every ~60 commits
+    let spec = WorkloadSpec::high_update(1000, 80).locality(0.85);
+    let result = run_workload(&cfg, &spec, 600);
+    (result.transfers_per_committed, result.crashes)
+}
+
+fn main() {
+    println!("¬FORCE/ACC, crash every ~60 commits, 600 txns — cost vs checkpoint interval\n");
+    println!(
+        "{:>16} {:>20} {:>20} {:>9}",
+        "ckpt every (ops)", "page mode c_t", "record mode c_t", "crashes"
+    );
+    let mut rows = Vec::new();
+    for ops in [25u64, 75, 200, 600, 2000, 8000] {
+        let (page_mode, crashes) = run(ops, LogGranularity::Page);
+        let (record_mode, _) = run(ops, LogGranularity::Record);
+        println!("{ops:>16} {page_mode:>20.1} {record_mode:>20.1} {crashes:>9}");
+        rows.push(Row { ckpt_every_ops: ops, page_mode, record_mode, crashes });
+    }
+    println!("\nfrequent checkpoints clearly hurt (left side of the model's U). The");
+    println!("right side never bends up here because this engine's restart redo does");
+    println!("bounded I/O per *page* (coalesced images / one read-modify-write per");
+    println!("page), not per logged action as the model charges — so once the");
+    println!("interval exceeds the crash spacing, checkpoints stop firing and the");
+    println!("cost saturates at the redo-bounded floor. The model's equation-(1)");
+    println!("interior optimum is an artifact of its per-action restart accounting.");
+    write_json("ckpt_sweep", &rows);
+}

@@ -1,0 +1,22 @@
+//! FIG10 — throughput vs communality for page logging, ¬FORCE/ACC (model
+//! family A2). The paper's point here is a *negative* one for ¬FORCE: the
+//! RDA gain is small because few pages are stolen before EOT; see the
+//! `crossover` binary for the A1+RDA > A2¬RDA reversal.
+//!
+//! Run: `cargo run -p rda-bench --bin fig10`
+
+use rda_bench::{figure_grid, print_figure, write_json};
+use rda_model::fig10;
+
+fn main() {
+    let fig = fig10(&figure_grid());
+    print_figure(&fig);
+    let g = fig.high_update.iter().find(|p| (p.c - 0.9).abs() < 1e-9);
+    if let Some(p) = g {
+        println!(
+            "\n§5.2.2: \"the improvement ... is not significant\" — gain at C = 0.9 is {:.1}%",
+            p.gain * 100.0
+        );
+    }
+    write_json("fig10", &fig);
+}

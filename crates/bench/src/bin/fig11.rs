@@ -1,0 +1,13 @@
+//! FIG11 — throughput vs communality for record logging, FORCE/TOC (model
+//! family A3).
+//!
+//! Run: `cargo run -p rda-bench --bin fig11`
+
+use rda_bench::{figure_grid, print_figure, write_json};
+use rda_model::fig11;
+
+fn main() {
+    let fig = fig11(&figure_grid());
+    print_figure(&fig);
+    write_json("fig11", &fig);
+}

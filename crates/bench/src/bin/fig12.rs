@@ -1,0 +1,21 @@
+//! FIG12 — throughput vs communality for record logging, ¬FORCE/ACC
+//! (model family A4), the configuration the paper's conclusion crowns.
+//! Checks CLAIM-14 (≈14% gain at C = 0.9, high update).
+//!
+//! Run: `cargo run -p rda-bench --bin fig12`
+
+use rda_bench::{figure_grid, print_figure, write_json};
+use rda_model::{families, fig12, ModelParams, Workload};
+
+fn main() {
+    let fig = fig12(&figure_grid());
+    print_figure(&fig);
+    let point = families::a4::evaluate(
+        &ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9),
+    );
+    println!(
+        "\nCLAIM-14: paper reports ≈14% gain at C = 0.9 (high update); model gives {:.1}%",
+        point.gain() * 100.0
+    );
+    write_json("fig12", &fig);
+}

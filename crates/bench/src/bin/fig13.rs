@@ -1,0 +1,25 @@
+//! FIG13 — percent throughput increase from RDA recovery as a function of
+//! the number of pages accessed per transaction (s = 5 … 45), for the
+//! ¬FORCE/ACC record-logging family at C = 0.9, high-update environment.
+//! The paper's curve runs from ≈6% to ≈70%.
+//!
+//! Run: `cargo run -p rda-bench --bin fig13`
+
+use rda_bench::write_json;
+use rda_model::fig13;
+
+fn main() {
+    let s_values: Vec<f64> = (1..=9).map(|i| f64::from(i) * 5.0).collect();
+    let fig = fig13(&s_values);
+    println!("== fig13 — {} ==\n", fig.family);
+    println!("  {:>5} {:>12}", "s", "% increase");
+    for pt in &fig.points {
+        println!("  {:>5.0} {:>11.1}%", pt.s, pt.percent_gain);
+    }
+    println!(
+        "\npaper's axis: 6% at s = 5 rising to ≈70% at s = 45; model endpoints: {:.1}% … {:.1}%",
+        fig.points.first().unwrap().percent_gain,
+        fig.points.last().unwrap().percent_gain
+    );
+    write_json("fig13", &fig);
+}

@@ -1,0 +1,22 @@
+//! FIG9 — throughput vs communality for page logging, FORCE/TOC (model
+//! family A1), with and without RDA recovery, in both workload
+//! environments. Checks CLAIM-42 (≈42% gain at C = 0.9, high update).
+//!
+//! Run: `cargo run -p rda-bench --bin fig9`
+
+use rda_bench::{figure_grid, print_figure, write_json};
+use rda_model::{families, fig9, ModelParams, Workload};
+
+fn main() {
+    let fig = fig9(&figure_grid());
+    print_figure(&fig);
+
+    let point = families::a1::evaluate(
+        &ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9),
+    );
+    println!(
+        "\nCLAIM-42: paper reports ≈42% gain at C = 0.9 (high update); model gives {:.1}%",
+        point.gain() * 100.0
+    );
+    write_json("fig9", &fig);
+}

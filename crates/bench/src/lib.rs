@@ -1,0 +1,84 @@
+//! Shared output helpers for the figure-regeneration binaries.
+//!
+//! Every binary prints a paper-style table to stdout and, when the
+//! `RDA_FIGURE_DIR` environment variable is set (or `target/figures`
+//! exists/can be created), writes the series as JSON for EXPERIMENTS.md
+//! bookkeeping.
+
+use rda_model::FigureSeries;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory figure JSON lands in.
+#[must_use]
+pub fn figure_dir() -> PathBuf {
+    std::env::var_os("RDA_FIGURE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/figures"))
+}
+
+/// Serialize a figure payload to `<dir>/<id>.json` (best effort — a
+/// read-only target dir only loses the JSON copy, not the stdout table).
+pub fn write_json<T: Serialize>(id: &str, payload: &T) {
+    let dir = figure_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(payload) {
+        let _ = std::fs::write(&path, json);
+        println!("\n[series written to {}]", path.display());
+    }
+}
+
+/// Print a throughput-vs-communality figure as two side-by-side tables,
+/// the way the paper draws each figure with a high-update and a
+/// high-retrieval panel.
+pub fn print_figure(fig: &FigureSeries) {
+    println!("== {} — {} ==", fig.id, fig.family);
+    for (name, series) in
+        [("high update frequency", &fig.high_update), ("high retrieval frequency", &fig.high_retrieval)]
+    {
+        println!("\n  [{name}]");
+        println!("  {:>5} {:>14} {:>14} {:>8}", "C", "¬RDA rt", "RDA rt", "gain");
+        for pt in series {
+            println!(
+                "  {:>5.2} {:>14.0} {:>14.0} {:>7.1}%",
+                pt.c,
+                pt.non_rda,
+                pt.rda,
+                pt.gain * 100.0
+            );
+        }
+    }
+}
+
+/// Communality grid used by the figure binaries: the paper's plots span
+/// C ∈ [0, 1]; we stop at 0.95 where the ¬FORCE formulas stay finite.
+#[must_use]
+pub fn figure_grid() -> Vec<f64> {
+    (0..=19).map(|i| f64::from(i) * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_spans_unit_interval() {
+        let g = figure_grid();
+        assert_eq!(g.len(), 20);
+        assert_eq!(g[0], 0.0);
+        assert!((g[19] - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_smoke() {
+        let dir = std::env::temp_dir().join("rda-fig-test");
+        std::env::set_var("RDA_FIGURE_DIR", &dir);
+        write_json("smoke", &vec![1, 2, 3]);
+        let written = std::fs::read_to_string(dir.join("smoke.json")).unwrap();
+        assert!(written.contains('1'));
+        std::env::remove_var("RDA_FIGURE_DIR");
+    }
+}

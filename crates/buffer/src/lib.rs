@@ -1,0 +1,30 @@
+//! # rda-buffer — database buffer manager
+//!
+//! The buffer substrate assumed by the paper's model (§5: a buffer of `B`
+//! frames; the probability a requested page is found in the buffer is the
+//! *communality* `C`; replaced modified pages are written back with cost
+//! `a`; a **STEAL** policy "allows pages modified by uncommitted
+//! transactions to be propagated to the database before EOT").
+//!
+//! The pool enforces policy but delegates *mechanism* to its caller: on a
+//! miss it asks a `fetch` closure for the page, and on eviction of a dirty
+//! frame it hands the page to a `steal` closure — in `rda-core` that
+//! closure is the recovery manager, which decides whether the steal needs
+//! UNDO logging or can ride on the dirty parity group. This inversion is
+//! exactly the paper's hook: "We only specify when a modified page can be
+//! written back to disk without UNDO logging."
+//!
+//! Two replacement policies are provided (clock and LRU); the paper does
+//! not depend on a particular one ("buffer management algorithms are not
+//! supposed to replace a page that will be referenced again in the near
+//! future" — footnote 3), so the policy is a config knob and an ablation
+//! bench compares them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod pool;
+
+pub use pool::{
+    BufferConfig, BufferError, BufferPool, BufferStats, Evicted, ReplacePolicy, StealRequest,
+};

@@ -1,0 +1,196 @@
+//! Engine configuration.
+
+use rda_array::{ArrayConfig, Organization};
+use rda_buffer::{BufferConfig, ReplacePolicy};
+use rda_wal::LogConfig;
+
+/// Which recovery engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's contribution: twin-page parity UNDO. Requires (and
+    /// [`DbConfig`] constructors enforce) a twin-parity array.
+    Rda,
+    /// The traditional baseline: every steal of an uncommitted page is
+    /// preceded by before-image logging; the array's parity serves media
+    /// recovery only. Runs on a single-parity array.
+    Wal,
+}
+
+/// Logging granularity (§5.2 vs §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogGranularity {
+    /// Full page images; page-level locking.
+    Page,
+    /// Byte-range diffs; record-level (byte-range) locking. Cheaper in log
+    /// volume, and the regime where the paper finds ¬FORCE/ACC + RDA wins.
+    Record,
+}
+
+/// End-of-transaction discipline (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EotPolicy {
+    /// FORCE: all pages modified by the transaction are written to the
+    /// database before EOT (transaction-oriented checkpointing, TOC).
+    Force,
+    /// ¬FORCE: modified pages stay in the buffer; REDO recovery applies
+    /// after a crash. Paired with action-consistent checkpoints (ACC).
+    NoForce,
+}
+
+/// Checkpointing for the ¬FORCE discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// No automatic checkpoints (TOC is implied by FORCE; callers may also
+    /// invoke `Database::checkpoint` manually).
+    Manual,
+    /// Take an ACC checkpoint every `ops` page operations.
+    AccEvery {
+        /// Page operations between checkpoints (the model's interval `I`,
+        /// expressed in operations rather than transfers).
+        ops: u64,
+    },
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Recovery engine.
+    pub engine: EngineKind,
+    /// Array layout. For [`EngineKind::Rda`] this must be a twin-parity
+    /// configuration.
+    pub array: ArrayConfig,
+    /// Buffer pool shape and policy.
+    pub buffer: BufferConfig,
+    /// Log page size and duplexing.
+    pub log: LogConfig,
+    /// Page or record logging.
+    pub granularity: LogGranularity,
+    /// FORCE or ¬FORCE at EOT.
+    pub eot: EotPolicy,
+    /// Checkpointing (meaningful with ¬FORCE).
+    pub checkpoint: CheckpointPolicy,
+    /// Strict two-phase locking for reads: transactional reads take
+    /// page-level shared locks held to EOT, giving serializable
+    /// write-read visibility. Off by default (the paper's model evaluates
+    /// recovery I/O, not isolation), and orthogonal to the recovery
+    /// machinery.
+    pub strict_read_locks: bool,
+}
+
+impl DbConfig {
+    /// A small configuration handy for tests and examples: 4-page parity
+    /// groups, 8 groups, 64-byte pages, an 8-frame STEAL/clock buffer,
+    /// page logging, FORCE.
+    #[must_use]
+    pub fn small_test(engine: EngineKind) -> DbConfig {
+        let twin = engine == EngineKind::Rda;
+        DbConfig {
+            engine,
+            array: ArrayConfig::new(Organization::RotatedParity, 4, 8)
+                .twin(twin)
+                .page_size(64),
+            buffer: BufferConfig { frames: 8, steal: true, policy: ReplacePolicy::Clock },
+            log: LogConfig { page_size: 256, copies: 2, amortized: false },
+            granularity: LogGranularity::Page,
+            eot: EotPolicy::Force,
+            checkpoint: CheckpointPolicy::Manual,
+            strict_read_locks: false,
+        }
+    }
+
+    /// The paper's model configuration scaled to a runnable size:
+    /// `N = 10` data pages per group, `S/N` groups for the given `s_pages`
+    /// database size, 2020-byte pages, buffer of `b_frames` frames.
+    #[must_use]
+    pub fn paper_like(engine: EngineKind, s_pages: u32, b_frames: usize) -> DbConfig {
+        let twin = engine == EngineKind::Rda;
+        let n = 10;
+        let groups = s_pages.div_ceil(n);
+        DbConfig {
+            engine,
+            array: ArrayConfig::new(Organization::RotatedParity, n, groups).twin(twin),
+            buffer: BufferConfig { frames: b_frames, steal: true, policy: ReplacePolicy::Clock },
+            log: LogConfig::default(),
+            granularity: LogGranularity::Page,
+            eot: EotPolicy::Force,
+            checkpoint: CheckpointPolicy::Manual,
+            strict_read_locks: false,
+        }
+    }
+
+    /// Builder-style: set granularity.
+    #[must_use]
+    pub fn granularity(mut self, g: LogGranularity) -> DbConfig {
+        self.granularity = g;
+        self
+    }
+
+    /// Builder-style: set EOT policy.
+    #[must_use]
+    pub fn eot(mut self, e: EotPolicy) -> DbConfig {
+        self.eot = e;
+        self
+    }
+
+    /// Builder-style: set checkpoint policy.
+    #[must_use]
+    pub fn checkpoint(mut self, c: CheckpointPolicy) -> DbConfig {
+        self.checkpoint = c;
+        self
+    }
+
+    /// Validate internal consistency (RDA needs twin parity, etc.).
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when the configuration is
+    /// incoherent; called by `Database::open`.
+    pub fn validate(&self) {
+        if self.engine == EngineKind::Rda {
+            assert!(
+                self.array.twin,
+                "RDA recovery requires a twin-parity array (ArrayConfig::twin(true))"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_test_configs_are_coherent() {
+        DbConfig::small_test(EngineKind::Rda).validate();
+        DbConfig::small_test(EngineKind::Wal).validate();
+        assert!(DbConfig::small_test(EngineKind::Rda).array.twin);
+        assert!(!DbConfig::small_test(EngineKind::Wal).array.twin);
+    }
+
+    #[test]
+    fn paper_like_sizes() {
+        let c = DbConfig::paper_like(EngineKind::Rda, 5000, 300);
+        assert_eq!(c.array.n, 10);
+        assert_eq!(c.array.groups, 500);
+        assert_eq!(c.array.page_size, 2020);
+        assert_eq!(c.buffer.frames, 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "twin-parity")]
+    fn rda_without_twin_rejected() {
+        let mut c = DbConfig::small_test(EngineKind::Rda);
+        c.array.twin = false;
+        c.validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DbConfig::small_test(EngineKind::Wal)
+            .granularity(LogGranularity::Record)
+            .eot(EotPolicy::NoForce)
+            .checkpoint(CheckpointPolicy::AccEvery { ops: 100 });
+        assert_eq!(c.granularity, LogGranularity::Record);
+        assert_eq!(c.eot, EotPolicy::NoForce);
+        assert_eq!(c.checkpoint, CheckpointPolicy::AccEvery { ops: 100 });
+    }
+}

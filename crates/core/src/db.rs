@@ -1,0 +1,287 @@
+//! Public database facade: [`Database`] and [`Transaction`].
+
+use crate::engine::Engine;
+use crate::error::{DbError, Result};
+use crate::recovery::RecoveryReport;
+use crate::DbConfig;
+use parking_lot::Mutex;
+use rda_array::{DataPageId, DiskId, StatsSnapshot};
+use rda_buffer::BufferStats;
+use rda_wal::TxnId;
+use std::sync::Arc;
+
+/// Aggregate physical-I/O statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbStats {
+    /// Array (data + parity) transfers.
+    pub array: StatsSnapshot,
+    /// Log-device transfers.
+    pub log: StatsSnapshot,
+    /// Buffer pool counters.
+    pub buffer: BufferStats,
+}
+
+impl DbStats {
+    /// Total page transfers — the unit of the paper's cost model.
+    #[must_use]
+    pub fn total_transfers(&self) -> u64 {
+        self.array.transfers() + self.log.transfers()
+    }
+
+    /// Transfers between `earlier` and `self`.
+    #[must_use]
+    pub fn delta(&self, earlier: &DbStats) -> DbStats {
+        DbStats {
+            array: self.array.delta(&earlier.array),
+            log: self.log.delta(&earlier.log),
+            buffer: BufferStats {
+                hits: self.buffer.hits - earlier.buffer.hits,
+                misses: self.buffer.misses - earlier.buffer.misses,
+                steals: self.buffer.steals - earlier.buffer.steals,
+                writebacks: self.buffer.writebacks - earlier.buffer.writebacks,
+                drops: self.buffer.drops - earlier.buffer.drops,
+            },
+        }
+    }
+}
+
+/// A database running one of the two recovery engines over a simulated
+/// redundant disk array.
+///
+/// Thread-safe: the engine is serialized behind a mutex (the paper models
+/// logical concurrency of `P` transactions over one I/O subsystem; true
+/// parallel execution would only perturb the transfer counts being
+/// measured).
+#[derive(Clone)]
+pub struct Database {
+    engine: Arc<Mutex<Engine>>,
+}
+
+impl Database {
+    /// Create a fresh, zero-filled database.
+    ///
+    /// # Panics
+    /// Panics if the configuration is incoherent (see
+    /// [`DbConfig::validate`]).
+    #[must_use]
+    pub fn open(cfg: DbConfig) -> Database {
+        Database { engine: Arc::new(Mutex::new(Engine::open(cfg))) }
+    }
+
+    /// Begin a transaction.
+    ///
+    /// # Panics
+    /// Panics if the database has crashed and not yet recovered — run
+    /// [`Database::recover`] first.
+    #[must_use]
+    pub fn begin(&self) -> Transaction {
+        let id = self.engine.lock().begin().expect("database needs recovery before begin()");
+        Transaction { engine: Arc::clone(&self.engine), id, finished: false }
+    }
+
+    /// Read the current contents of a page, outside any transaction
+    /// (reflects the latest propagated state; equal to the last committed
+    /// state when no transaction is writing the page).
+    pub fn read_page(&self, page: u32) -> Result<Vec<u8>> {
+        let mut engine = self.engine.lock();
+        let txn = engine.begin()?;
+        let out = engine.txn_read(txn, DataPageId(page));
+        let _ = engine.txn_abort(txn);
+        out
+    }
+
+    /// Number of data pages.
+    #[must_use]
+    pub fn data_pages(&self) -> u32 {
+        self.engine.lock().dur.array.data_pages()
+    }
+
+    /// Take an action-consistent checkpoint now.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.engine.lock().checkpoint()
+    }
+
+    /// Simulate a system failure: volatile state (buffer, dirty set, lock
+    /// table, unforced log tail, active transactions) is lost. Until
+    /// [`Database::recover`] runs, new work is refused.
+    pub fn crash(&self) {
+        self.engine.lock().crash();
+    }
+
+    /// Run restart recovery after a crash.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        self.engine.lock().recover()
+    }
+
+    /// Convenience: crash then recover.
+    pub fn crash_and_recover(&self) -> Result<RecoveryReport> {
+        let mut engine = self.engine.lock();
+        engine.crash();
+        engine.recover()
+    }
+
+    /// Truncate the write-ahead log to the oldest record recovery could
+    /// still need (last checkpoint / earliest active BOT). Returns the
+    /// number of records discarded. Invalidates older archives.
+    pub fn truncate_log(&self) -> Result<u64> {
+        self.engine.lock().truncate_log()
+    }
+
+    /// Take a transaction-consistent full archive copy (the §1 baseline's
+    /// backup pass). Requires quiescence; bills one read per page.
+    pub fn archive_dump(&self) -> Result<crate::Archive> {
+        self.engine.lock().archive_dump()
+    }
+
+    /// Restore from an archive and roll forward from the redo log — the
+    /// traditional media recovery the paper argues is too expensive.
+    /// Returns the number of redo records applied.
+    pub fn archive_restore(&self, archive: &crate::Archive) -> Result<u64> {
+        self.engine.lock().archive_restore(archive)
+    }
+
+    /// Fail a disk (media failure injection).
+    pub fn fail_disk(&self, disk: u16) {
+        self.engine.lock().dur.array.fail_disk(DiskId(disk));
+    }
+
+    /// Fail the whole disk holding a data page (fault injection).
+    pub fn fail_disk_of_page(&self, page: u32) {
+        let engine = self.engine.lock();
+        let loc = engine.dur.array.locate_data(DataPageId(page));
+        engine.dur.array.fail_disk(loc.disk);
+    }
+
+    /// Inject a latent sector error under a data page (fault injection;
+    /// the next scrub or degraded read repairs it).
+    pub fn corrupt_data_page(&self, page: u32) {
+        let engine = self.engine.lock();
+        let loc = engine.dur.array.locate_data(DataPageId(page));
+        engine.dur.array.corrupt(loc);
+    }
+
+    /// Inject a latent sector error under a group's committed parity page
+    /// (fault injection).
+    pub fn corrupt_committed_parity(&self, group: u32) {
+        let engine = self.engine.lock();
+        let g = rda_array::GroupId(group);
+        let slot = engine.committed_slot(g);
+        if let Some(loc) = engine.dur.array.geometry().parity_loc(g, slot) {
+            engine.dur.array.corrupt(loc);
+        }
+    }
+
+    /// Install a blank replacement for a failed disk without rebuilding
+    /// it (use before [`Database::archive_restore`] after a multi-disk
+    /// disaster; single failures should use [`Database::media_recover`],
+    /// which replaces and rebuilds in one step).
+    pub fn replace_disk_blank(&self, disk: u16) {
+        self.engine.lock().dur.array.replace_disk_blank(DiskId(disk));
+    }
+
+    /// Rebuild a failed disk from the surviving group members. Requires
+    /// quiescence (no active transactions).
+    pub fn media_recover(&self, disk: u16) -> Result<u64> {
+        self.engine.lock().media_recover(DiskId(disk))
+    }
+
+    /// Current I/O statistics.
+    #[must_use]
+    pub fn stats(&self) -> DbStats {
+        let engine = self.engine.lock();
+        DbStats {
+            array: engine.dur.array.stats().snapshot(),
+            log: engine.dur.log_store.stats().snapshot(),
+            buffer: engine.buffer.stats(),
+        }
+    }
+
+    /// Per-disk transfer totals of the array (load-balance view).
+    #[must_use]
+    pub fn stats_per_disk(&self) -> Vec<u64> {
+        self.engine.lock().dur.array.stats().per_disk()
+    }
+
+    /// Total bytes appended durably to the log (one copy) — the quantity
+    /// the paper's record-logging analysis divides by `l_p`.
+    #[must_use]
+    pub fn log_bytes(&self) -> u64 {
+        self.engine.lock().dur.log_store.bytes()
+    }
+
+    /// Scrub the array's parity invariants; returns violations (empty when
+    /// consistent). Bills array reads like a real scrubber.
+    pub fn verify(&self) -> Result<Vec<String>> {
+        self.engine.lock().verify_parity()
+    }
+
+    /// Patrol scrub: read every data and committed-parity page, repairing
+    /// latent sector errors from parity. Requires quiescence.
+    pub fn scrub(&self) -> Result<crate::ScrubReport> {
+        self.engine.lock().scrub_repair()
+    }
+
+    /// Number of transactions currently active.
+    #[must_use]
+    pub fn active_transactions(&self) -> usize {
+        self.engine.lock().active.len()
+    }
+}
+
+/// A transaction handle. Dropped without [`Transaction::commit`], it aborts
+/// (best-effort).
+pub struct Transaction {
+    engine: Arc<Mutex<Engine>>,
+    id: TxnId,
+    finished: bool,
+}
+
+impl Transaction {
+    /// This transaction's identifier.
+    #[must_use]
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Read a page.
+    pub fn read(&mut self, page: u32) -> Result<Vec<u8>> {
+        self.engine.lock().txn_read(self.id, DataPageId(page))
+    }
+
+    /// Overwrite a page (page-logging granularity). Payloads shorter than
+    /// the page are zero-padded.
+    pub fn write(&mut self, page: u32, data: &[u8]) -> Result<()> {
+        self.engine.lock().txn_write(self.id, DataPageId(page), data)
+    }
+
+    /// Update a byte range of a page (record-logging granularity).
+    pub fn update(&mut self, page: u32, offset: usize, data: &[u8]) -> Result<()> {
+        self.engine.lock().txn_update(self.id, DataPageId(page), offset, data)
+    }
+
+    /// Commit. Consumes the handle.
+    pub fn commit(mut self) -> Result<TxnId> {
+        self.finished = true;
+        self.engine.lock().txn_commit(self.id)?;
+        Ok(self.id)
+    }
+
+    /// Abort and roll back. Consumes the handle.
+    pub fn abort(mut self) -> Result<()> {
+        self.finished = true;
+        self.engine.lock().txn_abort(self.id)
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            let mut engine = self.engine.lock();
+            // After a crash the transaction is already gone; ignore.
+            match engine.txn_abort(self.id) {
+                Ok(()) | Err(DbError::UnknownTxn(_)) | Err(DbError::NeedsRecovery) => {}
+                Err(e) => panic!("abort on drop failed: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,1000 @@
+//! The recovery engine: transaction execution, steal handling, commit and
+//! abort (paper §4).
+//!
+//! One [`Engine`] instance runs either the paper's **RDA** scheme (twin-page
+//! parity UNDO) or the traditional **WAL** baseline (before-image logging on
+//! every steal), selected by [`EngineKind`](crate::EngineKind). All physical
+//! I/O — array transfers and log-page transfers — is billed to shared
+//! counters so workloads can be compared against the paper's analytical
+//! model transfer-for-transfer.
+//!
+//! ## The steal decision (paper Figure 3)
+//!
+//! When a page modified by an uncommitted transaction must be written to
+//! the database (buffer eviction, FORCE at EOT, or an ACC checkpoint), the
+//! engine classifies the write:
+//!
+//! * group **clean** → the steal *dirties* the group: the page's header
+//!   joins the transaction's steal chain (written with the data page, no
+//!   log I/O — the BOT record alone must already be durable), the obsolete
+//!   twin becomes the working parity
+//!   (`P_work := P_committed ⊕ old ⊕ new`), and no before-image is logged;
+//! * group dirty **for the same page and transaction** → the working twin
+//!   is updated in place, again with no before-image;
+//! * otherwise → the before-image (or record-level before-diffs) is forced
+//!   to the log, and the write updates **both** twins so the parity
+//!   difference `P ⊕ P′` continues to encode exactly the un-logged page's
+//!   old⊕new.
+
+use crate::chain::ChainDirectory;
+use crate::config::{CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity};
+use crate::error::{DbError, Result};
+use crate::group::{DirtySet, StealClass};
+use crate::locks::LockTable;
+use crate::twin::TwinDirectory;
+use rda_array::{DataPageId, DiskArray, GroupId, Page, ParitySlot};
+use rda_buffer::BufferPool;
+use rda_wal::{CheckpointKind, LogManager, LogRecord, LogStore, TxnId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// A record-granularity update (offset, before bytes, after bytes).
+#[derive(Debug, Clone)]
+pub(crate) struct RecOp {
+    pub offset: u32,
+    pub before: Vec<u8>,
+    pub after: Vec<u8>,
+}
+
+/// Volatile per-transaction state.
+#[derive(Debug, Default)]
+pub(crate) struct TxnState {
+    /// BOT record appended to the log?
+    pub bot_logged: bool,
+    /// First-touch before-images (for in-buffer rollback).
+    pub before: HashMap<DataPageId, Page>,
+    /// Pages written by this transaction.
+    pub written: BTreeSet<DataPageId>,
+    /// Last version of each page this transaction has stolen to disk.
+    pub last_stolen: HashMap<DataPageId, Page>,
+    /// Pages stolen riding the parity (no UNDO logging).
+    pub stolen_parity: BTreeSet<DataPageId>,
+    /// Pages stolen under before-image / record-diff logging.
+    pub stolen_logged: BTreeSet<DataPageId>,
+    /// Record-granularity ops per page, in execution order.
+    pub rec_ops: HashMap<DataPageId, Vec<RecOp>>,
+    /// How many of `rec_ops[page]` have had their before-diffs logged.
+    pub undo_logged_upto: HashMap<DataPageId, usize>,
+}
+
+/// The durable half of a database: everything that survives a crash.
+pub(crate) struct Durable {
+    pub array: Arc<DiskArray>,
+    pub log_store: Arc<LogStore>,
+    pub twins: Arc<TwinDirectory>,
+    /// The TWIST-style steal chain (page headers on disk).
+    pub chain: Arc<ChainDirectory>,
+}
+
+/// The database engine (volatile state over [`Durable`] storage).
+pub struct Engine {
+    pub(crate) cfg: DbConfig,
+    pub(crate) dur: Durable,
+    pub(crate) log: LogManager,
+    pub(crate) buffer: BufferPool,
+    pub(crate) dirty: DirtySet,
+    pub(crate) locks: LockTable,
+    pub(crate) active: HashMap<TxnId, TxnState>,
+    pub(crate) next_txn: u64,
+    pub(crate) clock: u64,
+    pub(crate) ops_since_ckpt: u64,
+    pub(crate) needs_recovery: bool,
+}
+
+impl Engine {
+    /// Create a fresh database.
+    pub(crate) fn open(cfg: DbConfig) -> Engine {
+        cfg.validate();
+        let array = Arc::new(DiskArray::new(cfg.array.clone()));
+        let groups = array.groups();
+        let log_store = LogStore::new(cfg.log.clone());
+        let dur = Durable {
+            array,
+            log_store: Arc::clone(&log_store),
+            twins: Arc::new(TwinDirectory::new(groups)),
+            chain: Arc::new(ChainDirectory::new()),
+        };
+        let clock = dur.twins.max_ts() + 1;
+        Engine {
+            log: LogManager::new(log_store),
+            buffer: BufferPool::new(cfg.buffer.clone()),
+            dirty: DirtySet::new(),
+            locks: LockTable::new(),
+            active: HashMap::new(),
+            next_txn: 1,
+            clock,
+            ops_since_ckpt: 0,
+            needs_recovery: false,
+            cfg,
+            dur,
+        }
+    }
+
+    /// Is this the RDA engine (twin parity UNDO)?
+    pub(crate) fn is_rda(&self) -> bool {
+        self.cfg.engine == EngineKind::Rda
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn check_ready(&self) -> Result<()> {
+        if self.needs_recovery {
+            return Err(DbError::NeedsRecovery);
+        }
+        Ok(())
+    }
+
+    fn check_page(&self, page: DataPageId) -> Result<()> {
+        if page.0 >= self.dur.array.data_pages() {
+            return Err(DbError::BadPage(page));
+        }
+        Ok(())
+    }
+
+    fn txn_state(&mut self, txn: TxnId) -> Result<&mut TxnState> {
+        self.active.get_mut(&txn).ok_or(DbError::UnknownTxn(txn))
+    }
+
+    // ---- parity slot selection -----------------------------------------
+
+    /// The twin holding the last *committed* parity of a group.
+    pub(crate) fn committed_slot(&self, g: GroupId) -> ParitySlot {
+        if !self.is_rda() {
+            return ParitySlot::P0;
+        }
+        match self.dirty.get(g) {
+            Some(info) => info.working.other(),
+            None => self.dur.twins.current_slot(g),
+        }
+    }
+
+    /// The twin whose parity covers the *current on-disk contents* of a
+    /// group (the working twin while the group is dirty). Degraded reads
+    /// must reconstruct through this one.
+    pub(crate) fn disk_read_slot(&self, g: GroupId) -> ParitySlot {
+        if !self.is_rda() {
+            return ParitySlot::P0;
+        }
+        match self.dirty.get(g) {
+            Some(info) => info.working,
+            None => self.dur.twins.current_slot(g),
+        }
+    }
+
+    /// Which parity twins a data-page write must update: the committed one
+    /// for a clean group, **both** for a dirty group (so `P ⊕ P′` keeps
+    /// encoding the un-logged page's old⊕new — paper footnote on the
+    /// `2·p_l` term).
+    fn write_slots(&self, g: GroupId) -> Vec<ParitySlot> {
+        if !self.is_rda() {
+            return vec![ParitySlot::P0];
+        }
+        match self.dirty.get(g) {
+            Some(info) => vec![info.working, info.working.other()],
+            None => vec![self.dur.twins.current_slot(g)],
+        }
+    }
+
+    // ---- physical I/O helpers ------------------------------------------
+
+    /// Read the current on-disk contents of a page, falling back to XOR
+    /// reconstruction through the correct twin when a disk has failed.
+    pub(crate) fn read_disk(&self, page: DataPageId) -> Result<Page> {
+        match self.dur.array.try_read_data(page) {
+            Ok(p) => Ok(p),
+            Err(rda_array::ArrayError::DiskFailed(_))
+            | Err(rda_array::ArrayError::MediaError { .. }) => {
+                let g = self.dur.array.geometry().group_of(page);
+                Ok(self.dur.array.reconstruct_data(page, self.disk_read_slot(g))?)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Write `new` over `page`, updating each parity page in `slots` with
+    /// the `old ⊕ new` delta. Costs `|slots|` reads + `1 + |slots|` writes.
+    ///
+    /// Degraded mode: a single failed disk is tolerated — a write landing
+    /// on the dead disk is skipped, because the parity (or, for a dead
+    /// parity twin, the surviving data) still encodes the new contents and
+    /// the rebuild recomputes the missing block. The write only fails when
+    /// the new contents would be encoded nowhere.
+    pub(crate) fn write_with_parity(
+        &mut self,
+        page: DataPageId,
+        new: &Page,
+        old: &Page,
+        slots: &[ParitySlot],
+    ) -> Result<()> {
+        let g = self.dur.array.geometry().group_of(page);
+        let mut parities = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match self.dur.array.read_parity(g, *slot) {
+                Ok(mut parity) => {
+                    parity.xor_in_place(old);
+                    parity.xor_in_place(new);
+                    parities.push(Some(parity));
+                }
+                // A dead twin carries no information worth updating; the
+                // rebuild will recompute its block.
+                Err(rda_array::ArrayError::DiskFailed(_)) => parities.push(None),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let data_written = match self.dur.array.write_data_unprotected(page, new) {
+            Ok(()) => true,
+            Err(rda_array::ArrayError::DiskFailed(_)) => false,
+            Err(e) => return Err(e.into()),
+        };
+        let mut parity_written = false;
+        for (slot, parity) in slots.iter().zip(&parities) {
+            if let Some(parity) = parity {
+                match self.dur.array.write_parity(g, *slot, parity) {
+                    Ok(()) => parity_written = true,
+                    Err(rda_array::ArrayError::DiskFailed(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        if !data_written && !parity_written {
+            // Two losses in one group: the new contents are gone.
+            return Err(rda_array::ArrayError::Unrecoverable(g).into());
+        }
+        self.refresh_stolen_cache(page, new);
+        Ok(())
+    }
+
+    /// Keep every active transaction's cached last-written disk image of
+    /// `page` accurate after a disk write — a stale cache would corrupt
+    /// the next parity delta computed from it.
+    fn refresh_stolen_cache(&mut self, page: DataPageId, data: &Page) {
+        for st in self.active.values_mut() {
+            if let Some(img) = st.last_stolen.get_mut(&page) {
+                img.clone_from(data);
+            }
+        }
+    }
+
+    /// Best available old-disk image for `page` before overwriting it.
+    ///
+    /// A version this transaction previously stole is authoritative; under
+    /// FORCE with *page* locking the first-touch before-image equals the
+    /// disk version (every committed predecessor was forced, and page locks
+    /// exclude concurrent co-writers); otherwise the page is read (the
+    /// model's `a = 4` case). Under record locking another transaction's
+    /// uncommitted bytes can sit in the first-touch image, so it is never
+    /// trusted as the disk version there.
+    fn old_disk_image(&mut self, page: DataPageId, owner: Option<TxnId>) -> Result<Page> {
+        if let Some(txn) = owner {
+            if let Some(st) = self.active.get(&txn) {
+                if let Some(img) = st.last_stolen.get(&page) {
+                    return Ok(img.clone());
+                }
+                if self.cfg.eot == EotPolicy::Force
+                    && self.cfg.granularity == LogGranularity::Page
+                {
+                    if let Some(img) = st.before.get(&page) {
+                        return Ok(img.clone());
+                    }
+                }
+            }
+        }
+        self.read_disk(page)
+    }
+
+    // ---- logging helpers -------------------------------------------------
+
+    fn ensure_bot(&mut self, txn: TxnId) -> Result<()> {
+        let st = self.txn_state(txn)?;
+        if !st.bot_logged {
+            st.bot_logged = true;
+            self.log.append(LogRecord::Bot { txn });
+        }
+        Ok(())
+    }
+
+    /// Append the UNDO information for `page` that is not yet in the log:
+    /// the first-touch before-image (page logging) or the unlogged
+    /// before-diffs (record logging). Does not force.
+    fn log_undo_for(&mut self, txn: TxnId, page: DataPageId) -> Result<()> {
+        self.ensure_bot(txn)?;
+        match self.cfg.granularity {
+            LogGranularity::Page => {
+                let st = self.txn_state(txn)?;
+                if st.stolen_logged.contains(&page) {
+                    return Ok(()); // before-image already durable
+                }
+                let image = st
+                    .before
+                    .get(&page)
+                    .expect("page written by txn has a before-image")
+                    .as_ref()
+                    .to_vec();
+                self.log.append(LogRecord::BeforeImage { txn, page, image });
+            }
+            LogGranularity::Record => {
+                let st = self.txn_state(txn)?;
+                let ops = st.rec_ops.get(&page).cloned().unwrap_or_default();
+                let from = *st.undo_logged_upto.get(&page).unwrap_or(&0);
+                st.undo_logged_upto.insert(page, ops.len());
+                for op in &ops[from..] {
+                    self.log.append(LogRecord::RecordUpdate {
+                        txn,
+                        page,
+                        offset: op.offset,
+                        before: op.before.clone(),
+                        after: op.after.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- the steal path ---------------------------------------------------
+
+    /// Write back a page carrying uncommitted updates (buffer eviction,
+    /// FORCE flush, or checkpoint). Implements Figure 3.
+    pub(crate) fn steal_uncommitted(
+        &mut self,
+        page: DataPageId,
+        data: &Page,
+        modifiers: &BTreeSet<TxnId>,
+    ) -> Result<()> {
+        debug_assert!(!modifiers.is_empty());
+        let g = self.dur.array.geometry().group_of(page);
+
+        let single = if modifiers.len() == 1 {
+            Some(*modifiers.iter().next().expect("len 1"))
+        } else {
+            None
+        };
+
+        // The WAL baseline, and any page shared by multiple in-flight
+        // writers (possible under record locking), always log UNDO.
+        let must_log = !self.is_rda() || single.is_none();
+
+        if must_log {
+            for txn in modifiers {
+                self.log_undo_for(*txn, page)?;
+            }
+            self.log.force();
+            let old = self.old_disk_image(page, single)?;
+            let slots = self.write_slots(g);
+            self.write_with_parity(page, data, &old, &slots)?;
+            for txn in modifiers {
+                if let Some(st) = self.active.get_mut(txn) {
+                    st.stolen_logged.insert(page);
+                    st.last_stolen.insert(page, data.clone());
+                }
+            }
+            return Ok(());
+        }
+
+        let txn = single.expect("single modifier");
+        let mut class = self.dirty.classify(g, page, txn);
+
+        // Record locking: a page may only ride the parity if this
+        // transaction can escalate to an exclusive page lock, because
+        // parity undo restores the *whole* page.
+        if class == StealClass::DirtiesGroup
+            && self.cfg.granularity == LogGranularity::Record
+            && self.locks.lock_page(page, txn).is_err()
+        {
+            class = StealClass::NeedsLogging;
+        }
+
+        // Degraded mode: riding the parity needs *both* twins alive — the
+        // committed one to keep the before-image, the working one to take
+        // the update. With either twin's disk down, fall back to
+        // before-image logging for this steal.
+        if class == StealClass::DirtiesGroup && self.is_rda() {
+            let geo = self.dur.array.geometry();
+            let twins_alive = ParitySlot::BOTH.iter().all(|slot| {
+                geo.parity_loc(g, *slot)
+                    .is_some_and(|loc| !self.dur.array.disk_failed(loc.disk))
+            });
+            if !twins_alive {
+                class = StealClass::NeedsLogging;
+            }
+        }
+
+        match class {
+            StealClass::DirtiesGroup => {
+                // The BOT record must be durable before any page of the
+                // transaction reaches the database (§4.3); the steal
+                // itself is chained through the page header, written as
+                // part of the data-page write — no log I/O.
+                self.ensure_bot(txn)?;
+                self.log.force();
+
+                let committed = self.committed_slot(g);
+                let now = self.tick();
+                let work = self.dur.twins.begin_working(g, now);
+                debug_assert_eq!(work, committed.other());
+
+                let old = self.old_disk_image(page, Some(txn))?;
+                // P_work := P_committed ⊕ old ⊕ new; one parity read, one
+                // data write, one parity write (a = 3 with old in hand).
+                let mut parity = self.dur.array.read_parity(g, committed)?;
+                parity.xor_in_place(&old);
+                parity.xor_in_place(data);
+                match self.dur.array.write_data_unprotected(page, data) {
+                    // A dead data disk is fine: the working twin encodes
+                    // the new contents for degraded reads and the rebuild.
+                    Ok(()) | Err(rda_array::ArrayError::DiskFailed(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+                self.dur.chain.note_steal(txn, page); // header rides the write
+                self.dur.array.write_parity(g, work, &parity)?;
+                self.refresh_stolen_cache(page, data);
+
+                self.dirty.mark(g, page, txn, work);
+                let st = self.txn_state(txn)?;
+                st.stolen_parity.insert(page);
+                st.last_stolen.insert(page, data.clone());
+            }
+            StealClass::RidesExisting => {
+                let work = self.dirty.get(g).expect("dirty group").working;
+                let old = self.old_disk_image(page, Some(txn))?;
+                self.write_with_parity(page, data, &old, &[work])?;
+                let st = self.txn_state(txn)?;
+                st.last_stolen.insert(page, data.clone());
+            }
+            StealClass::NeedsLogging => {
+                self.log_undo_for(txn, page)?;
+                self.log.force();
+                let old = self.old_disk_image(page, Some(txn))?;
+                let slots = self.write_slots(g);
+                self.write_with_parity(page, data, &old, &slots)?;
+                let st = self.txn_state(txn)?;
+                st.stolen_logged.insert(page);
+                st.last_stolen.insert(page, data.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Write back a page whose updates are all committed.
+    pub(crate) fn write_back_committed(&mut self, page: DataPageId, data: &Page) -> Result<()> {
+        let g = self.dur.array.geometry().group_of(page);
+        let old = self.read_disk(page)?;
+        let slots = self.write_slots(g);
+        self.write_with_parity(page, data, &old, &slots)
+    }
+
+    /// Make room in the buffer pool, performing at most one eviction.
+    fn ensure_room(&mut self) -> Result<()> {
+        if self.buffer.has_room() {
+            return Ok(());
+        }
+        let ev = self.buffer.pop_victim().ok_or(DbError::BufferWedged)?;
+        if ev.dirty {
+            let modifiers: BTreeSet<TxnId> = ev.modifiers.iter().map(|&t| TxnId(t)).collect();
+            if modifiers.is_empty() {
+                self.write_back_committed(ev.page, &ev.data)?;
+            } else {
+                self.steal_uncommitted(ev.page, &ev.data, &modifiers)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Get a page into the buffer and return its contents.
+    fn buffered_read(&mut self, page: DataPageId) -> Result<Page> {
+        if let Some(data) = self.buffer.lookup(page) {
+            return Ok(data);
+        }
+        self.ensure_room()?;
+        let data = self.read_disk(page)?;
+        self.buffer.insert(page, data.clone(), false, None);
+        Ok(data)
+    }
+
+    // ---- transaction operations -------------------------------------------
+
+    /// Start a transaction. The BOT record is written lazily — only when
+    /// the transaction first needs UNDO protection on disk (§4.3).
+    pub(crate) fn begin(&mut self) -> Result<TxnId> {
+        self.check_ready()?;
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.active.insert(txn, TxnState::default());
+        Ok(txn)
+    }
+
+    /// Transactional page read. Under `strict_read_locks` the read takes a
+    /// page-level shared lock held to EOT (strict 2PL).
+    pub(crate) fn txn_read(&mut self, txn: TxnId, page: DataPageId) -> Result<Vec<u8>> {
+        self.check_ready()?;
+        self.check_page(page)?;
+        self.txn_state(txn)?;
+        if self.cfg.strict_read_locks {
+            self.locks.lock_shared(page, txn)?;
+        }
+        let data = self.buffered_read(page)?;
+        Ok(data.as_ref().to_vec())
+    }
+
+    /// Transactional whole-page write (page-logging granularity).
+    pub(crate) fn txn_write(&mut self, txn: TxnId, page: DataPageId, bytes: &[u8]) -> Result<()> {
+        self.check_ready()?;
+        self.check_page(page)?;
+        if self.cfg.granularity != LogGranularity::Page {
+            return Err(DbError::WrongGranularity(
+                "whole-page write requires page logging; use update()",
+            ));
+        }
+        let page_size = self.cfg.array.page_size;
+        if bytes.len() > page_size {
+            return Err(DbError::PageOverflow { offset: 0, len: bytes.len(), page_size });
+        }
+        self.txn_state(txn)?;
+        self.locks.lock_page(page, txn)?;
+        // An update access reads the page first (the paper's model: every
+        // access is a page request; updates modify the fetched page).
+        let current = self.buffered_read(page)?;
+        let mut new = Page::zeroed(page_size);
+        new.as_mut()[..bytes.len()].copy_from_slice(bytes);
+        let st = self.txn_state(txn)?;
+        st.before.entry(page).or_insert(current);
+        st.written.insert(page);
+        let installed = self.buffer.update_resident(page, new, txn.0);
+        debug_assert!(installed, "page just ensured resident");
+        self.after_op()
+    }
+
+    /// Transactional byte-range update (record-logging granularity).
+    pub(crate) fn txn_update(
+        &mut self,
+        txn: TxnId,
+        page: DataPageId,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<()> {
+        self.check_ready()?;
+        self.check_page(page)?;
+        if self.cfg.granularity != LogGranularity::Record {
+            return Err(DbError::WrongGranularity(
+                "byte-range update requires record logging; use write()",
+            ));
+        }
+        let page_size = self.cfg.array.page_size;
+        if offset + bytes.len() > page_size {
+            return Err(DbError::PageOverflow { offset, len: bytes.len(), page_size });
+        }
+        self.txn_state(txn)?;
+        self.locks.lock_range(page, offset as u32, bytes.len() as u32, txn)?;
+        let current = self.buffered_read(page)?;
+        let mut new = current.clone();
+        new.as_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
+        let st = self.txn_state(txn)?;
+        st.before.entry(page).or_insert_with(|| current.clone());
+        st.written.insert(page);
+        st.rec_ops.entry(page).or_default().push(RecOp {
+            offset: offset as u32,
+            before: current.as_ref()[offset..offset + bytes.len()].to_vec(),
+            after: bytes.to_vec(),
+        });
+        let installed = self.buffer.update_resident(page, new, txn.0);
+        debug_assert!(installed, "page just ensured resident");
+        self.after_op()
+    }
+
+    fn after_op(&mut self) -> Result<()> {
+        self.ops_since_ckpt += 1;
+        if let CheckpointPolicy::AccEvery { ops } = self.cfg.checkpoint {
+            if self.ops_since_ckpt >= ops {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Commit a transaction (§4: FORCE flush if configured, REDO logging,
+    /// durable EOT, then the free twin flip — `commit_working` touches no
+    /// parity page).
+    pub(crate) fn txn_commit(&mut self, txn: TxnId) -> Result<()> {
+        self.check_ready()?;
+        if !self.active.contains_key(&txn) {
+            return Err(DbError::UnknownTxn(txn));
+        }
+        let written: Vec<DataPageId> = self.txn_state(txn)?.written.iter().copied().collect();
+
+        if self.cfg.eot == EotPolicy::Force {
+            for page in &written {
+                if self.buffer.is_dirty(*page) {
+                    let data = self.buffer.peek(*page).expect("dirty page resident").clone();
+                    // The frame may carry other transactions' uncommitted
+                    // byte ranges (record locking), or — if this page was
+                    // stolen earlier and re-dirtied by someone else — none
+                    // of ours at all; UNDO protection must follow the
+                    // frame's *current* modifiers.
+                    let mods: BTreeSet<TxnId> =
+                        self.buffer.modifiers_of(*page).iter().map(|&t| TxnId(t)).collect();
+                    if mods.is_empty() {
+                        self.write_back_committed(*page, &data)?;
+                    } else {
+                        self.steal_uncommitted(*page, &data, &mods)?;
+                    }
+                    self.buffer.mark_clean(*page);
+                }
+            }
+        }
+
+        // REDO information (media recovery for the FORCE case, crash redo
+        // for ¬FORCE).
+        match self.cfg.granularity {
+            LogGranularity::Page => {
+                for page in &written {
+                    let image = match self.buffer.peek(*page) {
+                        Some(p) => p.as_ref().to_vec(),
+                        None => self
+                            .active
+                            .get(&txn)
+                            .and_then(|st| st.last_stolen.get(page))
+                            .expect("evicted page was stolen")
+                            .as_ref()
+                            .to_vec(),
+                    };
+                    self.log.append(LogRecord::AfterImage { txn, page: *page, image });
+                }
+            }
+            LogGranularity::Record => {
+                let ops: Vec<(DataPageId, RecOp)> = {
+                    let st = self.active.get(&txn).expect("active checked");
+                    let mut v = Vec::new();
+                    for (page, ops) in st.rec_ops.iter().collect::<BTreeMap<_, _>>() {
+                        for op in ops {
+                            v.push((*page, op.clone()));
+                        }
+                    }
+                    v
+                };
+                for (page, op) in ops {
+                    self.log.append(LogRecord::RecordRedo {
+                        txn,
+                        page,
+                        offset: op.offset,
+                        after: op.after,
+                    });
+                }
+            }
+        }
+
+        self.log.append(LogRecord::Commit { txn });
+        if self.cfg.eot == EotPolicy::Force {
+            self.log.append(LogRecord::Checkpoint { kind: CheckpointKind::Toc, active: vec![] });
+        }
+        self.log.force();
+
+        // The twin flip: the working parity of every group this
+        // transaction dirtied becomes the committed parity. Zero I/O.
+        for (g, info) in self.dirty.take_txn(txn) {
+            self.dur.twins.commit_working(g, info.working);
+        }
+
+        self.dur.chain.clear_txn(txn);
+        self.locks.release_txn(txn);
+        self.buffer.release_txn(txn.0);
+        self.active.remove(&txn);
+        Ok(())
+    }
+
+    /// Abort a transaction, rolling back in-buffer changes for free and
+    /// undoing propagated pages via parity (`D_old = (P ⊕ P′) ⊕ D_new`) or
+    /// via the log.
+    pub(crate) fn txn_abort(&mut self, txn: TxnId) -> Result<()> {
+        self.check_ready()?;
+        let Some(_) = self.active.get(&txn) else {
+            return Err(DbError::UnknownTxn(txn));
+        };
+
+        let (parity_pages, logged_pages, written): (
+            Vec<DataPageId>,
+            Vec<DataPageId>,
+            Vec<DataPageId>,
+        ) = {
+            let st = self.active.get(&txn).expect("checked");
+            (
+                st.stolen_parity.iter().copied().collect(),
+                st.stolen_logged.iter().copied().collect(),
+                st.written.iter().copied().collect(),
+            )
+        };
+
+        // Undo pages riding the parity.
+        for page in &parity_pages {
+            self.undo_via_parity(txn, *page)?;
+        }
+
+        // Undo logged pages by reading the before-images back from the log
+        // (billed — the paper's c_b includes reading the log up to BOT).
+        if !logged_pages.is_empty() {
+            let undo = self.read_undo_from_log(txn)?;
+            for page in &logged_pages {
+                self.undo_via_log(txn, *page, &undo)?;
+            }
+        }
+
+        // Roll back purely in-buffer changes.
+        for page in &written {
+            if parity_pages.contains(page) || logged_pages.contains(page) {
+                continue;
+            }
+            self.rollback_buffer(txn, *page, None);
+        }
+
+        if self.active.get(&txn).expect("checked").bot_logged {
+            self.log.append(LogRecord::Abort { txn });
+            self.log.force();
+        }
+
+        debug_assert!(self.dirty.groups_of(txn).is_empty(), "parity undo cleaned groups");
+        self.dur.chain.clear_txn(txn);
+        self.locks.release_txn(txn);
+        self.buffer.release_txn(txn.0);
+        self.active.remove(&txn);
+        Ok(())
+    }
+
+    /// Undo one parity-riding page during a normal abort.
+    fn undo_via_parity(&mut self, txn: TxnId, page: DataPageId) -> Result<()> {
+        let g = self.dur.array.geometry().group_of(page);
+        let info = self.dirty.get(g).expect("parity-stolen page has dirty group");
+        debug_assert_eq!(info.page, page);
+        debug_assert_eq!(info.txn, txn);
+        let work = info.working;
+        let committed = work.other();
+
+        let p_work_res = self.dur.array.read_parity(g, work);
+        let p_comm_res = self.dur.array.read_parity(g, committed);
+        let d_new = match self.active.get(&txn).and_then(|st| st.last_stolen.get(&page)) {
+            Some(p) => p.clone(),
+            None => self.read_disk(page)?,
+        };
+        // The parity identity yields the pre-steal *disk* version. In
+        // degraded mode there are fallbacks: with the working twin dead,
+        // the committed twin plus the sibling pages reconstruct D_old
+        // directly; with the committed twin dead, D_old is unobtainable
+        // from the array, but a *normal* abort still holds the first-touch
+        // image in memory (a crash in that exact window is the scheme's
+        // documented blind spot — the committed twin is the only durable
+        // copy of the before-image).
+        let (p_comm, d_old): (Option<Page>, Option<Page>) =
+            match (p_work_res, p_comm_res) {
+                (Ok(p_work), Ok(p_comm)) => {
+                    let mut d_old = p_work.xor(&p_comm);
+                    d_old.xor_in_place(&d_new);
+                    (Some(p_comm), Some(d_old))
+                }
+                (Err(rda_array::ArrayError::DiskFailed(_)), Ok(p_comm)) => {
+                    let d_old = self.dur.array.reconstruct_data(page, committed)?;
+                    (Some(p_comm), Some(d_old))
+                }
+                (Ok(_), Err(rda_array::ArrayError::DiskFailed(_))) => (None, None),
+                (Err(e), _) | (_, Err(e)) => return Err(e.into()),
+            };
+        // … but the correct restore target differs:
+        // * page logging — the first-touch before-image (under ¬FORCE the
+        //   committed-visible state may be newer than d_old: a committed
+        //   predecessor whose page never left the buffer); page locks
+        //   guarantee it contains no foreign bytes;
+        // * record logging — the current disk contents with *this
+        //   transaction's own* diffs reverse-applied, because the
+        //   first-touch image may embed another (since-ended) transaction's
+        //   byte ranges as they stood back then.
+        // Both reduce to d_old under FORCE with exclusive access.
+        let restore = match self.cfg.granularity {
+            LogGranularity::Page => {
+                match self.active.get(&txn).and_then(|st| st.before.get(&page)).cloned() {
+                    Some(before) => before,
+                    None => d_old
+                        .clone()
+                        .ok_or(DbError::Array(rda_array::ArrayError::Unrecoverable(g)))?,
+                }
+            }
+            LogGranularity::Record => {
+                let mut img = d_new.clone();
+                if let Some(ops) =
+                    self.active.get(&txn).and_then(|st| st.rec_ops.get(&page))
+                {
+                    for op in ops.iter().rev() {
+                        let off = op.offset as usize;
+                        img.as_mut()[off..off + op.before.len()]
+                            .copy_from_slice(&op.before);
+                    }
+                }
+                img
+            }
+        };
+        // Pin the restored image in the log so a crash mid-undo can replay
+        // this step instead of re-deriving it from (now mutated) parity.
+        self.log.append(LogRecord::Compensation { txn, page, image: restore.as_ref().to_vec() });
+        self.log.force();
+
+        match self.dur.array.write_data_unprotected(page, &restore) {
+            Ok(()) | Err(rda_array::ArrayError::DiskFailed(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.refresh_stolen_cache(page, &restore);
+
+        // Committed parity covering the restored group state: derived from
+        // the delta when the committed twin was readable, recomputed from
+        // the members otherwise (the data page was just rewritten).
+        let parity_new = match (&p_comm, &d_old) {
+            (Some(p_comm), Some(d_old)) => {
+                let mut parity_new = p_comm.clone();
+                parity_new.xor_in_place(d_old);
+                parity_new.xor_in_place(&restore);
+                parity_new
+            }
+            _ => self.dur.array.compute_group_parity(g)?,
+        };
+        // Invalidate the working twin (header reset + content rewrite) and
+        // refresh the committed twin when the restore target differed from
+        // the pre-steal disk version. With the committed twin's disk dead,
+        // the refreshed *working* twin is promoted to committed instead.
+        let work_written = matches!(self.dur.array.write_parity(g, work, &parity_new), Ok(()));
+        match &p_comm {
+            Some(p_comm) => {
+                if parity_new != *p_comm {
+                    match self.dur.array.write_parity(g, committed, &parity_new) {
+                        Ok(()) | Err(rda_array::ArrayError::DiskFailed(_)) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                self.dur.twins.invalidate(g, work);
+            }
+            None => {
+                if !work_written {
+                    return Err(rda_array::ArrayError::Unrecoverable(g).into());
+                }
+                let now = self.tick();
+                self.dur.twins.set_committed(g, work, now);
+            }
+        }
+
+        self.rollback_buffer(txn, page, Some(&restore));
+
+        // The group is clean again.
+        self.dirty.remove(g);
+        Ok(())
+    }
+
+    /// Read this transaction's UNDO information back from the log (billed),
+    /// returning per-page before-images (page mode) or before-diff lists in
+    /// log order (record mode).
+    fn read_undo_from_log(&mut self, txn: TxnId) -> Result<UndoInfo> {
+        // Ensure everything relevant is durable before reading it back.
+        self.log.force();
+        let store = Arc::clone(&self.dur.log_store);
+        let from = store.find_bot(txn).unwrap_or(rda_wal::Lsn(0));
+        let records = store.read_range(from, rda_wal::Lsn(store.len()));
+        let mut undo = UndoInfo::default();
+        for (_, record) in records {
+            match record {
+                LogRecord::BeforeImage { txn: t, page, image } if t == txn => {
+                    undo.images.entry(page).or_insert(image);
+                }
+                LogRecord::RecordUpdate { txn: t, page, offset, before, .. } if t == txn => {
+                    undo.diffs.entry(page).or_default().push((offset, before));
+                }
+                _ => {}
+            }
+        }
+        Ok(undo)
+    }
+
+    /// Undo one logged page during a normal abort.
+    fn undo_via_log(&mut self, txn: TxnId, page: DataPageId, undo: &UndoInfo) -> Result<()> {
+        let g = self.dur.array.geometry().group_of(page);
+        let restored = match self.cfg.granularity {
+            LogGranularity::Page => {
+                let image = undo.images.get(&page).expect("logged steal has before-image");
+                Page::from_bytes(image)
+            }
+            LogGranularity::Record => {
+                let mut current = self.read_disk(page)?;
+                let diffs = undo.diffs.get(&page).expect("logged steal has before-diffs");
+                for (offset, before) in diffs.iter().rev() {
+                    let off = *offset as usize;
+                    current.as_mut()[off..off + before.len()].copy_from_slice(before);
+                }
+                current
+            }
+        };
+        let old = self.old_disk_image(page, Some(txn))?;
+        let slots = self.write_slots(g);
+        self.write_with_parity(page, &restored, &old, &slots)?;
+        self.rollback_buffer(txn, page, Some(&restored));
+        Ok(())
+    }
+
+    /// Roll back the *buffer* copy of a page for an aborting transaction:
+    /// the first-touch image under page locking, or the current contents
+    /// with this transaction's own diffs reverse-applied under record
+    /// locking (other transactions' co-resident bytes must survive). The
+    /// frame stays dirty unless the result provably equals the on-disk
+    /// version (`disk_now`).
+    fn rollback_buffer(&mut self, txn: TxnId, page: DataPageId, disk_now: Option<&Page>) {
+        let Some(current) = self.buffer.peek(page).cloned() else {
+            return;
+        };
+        let Some(st) = self.active.get(&txn) else {
+            return;
+        };
+        let img = match self.cfg.granularity {
+            LogGranularity::Page => match st.before.get(&page) {
+                Some(before) => before.clone(),
+                None => return,
+            },
+            LogGranularity::Record => {
+                let mut img = current;
+                if let Some(ops) = st.rec_ops.get(&page) {
+                    for op in ops.iter().rev() {
+                        let off = op.offset as usize;
+                        img.as_mut()[off..off + op.before.len()].copy_from_slice(&op.before);
+                    }
+                }
+                img
+            }
+        };
+        let dirty = match disk_now {
+            Some(d) => img != *d,
+            None => true,
+        };
+        self.buffer.overwrite_resident(page, img, dirty);
+    }
+
+    // ---- checkpointing ------------------------------------------------------
+
+    /// Take an action-consistent checkpoint: propagate every dirty buffer
+    /// page (steal rules apply to uncommitted ones), then log the ACC
+    /// record naming the active transactions (§5.2.2).
+    pub(crate) fn checkpoint(&mut self) -> Result<()> {
+        self.check_ready()?;
+        for (page, _) in self.buffer.dirty_pages() {
+            let data = self.buffer.peek(page).expect("dirty page resident").clone();
+            let modifiers: BTreeSet<TxnId> =
+                self.buffer.modifiers_of(page).iter().map(|&t| TxnId(t)).collect();
+            if modifiers.is_empty() {
+                self.write_back_committed(page, &data)?;
+            } else {
+                self.steal_uncommitted(page, &data, &modifiers)?;
+            }
+            self.buffer.mark_clean(page);
+        }
+        let active: Vec<TxnId> = {
+            let mut v: Vec<TxnId> = self.active.keys().copied().collect();
+            v.sort();
+            v
+        };
+        self.log.append(LogRecord::Checkpoint { kind: CheckpointKind::Acc, active });
+        self.log.force();
+        self.ops_since_ckpt = 0;
+        Ok(())
+    }
+}
+
+/// UNDO information read back from the log for a rollback.
+#[derive(Debug, Default)]
+pub(crate) struct UndoInfo {
+    /// First before-image per page (page logging).
+    pub images: BTreeMap<DataPageId, Vec<u8>>,
+    /// Before-diffs in log order per page (record logging).
+    pub diffs: BTreeMap<DataPageId, Vec<(u32, Vec<u8>)>>,
+}

@@ -1,0 +1,106 @@
+//! Engine error type.
+
+use rda_array::{ArrayError, DataPageId};
+use rda_wal::TxnId;
+use std::fmt;
+
+/// Errors surfaced by the database engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Underlying array I/O failed.
+    Array(ArrayError),
+    /// Another transaction holds a conflicting lock. The engine does not
+    /// block; callers retry or serialize (the paper assumes page/record
+    /// locking keeps concurrent write sets disjoint — footnotes 8 and 12).
+    LockConflict {
+        /// The page being locked.
+        page: DataPageId,
+        /// The current holder.
+        holder: TxnId,
+    },
+    /// Operation on a transaction the engine no longer knows (e.g. a handle
+    /// that survived a simulated crash).
+    UnknownTxn(TxnId),
+    /// Operation on a transaction that has already committed or aborted.
+    TxnFinished(TxnId),
+    /// Page address outside the database.
+    BadPage(DataPageId),
+    /// Write payload larger than a page, or a record update that overruns
+    /// the page boundary.
+    PageOverflow {
+        /// Offset of the attempted write.
+        offset: usize,
+        /// Length of the payload.
+        len: usize,
+        /// Configured page size.
+        page_size: usize,
+    },
+    /// The buffer pool could not make room (all frames pinned, or ¬STEAL
+    /// with every frame carrying uncommitted updates).
+    BufferWedged,
+    /// Record-granularity update attempted while the engine is configured
+    /// for page logging, or vice versa where it matters.
+    WrongGranularity(&'static str),
+    /// Media recovery was asked to rebuild while transactions are active.
+    ActiveTransactions(usize),
+    /// The database crashed and must run restart recovery before serving
+    /// new work.
+    NeedsRecovery,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Array(e) => write!(f, "array error: {e}"),
+            DbError::LockConflict { page, holder } => {
+                write!(f, "lock conflict on {page} held by {holder}")
+            }
+            DbError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            DbError::TxnFinished(t) => write!(f, "transaction {t} already finished"),
+            DbError::BadPage(p) => write!(f, "page {p} out of range"),
+            DbError::PageOverflow { offset, len, page_size } => write!(
+                f,
+                "write of {len} bytes at offset {offset} overflows {page_size}-byte page"
+            ),
+            DbError::BufferWedged => write!(f, "buffer pool cannot make room"),
+            DbError::WrongGranularity(what) => write!(f, "wrong logging granularity: {what}"),
+            DbError::ActiveTransactions(n) => {
+                write!(f, "operation requires quiescence but {n} transactions are active")
+            }
+            DbError::NeedsRecovery => {
+                write!(f, "database crashed; run restart recovery first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ArrayError> for DbError {
+    fn from(e: ArrayError) -> DbError {
+        DbError::Array(e)
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = DbError::LockConflict { page: DataPageId(3), holder: TxnId(8) };
+        assert!(e.to_string().contains("D3"));
+        assert!(e.to_string().contains("T8"));
+        let e = DbError::PageOverflow { offset: 10, len: 20, page_size: 16 };
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn array_error_converts() {
+        let e: DbError = ArrayError::NoTwinParity.into();
+        assert!(matches!(e, DbError::Array(ArrayError::NoTwinParity)));
+    }
+}

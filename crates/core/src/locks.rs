@@ -1,0 +1,275 @@
+//! Write-lock table.
+//!
+//! The paper relies on the concurrency-control layer to keep concurrent
+//! update sets disjoint: page locking under page logging (footnote 8:
+//! "the use of page locking implies that the sets of pages modified by
+//! concurrent update transactions are disjoint") and record locking under
+//! record logging (footnote 12: "Update transactions can share pages
+//! because record locking is used"). This module provides exactly that —
+//! exclusive page locks, or exclusive byte-range locks — with a
+//! fail-fast (no blocking) discipline: a conflict is returned to the
+//! caller, which retries or serializes.
+//!
+//! Page-level shared (read) locks are available for the engine's optional
+//! strict-2PL mode (`DbConfig::strict_read_locks`); they change isolation,
+//! not a single transfer count, and default to off because the paper's
+//! model evaluates recovery I/O, not anomalies.
+
+use crate::error::{DbError, Result};
+use rda_array::DataPageId;
+use rda_wal::TxnId;
+use std::collections::HashMap;
+
+/// Write-lock table at page or byte-range granularity, with optional
+/// page-level shared (read) locks for a strict-2PL mode.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    /// Whole-page exclusive locks.
+    pages: HashMap<DataPageId, TxnId>,
+    /// Byte-range exclusive locks per page.
+    ranges: HashMap<DataPageId, Vec<(u32, u32, TxnId)>>,
+    /// Page-level shared locks (strict-2PL reads).
+    shared: HashMap<DataPageId, std::collections::BTreeSet<TxnId>>,
+}
+
+impl LockTable {
+    /// Empty table.
+    #[must_use]
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// Acquire (or re-acquire) an exclusive page lock for `txn`.
+    ///
+    /// # Errors
+    /// [`DbError::LockConflict`] if another transaction holds the page or
+    /// any byte range on it.
+    pub fn lock_page(&mut self, page: DataPageId, txn: TxnId) -> Result<()> {
+        if let Some(&holder) = self.pages.get(&page) {
+            if holder != txn {
+                return Err(DbError::LockConflict { page, holder });
+            }
+            return Ok(());
+        }
+        if let Some(ranges) = self.ranges.get(&page) {
+            if let Some(&(_, _, holder)) = ranges.iter().find(|(_, _, h)| *h != txn) {
+                return Err(DbError::LockConflict { page, holder });
+            }
+        }
+        // Shared holders other than the upgrader block the exclusive lock.
+        if let Some(readers) = self.shared.get(&page) {
+            if let Some(&holder) = readers.iter().find(|&&t| t != txn) {
+                return Err(DbError::LockConflict { page, holder });
+            }
+        }
+        self.pages.insert(page, txn);
+        Ok(())
+    }
+
+    /// Acquire (or re-acquire) a page-level shared lock for `txn`
+    /// (strict-2PL reads). Compatible with other shared holders and with
+    /// the holder's own exclusive locks.
+    ///
+    /// # Errors
+    /// [`DbError::LockConflict`] if another transaction holds the page or
+    /// a byte range on it exclusively.
+    pub fn lock_shared(&mut self, page: DataPageId, txn: TxnId) -> Result<()> {
+        if let Some(&holder) = self.pages.get(&page) {
+            if holder != txn {
+                return Err(DbError::LockConflict { page, holder });
+            }
+            return Ok(()); // own X lock subsumes S
+        }
+        if let Some(ranges) = self.ranges.get(&page) {
+            if let Some(&(_, _, holder)) = ranges.iter().find(|(_, _, h)| *h != txn) {
+                return Err(DbError::LockConflict { page, holder });
+            }
+        }
+        self.shared.entry(page).or_default().insert(txn);
+        Ok(())
+    }
+
+    /// Acquire an exclusive lock on `offset..offset+len` of `page`.
+    ///
+    /// # Errors
+    /// [`DbError::LockConflict`] on overlap with another transaction's
+    /// range, or if another transaction holds the whole page.
+    pub fn lock_range(&mut self, page: DataPageId, offset: u32, len: u32, txn: TxnId) -> Result<()> {
+        if let Some(&holder) = self.pages.get(&page) {
+            if holder != txn {
+                return Err(DbError::LockConflict { page, holder });
+            }
+            // Holding the whole page subsumes the range.
+            return Ok(());
+        }
+        if let Some(readers) = self.shared.get(&page) {
+            if let Some(&holder) = readers.iter().find(|&&t| t != txn) {
+                return Err(DbError::LockConflict { page, holder });
+            }
+        }
+        let ranges = self.ranges.entry(page).or_default();
+        let end = offset + len;
+        if let Some(&(_, _, holder)) = ranges
+            .iter()
+            .find(|(o, l, h)| *h != txn && offset < *o + *l && *o < end)
+        {
+            return Err(DbError::LockConflict { page, holder });
+        }
+        ranges.push((offset, len, txn));
+        Ok(())
+    }
+
+    /// Do two or more distinct transactions hold locks on `page`? (Used to
+    /// decide whether a stolen page may ride the parity: a page shared by
+    /// several in-flight record-level writers cannot, because parity undo
+    /// restores the whole page.)
+    #[must_use]
+    pub fn shared_by_multiple(&self, page: DataPageId) -> bool {
+        if self.pages.contains_key(&page) {
+            return false; // page lock ⇒ single owner
+        }
+        let Some(ranges) = self.ranges.get(&page) else {
+            return false;
+        };
+        let mut owner = None;
+        for &(_, _, t) in ranges {
+            match owner {
+                None => owner = Some(t),
+                Some(o) if o != t => return true,
+                Some(_) => {}
+            }
+        }
+        false
+    }
+
+    /// Release everything held by `txn`.
+    pub fn release_txn(&mut self, txn: TxnId) {
+        self.pages.retain(|_, holder| *holder != txn);
+        self.ranges.retain(|_, ranges| {
+            ranges.retain(|(_, _, holder)| *holder != txn);
+            !ranges.is_empty()
+        });
+        self.shared.retain(|_, readers| {
+            readers.remove(&txn);
+            !readers.is_empty()
+        });
+    }
+
+    /// Number of transactions holding any lock (diagnostic).
+    #[must_use]
+    pub fn holders(&self) -> usize {
+        let mut set: std::collections::BTreeSet<TxnId> = self.pages.values().copied().collect();
+        for ranges in self.ranges.values() {
+            set.extend(ranges.iter().map(|(_, _, t)| *t));
+        }
+        set.len()
+    }
+
+    /// Drop everything (crash).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.ranges.clear();
+        self.shared.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+    const P: DataPageId = DataPageId(5);
+
+    #[test]
+    fn page_lock_excludes_other_txn() {
+        let mut lt = LockTable::new();
+        lt.lock_page(P, T1).unwrap();
+        lt.lock_page(P, T1).unwrap(); // reentrant
+        assert_eq!(
+            lt.lock_page(P, T2).unwrap_err(),
+            DbError::LockConflict { page: P, holder: T1 }
+        );
+        lt.release_txn(T1);
+        lt.lock_page(P, T2).unwrap();
+    }
+
+    #[test]
+    fn disjoint_ranges_coexist() {
+        let mut lt = LockTable::new();
+        lt.lock_range(P, 0, 10, T1).unwrap();
+        lt.lock_range(P, 10, 10, T2).unwrap();
+        assert!(lt.shared_by_multiple(P));
+    }
+
+    #[test]
+    fn overlapping_ranges_conflict() {
+        let mut lt = LockTable::new();
+        lt.lock_range(P, 0, 10, T1).unwrap();
+        assert!(lt.lock_range(P, 5, 10, T2).is_err());
+        // Same txn may overlap itself.
+        lt.lock_range(P, 5, 10, T1).unwrap();
+    }
+
+    #[test]
+    fn page_lock_conflicts_with_ranges() {
+        let mut lt = LockTable::new();
+        lt.lock_range(P, 0, 4, T1).unwrap();
+        assert!(lt.lock_page(P, T2).is_err());
+        lt.lock_page(P, T1).unwrap(); // own ranges do not block
+        // Now a range request by T2 hits the page lock.
+        assert!(lt.lock_range(P, 20, 4, T2).is_err());
+    }
+
+    #[test]
+    fn shared_by_multiple_detects_single_owner() {
+        let mut lt = LockTable::new();
+        lt.lock_range(P, 0, 4, T1).unwrap();
+        lt.lock_range(P, 8, 4, T1).unwrap();
+        assert!(!lt.shared_by_multiple(P));
+        lt.lock_page(DataPageId(9), T1).unwrap();
+        assert!(!lt.shared_by_multiple(DataPageId(9)));
+        assert!(!lt.shared_by_multiple(DataPageId(100)));
+    }
+
+    #[test]
+    fn shared_locks_coexist_and_block_writers() {
+        let mut lt = LockTable::new();
+        lt.lock_shared(P, T1).unwrap();
+        lt.lock_shared(P, T2).unwrap(); // readers coexist
+        assert!(lt.lock_page(P, T1).is_err(), "upgrade blocked by other reader");
+        assert!(lt.lock_range(P, 0, 4, T2).is_err(), "range write blocked by reader");
+        lt.release_txn(T2);
+        lt.lock_page(P, T1).unwrap(); // sole reader upgrades
+        assert!(lt.lock_shared(P, T2).is_err(), "X lock blocks new readers");
+        // Own X lock subsumes S.
+        lt.lock_shared(P, T1).unwrap();
+    }
+
+    #[test]
+    fn shared_lock_blocked_by_exclusive_range() {
+        let mut lt = LockTable::new();
+        lt.lock_range(P, 0, 8, T1).unwrap();
+        assert!(lt.lock_shared(P, T2).is_err());
+        lt.lock_shared(P, T1).unwrap(); // own range does not block
+    }
+
+    #[test]
+    fn release_only_affects_one_txn() {
+        let mut lt = LockTable::new();
+        lt.lock_range(P, 0, 4, T1).unwrap();
+        lt.lock_range(P, 8, 4, T2).unwrap();
+        assert_eq!(lt.holders(), 2);
+        lt.release_txn(T1);
+        assert_eq!(lt.holders(), 1);
+        lt.lock_range(P, 0, 4, T2).unwrap();
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let mut lt = LockTable::new();
+        lt.lock_page(P, T1).unwrap();
+        lt.clear();
+        lt.lock_page(P, T2).unwrap();
+    }
+}

@@ -1,0 +1,465 @@
+//! Restart (crash) recovery and media recovery (paper §4.3).
+//!
+//! After a system failure the volatile state — buffer pool, Dirty_Set,
+//! lock table, unforced log tail — is gone. Recovery proceeds:
+//!
+//! 1. **Analysis**: scan the durable log, classifying transactions into
+//!    winners (durable Commit), already-aborted, and losers (BOT without
+//!    EOT). Steal notes tell us which pages each loser propagated *without*
+//!    UNDO logging (the paper finds these via the TWIST-style log chain).
+//! 2. **Undo losers** — *before* redo, so the parity difference
+//!    `P ⊕ P′` still reflects the on-disk state at crash time:
+//!    parity-riding pages are restored via `D_old = (P ⊕ P′) ⊕ D_new`
+//!    (pinning a compensation image in the log first, which makes a second
+//!    crash during recovery harmless), logged pages via their
+//!    before-images. Working twins of loser groups are invalidated.
+//! 3. **Redo winners** (¬FORCE only) from the last ACC checkpoint: the
+//!    buffer's unforced committed updates are reapplied from after-images
+//!    (page logging) or after-diffs (record logging). Because undo restored
+//!    first-touch before-images — which already contain every *earlier*
+//!    committed update — redo-after-undo converges to the committed state.
+//! 4. **Current_Parity bitmap reconstruction**: one parity-header read per
+//!    group (the paper's `S/N` restart term).
+
+use crate::config::{EotPolicy, LogGranularity};
+use crate::engine::Engine;
+use crate::error::{DbError, Result};
+use rda_array::{DataPageId, DiskId, GroupId, Page, ParitySlot};
+use rda_wal::{Analysis, LogRecord, Lsn, TxnId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// What restart recovery did, for observability and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed transactions seen in the durable log.
+    pub winners: Vec<TxnId>,
+    /// In-flight transactions rolled back.
+    pub losers: Vec<TxnId>,
+    /// Pages undone through the parity array.
+    pub undone_via_parity: u64,
+    /// Pages undone from logged before-images/diffs.
+    pub undone_via_log: u64,
+    /// Pages rewritten by redo.
+    pub redone: u64,
+    /// Parity groups whose Current_Parity bit was reconstructed.
+    pub bitmap_groups: u64,
+}
+
+impl Engine {
+    /// Simulate a system failure: all volatile state is lost. The array,
+    /// the durable log, and the twin directory (parity page headers)
+    /// survive.
+    pub(crate) fn crash(&mut self) {
+        self.log.crash();
+        self.buffer.crash();
+        self.dirty.clear();
+        self.locks.clear();
+        self.active.clear();
+        self.needs_recovery = true;
+    }
+
+    /// Restart recovery. Idempotent: a crash in the middle of a previous
+    /// recovery attempt is handled by simply running it again.
+    pub(crate) fn recover(&mut self) -> Result<RecoveryReport> {
+        let store = Arc::clone(&self.dur.log_store);
+        let records = store.read_all(); // billed log reads
+        let analysis = Analysis::run(&records);
+
+        let mut report = RecoveryReport {
+            winners: analysis.winners(),
+            losers: analysis.losers(),
+            ..RecoveryReport::default()
+        };
+
+        // Groups that were dirty at crash time: every group containing a
+        // loser's parity-riding page. Writes into these groups must keep
+        // updating both twins until the undo completes.
+        let mut loser_dirty_groups: BTreeSet<GroupId> = BTreeSet::new();
+        let mut loser_parity_pages: BTreeMap<TxnId, BTreeSet<DataPageId>> = BTreeMap::new();
+        for loser in &report.losers {
+            let mut pages: BTreeSet<DataPageId> =
+                self.dur.chain.pages_of(*loser).into_iter().collect();
+            // Legacy: steal notes written to the log are honored too.
+            if let Some(noted) = analysis.parity_steals.get(loser) {
+                pages.extend(noted.iter().copied());
+            }
+            for page in &pages {
+                loser_dirty_groups.insert(self.dur.array.geometry().group_of(*page));
+            }
+            loser_parity_pages.insert(*loser, pages);
+        }
+
+        // ---- 2. undo losers -------------------------------------------
+        // Parity undo restores the *pre-steal disk version* of a page,
+        // which may predate committed-but-unflushed updates (¬FORCE); those
+        // pages must be redone from the whole log, not just from the last
+        // checkpoint.
+        // A page is "regressed" if it has *ever* been parity-undone since
+        // the last flush of its committed state — every parity undo (crash
+        // or normal abort) leaves a Compensation record, so the log tells
+        // us. Over-inclusion only costs a few extra redo reads.
+        let mut regressed: BTreeSet<DataPageId> =
+            analysis.compensations.keys().map(|(_, page)| *page).collect();
+        for loser in &report.losers {
+            let pages = loser_parity_pages.get(loser).cloned().unwrap_or_default();
+            for page in pages {
+                self.recover_undo_parity(*loser, page, &analysis)?;
+                self.dur.chain.clear_page(*loser, page);
+                report.undone_via_parity += 1;
+                regressed.insert(page);
+            }
+        }
+        for loser in &report.losers {
+            let logged: Vec<DataPageId> = analysis
+                .logged_undo
+                .get(loser)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            for page in logged {
+                self.recover_undo_logged(*loser, page, &records, &loser_dirty_groups)?;
+                report.undone_via_log += 1;
+            }
+        }
+
+        // ---- 3. redo winners (¬FORCE) -----------------------------------
+        if self.cfg.eot == EotPolicy::NoForce {
+            report.redone =
+                self.recover_redo(&analysis, &records, &loser_dirty_groups, &regressed)?;
+        }
+
+        // ---- 4. rebuild the Current_Parity bitmap ------------------------
+        if self.is_rda() {
+            for g in 0..self.dur.array.groups() {
+                let g = GroupId(g);
+                // One header read per group (the paper's S/N term).
+                let slot = self.dur.twins.current_slot(g);
+                let _ = self.dur.array.read_parity(g, slot)?;
+                report.bitmap_groups += 1;
+            }
+        }
+
+        // ---- finish -------------------------------------------------------
+        for loser in &report.losers {
+            self.log.append(LogRecord::Abort { txn: *loser });
+        }
+        self.log.force();
+
+        let max_txn = analysis.outcomes.keys().map(|t| t.0).max().unwrap_or(0);
+        self.next_txn = self.next_txn.max(max_txn + 1);
+        self.clock = self.dur.twins.max_ts() + 1;
+        self.ops_since_ckpt = 0;
+        self.needs_recovery = false;
+        Ok(report)
+    }
+
+    /// Undo one parity-riding page of a loser during restart.
+    fn recover_undo_parity(
+        &mut self,
+        loser: TxnId,
+        page: DataPageId,
+        analysis: &Analysis,
+    ) -> Result<()> {
+        let g = self.dur.array.geometry().group_of(page);
+
+        // A compensation image means a pre-crash rollback (or an earlier
+        // recovery attempt) already computed the before-image; the parity
+        // difference may no longer encode it, so apply the pinned image.
+        if let Some(image) = analysis.compensations.get(&(loser, page)) {
+            let restored = Page::from_bytes(image);
+            self.dur.array.write_data_unprotected(page, &restored)?;
+            self.invalidate_working_twin(g)?;
+            return Ok(());
+        }
+
+        // The working twin is identified durably by its Figure-8 state.
+        let meta = self.dur.twins.meta(g);
+        let work = match meta.state {
+            [crate::twin::TwinState::Working, _] => ParitySlot::P0,
+            [_, crate::twin::TwinState::Working] => ParitySlot::P1,
+            _ => {
+                // Already invalidated (undo finished pre-crash but the
+                // abort record was lost): data page is already restored.
+                return Ok(());
+            }
+        };
+        let committed = work.other();
+        let p_work = self.dur.array.read_parity(g, work)?;
+        let p_comm = self.dur.array.read_parity(g, committed)?;
+        let d_new = self.read_disk(page)?;
+        let mut d_old = p_work.xor(&p_comm);
+        d_old.xor_in_place(&d_new);
+
+        self.log
+            .append(LogRecord::Compensation { txn: loser, page, image: d_old.as_ref().to_vec() });
+        self.log.force();
+
+        self.dur.array.write_data_unprotected(page, &d_old)?;
+        self.dur.array.write_parity(g, work, &p_comm)?;
+        self.dur.twins.invalidate(g, work);
+        Ok(())
+    }
+
+    /// Reset a group's working twin (content := committed parity, header
+    /// invalidated). Idempotent.
+    fn invalidate_working_twin(&mut self, g: GroupId) -> Result<()> {
+        let meta = self.dur.twins.meta(g);
+        let work = match meta.state {
+            [crate::twin::TwinState::Working, _] => ParitySlot::P0,
+            [_, crate::twin::TwinState::Working] => ParitySlot::P1,
+            _ => return Ok(()),
+        };
+        let p_comm = self.dur.array.read_parity(g, work.other())?;
+        self.dur.array.write_parity(g, work, &p_comm)?;
+        self.dur.twins.invalidate(g, work);
+        Ok(())
+    }
+
+    /// Undo one UNDO-logged page of a loser during restart.
+    fn recover_undo_logged(
+        &mut self,
+        loser: TxnId,
+        page: DataPageId,
+        records: &[(Lsn, LogRecord)],
+        loser_dirty_groups: &BTreeSet<GroupId>,
+    ) -> Result<()> {
+        let g = self.dur.array.geometry().group_of(page);
+        let restored = match self.cfg.granularity {
+            LogGranularity::Page => {
+                // The earliest before-image is the transaction's
+                // first-touch state.
+                let image = records
+                    .iter()
+                    .find_map(|(_, r)| match r {
+                        LogRecord::BeforeImage { txn, page: p, image }
+                            if *txn == loser && *p == page =>
+                        {
+                            Some(image)
+                        }
+                        _ => None,
+                    })
+                    .expect("logged-undo page has a before-image");
+                Page::from_bytes(image)
+            }
+            LogGranularity::Record => {
+                let mut current = self.read_disk(page)?;
+                let diffs: Vec<(u32, &Vec<u8>)> = records
+                    .iter()
+                    .filter_map(|(_, r)| match r {
+                        LogRecord::RecordUpdate { txn, page: p, offset, before, .. }
+                            if *txn == loser && *p == page =>
+                        {
+                            Some((*offset, before))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                for (offset, before) in diffs.iter().rev() {
+                    let off = *offset as usize;
+                    current.as_mut()[off..off + before.len()].copy_from_slice(before);
+                }
+                current
+            }
+        };
+        let old = self.read_disk(page)?;
+        if restored == old {
+            return Ok(()); // already undone by an earlier recovery attempt
+        }
+        let slots = self.recovery_write_slots(g, loser_dirty_groups);
+        self.write_with_parity(page, &restored, &old, &slots)
+    }
+
+    /// Which twins recovery writes must update: both for groups that were
+    /// dirty at crash time (their twins must keep their XOR difference
+    /// until the parity undo runs; afterwards they are identical, so the
+    /// double update is harmless), the current one otherwise.
+    fn recovery_write_slots(
+        &self,
+        g: GroupId,
+        loser_dirty_groups: &BTreeSet<GroupId>,
+    ) -> Vec<ParitySlot> {
+        if !self.is_rda() {
+            return vec![ParitySlot::P0];
+        }
+        if loser_dirty_groups.contains(&g) {
+            vec![ParitySlot::P0, ParitySlot::P1]
+        } else {
+            vec![self.dur.twins.current_slot(g)]
+        }
+    }
+
+    /// Redo committed work from the last ACC checkpoint (¬FORCE).
+    fn recover_redo(
+        &mut self,
+        analysis: &Analysis,
+        records: &[(Lsn, LogRecord)],
+        loser_dirty_groups: &BTreeSet<GroupId>,
+        regressed: &BTreeSet<DataPageId>,
+    ) -> Result<u64> {
+        let winners: BTreeSet<TxnId> = analysis.winners().into_iter().collect();
+        let start = analysis.last_acc_checkpoint.as_ref().map_or(Lsn(0), |(l, _)| *l);
+        // Pages regressed by parity undo need whole-log redo.
+        let in_scope = |lsn: Lsn, page: DataPageId| lsn >= start || regressed.contains(&page);
+
+        let mut redone = 0;
+        match self.cfg.granularity {
+            LogGranularity::Page => {
+                // Last committed after-image per page wins.
+                let mut latest: BTreeMap<DataPageId, &Vec<u8>> = BTreeMap::new();
+                for (lsn, record) in records {
+                    if let LogRecord::AfterImage { txn, page, image } = record {
+                        if winners.contains(txn) && in_scope(*lsn, *page) {
+                            latest.insert(*page, image);
+                        }
+                    }
+                }
+                for (page, image) in latest {
+                    let image = Page::from_bytes(image);
+                    let current = self.read_disk(page)?;
+                    if current == image {
+                        continue;
+                    }
+                    let g = self.dur.array.geometry().group_of(page);
+                    let slots = self.recovery_write_slots(g, loser_dirty_groups);
+                    self.write_with_parity(page, &image, &current, &slots)?;
+                    redone += 1;
+                }
+            }
+            LogGranularity::Record => {
+                // Apply every committed after-diff in log order, page by
+                // page.
+                let mut diffs: BTreeMap<DataPageId, Vec<(u32, &Vec<u8>)>> = BTreeMap::new();
+                for (lsn, record) in records {
+                    match record {
+                        LogRecord::RecordRedo { txn, page, offset, after }
+                        | LogRecord::RecordUpdate { txn, page, offset, after, .. }
+                            if winners.contains(txn) && in_scope(*lsn, *page) =>
+                        {
+                            diffs.entry(*page).or_default().push((*offset, after));
+                        }
+                        _ => {}
+                    }
+                }
+                for (page, ops) in diffs {
+                    let current = self.read_disk(page)?;
+                    let mut new = current.clone();
+                    for (offset, after) in ops {
+                        let off = offset as usize;
+                        new.as_mut()[off..off + after.len()].copy_from_slice(after);
+                    }
+                    if new == current {
+                        continue;
+                    }
+                    let g = self.dur.array.geometry().group_of(page);
+                    let slots = self.recovery_write_slots(g, loser_dirty_groups);
+                    self.write_with_parity(page, &new, &current, &slots)?;
+                    redone += 1;
+                }
+            }
+        }
+        Ok(redone)
+    }
+
+    /// Media recovery: replace a failed disk and rebuild its contents from
+    /// the surviving members of each parity group, reading through the
+    /// committed twin — the paper's §1 goal of recovering "without
+    /// requiring operator intervention". Requires that no transactions are
+    /// active so that every group is clean.
+    /// Media recovery is also the *first* step when a disk dies together
+    /// with a system crash: the rebuild reconstructs the disk's crash-time
+    /// contents faithfully (for a group dirtied by a loser, the working
+    /// twin — selected by its higher timestamp — covers the current disk
+    /// state), after which restart recovery runs normally.
+    pub(crate) fn media_recover(&mut self, disk: DiskId) -> Result<u64> {
+        if !self.active.is_empty() {
+            return Err(DbError::ActiveTransactions(self.active.len()));
+        }
+        let twins = Arc::clone(&self.dur.twins);
+        let rebuilt = if self.is_rda() {
+            self.dur.array.rebuild_disk(disk, |g| twins.current_slot(g))?
+        } else {
+            self.dur.array.rebuild_disk(disk, |_| ParitySlot::P0)?
+        };
+        // With the disk back, flush committed dirty buffer pages so the
+        // rebuilt array reflects them (their redo is also in the log, but
+        // a rebuild should not depend on a later restart).
+        for (page, has_uncommitted) in self.buffer.dirty_pages() {
+            debug_assert!(!has_uncommitted, "no active transactions");
+            let data = self.buffer.peek(page).expect("dirty page resident").clone();
+            self.write_back_committed(page, &data)?;
+            self.buffer.mark_clean(page);
+        }
+        Ok(rebuilt)
+    }
+
+    /// Truncate the write-ahead log to the earliest record still needed:
+    /// the later of the last checkpoint (¬FORCE redo starts there; under
+    /// FORCE every commit is a TOC checkpoint, so the durable end works)
+    /// bounded below by the earliest BOT of any active transaction (undo
+    /// must reach it). Returns the number of records discarded.
+    ///
+    /// Archives taken before the truncation point can no longer be rolled
+    /// forward — take a fresh archive after truncating if archive recovery
+    /// matters.
+    pub(crate) fn truncate_log(&mut self) -> Result<u64> {
+        if self.needs_recovery {
+            return Err(DbError::NeedsRecovery);
+        }
+        self.log.force();
+        let store = Arc::clone(&self.dur.log_store);
+        let mut cut = match self.cfg.eot {
+            EotPolicy::Force => Lsn(store.len()),
+            EotPolicy::NoForce => store
+                .rfind(|r| {
+                    matches!(
+                        r,
+                        LogRecord::Checkpoint { kind: rda_wal::CheckpointKind::Acc, .. }
+                    )
+                })
+                .unwrap_or(Lsn(store.base())),
+        };
+        for txn in self.active.keys() {
+            if let Some(bot) = store.find_bot(*txn) {
+                cut = cut.min(bot);
+            }
+        }
+        Ok(store.truncate_before(cut))
+    }
+
+    /// Check the parity invariants of every group: the committed twin (or
+    /// the working twin for dirty groups) must equal the XOR of the
+    /// group's data pages. Returns human-readable violations (empty =
+    /// consistent). Bills array reads like any scrubber would.
+    pub(crate) fn verify_parity(&mut self) -> Result<Vec<String>> {
+        let mut violations = Vec::new();
+        for g in 0..self.dur.array.groups() {
+            let g = GroupId(g);
+            let slot = self.disk_read_slot(g);
+            if self.is_rda() || slot == ParitySlot::P0 {
+                let ok = self.dur.array.group_parity_ok(g, slot)?;
+                if !ok {
+                    violations.push(format!("group {g}: parity slot {slot:?} stale"));
+                }
+            }
+            // For dirty RDA groups additionally check the committed twin
+            // against the group with the riding page's old contents — the
+            // undo identity itself.
+            if let Some(info) = self.dirty.get(g) {
+                let p_work = self.dur.array.read_parity(g, info.working)?;
+                let p_comm = self.dur.array.read_parity(g, info.working.other())?;
+                let d_new = self.read_disk(info.page)?;
+                let d_old = p_work.xor(&p_comm).xor(&d_new);
+                // The before-image must differ from the new one only if
+                // the transaction actually changed the page; we can at
+                // least check sizes and that recomputing parity from
+                // members matches the working twin.
+                let computed = self.dur.array.compute_group_parity(g)?;
+                if computed != p_work {
+                    violations.push(format!("group {g}: working twin does not cover disk"));
+                }
+                let _ = d_old;
+            }
+        }
+        Ok(violations)
+    }
+}

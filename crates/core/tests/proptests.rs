@@ -1,0 +1,228 @@
+//! Property tests: arbitrary interleaved histories — writes, commits,
+//! aborts, crashes, checkpoints — executed against the real engine and an
+//! in-memory oracle must agree on the visible database state, and the
+//! array's parity invariants must hold at every quiescent point.
+
+use proptest::prelude::*;
+use rda_array::{ArrayConfig, Organization};
+use rda_buffer::{BufferConfig, ReplacePolicy};
+use rda_core::{
+    CheckpointPolicy, Database, DbConfig, DbError, EngineKind, EotPolicy, LogGranularity,
+    Transaction,
+};
+use rda_wal::LogConfig;
+use std::collections::HashMap;
+
+const PAGE: usize = 32;
+const PAGES: u32 = 24; // 6 groups of 4
+const TXN_SLOTS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { slot: usize, page: u32, val: u8 },
+    Commit { slot: usize },
+    Abort { slot: usize },
+    CrashRecover,
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..TXN_SLOTS, 0..PAGES, any::<u8>())
+            .prop_map(|(slot, page, val)| Op::Write { slot, page, val }),
+        2 => (0..TXN_SLOTS).prop_map(|slot| Op::Commit { slot }),
+        2 => (0..TXN_SLOTS).prop_map(|slot| Op::Abort { slot }),
+        1 => Just(Op::CrashRecover),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+fn config(engine: EngineKind, eot: EotPolicy, frames: usize) -> DbConfig {
+    DbConfig {
+        engine,
+        array: ArrayConfig::new(Organization::RotatedParity, 4, 6)
+            .twin(engine == EngineKind::Rda)
+            .page_size(PAGE),
+        buffer: BufferConfig { frames, steal: true, policy: ReplacePolicy::Clock },
+        log: LogConfig { page_size: 128, copies: 1, amortized: false },
+        granularity: LogGranularity::Page,
+        eot,
+        checkpoint: CheckpointPolicy::Manual,
+        strict_read_locks: false,
+    }
+}
+
+/// In-memory oracle: committed state plus per-transaction overlays.
+#[derive(Default)]
+struct Oracle {
+    committed: HashMap<u32, u8>,
+    overlays: Vec<HashMap<u32, u8>>,
+}
+
+fn run_history(db: &Database, ops: &[Op]) {
+    let mut oracle = Oracle { committed: HashMap::new(), overlays: vec![HashMap::new(); TXN_SLOTS] };
+    let mut handles: Vec<Option<Transaction>> = (0..TXN_SLOTS).map(|_| None).collect();
+
+    let check_committed = |oracle: &Oracle| {
+        for page in 0..PAGES {
+            let expect = oracle.committed.get(&page).copied().unwrap_or(0);
+            let got = db.read_page(page).unwrap();
+            assert_eq!(got[0], expect, "page {page} committed-state mismatch");
+        }
+    };
+
+    for op in ops {
+        match op {
+            Op::Write { slot, page, val } => {
+                if handles[*slot].is_none() {
+                    handles[*slot] = Some(db.begin());
+                }
+                let tx = handles[*slot].as_mut().unwrap();
+                match tx.write(*page, &[*val]) {
+                    Ok(()) => {
+                        oracle.overlays[*slot].insert(*page, *val);
+                    }
+                    Err(DbError::LockConflict { .. }) => {} // dropped op
+                    Err(e) => panic!("unexpected write error: {e}"),
+                }
+            }
+            Op::Commit { slot } => {
+                if let Some(tx) = handles[*slot].take() {
+                    tx.commit().unwrap();
+                    let overlay = std::mem::take(&mut oracle.overlays[*slot]);
+                    oracle.committed.extend(overlay);
+                }
+            }
+            Op::Abort { slot } => {
+                if let Some(tx) = handles[*slot].take() {
+                    tx.abort().unwrap();
+                    oracle.overlays[*slot].clear();
+                }
+            }
+            Op::CrashRecover => {
+                for h in &mut handles {
+                    if let Some(tx) = h.take() {
+                        std::mem::forget(tx); // handle dies with the crash
+                    }
+                }
+                db.crash_and_recover().unwrap();
+                for overlay in &mut oracle.overlays {
+                    overlay.clear();
+                }
+                check_committed(&oracle);
+            }
+            Op::Checkpoint => {
+                db.checkpoint().unwrap();
+            }
+        }
+    }
+    // Finish everything and verify the final state.
+    for h in &mut handles {
+        if let Some(tx) = h.take() {
+            tx.abort().unwrap();
+        }
+    }
+    for overlay in &mut oracle.overlays {
+        overlay.clear();
+    }
+    check_committed(&oracle);
+    assert!(db.verify().unwrap().is_empty(), "parity invariant violated");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rda_force_agrees_with_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        frames in 2usize..10,
+    ) {
+        let db = Database::open(config(EngineKind::Rda, EotPolicy::Force, frames));
+        run_history(&db, &ops);
+    }
+
+    #[test]
+    fn rda_noforce_agrees_with_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        frames in 2usize..10,
+    ) {
+        let db = Database::open(config(EngineKind::Rda, EotPolicy::NoForce, frames));
+        run_history(&db, &ops);
+    }
+
+    #[test]
+    fn wal_force_agrees_with_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        frames in 2usize..10,
+    ) {
+        let db = Database::open(config(EngineKind::Wal, EotPolicy::Force, frames));
+        run_history(&db, &ops);
+    }
+
+    #[test]
+    fn wal_noforce_agrees_with_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        frames in 2usize..10,
+    ) {
+        let db = Database::open(config(EngineKind::Wal, EotPolicy::NoForce, frames));
+        run_history(&db, &ops);
+    }
+
+    /// Record-granularity histories: single-writer-per-slot byte ranges.
+    #[test]
+    fn rda_record_mode_agrees_with_oracle(
+        ops in prop::collection::vec(
+            (0..TXN_SLOTS, 0..PAGES, 0..4u32, any::<u8>(), any::<bool>(), any::<bool>()),
+            1..50,
+        ),
+        frames in 2usize..8,
+    ) {
+        // Each slot owns a distinct byte-range quarter of any page, so lock
+        // conflicts cannot occur and the oracle stays simple.
+        let db = Database::open(
+            config(EngineKind::Rda, EotPolicy::Force, frames)
+                .granularity(LogGranularity::Record),
+        );
+        let mut committed: HashMap<(u32, usize), u8> = HashMap::new();
+        let mut overlays: Vec<HashMap<(u32, usize), u8>> =
+            vec![HashMap::new(); TXN_SLOTS];
+        let mut handles: Vec<Option<Transaction>> = (0..TXN_SLOTS).map(|_| None).collect();
+        for (slot, page, _quarter, val, end_commit, do_end) in ops {
+            let offset = slot * 8; // slot-owned range
+            if handles[slot].is_none() {
+                handles[slot] = Some(db.begin());
+            }
+            let tx = handles[slot].as_mut().unwrap();
+            match tx.update(page, offset, &[val]) {
+                Ok(()) => {
+                    overlays[slot].insert((page, offset), val);
+                }
+                // A page that rode the parity is escalated to an exclusive
+                // page lock, so even disjoint ranges can conflict.
+                Err(DbError::LockConflict { .. }) => {}
+                Err(e) => panic!("unexpected update error: {e}"),
+            }
+            if do_end {
+                let tx = handles[slot].take().unwrap();
+                if end_commit {
+                    tx.commit().unwrap();
+                    committed.extend(std::mem::take(&mut overlays[slot]));
+                } else {
+                    tx.abort().unwrap();
+                    overlays[slot].clear();
+                }
+            }
+        }
+        for (slot, h) in handles.iter_mut().enumerate() {
+            if let Some(tx) = h.take() {
+                tx.abort().unwrap();
+                overlays[slot].clear();
+            }
+        }
+        for ((page, offset), val) in &committed {
+            let got = db.read_page(*page).unwrap();
+            prop_assert_eq!(got[*offset], *val, "page {} offset {}", page, offset);
+        }
+        prop_assert!(db.verify().unwrap().is_empty());
+    }
+}

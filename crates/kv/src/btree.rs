@@ -1,0 +1,444 @@
+//! A transactional B+-tree over the recovery engine.
+//!
+//! Ordered companion to the hash [`KvStore`](crate::KvStore): range scans
+//! in key order, page-at-a-time node updates through the transactional
+//! byte-range API, splits allocated from a metadata counter. Deletions
+//! tombstone in place without rebalancing (underfull nodes are tolerated —
+//! the classic simplification; lookups and scans remain correct).
+//!
+//! Page 0 holds the tree metadata; the root starts at page 1.
+//!
+//! ```
+//! use rda_core::{Database, DbConfig, EngineKind, LogGranularity};
+//! use rda_kv::BTree;
+//!
+//! let cfg = DbConfig::small_test(EngineKind::Rda).granularity(LogGranularity::Record);
+//! let tree = BTree::create(Database::open(cfg)).unwrap();
+//! let mut tx = tree.db().begin();
+//! tree.insert(&mut tx, b"b", b"2").unwrap();
+//! tree.insert(&mut tx, b"a", b"1").unwrap();
+//! tree.insert(&mut tx, b"c", b"3").unwrap();
+//! let all = tree.range(&mut tx, b"a", b"c").unwrap();
+//! assert_eq!(all.len(), 2); // half-open [a, c)
+//! assert_eq!(all[0].0, b"a");
+//! tx.commit().unwrap();
+//! ```
+
+use crate::node::Node;
+use crate::store::{KvError, Result};
+use rda_core::{Database, Transaction};
+
+const MAGIC: &[u8; 4] = b"RDBT";
+const META_PAGE: u32 = 0;
+
+/// A transactional B+-tree. Owns the whole [`Database`] address space (do
+/// not mix with a [`KvStore`](crate::KvStore) on the same database).
+pub struct BTree {
+    db: Database,
+    page_size: usize,
+}
+
+impl BTree {
+    /// Format a fresh tree (empty root leaf at page 1).
+    ///
+    /// # Errors
+    /// Requires record-granularity logging and at least 3 pages.
+    pub fn create(db: Database) -> Result<BTree> {
+        let page_size = probe_page_size(&db)?;
+        if db.data_pages() < 3 {
+            return Err(KvError::StoreFull);
+        }
+        let mut meta = vec![0u8; 12];
+        meta[0..4].copy_from_slice(MAGIC);
+        meta[4..8].copy_from_slice(&1u32.to_be_bytes()); // root
+        meta[8..12].copy_from_slice(&2u32.to_be_bytes()); // next free
+        let mut tx = db.begin();
+        tx.update(META_PAGE, 0, &meta)?;
+        tx.update(1, 0, &Node::empty_leaf().encode(page_size))?;
+        tx.commit()?;
+        Ok(BTree { db, page_size })
+    }
+
+    /// Attach to an existing tree.
+    ///
+    /// # Errors
+    /// [`KvError::Corrupt`] without the `RDBT` magic on page 0.
+    pub fn open(db: Database) -> Result<BTree> {
+        let page_size = probe_page_size(&db)?;
+        let meta = db.read_page(META_PAGE)?;
+        if &meta[0..4] != MAGIC {
+            return Err(KvError::Corrupt("missing RDBT magic"));
+        }
+        Ok(BTree { db, page_size })
+    }
+
+    /// The engine underneath.
+    #[must_use]
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    fn root(&self, tx: &mut Transaction) -> Result<u32> {
+        let meta = tx.read(META_PAGE)?;
+        Ok(u32::from_be_bytes(meta[4..8].try_into().expect("4 bytes")))
+    }
+
+    fn set_root(&self, tx: &mut Transaction, root: u32) -> Result<()> {
+        tx.update(META_PAGE, 4, &root.to_be_bytes())?;
+        Ok(())
+    }
+
+    fn allocate(&self, tx: &mut Transaction) -> Result<u32> {
+        let meta = tx.read(META_PAGE)?;
+        let next = u32::from_be_bytes(meta[8..12].try_into().expect("4 bytes"));
+        if next >= self.db.data_pages() {
+            return Err(KvError::StoreFull);
+        }
+        tx.update(META_PAGE, 8, &(next + 1).to_be_bytes())?;
+        Ok(next)
+    }
+
+    fn load(&self, tx: &mut Transaction, page: u32) -> Result<Node> {
+        Ok(Node::decode(&tx.read(page)?))
+    }
+
+    fn flush(&self, tx: &mut Transaction, page: u32, node: &Node) -> Result<()> {
+        tx.update(page, 0, &node.encode(self.page_size))?;
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, tx: &mut Transaction, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page = self.root(tx)?;
+        loop {
+            match self.load(tx, page)? {
+                Node::Internal { .. } => {
+                    let node = self.load(tx, page)?;
+                    let idx = node.route(key);
+                    if let Node::Internal { children, .. } = node {
+                        page = children[idx];
+                    }
+                }
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .iter()
+                        .find(|(k, _)| k.as_slice() == key)
+                        .map(|(_, v)| v.clone()));
+                }
+            }
+        }
+    }
+
+    /// Insert or replace.
+    ///
+    /// # Errors
+    /// [`KvError::RecordTooLarge`] when one entry cannot fit an empty leaf.
+    pub fn insert(&self, tx: &mut Transaction, key: &[u8], value: &[u8]) -> Result<()> {
+        let single = Node::Leaf {
+            next: 0,
+            entries: vec![(key.to_vec(), value.to_vec())],
+        };
+        if single.encoded_len() > self.page_size {
+            return Err(KvError::RecordTooLarge {
+                need: single.encoded_len(),
+                page_capacity: self.page_size,
+            });
+        }
+        let root = self.root(tx)?;
+        if let Some((sep, right)) = self.insert_rec(tx, root, key, value)? {
+            // Root split: a new root above the old one.
+            let new_root = self.allocate(tx)?;
+            let node = Node::Internal { keys: vec![sep], children: vec![root, right] };
+            self.flush(tx, new_root, &node)?;
+            self.set_root(tx, new_root)?;
+        }
+        Ok(())
+    }
+
+    /// Recursive insert; returns `(separator, new right page)` when this
+    /// node split.
+    fn insert_rec(
+        &self,
+        tx: &mut Transaction,
+        page: u32,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<(Vec<u8>, u32)>> {
+        match self.load(tx, page)? {
+            Node::Leaf { next, mut entries } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => entries[i].1 = value.to_vec(),
+                    Err(i) => entries.insert(i, (key.to_vec(), value.to_vec())),
+                }
+                let node = Node::Leaf { next, entries };
+                if node.encoded_len() <= self.page_size {
+                    self.flush(tx, page, &node)?;
+                    return Ok(None);
+                }
+                // Split: move the upper half right.
+                let Node::Leaf { next, mut entries } = node else { unreachable!() };
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right_page = self.allocate(tx)?;
+                let right = Node::Leaf { next, entries: right_entries };
+                let left = Node::Leaf { next: right_page, entries };
+                self.flush(tx, right_page, &right)?;
+                self.flush(tx, page, &left)?;
+                Ok(Some((sep, right_page)))
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = Node::Internal { keys: keys.clone(), children: children.clone() }
+                    .route(key);
+                let child = children[idx];
+                let Some((sep, right)) = self.insert_rec(tx, child, key, value)? else {
+                    return Ok(None);
+                };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                let node = Node::Internal { keys, children };
+                if node.encoded_len() <= self.page_size {
+                    self.flush(tx, page, &node)?;
+                    return Ok(None);
+                }
+                // Split the internal node; the middle key moves up.
+                let Node::Internal { mut keys, mut children } = node else { unreachable!() };
+                let mid = keys.len() / 2;
+                let up = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // `up` moves to the parent
+                let right_children = children.split_off(mid + 1);
+                let right_page = self.allocate(tx)?;
+                self.flush(
+                    tx,
+                    right_page,
+                    &Node::Internal { keys: right_keys, children: right_children },
+                )?;
+                self.flush(tx, page, &Node::Internal { keys, children })?;
+                Ok(Some((up, right_page)))
+            }
+        }
+    }
+
+    /// Delete; returns whether the key existed. No rebalancing.
+    pub fn delete(&self, tx: &mut Transaction, key: &[u8]) -> Result<bool> {
+        let mut page = self.root(tx)?;
+        loop {
+            match self.load(tx, page)? {
+                Node::Internal { keys, children } => {
+                    let idx = Node::Internal { keys, children: children.clone() }.route(key);
+                    page = children[idx];
+                }
+                Node::Leaf { next, mut entries } => {
+                    let Ok(i) = entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) else {
+                        return Ok(false);
+                    };
+                    entries.remove(i);
+                    self.flush(tx, page, &Node::Leaf { next, entries })?;
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// Half-open range scan `[start, end)` in key order.
+    pub fn range(
+        &self,
+        tx: &mut Transaction,
+        start: &[u8],
+        end: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        // Descend to the leaf that could hold `start`.
+        let mut page = self.root(tx)?;
+        while let Node::Internal { keys, children } = self.load(tx, page)? {
+            let idx = Node::Internal { keys, children: children.clone() }.route(start);
+            page = children[idx];
+        }
+        let mut out = Vec::new();
+        loop {
+            let Node::Leaf { next, entries } = self.load(tx, page)? else {
+                return Err(KvError::Corrupt("leaf chain reached an internal node"));
+            };
+            for (k, v) in entries {
+                if k.as_slice() >= end {
+                    return Ok(out);
+                }
+                if k.as_slice() >= start {
+                    out.push((k, v));
+                }
+            }
+            if next == 0 {
+                return Ok(out);
+            }
+            page = next;
+        }
+    }
+
+    /// Every entry, in key order.
+    pub fn scan_all(&self, tx: &mut Transaction) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.range(tx, &[], &[0xFF; 64])
+    }
+}
+
+fn probe_page_size(db: &Database) -> Result<usize> {
+    let bytes = db.read_page(META_PAGE)?;
+    let mut tx = db.begin();
+    let probe = tx.update(META_PAGE, 0, &[]);
+    tx.abort()?;
+    match probe {
+        Ok(()) => Ok(bytes.len()),
+        Err(rda_core::DbError::WrongGranularity(_)) => {
+            Err(KvError::Db(rda_core::DbError::WrongGranularity(
+                "BTree requires LogGranularity::Record",
+            )))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_core::{DbConfig, EngineKind, LogGranularity};
+
+    fn tree() -> BTree {
+        // Larger page count so splits have room: 10 groups of 4 = 40 pages.
+        let mut cfg =
+            DbConfig::small_test(EngineKind::Rda).granularity(LogGranularity::Record);
+        cfg.array.groups = 40; // 160 tiny pages: room for split churn
+        BTree::create(Database::open(cfg)).unwrap()
+    }
+
+    fn k(i: u32) -> Vec<u8> {
+        format!("key-{i:05}").into_bytes()
+    }
+
+    #[test]
+    fn insert_get_ordered_scan() {
+        let t = tree();
+        let mut tx = t.db().begin();
+        // Insert in a scrambled order.
+        for i in [5u32, 1, 9, 3, 7, 0, 8, 2, 6, 4] {
+            t.insert(&mut tx, &k(i), format!("v{i}").as_bytes()).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(
+                t.get(&mut tx, &k(i)).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes()),
+                "key {i}"
+            );
+        }
+        let all = t.scan_all(&mut tx).unwrap();
+        assert_eq!(all.len(), 10);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "scan must be ordered");
+        }
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn splits_cascade_to_new_roots() {
+        let t = tree();
+        let mut tx = t.db().begin();
+        // 64-byte pages force splits after a handful of entries.
+        for i in 0..60u32 {
+            t.insert(&mut tx, &k(i), b"0123456789").unwrap();
+        }
+        tx.commit().unwrap();
+        let mut tx = t.db().begin();
+        for i in 0..60u32 {
+            assert!(t.get(&mut tx, &k(i)).unwrap().is_some(), "key {i}");
+        }
+        let all = t.scan_all(&mut tx).unwrap();
+        assert_eq!(all.len(), 60);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        tx.abort().unwrap();
+        assert!(t.db().verify().unwrap().is_empty());
+    }
+
+    #[test]
+    fn replace_and_delete() {
+        let t = tree();
+        let mut tx = t.db().begin();
+        t.insert(&mut tx, b"x", b"1").unwrap();
+        t.insert(&mut tx, b"x", b"2").unwrap();
+        assert_eq!(t.get(&mut tx, b"x").unwrap().as_deref(), Some(&b"2"[..]));
+        assert!(t.delete(&mut tx, b"x").unwrap());
+        assert!(!t.delete(&mut tx, b"x").unwrap());
+        assert_eq!(t.get(&mut tx, b"x").unwrap(), None);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn range_is_half_open_and_cross_leaf() {
+        let t = tree();
+        let mut tx = t.db().begin();
+        for i in 0..40u32 {
+            t.insert(&mut tx, &k(i), b"padding-payload").unwrap();
+        }
+        let range = t.range(&mut tx, &k(10), &k(20)).unwrap();
+        assert_eq!(range.len(), 10);
+        assert_eq!(range[0].0, k(10));
+        assert_eq!(range[9].0, k(19));
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_splits() {
+        let t = tree();
+        let mut tx = t.db().begin();
+        for i in 0..10u32 {
+            t.insert(&mut tx, &k(i), b"base").unwrap();
+        }
+        tx.commit().unwrap();
+
+        // A big insert burst that certainly splits, then abort.
+        let mut tx = t.db().begin();
+        for i in 10..50u32 {
+            t.insert(&mut tx, &k(i), b"doomed-doomed").unwrap();
+        }
+        tx.abort().unwrap();
+
+        let mut tx = t.db().begin();
+        let all = t.scan_all(&mut tx).unwrap();
+        assert_eq!(all.len(), 10, "split structure rolled back");
+        for i in 0..10u32 {
+            assert_eq!(t.get(&mut tx, &k(i)).unwrap().as_deref(), Some(&b"base"[..]));
+        }
+        tx.abort().unwrap();
+        assert!(t.db().verify().unwrap().is_empty());
+    }
+
+    #[test]
+    fn crash_preserves_committed_tree() {
+        let t = tree();
+        let mut tx = t.db().begin();
+        for i in 0..30u32 {
+            t.insert(&mut tx, &k(i), b"durable-value").unwrap();
+        }
+        tx.commit().unwrap();
+
+        let mut tx = t.db().begin();
+        for i in 30..45u32 {
+            t.insert(&mut tx, &k(i), b"lost").unwrap();
+        }
+        std::mem::forget(tx);
+        t.db().crash_and_recover().unwrap();
+
+        let t = BTree::open(t.db().clone()).unwrap();
+        let mut tx = t.db().begin();
+        let all = t.scan_all(&mut tx).unwrap();
+        assert_eq!(all.len(), 30);
+        tx.abort().unwrap();
+        assert!(t.db().verify().unwrap().is_empty());
+    }
+
+    #[test]
+    fn open_rejects_foreign_pages() {
+        let cfg = DbConfig::small_test(EngineKind::Rda).granularity(LogGranularity::Record);
+        let err = BTree::open(Database::open(cfg)).err().expect("must fail");
+        assert!(matches!(err, KvError::Corrupt(_)));
+    }
+}

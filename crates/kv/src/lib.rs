@@ -1,0 +1,54 @@
+//! # rda-kv — a transactional key-value record manager
+//!
+//! The record layer a database system would put on top of the paper's
+//! storage stack: a static hash table of **slotted pages** with overflow
+//! chains, where every mutation is a record-granularity transactional
+//! update through `rda-core` — so puts and deletes enjoy the twin-page
+//! parity UNDO, crash recovery, and media recovery of the engine below
+//! for free.
+//!
+//! Layout:
+//!
+//! * page 0 — metadata (magic, bucket count, next free overflow page);
+//! * pages `1..=buckets` — hash buckets;
+//! * later pages — overflow pages, allocated transactionally by bumping
+//!   the metadata counter.
+//!
+//! Each data page is a classic slotted page: a small header (overflow
+//! pointer + slot count), a slot directory growing downward from the
+//! header, and record cells growing upward from the page end.
+//!
+//! ```
+//! use rda_core::{Database, DbConfig, EngineKind, LogGranularity};
+//! use rda_kv::KvStore;
+//!
+//! let cfg = DbConfig::small_test(EngineKind::Rda).granularity(LogGranularity::Record);
+//! let store = KvStore::create(Database::open(cfg), 4).unwrap();
+//!
+//! let mut tx = store.db().begin();
+//! store.put(&mut tx, b"alice", b"engineer").unwrap();
+//! store.put(&mut tx, b"bob", b"analyst").unwrap();
+//! tx.commit().unwrap();
+//!
+//! let mut tx = store.db().begin();
+//! assert_eq!(store.get(&mut tx, b"alice").unwrap().as_deref(), Some(&b"engineer"[..]));
+//! store.delete(&mut tx, b"bob").unwrap();
+//! tx.abort().unwrap(); // rolled back through the engine
+//!
+//! let mut tx = store.db().begin();
+//! assert!(store.get(&mut tx, b"bob").unwrap().is_some());
+//! # tx.abort().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod btree;
+mod node;
+mod page;
+mod store;
+
+pub use btree::BTree;
+pub use node::Node;
+pub use page::SlottedPage;
+pub use store::{KvError, KvStore, Result};

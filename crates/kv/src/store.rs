@@ -1,0 +1,438 @@
+//! The hash-bucketed store over transactional pages.
+
+use crate::page::SlottedPage;
+use rda_core::{Database, DbError, Transaction};
+use std::fmt;
+
+/// KV-layer errors.
+#[derive(Debug)]
+pub enum KvError {
+    /// Engine error (lock conflicts, crash state, I/O).
+    Db(DbError),
+    /// The record cannot fit in a page even when empty.
+    RecordTooLarge {
+        /// Bytes the record needs.
+        need: usize,
+        /// Bytes one empty page offers.
+        page_capacity: usize,
+    },
+    /// No overflow pages left to allocate.
+    StoreFull,
+    /// On-disk structures are malformed (metadata magic mismatch).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Db(e) => write!(f, "engine error: {e}"),
+            KvError::RecordTooLarge { need, page_capacity } => {
+                write!(f, "record of {need} bytes exceeds page capacity {page_capacity}")
+            }
+            KvError::StoreFull => write!(f, "no free pages for overflow"),
+            KvError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<DbError> for KvError {
+    fn from(e: DbError) -> KvError {
+        KvError::Db(e)
+    }
+}
+
+/// KV result alias.
+pub type Result<T> = std::result::Result<T, KvError>;
+
+const MAGIC: &[u8; 4] = b"RDKV";
+const META_PAGE: u32 = 0;
+
+/// A transactional key-value store over a [`Database`].
+///
+/// All mutations run inside caller-provided [`Transaction`]s and are
+/// rolled back by the engine's parity/log undo on abort or crash.
+pub struct KvStore {
+    db: Database,
+    buckets: u32,
+    page_size: usize,
+}
+
+impl KvStore {
+    /// Format a fresh store with `buckets` hash buckets on `db`.
+    ///
+    /// # Errors
+    /// Requires record-granularity logging (byte-range updates) and at
+    /// least `buckets + 2` pages.
+    pub fn create(db: Database, buckets: u32) -> Result<KvStore> {
+        assert!(buckets > 0, "at least one bucket");
+        let page_size = page_size_of(&db)?;
+        if db.data_pages() < buckets + 2 {
+            return Err(KvError::StoreFull);
+        }
+        let mut meta = vec![0u8; 12];
+        meta[0..4].copy_from_slice(MAGIC);
+        meta[4..8].copy_from_slice(&buckets.to_be_bytes());
+        meta[8..12].copy_from_slice(&(buckets + 1).to_be_bytes()); // next free page
+        let mut tx = db.begin();
+        tx.update(META_PAGE, 0, &meta)?;
+        tx.commit()?;
+        Ok(KvStore { db, buckets, page_size })
+    }
+
+    /// Attach to an existing store (e.g. after a crash + recovery).
+    ///
+    /// # Errors
+    /// [`KvError::Corrupt`] if page 0 does not carry the store magic.
+    pub fn open(db: Database) -> Result<KvStore> {
+        let page_size = page_size_of(&db)?;
+        let meta = db.read_page(META_PAGE)?;
+        if &meta[0..4] != MAGIC {
+            return Err(KvError::Corrupt("missing RDKV magic"));
+        }
+        let buckets = u32::from_be_bytes(meta[4..8].try_into().expect("4 bytes"));
+        Ok(KvStore { db, buckets, page_size })
+    }
+
+    /// The engine underneath (begin transactions here).
+    #[must_use]
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Number of hash buckets.
+    #[must_use]
+    pub fn buckets(&self) -> u32 {
+        self.buckets
+    }
+
+    fn bucket_of(&self, key: &[u8]) -> u32 {
+        // FNV-1a, bucket pages start at 1 (page 0 is metadata).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        1 + (h % u64::from(self.buckets)) as u32
+    }
+
+    fn load(&self, tx: &mut Transaction, page: u32) -> Result<SlottedPage> {
+        Ok(SlottedPage::from_bytes(tx.read(page)?))
+    }
+
+    fn flush(&self, tx: &mut Transaction, page_id: u32, page: &SlottedPage) -> Result<()> {
+        // Whole-page byte-range update: one record op, one range lock.
+        tx.update(page_id, 0, page.as_bytes())?;
+        Ok(())
+    }
+
+    /// Insert or replace `key`.
+    ///
+    /// # Errors
+    /// [`KvError::RecordTooLarge`] for records that cannot fit an empty
+    /// page; [`KvError::StoreFull`] when overflow allocation is exhausted;
+    /// engine errors (e.g. lock conflicts) pass through.
+    pub fn put(&self, tx: &mut Transaction, key: &[u8], value: &[u8]) -> Result<()> {
+        let need = SlottedPage::cell_size(key, value);
+        let capacity = self.page_size.saturating_sub(10); // header + one slot
+        if need > capacity {
+            return Err(KvError::RecordTooLarge { need, page_capacity: capacity });
+        }
+
+        // Walk the chain: replace in place if the key exists anywhere.
+        let mut page_id = self.bucket_of(key);
+        loop {
+            let mut page = self.load(tx, page_id)?;
+            if let Some(r) = page.find(key) {
+                page.remove(r);
+                if !page.insert(key, value) {
+                    page.compact();
+                    if !page.insert(key, value) {
+                        // No room here any more: push to the chain instead.
+                        self.flush(tx, page_id, &page)?;
+                        return self.append_somewhere(tx, self.bucket_of(key), key, value);
+                    }
+                }
+                return self.flush(tx, page_id, &page);
+            }
+            let next = page.next();
+            if next == 0 {
+                break;
+            }
+            page_id = next;
+        }
+        self.append_somewhere(tx, self.bucket_of(key), key, value)
+    }
+
+    /// Insert `key` (known absent) into the first chain page with room,
+    /// allocating an overflow page if necessary.
+    fn append_somewhere(
+        &self,
+        tx: &mut Transaction,
+        bucket: u32,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<()> {
+        let mut page_id = bucket;
+        loop {
+            let mut page = self.load(tx, page_id)?;
+            if page.free_space() < SlottedPage::cell_size(key, value)
+                && page.records().count() > 0
+            {
+                page.compact();
+            }
+            if page.insert(key, value) {
+                return self.flush(tx, page_id, &page);
+            }
+            let next = page.next();
+            if next == 0 {
+                // Allocate an overflow page and link it.
+                let new_page = self.allocate(tx)?;
+                page.set_next(new_page);
+                self.flush(tx, page_id, &page)?;
+                let mut fresh = SlottedPage::from_bytes(vec![0; self.page_size]);
+                if !fresh.insert(key, value) {
+                    return Err(KvError::RecordTooLarge {
+                        need: SlottedPage::cell_size(key, value),
+                        page_capacity: self.page_size.saturating_sub(10),
+                    });
+                }
+                return self.flush(tx, new_page, &fresh);
+            }
+            page_id = next;
+        }
+    }
+
+    fn allocate(&self, tx: &mut Transaction) -> Result<u32> {
+        let meta = tx.read(META_PAGE)?;
+        let next = u32::from_be_bytes(meta[8..12].try_into().expect("4 bytes"));
+        if next >= self.db.data_pages() {
+            return Err(KvError::StoreFull);
+        }
+        tx.update(META_PAGE, 8, &(next + 1).to_be_bytes())?;
+        Ok(next)
+    }
+
+    /// Look a key up.
+    pub fn get(&self, tx: &mut Transaction, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page_id = self.bucket_of(key);
+        loop {
+            let page = self.load(tx, page_id)?;
+            if let Some(r) = page.find(key) {
+                return Ok(Some(page.value_of(r).to_vec()));
+            }
+            match page.next() {
+                0 => return Ok(None),
+                next => page_id = next,
+            }
+        }
+    }
+
+    /// Delete a key; returns whether it existed.
+    pub fn delete(&self, tx: &mut Transaction, key: &[u8]) -> Result<bool> {
+        let mut page_id = self.bucket_of(key);
+        loop {
+            let mut page = self.load(tx, page_id)?;
+            if let Some(r) = page.find(key) {
+                page.remove(r);
+                self.flush(tx, page_id, &page)?;
+                return Ok(true);
+            }
+            match page.next() {
+                0 => return Ok(false),
+                next => page_id = next,
+            }
+        }
+    }
+
+    /// All live records, in bucket order (then chain order).
+    pub fn scan(&self, tx: &mut Transaction) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for bucket in 1..=self.buckets {
+            let mut page_id = bucket;
+            loop {
+                let page = self.load(tx, page_id)?;
+                out.extend(page.records().map(|(_, k, v)| (k.to_vec(), v.to_vec())));
+                match page.next() {
+                    0 => break,
+                    next => page_id = next,
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn page_size_of(db: &Database) -> Result<usize> {
+    // A probe read tells us the configured page size; record granularity
+    // is required for byte-range updates.
+    let bytes = db.read_page(0)?;
+    let mut tx = db.begin();
+    let probe = tx.update(0, 0, &[]);
+    tx.abort()?;
+    match probe {
+        Ok(()) => Ok(bytes.len()),
+        Err(DbError::WrongGranularity(_)) => Err(KvError::Db(DbError::WrongGranularity(
+            "KvStore requires LogGranularity::Record",
+        ))),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_core::{DbConfig, EngineKind, LogGranularity};
+
+    fn store() -> KvStore {
+        let cfg = DbConfig::small_test(EngineKind::Rda).granularity(LogGranularity::Record);
+        KvStore::create(Database::open(cfg), 4).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_across_transactions() {
+        let s = store();
+        let mut tx = s.db().begin();
+        s.put(&mut tx, b"k1", b"v1").unwrap();
+        s.put(&mut tx, b"k2", b"v2").unwrap();
+        tx.commit().unwrap();
+
+        let mut tx = s.db().begin();
+        assert_eq!(s.get(&mut tx, b"k1").unwrap().as_deref(), Some(&b"v1"[..]));
+        assert_eq!(s.get(&mut tx, b"k2").unwrap().as_deref(), Some(&b"v2"[..]));
+        assert_eq!(s.get(&mut tx, b"nope").unwrap(), None);
+        tx.abort().unwrap();
+    }
+
+    #[test]
+    fn replace_updates_value() {
+        let s = store();
+        let mut tx = s.db().begin();
+        s.put(&mut tx, b"k", b"old").unwrap();
+        s.put(&mut tx, b"k", b"new-and-longer").unwrap();
+        assert_eq!(s.get(&mut tx, b"k").unwrap().as_deref(), Some(&b"new-and-longer"[..]));
+        tx.commit().unwrap();
+        let mut tx = s.db().begin();
+        assert_eq!(s.scan(&mut tx).unwrap().len(), 1);
+        tx.abort().unwrap();
+    }
+
+    #[test]
+    fn delete_then_miss() {
+        let s = store();
+        let mut tx = s.db().begin();
+        s.put(&mut tx, b"gone", b"soon").unwrap();
+        tx.commit().unwrap();
+        let mut tx = s.db().begin();
+        assert!(s.delete(&mut tx, b"gone").unwrap());
+        assert!(!s.delete(&mut tx, b"gone").unwrap());
+        assert_eq!(s.get(&mut tx, b"gone").unwrap(), None);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_kv_mutations() {
+        let s = store();
+        let mut tx = s.db().begin();
+        s.put(&mut tx, b"stable", b"1").unwrap();
+        tx.commit().unwrap();
+
+        let mut tx = s.db().begin();
+        s.put(&mut tx, b"stable", b"2").unwrap();
+        s.put(&mut tx, b"fresh", b"x").unwrap();
+        s.delete(&mut tx, b"stable").unwrap();
+        tx.abort().unwrap();
+
+        let mut tx = s.db().begin();
+        assert_eq!(s.get(&mut tx, b"stable").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(s.get(&mut tx, b"fresh").unwrap(), None);
+        tx.abort().unwrap();
+    }
+
+    #[test]
+    fn crash_preserves_committed_kv_state() {
+        let s = store();
+        let mut tx = s.db().begin();
+        for i in 0..10u32 {
+            s.put(&mut tx, format!("key{i}").as_bytes(), format!("val{i}").as_bytes())
+                .unwrap();
+        }
+        tx.commit().unwrap();
+
+        let mut tx = s.db().begin();
+        s.put(&mut tx, b"key3", b"uncommitted").unwrap();
+        std::mem::forget(tx);
+        s.db().crash_and_recover().unwrap();
+
+        let s = KvStore::open(s.db().clone()).unwrap();
+        let mut tx = s.db().begin();
+        for i in 0..10u32 {
+            assert_eq!(
+                s.get(&mut tx, format!("key{i}").as_bytes()).unwrap().as_deref(),
+                Some(format!("val{i}").as_bytes()),
+                "key{i}"
+            );
+        }
+        tx.abort().unwrap();
+    }
+
+    #[test]
+    fn overflow_chains_grow_and_scan_sees_everything() {
+        let s = store(); // 64-byte pages: a handful of records per page
+        let mut keys = Vec::new();
+        for i in 0..30u32 {
+            let mut tx = s.db().begin();
+            let key = format!("key-number-{i:03}");
+            s.put(&mut tx, key.as_bytes(), b"0123456789").unwrap();
+            tx.commit().unwrap();
+            keys.push(key);
+        }
+        let mut tx = s.db().begin();
+        let scanned = s.scan(&mut tx).unwrap();
+        assert_eq!(scanned.len(), 30);
+        for key in &keys {
+            assert!(s.get(&mut tx, key.as_bytes()).unwrap().is_some(), "{key}");
+        }
+        tx.abort().unwrap();
+        assert!(s.db().verify().unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_too_large_rejected() {
+        let s = store();
+        let mut tx = s.db().begin();
+        let huge = vec![0u8; 1000];
+        assert!(matches!(
+            s.put(&mut tx, b"k", &huge),
+            Err(KvError::RecordTooLarge { .. })
+        ));
+        tx.abort().unwrap();
+    }
+
+    #[test]
+    fn page_granularity_rejected() {
+        let cfg = DbConfig::small_test(EngineKind::Rda); // page logging
+        let err = KvStore::create(Database::open(cfg), 4).err().expect("must fail");
+        assert!(matches!(err, KvError::Db(DbError::WrongGranularity(_))));
+    }
+
+    #[test]
+    fn open_rejects_unformatted_database() {
+        let cfg = DbConfig::small_test(EngineKind::Rda).granularity(LogGranularity::Record);
+        let err = KvStore::open(Database::open(cfg)).err().expect("must fail");
+        assert!(matches!(err, KvError::Corrupt(_)));
+    }
+
+    #[test]
+    fn works_on_wal_engine_too() {
+        let cfg = DbConfig::small_test(EngineKind::Wal).granularity(LogGranularity::Record);
+        let s = KvStore::create(Database::open(cfg), 4).unwrap();
+        let mut tx = s.db().begin();
+        s.put(&mut tx, b"k", b"v").unwrap();
+        tx.commit().unwrap();
+        let mut tx = s.db().begin();
+        assert_eq!(s.get(&mut tx, b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        tx.abort().unwrap();
+    }
+}

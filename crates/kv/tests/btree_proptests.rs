@@ -1,0 +1,122 @@
+//! Property test: arbitrary insert/delete/commit/abort/crash histories on
+//! the B+-tree agree with a `BTreeMap` oracle — including iteration order
+//! and range semantics.
+
+use proptest::prelude::*;
+use rda_array::{ArrayConfig, Organization};
+use rda_buffer::{BufferConfig, ReplacePolicy};
+use rda_core::{
+    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity,
+};
+use rda_kv::BTree;
+use rda_wal::LogConfig;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u8),
+    Delete(u8),
+    Commit,
+    Abort,
+    CrashRecover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u8..40, any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0u8..40).prop_map(Op::Delete),
+        2 => Just(Op::Commit),
+        1 => Just(Op::Abort),
+        1 => Just(Op::CrashRecover),
+    ]
+}
+
+fn cfg() -> DbConfig {
+    DbConfig {
+        engine: EngineKind::Rda,
+        array: ArrayConfig::new(Organization::RotatedParity, 4, 30)
+            .twin(true)
+            .page_size(96),
+        buffer: BufferConfig { frames: 8, steal: true, policy: ReplacePolicy::Clock },
+        log: LogConfig { page_size: 256, copies: 1, amortized: false },
+        granularity: LogGranularity::Record,
+        eot: EotPolicy::Force,
+        checkpoint: CheckpointPolicy::Manual,
+        strict_read_locks: false,
+    }
+}
+
+fn key(k: u8) -> Vec<u8> {
+    format!("key-{k:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn btree_agrees_with_oracle(ops in prop::collection::vec(op_strategy(), 1..50)) {
+        let tree = BTree::create(Database::open(cfg())).unwrap();
+        let mut committed: BTreeMap<u8, u8> = BTreeMap::new();
+        let mut working: BTreeMap<u8, u8> = BTreeMap::new();
+        let mut tx = None;
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let t = tx.get_or_insert_with(|| tree.db().begin());
+                    tree.insert(t, &key(k), &[v]).unwrap();
+                    working.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    let t = tx.get_or_insert_with(|| tree.db().begin());
+                    let existed = tree.delete(t, &key(k)).unwrap();
+                    prop_assert_eq!(existed, working.remove(&k).is_some(), "delete {}", k);
+                }
+                Op::Commit => {
+                    if let Some(t) = tx.take() {
+                        t.commit().unwrap();
+                        committed = working.clone();
+                    }
+                }
+                Op::Abort => {
+                    if let Some(t) = tx.take() {
+                        t.abort().unwrap();
+                        working = committed.clone();
+                    }
+                }
+                Op::CrashRecover => {
+                    if let Some(t) = tx.take() {
+                        std::mem::forget(t);
+                    }
+                    tree.db().crash_and_recover().unwrap();
+                    working = committed.clone();
+                }
+            }
+        }
+        if let Some(t) = tx.take() {
+            t.abort().unwrap();
+            working = committed.clone();
+        }
+        let _ = working;
+
+        // Final state: ordered scan equals the oracle exactly.
+        let mut t = tree.db().begin();
+        let scan = tree.scan_all(&mut t).unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            committed.iter().map(|(k, v)| (key(*k), vec![*v])).collect();
+        prop_assert_eq!(scan, expect);
+        // Spot-check point lookups and a range.
+        for k8 in [0u8, 13, 27, 39] {
+            let got = tree.get(&mut t, &key(k8)).unwrap();
+            prop_assert_eq!(got, committed.get(&k8).map(|v| vec![*v]), "key {}", k8);
+        }
+        let range = tree.range(&mut t, &key(10), &key(30)).unwrap();
+        let expect_range: Vec<_> = committed
+            .range(10..30)
+            .map(|(k, v)| (key(*k), vec![*v]))
+            .collect();
+        prop_assert_eq!(range, expect_range);
+        t.abort().unwrap();
+        prop_assert!(tree.db().verify().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property test: arbitrary put/delete/commit/abort/crash histories on the
+//! KV store agree with a HashMap oracle.
+
+use proptest::prelude::*;
+use rda_array::{ArrayConfig, Organization};
+use rda_buffer::{BufferConfig, ReplacePolicy};
+use rda_core::{
+    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity,
+};
+use rda_kv::KvStore;
+use rda_wal::LogConfig;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8),
+    Delete(u8),
+    Commit,
+    Abort,
+    CrashRecover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u8..24, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => (0u8..24).prop_map(Op::Delete),
+        2 => Just(Op::Commit),
+        1 => Just(Op::Abort),
+        1 => Just(Op::CrashRecover),
+    ]
+}
+
+fn cfg() -> DbConfig {
+    DbConfig {
+        engine: EngineKind::Rda,
+        array: ArrayConfig::new(Organization::RotatedParity, 4, 10)
+            .twin(true)
+            .page_size(96),
+        buffer: BufferConfig { frames: 6, steal: true, policy: ReplacePolicy::Clock },
+        log: LogConfig { page_size: 256, copies: 1, amortized: false },
+        granularity: LogGranularity::Record,
+        eot: EotPolicy::Force,
+        checkpoint: CheckpointPolicy::Manual,
+        strict_read_locks: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kv_agrees_with_oracle(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let store = KvStore::create(Database::open(cfg()), 4).unwrap();
+        let mut committed: HashMap<u8, u8> = HashMap::new();
+        let mut pending: HashMap<u8, Option<u8>> = HashMap::new(); // None = delete
+        let mut tx = None;
+
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    let t = tx.get_or_insert_with(|| store.db().begin());
+                    store.put(t, &[k], &[v]).unwrap();
+                    pending.insert(k, Some(v));
+                }
+                Op::Delete(k) => {
+                    let t = tx.get_or_insert_with(|| store.db().begin());
+                    let existed = store.delete(t, &[k]).unwrap();
+                    let oracle_existed = match pending.get(&k) {
+                        Some(Some(_)) => true,
+                        Some(None) => false,
+                        None => committed.contains_key(&k),
+                    };
+                    prop_assert_eq!(existed, oracle_existed, "delete({})", k);
+                    pending.insert(k, None);
+                }
+                Op::Commit => {
+                    if let Some(t) = tx.take() {
+                        t.commit().unwrap();
+                        for (k, v) in pending.drain() {
+                            match v {
+                                Some(v) => {
+                                    committed.insert(k, v);
+                                }
+                                None => {
+                                    committed.remove(&k);
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Abort => {
+                    if let Some(t) = tx.take() {
+                        t.abort().unwrap();
+                        pending.clear();
+                    }
+                }
+                Op::CrashRecover => {
+                    if let Some(t) = tx.take() {
+                        std::mem::forget(t);
+                        pending.clear();
+                    }
+                    store.db().crash_and_recover().unwrap();
+                }
+            }
+        }
+        if let Some(t) = tx.take() {
+            t.abort().unwrap();
+            pending.clear();
+        }
+
+        // Final state must equal the committed oracle exactly.
+        let mut t = store.db().begin();
+        for k in 0u8..24 {
+            let got = store.get(&mut t, &[k]).unwrap();
+            let expect = committed.get(&k).map(|v| vec![*v]);
+            prop_assert_eq!(got, expect, "key {}", k);
+        }
+        let scan = store.scan(&mut t).unwrap();
+        prop_assert_eq!(scan.len(), committed.len(), "scan cardinality");
+        t.abort().unwrap();
+        prop_assert!(store.db().verify().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Optimal checkpoint interval and the throughput formula (§5 and
+//! equation (1)).
+//!
+//! In an availability interval of `T` page transfers, restart costs `c_s`
+//! once, and each of the `(T − c_s − I/2)/I` checkpoints costs `c_c`
+//! (the paper assumes the crash lands mid-interval). With `c_s` linear in
+//! `I` — redo work grows with the checkpoint distance — there is a classic
+//! interior optimum.
+
+/// Transactions per availability interval for given costs:
+/// `rt(I) = (T − c_s(I) − c_c·(T − c_s(I) − I/2)/I) / c_t`.
+#[must_use]
+pub fn throughput(t: f64, c_t: f64, c_c: f64, interval: f64, c_s_of_i: impl Fn(f64) -> f64) -> f64 {
+    let c_s = c_s_of_i(interval);
+    let checkpoints = ((t - c_s - interval / 2.0) / interval).max(0.0);
+    ((t - c_s - c_c * checkpoints) / c_t).max(0.0)
+}
+
+/// The paper's closed form (equation (1) solved; §5.2.2):
+/// `I* = sqrt(2·c_t·c_c·(T − c_s⁰) / (f_u·(c_l/4 + 4·s·p_u)))`
+/// where `c_s⁰` is the `I`-independent part of the restart cost and
+/// `f_u·(c_l/4 + 4·s·p_u)/(2·c_t)` is `d c_s/d I`.
+///
+/// `redo_per_txn = c_l/4 + 4·s·p_u` (reading a transaction's log and
+/// rewriting its pages).
+#[must_use]
+pub fn optimal_interval_closed_form(
+    t: f64,
+    c_t: f64,
+    c_c: f64,
+    f_u: f64,
+    redo_per_txn: f64,
+    c_s_fixed: f64,
+) -> f64 {
+    let slope = f_u * redo_per_txn / (2.0 * c_t);
+    if slope <= 0.0 || c_c <= 0.0 {
+        return t; // checkpointing free or useless: checkpoint never
+    }
+    (c_c * (t - c_s_fixed).max(0.0) / slope).sqrt()
+}
+
+/// Numeric optimum by golden-section search over `I ∈ [c_t, T]`,
+/// maximizing [`throughput`]. Used to cross-check (and in the benches, to
+/// replace) the closed form, whose printed version in the OCR is garbled.
+#[must_use]
+pub fn optimize_interval(
+    t: f64,
+    c_t: f64,
+    c_c: f64,
+    c_s_of_i: impl Fn(f64) -> f64 + Copy,
+) -> f64 {
+    let f = |i: f64| throughput(t, c_t, c_c, i, c_s_of_i);
+    // Golden-section on a log scale: the optimum spans orders of magnitude.
+    let (mut lo, mut hi) = (c_t.max(1.0).ln(), t.ln());
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..200 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if f(m1.exp()) < f(m2.exp()) {
+            lo = m1;
+        } else {
+            hi = m2;
+        }
+    }
+    ((lo + hi) / 2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_basic() {
+        // No checkpoint cost, no restart: rt = T/c_t.
+        let rt = throughput(1.0e6, 100.0, 0.0, 1.0e6, |_| 0.0);
+        assert!((rt - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn throughput_decreases_with_checkpoint_cost() {
+        let cheap = throughput(1.0e6, 100.0, 10.0, 1.0e4, |_| 0.0);
+        let pricey = throughput(1.0e6, 100.0, 1000.0, 1.0e4, |_| 0.0);
+        assert!(cheap > pricey);
+    }
+
+    #[test]
+    fn numeric_optimum_matches_closed_form() {
+        // c_s(I) = fixed + slope·I with the closed form's slope shape.
+        let (t, c_t, c_c, f_u, redo) = (5.0e6, 80.0, 1200.0, 0.8, 60.0);
+        let fixed = 500.0;
+        let slope = f_u * redo / (2.0 * c_t);
+        let c_s = move |i: f64| fixed + slope * i;
+        let closed = optimal_interval_closed_form(t, c_t, c_c, f_u, redo, fixed);
+        let numeric = optimize_interval(t, c_t, c_c, c_s);
+        let rel = (closed - numeric).abs() / closed;
+        assert!(rel < 0.05, "closed {closed} vs numeric {numeric}");
+        // And the numeric optimum is at least as good as the closed form.
+        let rt_num = throughput(t, c_t, c_c, numeric, c_s);
+        let rt_closed = throughput(t, c_t, c_c, closed, c_s);
+        assert!(rt_num >= rt_closed * 0.9999);
+    }
+
+    #[test]
+    fn free_checkpoints_mean_checkpoint_always_is_fine() {
+        let i = optimal_interval_closed_form(1.0e6, 100.0, 0.0, 0.8, 50.0, 0.0);
+        assert_eq!(i, 1.0e6);
+    }
+
+    #[test]
+    fn optimum_interior() {
+        // The optimum should be strictly inside (c_t, T) for realistic
+        // parameters.
+        let slope = 0.3;
+        let c_s = move |i: f64| 100.0 + slope * i;
+        let i = optimize_interval(5.0e6, 80.0, 1200.0, c_s);
+        assert!(i > 80.0 * 2.0 && i < 5.0e6 / 2.0, "interval {i}");
+    }
+}

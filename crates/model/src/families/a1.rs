@@ -1,0 +1,143 @@
+//! Family A1 — ¬ATOMIC, STEAL, **FORCE, TOC**, page logging (§5.2.1,
+//! Figure 9).
+//!
+//! All pages modified by a transaction are forced at EOT, so every page
+//! write is accounted inside the logging cost (`p_m = 0`, `c_c = 0`): a
+//! forced page costs `a = 3` transfers (the old version is at hand when
+//! writing the new one).
+
+use super::{chain_term, toc_breakdown};
+use crate::{primitives, Evaluation, ModelParams};
+
+/// Evaluate A1 with and without RDA at one parameter point.
+#[must_use]
+pub fn evaluate(p: &ModelParams) -> Evaluation {
+    let spu = p.s * p.p_u;
+    let pfu = p.p * p.f_u;
+    let half_pages = p.p_u * p.s / 2.0;
+
+    // §5.2.1: "K is equal to half the total number of pages ... modified
+    // by concurrent [update] transactions".
+    let k = pfu * spu / 2.0;
+    let pl = primitives::p_l(k, p.n, p.s_total);
+    let chain = chain_term(pl, spu);
+
+    // ---- baseline (¬RDA) ------------------------------------------------
+    // c_l = 3·s·p_u  (force the pages, a = 3)
+    //     + 4·(2·s·p_u + 4)  (UNDO + REDO images plus BOT/EOT, duplexed
+    //       log files at 4 transfers per log page write).
+    let c_l = 3.0 * spu + 4.0 * (2.0 * spu + 4.0);
+    // c_b — RECONSTRUCTED from the prose (the printed formula is garbled):
+    // read the log back to the BOT record through the concurrent update
+    // transactions' half-logged before-images and their BOT/EOT records,
+    // write back the aborter's own half-done pages at a = 4, plus the
+    // abort record.
+    let c_b = half_pages * pfu + pfu + 4.0 * half_pages + 4.0;
+    // c_s = P·f_u·(s·p_u + 2) + 4·(P·f_u·p_u·s/2): losers' log reads plus
+    // rewriting their half-done pages.
+    let c_s = pfu * (spu + 2.0) + 4.0 * (pfu * half_pages);
+    let non_rda = toc_breakdown(p, c_l, c_b, c_s);
+
+    // ---- RDA -------------------------------------------------------------
+    // c_l' = (3 + 2·p_l)·s·p_u   (first write into a dirty group updates
+    //        both twins)
+    //      + 4·(s·p_u + s·p_u·p_l + 4)  (REDO for all, UNDO only for the
+    //        p_l fraction, BOT/EOT)
+    //      + 4·(p_l − p_l^{s·p_u})      (log-chain header).
+    let c_l_rda = (3.0 + 2.0 * pl) * spu + 4.0 * (spu + spu * pl + 4.0) + 4.0 * chain;
+    // c_b' = (p_u·p_l·s/2)·P·f_u + (p_l − p_l^{s·p_u})·P·f_u + P·f_u
+    //      + (p_u·s/2)·(6·p_l + 5·(1 − p_l)) + 4:
+    // less log to read back (only the p_l fraction was before-imaged);
+    // undoing a logged page in a dirty group costs 6 transfers, a
+    // parity-riding page 5.
+    let c_b_rda = half_pages * pl * pfu
+        + chain * pfu
+        + pfu
+        + half_pages * (6.0 * pl + 5.0 * (1.0 - pl))
+        + 4.0;
+    // c_s' = P·f_u·(s·p_u·p_l + 2·(p_l − p_l^{s·p_u}) + 2)
+    //      + P·f_u·(p_u·s/2)·(4·p_l + 5·(1 − p_l)) + S/N
+    // (bitmap reconstruction reads one parity header per group).
+    let c_s_rda = pfu * (spu * pl + 2.0 * chain + 2.0)
+        + pfu * half_pages * (4.0 * pl + 5.0 * (1.0 - pl))
+        + p.s_total / p.n;
+    let rda = toc_breakdown(p, c_l_rda, c_b_rda, c_s_rda);
+
+    Evaluation { non_rda, rda, p_l: pl }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn paper_claim_42_percent_at_c09_high_update() {
+        // §5.2.1: "for C = 0.9 the increase in throughput is about 42%".
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
+        let gain = evaluate(&p).gain();
+        assert!(
+            (0.30..0.55).contains(&gain),
+            "expected ≈42% gain, got {:.1}%",
+            gain * 100.0
+        );
+    }
+
+    #[test]
+    fn high_update_magnitudes_match_figure_9_axis() {
+        // Figure 9's high-update axis spans roughly 48 800 … 77 300
+        // transactions per interval.
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
+        let e = evaluate(&p);
+        assert!(
+            e.non_rda.throughput > 30_000.0 && e.non_rda.throughput < 90_000.0,
+            "baseline {}",
+            e.non_rda.throughput
+        );
+        assert!(
+            e.rda.throughput > 45_000.0 && e.rda.throughput < 110_000.0,
+            "rda {}",
+            e.rda.throughput
+        );
+    }
+
+    #[test]
+    fn high_retrieval_gain_is_smaller() {
+        // §5.2.1: "the improvement ... is much more significant in the
+        // high update frequency environment".
+        let hu = evaluate(&ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9));
+        let hr =
+            evaluate(&ModelParams::paper_defaults(Workload::HighRetrieval).communality(0.9));
+        assert!(hu.gain() > hr.gain());
+        assert!(hr.gain() > 0.0, "RDA still helps retrieval workloads");
+    }
+
+    #[test]
+    fn rda_always_at_least_as_good() {
+        for wl in [Workload::HighUpdate, Workload::HighRetrieval] {
+            for c in [0.0, 0.2, 0.4, 0.6, 0.8, 0.95] {
+                let e = evaluate(&ModelParams::paper_defaults(wl).communality(c));
+                assert!(e.gain() > -1e-9, "{wl:?} C={c}: gain {}", e.gain());
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_grows_with_communality() {
+        let mut prev = 0.0;
+        for c in [0.0, 0.25, 0.5, 0.75, 0.95] {
+            let e = evaluate(&ModelParams::paper_defaults(Workload::HighUpdate).communality(c));
+            assert!(e.rda.throughput >= prev);
+            prev = e.rda.throughput;
+        }
+    }
+
+    #[test]
+    fn small_p_l_at_paper_point() {
+        // K = 21.6 over 500 groups: collisions are rare, so almost all
+        // steals ride the parity.
+        let p = ModelParams::paper_defaults(Workload::HighUpdate);
+        let e = evaluate(&p);
+        assert!(e.p_l > 0.0 && e.p_l < 0.05, "p_l = {}", e.p_l);
+    }
+}

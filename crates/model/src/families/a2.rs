@@ -1,0 +1,169 @@
+//! Family A2 — ¬ATOMIC, STEAL, **¬FORCE, ACC**, page logging (§5.2.2,
+//! Figure 10).
+//!
+//! Modified pages stay in the buffer past EOT; REDO recovery reapplies
+//! committed work after a crash, bounded by action-consistent checkpoints.
+//! RDA can only save the before-images of pages that are actually *stolen*
+//! before EOT — a small fraction `p_s` — which is why the paper finds the
+//! RDA gain "not significant" here, while the A1+RDA combination beats
+//! A2 without RDA (the `crossover` bench).
+
+use super::{acc_breakdown, chain_term};
+use crate::{primitives, Evaluation, ModelParams};
+
+/// Evaluate A2 with and without RDA at one parameter point.
+#[must_use]
+pub fn evaluate(p: &ModelParams) -> Evaluation {
+    let spu = p.s * p.p_u;
+    let pfu = p.p * p.f_u;
+    let half_pages = p.p_u * p.s / 2.0;
+
+    let ps = primitives::p_s(p.b, p.c, p.s, p.p);
+    // §5.2.2: "In the formula for p_l, the value of K is P·s·f_u·p_u·p_s/2"
+    // — only stolen pages contend for parity groups.
+    let k = pfu * spu * ps / 2.0;
+    let pl = primitives::p_l(k, p.n, p.s_total);
+    let pm = primitives::p_m(p.f_u, p.p_u, p.c);
+    let chain = chain_term(pl, spu * ps);
+
+    // ---- baseline (¬RDA) --------------------------------------------------
+    // c_l = 4·(2·s·p_u + 2): before- and after-images of every updated
+    // page, plus BOT/EOT.
+    let c_l = 4.0 * (2.0 * spu + 2.0);
+    // c_b = 2·(p_u·s/2)·P·f_u + P·f_u + 4·p_u·(s/2)·(1−C) + 4:
+    // the log holds both image kinds (2×) of the concurrent transactions;
+    // only pages no longer in the buffer need a disk write-back.
+    let c_b = 2.0 * half_pages * pfu + pfu + 4.0 * half_pages * (1.0 - p.c) + 4.0;
+    // c_c = 4·B·p_m: flush every modified buffer page at a = 4.
+    let c_c = 4.0 * p.b * pm;
+    // c_s(I) = (r_c/2)·f_u·(c_l/4 + 4·s·p_u) + P·f_u·(c_l/4 + 4·s·p_u),
+    // r_c = I/c_t transactions since the checkpoint.
+    let redo = c_l / 4.0 + 4.0 * spu;
+    let restart_fixed = pfu * redo;
+    let non_rda = acc_breakdown(p, c_l, c_b, c_c, pm, 4.0, 0.0, restart_fixed, redo);
+
+    // ---- RDA ---------------------------------------------------------------
+    // §5.2.2: "a modified page will not be logged with probability
+    // p_s·(1 − p_l)" — only a stolen page that rides the parity skips its
+    // before-image. RECONSTRUCTED:
+    // c_l' = 4·(s·p_u·(2 − p_s·(1 − p_l)) + 2) + 4·(p_l − p_l^{s·p_u·p_s}).
+    let c_l_rda = 4.0 * (spu * (2.0 - ps * (1.0 - pl)) + 2.0) + 4.0 * chain;
+    // c_b' — RECONSTRUCTED on the A1/A4 pattern: log reads scaled by what
+    // was actually logged, per-page undo costs by where the page sits:
+    // still buffered & unpropagated pages are free; a replaced page is
+    // reread and written back at (4 + 2·p_l); stolen pages cost 6 (logged)
+    // or 5 (parity).
+    let c_b_rda = half_pages * (2.0 - ps * (1.0 - pl)) * pfu
+        + chain * pfu
+        + pfu
+        + half_pages
+            * ((4.0 + 2.0 * pl) * (1.0 - p.c) * (1.0 - ps)
+                + 6.0 * ps * pl
+                + 5.0 * ps * (1.0 - pl))
+        + 4.0;
+    // §5.2.2: "The value of a in the expressions of c_r and c_u is 4 for
+    // ¬RDA and 4 + 2·p_l for RDA" (a write-back hitting a dirty group must
+    // update both twins).
+    let a_rda = 4.0 + 2.0 * pl;
+    // c_c' = (4 + 2·p_l)·B·p_m.
+    let c_c_rda = a_rda * p.b * pm;
+    // c_s'(I): same redo shape over c_l', plus the loser-undo term
+    // (s/2)·p_u·(4·(1−p_s) + 4·p_s·p_l + 5·p_s·(1−p_l)) per loser and the
+    // S/N bitmap rebuild.
+    let redo_rda = c_l_rda / 4.0 + 4.0 * spu;
+    let loser_undo =
+        half_pages * (4.0 * (1.0 - ps) + 4.0 * ps * pl + 5.0 * ps * (1.0 - pl));
+    let restart_fixed_rda = pfu * (c_l_rda / 4.0 + loser_undo) + p.s_total / p.n;
+    let rda = acc_breakdown(
+        p,
+        c_l_rda,
+        c_b_rda,
+        c_c_rda,
+        pm,
+        a_rda,
+        0.0,
+        restart_fixed_rda,
+        redo_rda,
+    );
+
+    Evaluation { non_rda, rda, p_l: pl }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{families::a1, Workload};
+
+    #[test]
+    fn gain_is_modest() {
+        // §5.2.2: "the improvement in throughput [from RDA] is not
+        // significant in this case" — compare with A1's ≈42%.
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
+        let gain = evaluate(&p).gain();
+        assert!((0.0..0.15).contains(&gain), "A2 gain should be small, got {gain}");
+        let a1_gain = a1::evaluate(&p).gain();
+        assert!(a1_gain > 2.0 * gain, "A1 gain {a1_gain} should dwarf A2 gain {gain}");
+    }
+
+    /// CLAIM-X (§5.2.2): "while the ¬FORCE ACC algorithm outperforms the
+    /// FORCE TOC algorithm without RDA recovery, the situation is reversed
+    /// when RDA recovery is used": A1+RDA ≥ A2¬RDA.
+    #[test]
+    fn force_rda_beats_noforce_baseline() {
+        for c in [0.5, 0.7, 0.9] {
+            let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(c);
+            let force_rda = a1::evaluate(&p).rda.throughput;
+            let noforce_baseline = evaluate(&p).non_rda.throughput;
+            assert!(
+                force_rda > noforce_baseline,
+                "C={c}: A1+RDA {force_rda} vs A2 baseline {noforce_baseline}"
+            );
+        }
+    }
+
+    #[test]
+    fn noforce_baseline_beats_force_baseline() {
+        // The other half of the claim: without RDA, ¬FORCE/ACC wins.
+        for c in [0.5, 0.7, 0.9] {
+            let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(c);
+            let force = a1::evaluate(&p).non_rda.throughput;
+            let noforce = evaluate(&p).non_rda.throughput;
+            assert!(noforce > force, "C={c}: A2 {noforce} vs A1 {force}");
+        }
+    }
+
+    #[test]
+    fn magnitudes_match_figure_10_axis() {
+        // Figure 10 high-update axis: ≈47 800 … 75 700.
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
+        let e = evaluate(&p);
+        for rt in [e.non_rda.throughput, e.rda.throughput] {
+            assert!((30_000.0..110_000.0).contains(&rt), "rt = {rt}");
+        }
+    }
+
+    #[test]
+    fn p_l_tiny_because_steals_are_rare() {
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
+        let e = evaluate(&p);
+        assert!(e.p_l < 0.01, "p_l = {} should be ≈0 (few steals)", e.p_l);
+    }
+
+    #[test]
+    fn checkpoint_interval_is_interior() {
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
+        let e = evaluate(&p);
+        assert!(e.non_rda.interval > e.non_rda.per_txn * 10.0);
+        assert!(e.non_rda.interval < p.t / 10.0);
+    }
+
+    #[test]
+    fn gain_never_negative() {
+        for wl in [Workload::HighUpdate, Workload::HighRetrieval] {
+            for c in [0.0, 0.3, 0.6, 0.9] {
+                let e = evaluate(&ModelParams::paper_defaults(wl).communality(c));
+                assert!(e.gain() > -0.02, "{wl:?} C={c}: {}", e.gain());
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The four recovery-algorithm families of §5.
+//!
+//! Shared shape: each family computes, for the baseline and for RDA,
+//! the §5 cost set `{c_l, c_b, c_c, c_s, c_r, c_u}`, then throughput.
+//! TOC families (FORCE) have `c_c = 0` and `p_m = 0` — propagation is
+//! folded into the logging cost — so `rt = (T − c_s)/c_t`. ACC families
+//! optimize the checkpoint interval `I` numerically (the printed closed
+//! form is cross-checked in `ckpt.rs`).
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod a4;
+
+use crate::ckpt;
+use crate::{CostBreakdown, ModelParams};
+
+/// Assemble a TOC-family breakdown: FORCE writes everything at EOT, so
+/// `c_c = 0`, `p_m = 0`, `c_r = s(1−C)`,
+/// `c_u = s(1−C) + c_l + p_b·c_b`, `rt = (T − c_s)/c_t`.
+pub(crate) fn toc_breakdown(p: &ModelParams, c_l: f64, c_b: f64, c_s: f64) -> CostBreakdown {
+    let c_r = p.s * (1.0 - p.c);
+    let c_u = c_r + c_l + p.p_b * c_b;
+    let c_t = p.per_txn(c_r, c_u);
+    CostBreakdown {
+        logging: c_l,
+        backout: c_b,
+        restart: c_s,
+        checkpoint: 0.0,
+        retrieval: c_r,
+        update: c_u,
+        per_txn: c_t,
+        interval: f64::INFINITY,
+        throughput: ((p.t - c_s) / c_t).max(0.0),
+    }
+}
+
+/// Assemble an ACC-family breakdown.
+///
+/// * `a_write` — transfers per replaced-modified-page write-back (4 for
+///   the baseline, `4 + 2·p_l` with RDA: a write into a dirty group must
+///   update both twins — §5.2.2).
+/// * `extra_cr` — additional per-miss write-back coefficient beyond `p_m`
+///   (the record-logging `2·p_i` term of §5.3.2; zero for page logging).
+/// * `restart_fixed` — the `I`-independent part of `c_s` (loser undo +
+///   bitmap rebuild).
+/// * `redo_per_txn` — redo cost per transaction since the checkpoint
+///   (`c_l/4 + 4·s·p_u`); `c_s(I) = (I/(2·c_t))·f_u·redo + fixed`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
+pub(crate) fn acc_breakdown(
+    p: &ModelParams,
+    c_l: f64,
+    c_b: f64,
+    c_c: f64,
+    p_m: f64,
+    a_write: f64,
+    extra_cr: f64,
+    restart_fixed: f64,
+    redo_per_txn: f64,
+) -> CostBreakdown {
+    let miss = p.s * (1.0 - p.c);
+    let c_r = miss + a_write * miss * (p_m + extra_cr);
+    let c_u = c_r + c_l + p.p_b * c_b;
+    let c_t = p.per_txn(c_r, c_u);
+    // c_s(I): half a checkpoint interval of committed work must be redone
+    // (r_c = I / c_t transactions since the checkpoint), plus the fixed
+    // loser-undo part.
+    let slope = p.f_u * redo_per_txn / (2.0 * c_t);
+    let c_s_of_i = move |i: f64| restart_fixed + slope * i;
+    let interval = ckpt::optimize_interval(p.t, c_t, c_c, c_s_of_i);
+    let throughput = ckpt::throughput(p.t, c_t, c_c, interval, c_s_of_i);
+    CostBreakdown {
+        logging: c_l,
+        backout: c_b,
+        restart: c_s_of_i(interval),
+        checkpoint: c_c,
+        retrieval: c_r,
+        update: c_u,
+        per_txn: c_t,
+        interval,
+        throughput,
+    }
+}
+
+/// The recurring "some pages logged, chain header written" probability
+/// term `p_l − p_l^m` (the paper writes it with `m = s·p_u` or
+/// `m = s·p_u·p_s`): RECONSTRUCTED from the OCR, interpreted as the
+/// probability that a transaction logs at least one but not all of its
+/// pages, which is when the log-chain header is needed.
+pub(crate) fn chain_term(p_l: f64, m: f64) -> f64 {
+    if p_l <= 0.0 {
+        return 0.0;
+    }
+    (p_l - p_l.powf(m)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn toc_breakdown_shapes() {
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.5);
+        let b = toc_breakdown(&p, 100.0, 50.0, 1000.0);
+        assert_eq!(b.checkpoint, 0.0);
+        assert!(b.interval.is_infinite());
+        assert!((b.retrieval - 5.0).abs() < 1e-12);
+        assert!((b.update - (5.0 + 100.0 + 0.5)).abs() < 1e-12);
+        assert!(b.throughput > 0.0);
+    }
+
+    #[test]
+    fn acc_breakdown_picks_interior_interval() {
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.5);
+        let b = acc_breakdown(&p, 80.0, 50.0, 1200.0, 0.9, 4.0, 0.0, 300.0, 56.0);
+        assert!(b.interval > b.per_txn);
+        assert!(b.interval < p.t);
+        assert!(b.throughput > 0.0);
+    }
+
+    #[test]
+    fn chain_term_bounds() {
+        assert_eq!(chain_term(0.0, 9.0), 0.0);
+        let v = chain_term(0.3, 9.0);
+        assert!(v > 0.0 && v < 0.3);
+        // m = 1 → a transaction with one page either logs it or not; no
+        // partial chain.
+        assert!(chain_term(0.3, 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Reliability arithmetic from the paper's introduction (§1).
+//!
+//! The motivation for redundant arrays: with per-disk MTTF of 30,000 hours
+//! (the paper's footnote 1), an organization with 50 disks sees a media
+//! failure with a mean time to failure of less than 25 days. Mirroring fixes availability at 100% storage overhead; RAID
+//! gets close at (100/N)%. These standard exponential-failure formulas
+//! quantify the paper's Table-0 argument and let the `reliability` binary
+//! tabulate it.
+//!
+//! Model: independent disk failures at rate `λ = 1/MTTF_disk`, repair
+//! (rebuild onto a spare) at rate `μ = 1/MTTR`. Data is lost when a second
+//! disk of the same group fails during a rebuild window (the classic
+//! RAID-5 MTTDL approximation, Patterson et al. 1988).
+
+/// The paper's per-disk MTTF assumption (hours).
+pub const PAPER_DISK_MTTF_HOURS: f64 = 30_000.0;
+
+/// Mean time to *any* disk failure in a farm of `disks` disks (hours):
+/// `MTTF_disk / disks`.
+#[must_use]
+pub fn mttf_any_disk(disk_mttf: f64, disks: u32) -> f64 {
+    assert!(disks > 0, "a farm needs at least one disk");
+    disk_mttf / f64::from(disks)
+}
+
+/// Mean time to data loss of one parity group of `n_plus` disks (data +
+/// parity) with rebuild time `mttr` hours (RAID-5 approximation):
+/// `MTTF² / (G·(G−1)·MTTR)` for a group of `G` disks.
+#[must_use]
+pub fn mttdl_group(disk_mttf: f64, group_disks: u32, mttr: f64) -> f64 {
+    assert!(group_disks >= 2, "parity needs at least two disks");
+    let g = f64::from(group_disks);
+    disk_mttf * disk_mttf / (g * (g - 1.0) * mttr)
+}
+
+/// Mean time to data loss of a whole array of `groups` independent parity
+/// groups.
+#[must_use]
+pub fn mttdl_array(disk_mttf: f64, group_disks: u32, groups: u32, mttr: f64) -> f64 {
+    assert!(groups > 0);
+    mttdl_group(disk_mttf, group_disks, mttr) / f64::from(groups)
+}
+
+/// Expected media-failure *events* per year for a farm of `disks` disks
+/// (each survivable with redundancy, but each costing a rebuild).
+#[must_use]
+pub fn failures_per_year(disk_mttf: f64, disks: u32) -> f64 {
+    const HOURS_PER_YEAR: f64 = 24.0 * 365.25;
+    HOURS_PER_YEAR / mttf_any_disk(disk_mttf, disks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's footnote: 50 disks at 30,000 h MTTF → mean time to a
+    /// media failure under 25 days.
+    #[test]
+    fn paper_claim_25_days_for_50_disks() {
+        let hours = mttf_any_disk(PAPER_DISK_MTTF_HOURS, 50);
+        let days = hours / 24.0;
+        assert!((days - 25.0).abs() < 1e-9, "got {days} days");
+    }
+
+    #[test]
+    fn farm_mttf_scales_inversely() {
+        let one = mttf_any_disk(30_000.0, 1);
+        let ten = mttf_any_disk(30_000.0, 10);
+        assert!((one / ten - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mttdl_dwarfs_raw_mttf() {
+        // An 11-disk group (N = 10 + parity) rebuilt in 24 h survives data
+        // loss an order of magnitude longer than a single disk survives
+        // failure: 30000²/(11·10·24) ≈ 341k hours ≈ 11.4 × MTTF.
+        let mttdl = mttdl_group(30_000.0, 11, 24.0);
+        assert!(mttdl > 10.0 * 30_000.0, "mttdl = {mttdl}");
+    }
+
+    #[test]
+    fn mttdl_degrades_with_slow_rebuild_and_more_groups() {
+        let fast = mttdl_array(30_000.0, 11, 50, 8.0);
+        let slow = mttdl_array(30_000.0, 11, 50, 80.0);
+        assert!((fast / slow - 10.0).abs() < 1e-9);
+        let one_group = mttdl_array(30_000.0, 11, 1, 24.0);
+        let fifty = mttdl_array(30_000.0, 11, 50, 24.0);
+        assert!((one_group / fifty - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_events_per_year() {
+        // 50 disks → ~14.6 rebuild events a year; exactly why §1 wants
+        // recovery without operator intervention.
+        let events = failures_per_year(PAPER_DISK_MTTF_HOURS, 50);
+        assert!((events - 14.61).abs() < 0.01, "events = {events}");
+    }
+}

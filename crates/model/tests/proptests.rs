@@ -1,0 +1,127 @@
+//! Property tests over the analytical model: sanity invariants that must
+//! hold across the whole parameter space, not just the paper's two
+//! operating points.
+
+use proptest::prelude::*;
+use rda_model::{families, p_l, p_m, p_s, s_u, Evaluation, ModelParams, Workload};
+
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    (
+        prop_oneof![Just(Workload::HighUpdate), Just(Workload::HighRetrieval)],
+        0.0..0.95f64,
+        2.0..60.0f64,
+        2.0..40.0f64,
+    )
+        .prop_map(|(wl, c, s, n)| {
+            ModelParams::paper_defaults(wl).communality(c).pages_per_txn(s).group_size(n)
+        })
+}
+
+fn check_sane(e: &Evaluation) -> Result<(), TestCaseError> {
+    for b in [&e.non_rda, &e.rda] {
+        prop_assert!(b.logging >= 0.0, "c_l {b:?}");
+        prop_assert!(b.backout >= 0.0);
+        prop_assert!(b.restart >= 0.0);
+        prop_assert!(b.retrieval >= 0.0);
+        prop_assert!(b.update >= b.retrieval, "updates do strictly more work");
+        prop_assert!(b.per_txn > 0.0);
+        prop_assert!(b.throughput >= 0.0);
+        prop_assert!(b.throughput.is_finite());
+    }
+    prop_assert!((0.0..=1.0).contains(&e.p_l), "p_l = {}", e.p_l);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_families_sane_everywhere(p in params_strategy()) {
+        check_sane(&families::a1::evaluate(&p))?;
+        check_sane(&families::a2::evaluate(&p))?;
+        check_sane(&families::a3::evaluate(&p))?;
+        check_sane(&families::a4::evaluate(&p))?;
+    }
+
+    /// RDA never *hurts* by more than rounding wherever parity rides are
+    /// actually available (low p_l). At extreme contention — huge
+    /// transactions over large groups — the dirty-group surcharges can
+    /// genuinely invert the gain, which `ablation_groupsize` shows as the
+    /// downward trend with N; there we only require boundedness.
+    #[test]
+    fn rda_gain_negative_only_under_heavy_contention(p in params_strategy()) {
+        for eval in [
+            families::a1::evaluate(&p),
+            families::a2::evaluate(&p),
+            families::a3::evaluate(&p),
+            families::a4::evaluate(&p),
+        ] {
+            if eval.p_l < 0.1 {
+                prop_assert!(
+                    eval.gain() > -0.05,
+                    "gain {} with p_l {} at {p:?}",
+                    eval.gain(),
+                    eval.p_l
+                );
+            } else {
+                prop_assert!(eval.gain() > -1.0, "gain bounded: {}", eval.gain());
+            }
+        }
+    }
+
+    /// Primitive probability functions stay in [0, 1] and respond in the
+    /// right direction.
+    #[test]
+    fn primitives_bounded(
+        k in 0.0..500.0f64,
+        n in 1.0..50.0f64,
+        s_total in 100.0..100_000.0f64,
+        c in 0.0..1.0f64,
+        f_u in 0.0..1.0f64,
+        p_u in 0.0..1.0f64,
+    ) {
+        let pl = p_l(k, n, s_total);
+        prop_assert!((0.0..=1.0).contains(&pl));
+        let pm = p_m(f_u, p_u, c);
+        prop_assert!((0.0..=1.0).contains(&pm));
+        let ps = p_s(300.0, c, 10.0, 6.0);
+        prop_assert!((0.0..=1.0).contains(&ps));
+    }
+
+    /// p_l grows (weakly) with group size N at fixed contention: bigger
+    /// groups collide more.
+    #[test]
+    fn p_l_monotone_in_group_size(k in 2.0..200.0f64) {
+        let mut prev = -1.0;
+        for n in [2.0, 5.0, 10.0, 20.0, 40.0] {
+            let v = p_l(k, n, 5000.0);
+            prop_assert!(v >= prev - 1e-12, "p_l must grow with N: {v} after {prev}");
+            prev = v;
+        }
+    }
+
+    /// Throughput grows (weakly) with communality for the TOC families
+    /// (fewer misses, same logging).
+    #[test]
+    fn toc_throughput_monotone_in_c(
+        wl in prop_oneof![Just(Workload::HighUpdate), Just(Workload::HighRetrieval)],
+    ) {
+        let mut prev = 0.0;
+        for c in [0.0, 0.2, 0.4, 0.6, 0.8, 0.95] {
+            let p = ModelParams::paper_defaults(wl).communality(c);
+            let rt = families::a1::evaluate(&p).rda.throughput;
+            prop_assert!(rt >= prev, "{wl:?}: rt {rt} after {prev} at C={c}");
+            prev = rt;
+        }
+    }
+
+    /// s_u is bounded by both the total distinct work and the buffer.
+    #[test]
+    fn s_u_bounds(c in 0.01..0.99f64, k in 1.0..20.0f64) {
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(c);
+        let v = s_u(&p, k);
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= k * p.s * p.p_u + 1e-9, "cannot exceed total touches");
+        prop_assert!(v <= p.b / c + 1e-9, "cannot exceed the fixed point B/C");
+    }
+}

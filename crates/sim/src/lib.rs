@@ -1,0 +1,30 @@
+//! # rda-sim — synthetic OLTP workloads against the real engine
+//!
+//! The paper evaluates RDA recovery with an analytical model (§5). This
+//! crate closes the loop: it generates Reuter-style synthetic workloads —
+//! `P` logically concurrent transactions, each accessing `s` pages with
+//! update probability `p_u`, a fraction `f_u` of transactions updating,
+//! aborts with probability `p_b` — runs them through the **actual**
+//! `rda-core` engine over the simulated array, and measures real page
+//! transfers, which can then be compared against the model's `c_t`
+//! prediction at the *measured* communality.
+//!
+//! Locality (and therefore communality `C`) is induced with a hot-set
+//! reference model: a fraction of accesses go to a buffer-sized hot set.
+//! The empirical hit ratio is reported alongside the transfer counts so
+//! model and simulation are compared at the same operating point.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod compare;
+mod driver;
+mod threaded;
+mod trace;
+mod workload;
+
+pub use compare::{compare_engines, model_vs_sim, Comparison, ModelCheck};
+pub use driver::{run_scripts, run_workload, SimConfig, SimResult};
+pub use threaded::{run_threaded, run_workload_threaded, ThreadedResult};
+pub use trace::Trace;
+pub use workload::{Access, AccessKind, TxnScript, WorkloadSpec};

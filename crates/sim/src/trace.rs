@@ -1,0 +1,120 @@
+//! Workload traces: serialize a generated transaction sequence so the
+//! *identical* history can be replayed across engines, configurations, or
+//! machines — the determinism backbone of the ± RDA comparisons.
+
+use crate::{run_scripts, SimConfig, SimResult, TxnScript, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// A reproducible, self-describing workload trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// The generator parameters the trace came from.
+    pub spec: WorkloadSpec,
+    /// Seed used for generation.
+    pub seed: u64,
+    /// The transaction scripts, in execution order.
+    pub scripts: Vec<TxnScript>,
+}
+
+impl Trace {
+    /// Generate a trace of `count` transactions.
+    #[must_use]
+    pub fn generate(spec: WorkloadSpec, count: usize, seed: u64) -> Trace {
+        Trace { spec, seed, scripts: spec.generate(count, seed) }
+    }
+
+    /// Number of scripts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Is the trace empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scripts.is_empty()
+    }
+
+    /// Serialize to JSON.
+    ///
+    /// # Panics
+    /// Never — the trace types are plain data.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+
+    /// Parse a JSON trace.
+    ///
+    /// # Errors
+    /// Returns the serde error for malformed input.
+    pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Replay the trace against an engine configuration. `cfg.warmup`
+    /// scripts are unmeasured, matching [`crate::run_workload`].
+    #[must_use]
+    pub fn replay(&self, cfg: &SimConfig) -> SimResult {
+        run_scripts(cfg, self.scripts.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_core::{DbConfig, EngineKind};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::high_update(200, 40)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_scripts() {
+        let t = Trace::generate(spec(), 25, 99);
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.len(), 25);
+        assert_eq!(back.seed, 99);
+        for (a, b) in t.scripts.iter().zip(&back.scripts) {
+            assert_eq!(a.aborts, b.aborts);
+            assert_eq!(a.accesses.len(), b.accesses.len());
+            for (x, y) in a.accesses.iter().zip(&b.accesses) {
+                assert_eq!((x.page, x.kind), (y.page, y.kind));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let t = Trace::generate(spec(), 60, 7);
+        let mut cfg = SimConfig::new(DbConfig::paper_like(EngineKind::Rda, 200, 32));
+        cfg.warmup = 10;
+        cfg.concurrency = 4;
+        let a = t.replay(&cfg);
+        let b = t.replay(&cfg);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.array_transfers, b.array_transfers);
+        assert_eq!(a.log_transfers, b.log_transfers);
+    }
+
+    #[test]
+    fn same_trace_same_commits_across_engines() {
+        let t = Trace::generate(spec(), 60, 13);
+        let mk = |engine| {
+            let mut cfg = SimConfig::new(DbConfig::paper_like(engine, 200, 32));
+            cfg.warmup = 10;
+            cfg.concurrency = 4;
+            cfg
+        };
+        let rda = t.replay(&mk(EngineKind::Rda));
+        let wal = t.replay(&mk(EngineKind::Wal));
+        assert_eq!(rda.committed, wal.committed, "identical histories");
+        assert_eq!(rda.aborted, wal.aborted);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Trace::from_json("{not json").is_err());
+        assert!(Trace::from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! The volatile log writer.
+
+use crate::{LogRecord, LogStore, Lsn};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The volatile front end of the write-ahead log.
+///
+/// Records appended here live in a memory buffer until [`LogManager::force`]
+/// makes them durable in the shared [`LogStore`]; [`LogManager::crash`]
+/// discards them, exactly as a power failure would. The write-ahead
+/// protocol obligations (force before steal, force at commit) are enforced
+/// by the recovery manager in `rda-core`, not here.
+pub struct LogManager {
+    store: Arc<LogStore>,
+    volatile: Mutex<Vec<LogRecord>>,
+}
+
+impl LogManager {
+    /// Attach a writer to a (possibly pre-existing) durable store.
+    #[must_use]
+    pub fn new(store: Arc<LogStore>) -> LogManager {
+        LogManager { store, volatile: Mutex::new(Vec::new()) }
+    }
+
+    /// The durable store behind this writer.
+    #[must_use]
+    pub fn store(&self) -> &Arc<LogStore> {
+        &self.store
+    }
+
+    /// Append a record to the volatile tail, returning its (tentative)
+    /// LSN. The LSN becomes stable once the record is forced; a crash
+    /// before then discards it.
+    pub fn append(&self, record: LogRecord) -> Lsn {
+        let mut v = self.volatile.lock();
+        let lsn = Lsn(self.store.len() + v.len() as u64);
+        v.push(record);
+        lsn
+    }
+
+    /// Force the volatile tail to the durable store, billing the log-page
+    /// writes. Returns the LSN one past the last durable record.
+    pub fn force(&self) -> Lsn {
+        let batch = std::mem::take(&mut *self.volatile.lock());
+        self.store.append_durable(batch);
+        Lsn(self.store.len())
+    }
+
+    /// Number of unforced records.
+    #[must_use]
+    pub fn unforced(&self) -> usize {
+        self.volatile.lock().len()
+    }
+
+    /// Simulate a crash: every unforced record is lost.
+    pub fn crash(&self) {
+        self.volatile.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LogConfig, TxnId};
+
+    #[test]
+    fn force_makes_durable() {
+        let store = LogStore::new(LogConfig::default());
+        let log = LogManager::new(Arc::clone(&store));
+        let lsn = log.append(LogRecord::Bot { txn: TxnId(1) });
+        assert_eq!(lsn, Lsn(0));
+        assert_eq!(store.len(), 0, "not durable before force");
+        assert_eq!(log.unforced(), 1);
+        let end = log.force();
+        assert_eq!(end, Lsn(1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(log.unforced(), 0);
+    }
+
+    #[test]
+    fn crash_discards_unforced_only() {
+        let store = LogStore::new(LogConfig::default());
+        let log = LogManager::new(Arc::clone(&store));
+        log.append(LogRecord::Bot { txn: TxnId(1) });
+        log.force();
+        log.append(LogRecord::Commit { txn: TxnId(1) });
+        log.crash();
+        assert_eq!(store.len(), 1, "durable records survive");
+        assert_eq!(log.unforced(), 0);
+        // The store can be re-attached by a new manager after the crash.
+        let log2 = LogManager::new(Arc::clone(&store));
+        assert_eq!(log2.append(LogRecord::Bot { txn: TxnId(2) }), Lsn(1));
+    }
+
+    #[test]
+    fn lsns_are_consistent_across_forces() {
+        let store = LogStore::new(LogConfig::default());
+        let log = LogManager::new(Arc::clone(&store));
+        assert_eq!(log.append(LogRecord::Bot { txn: TxnId(1) }), Lsn(0));
+        log.force();
+        assert_eq!(log.append(LogRecord::Commit { txn: TxnId(1) }), Lsn(1));
+        assert_eq!(log.append(LogRecord::Bot { txn: TxnId(2) }), Lsn(2));
+        log.force();
+        let records = store.peek();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].0, Lsn(2));
+    }
+
+    #[test]
+    fn force_with_nothing_pending_is_cheap() {
+        let store = LogStore::new(LogConfig::default());
+        let log = LogManager::new(Arc::clone(&store));
+        log.force();
+        assert_eq!(store.stats().writes(), 0);
+    }
+}

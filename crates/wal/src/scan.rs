@@ -1,0 +1,191 @@
+//! Log analysis for restart recovery.
+//!
+//! After a crash the recovery manager classifies every transaction seen in
+//! the durable log (paper §4.3: "Following a system crash we need to
+//! identify which transactions have to be backed out and which pages have
+//! been modified on disk by those transactions").
+
+use crate::{CheckpointKind, LogRecord, Lsn, TxnId};
+use rda_array::DataPageId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Final state of a transaction as recorded in the durable log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// A durable Commit record exists — a *winner*; its effects must
+    /// survive (REDO if necessary).
+    Committed,
+    /// A durable Abort record exists — already rolled back before the
+    /// crash; nothing to do.
+    Aborted,
+    /// BOT seen but no EOT — a *loser*; its propagated effects must be
+    /// undone.
+    InFlight,
+}
+
+/// Result of the analysis pass over the durable log.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Outcome per transaction that appears in the log.
+    pub outcomes: BTreeMap<TxnId, TxnOutcome>,
+    /// Pages stolen *without* UNDO logging, per transaction (from the
+    /// steal-note chain). For a loser these are exactly the pages that
+    /// must be undone via the parity array.
+    pub parity_steals: BTreeMap<TxnId, BTreeSet<DataPageId>>,
+    /// Pages with a logged before-image, per transaction (undone from the
+    /// log).
+    pub logged_undo: BTreeMap<TxnId, BTreeSet<DataPageId>>,
+    /// LSN of the most recent ACC checkpoint, with the transactions active
+    /// at that point. REDO starts here (or at the log start if none).
+    pub last_acc_checkpoint: Option<(Lsn, Vec<TxnId>)>,
+    /// Compensation images written during (possibly interrupted) rollback,
+    /// keyed by (transaction, page); the latest image wins. A re-run of
+    /// undo applies these instead of recomputing from parity.
+    pub compensations: BTreeMap<(TxnId, DataPageId), Vec<u8>>,
+}
+
+impl Analysis {
+    /// Run the analysis pass over a record sequence (typically
+    /// `store.read_all()`, which bills the log reads).
+    #[must_use]
+    pub fn run(records: &[(Lsn, LogRecord)]) -> Analysis {
+        let mut out = Analysis::default();
+        for (lsn, record) in records {
+            match record {
+                LogRecord::Bot { txn } => {
+                    out.outcomes.insert(*txn, TxnOutcome::InFlight);
+                }
+                LogRecord::Commit { txn } => {
+                    out.outcomes.insert(*txn, TxnOutcome::Committed);
+                }
+                LogRecord::Abort { txn } => {
+                    out.outcomes.insert(*txn, TxnOutcome::Aborted);
+                }
+                LogRecord::StealNote { txn, page } => {
+                    out.outcomes.entry(*txn).or_insert(TxnOutcome::InFlight);
+                    out.parity_steals.entry(*txn).or_default().insert(*page);
+                }
+                LogRecord::BeforeImage { txn, page, .. }
+                | LogRecord::RecordUpdate { txn, page, .. } => {
+                    out.outcomes.entry(*txn).or_insert(TxnOutcome::InFlight);
+                    out.logged_undo.entry(*txn).or_default().insert(*page);
+                }
+                LogRecord::AfterImage { txn, .. } | LogRecord::RecordRedo { txn, .. } => {
+                    out.outcomes.entry(*txn).or_insert(TxnOutcome::InFlight);
+                }
+                LogRecord::Compensation { txn, page, image } => {
+                    out.outcomes.entry(*txn).or_insert(TxnOutcome::InFlight);
+                    out.compensations.insert((*txn, *page), image.clone());
+                }
+                LogRecord::Checkpoint { kind: CheckpointKind::Acc, active } => {
+                    out.last_acc_checkpoint = Some((*lsn, active.clone()));
+                }
+                LogRecord::Checkpoint { kind: CheckpointKind::Toc, .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Transactions that must be rolled back (BOT without EOT).
+    #[must_use]
+    pub fn losers(&self) -> Vec<TxnId> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| **o == TxnOutcome::InFlight)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Transactions whose effects must survive.
+    #[must_use]
+    pub fn winners(&self) -> Vec<TxnId> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| **o == TxnOutcome::Committed)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lsn_seq(records: Vec<LogRecord>) -> Vec<(Lsn, LogRecord)> {
+        records
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (Lsn(i as u64), r))
+            .collect()
+    }
+
+    #[test]
+    fn classifies_winners_and_losers() {
+        let records = lsn_seq(vec![
+            LogRecord::Bot { txn: TxnId(1) },
+            LogRecord::Bot { txn: TxnId(2) },
+            LogRecord::Bot { txn: TxnId(3) },
+            LogRecord::Commit { txn: TxnId(1) },
+            LogRecord::Abort { txn: TxnId(2) },
+        ]);
+        let a = Analysis::run(&records);
+        assert_eq!(a.winners(), vec![TxnId(1)]);
+        assert_eq!(a.losers(), vec![TxnId(3)]);
+        assert_eq!(a.outcomes[&TxnId(2)], TxnOutcome::Aborted);
+    }
+
+    #[test]
+    fn collects_steal_notes_and_logged_undo() {
+        let records = lsn_seq(vec![
+            LogRecord::Bot { txn: TxnId(1) },
+            LogRecord::StealNote { txn: TxnId(1), page: DataPageId(4) },
+            LogRecord::BeforeImage { txn: TxnId(1), page: DataPageId(7), image: vec![] },
+            LogRecord::StealNote { txn: TxnId(1), page: DataPageId(4) },
+        ]);
+        let a = Analysis::run(&records);
+        assert_eq!(
+            a.parity_steals[&TxnId(1)].iter().copied().collect::<Vec<_>>(),
+            vec![DataPageId(4)]
+        );
+        assert_eq!(
+            a.logged_undo[&TxnId(1)].iter().copied().collect::<Vec<_>>(),
+            vec![DataPageId(7)]
+        );
+    }
+
+    #[test]
+    fn last_acc_checkpoint_wins() {
+        let records = lsn_seq(vec![
+            LogRecord::Checkpoint { kind: CheckpointKind::Acc, active: vec![TxnId(1)] },
+            LogRecord::Bot { txn: TxnId(2) },
+            LogRecord::Checkpoint { kind: CheckpointKind::Acc, active: vec![TxnId(2)] },
+        ]);
+        let a = Analysis::run(&records);
+        let (lsn, active) = a.last_acc_checkpoint.unwrap();
+        assert_eq!(lsn, Lsn(2));
+        assert_eq!(active, vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn toc_checkpoints_ignored_for_redo_point() {
+        let records = lsn_seq(vec![LogRecord::Checkpoint {
+            kind: CheckpointKind::Toc,
+            active: vec![],
+        }]);
+        let a = Analysis::run(&records);
+        assert!(a.last_acc_checkpoint.is_none());
+    }
+
+    #[test]
+    fn update_without_bot_still_counts_as_in_flight() {
+        // A steal note can be the first durable trace of a transaction if
+        // the BOT batch and the note were forced together; analysis must
+        // still treat the transaction as a loser.
+        let records = lsn_seq(vec![LogRecord::StealNote {
+            txn: TxnId(5),
+            page: DataPageId(1),
+        }]);
+        let a = Analysis::run(&records);
+        assert_eq!(a.losers(), vec![TxnId(5)]);
+    }
+}

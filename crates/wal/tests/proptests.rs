@@ -1,0 +1,160 @@
+//! Property tests for the WAL: codec round-trips over arbitrary records,
+//! force/crash semantics, and analysis-pass invariants over arbitrary
+//! histories.
+
+use proptest::prelude::*;
+use rda_array::DataPageId;
+use rda_wal::{codec, Analysis, CheckpointKind, LogConfig, LogManager, LogRecord, LogStore, TxnId};
+
+fn record_strategy() -> impl Strategy<Value = LogRecord> {
+    let txn = (1u64..20).prop_map(TxnId);
+    let page = (0u32..64).prop_map(DataPageId);
+    let bytes = prop::collection::vec(any::<u8>(), 0..64);
+    prop_oneof![
+        txn.clone().prop_map(|txn| LogRecord::Bot { txn }),
+        txn.clone().prop_map(|txn| LogRecord::Commit { txn }),
+        txn.clone().prop_map(|txn| LogRecord::Abort { txn }),
+        (txn.clone(), page.clone(), bytes.clone())
+            .prop_map(|(txn, page, image)| LogRecord::BeforeImage { txn, page, image }),
+        (txn.clone(), page.clone(), bytes.clone())
+            .prop_map(|(txn, page, image)| LogRecord::AfterImage { txn, page, image }),
+        (txn.clone(), page.clone(), 0u32..2020, bytes.clone(), bytes.clone()).prop_map(
+            |(txn, page, offset, before, after)| LogRecord::RecordUpdate {
+                txn,
+                page,
+                offset,
+                before,
+                after
+            }
+        ),
+        (txn.clone(), page.clone(), 0u32..2020, bytes.clone()).prop_map(
+            |(txn, page, offset, after)| LogRecord::RecordRedo { txn, page, offset, after }
+        ),
+        (txn.clone(), page.clone()).prop_map(|(txn, page)| LogRecord::StealNote { txn, page }),
+        (txn, page, bytes)
+            .prop_map(|(txn, page, image)| LogRecord::Compensation { txn, page, image }),
+        prop::collection::vec((1u64..20).prop_map(TxnId), 0..5).prop_map(|active| {
+            LogRecord::Checkpoint { kind: CheckpointKind::Acc, active }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any record sequence encodes and decodes back exactly, in order.
+    #[test]
+    fn codec_roundtrip(records in prop::collection::vec(record_strategy(), 0..40)) {
+        let mut buf = bytes::BytesMut::new();
+        for r in &records {
+            codec::encode(r, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for r in &records {
+            let decoded = codec::decode(&mut bytes).unwrap();
+            prop_assert_eq!(&decoded, r);
+        }
+        prop_assert_eq!(bytes.len(), 0);
+    }
+
+    /// Force/crash semantics: whatever was forced survives a crash, in
+    /// order; nothing unforced does.
+    #[test]
+    fn crash_keeps_exactly_the_forced_prefixes(
+        batches in prop::collection::vec(
+            (prop::collection::vec(record_strategy(), 0..6), any::<bool>()),
+            1..12,
+        ),
+    ) {
+        let store = LogStore::new(LogConfig { page_size: 256, copies: 1, amortized: false });
+        let log = LogManager::new(std::sync::Arc::clone(&store));
+        let mut expect_durable = Vec::new();
+        let mut pending = Vec::new();
+        for (batch, forced) in &batches {
+            for r in batch {
+                log.append(r.clone());
+                pending.push(r.clone());
+            }
+            if *forced {
+                log.force();
+                expect_durable.append(&mut pending);
+            }
+        }
+        log.crash();
+        let survived: Vec<LogRecord> =
+            store.peek().into_iter().map(|(_, r)| r).collect();
+        prop_assert_eq!(survived, expect_durable);
+    }
+
+    /// Billed reads of a range return exactly the range and never fewer
+    /// page-reads than zero / more than the whole log.
+    #[test]
+    fn read_range_is_exact(
+        records in prop::collection::vec(record_strategy(), 1..30),
+        bounds in (0u64..40, 0u64..40),
+    ) {
+        let store = LogStore::new(LogConfig { page_size: 128, copies: 2, amortized: false });
+        let log = LogManager::new(std::sync::Arc::clone(&store));
+        for r in &records {
+            log.append(r.clone());
+        }
+        log.force();
+        let (a, b) = bounds;
+        let (from, to) = (a.min(b), a.max(b));
+        let got = store.read_range(rda_wal::Lsn(from), rda_wal::Lsn(to));
+        let lo = from.min(records.len() as u64) as usize;
+        let hi = to.min(records.len() as u64) as usize;
+        prop_assert_eq!(got.len(), hi - lo);
+        for (i, (lsn, r)) in got.iter().enumerate() {
+            prop_assert_eq!(*lsn, rda_wal::Lsn(lo as u64 + i as u64));
+            prop_assert_eq!(r, &records[lo + i]);
+        }
+    }
+
+    /// Analysis classification: the last BOT/Commit/Abort of a transaction
+    /// decides its outcome, and steal notes accumulate per loser.
+    #[test]
+    fn analysis_matches_reference(records in prop::collection::vec(record_strategy(), 0..60)) {
+        let with_lsn: Vec<(rda_wal::Lsn, LogRecord)> = records
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, r)| (rda_wal::Lsn(i as u64), r))
+            .collect();
+        let analysis = Analysis::run(&with_lsn);
+
+        // Reference: replay naively.
+        use std::collections::BTreeMap;
+        let mut outcome: BTreeMap<TxnId, &'static str> = BTreeMap::new();
+        for r in &records {
+            match r {
+                LogRecord::Bot { txn } => {
+                    outcome.insert(*txn, "inflight");
+                }
+                LogRecord::Commit { txn } => {
+                    outcome.insert(*txn, "committed");
+                }
+                LogRecord::Abort { txn } => {
+                    outcome.insert(*txn, "aborted");
+                }
+                other => {
+                    if let Some(txn) = other.txn() {
+                        outcome.entry(txn).or_insert("inflight");
+                    }
+                }
+            }
+        }
+        let expect_losers: Vec<TxnId> = outcome
+            .iter()
+            .filter(|(_, s)| **s == "inflight")
+            .map(|(t, _)| *t)
+            .collect();
+        let expect_winners: Vec<TxnId> = outcome
+            .iter()
+            .filter(|(_, s)| **s == "committed")
+            .map(|(t, _)| *t)
+            .collect();
+        prop_assert_eq!(analysis.losers(), expect_losers);
+        prop_assert_eq!(analysis.winners(), expect_winners);
+    }
+}

@@ -1,0 +1,175 @@
+//! A tiny interactive shell over the database — poke at the twin-parity
+//! machinery by hand, inject failures, watch the I/O bill.
+//!
+//! Run with: `cargo run --example repl`
+//! or pipe a script: `printf 'begin\nwrite 3 hello\ncommit\nread 3\nquit\n' | cargo run --example repl`
+
+use rda::core::{Database, DbConfig, EngineKind, Transaction};
+use std::io::{self, BufRead, Write};
+
+const HELP: &str = "\
+commands:
+  begin                     start a transaction (one at a time in this shell)
+  write <page> <text>       write text to a page (inside a transaction)
+  read <page>               read a page (inside or outside a transaction)
+  commit | abort            end the transaction
+  crash                     simulated power failure + restart recovery
+  fail <disk>               fail a disk
+  rebuild <disk>            media-recover a failed disk
+  corrupt <page>            inject a latent sector error under a page
+  scrub                     patrol-scrub the array
+  verify                    check parity invariants
+  stats                     show the I/O bill
+  help                      this text
+  quit";
+
+fn main() {
+    let db = Database::open(DbConfig::small_test(EngineKind::Rda));
+    let mut tx: Option<Transaction> = None;
+    println!(
+        "rda repl — {} pages, twin-parity RDA engine. Type `help`.",
+        db.data_pages()
+    );
+
+    let stdin = io::stdin();
+    loop {
+        print!("rda> ");
+        io::stdout().flush().ok();
+        let Some(Ok(line)) = stdin.lock().lines().next() else {
+            break;
+        };
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            continue;
+        };
+        let result: Result<String, String> = match cmd {
+            "help" => Ok(HELP.to_string()),
+            "quit" | "exit" => break,
+            "begin" => {
+                if tx.is_some() {
+                    Err("a transaction is already open".into())
+                } else {
+                    let t = db.begin();
+                    let id = t.id();
+                    tx = Some(t);
+                    Ok(format!("began {id}"))
+                }
+            }
+            "write" => match (parts.next().and_then(|p| p.parse::<u32>().ok()), tx.as_mut()) {
+                (Some(page), Some(t)) => {
+                    let text: String = parts.collect::<Vec<_>>().join(" ");
+                    t.write(page, text.as_bytes())
+                        .map(|()| format!("wrote {} bytes to page {page}", text.len()))
+                        .map_err(|e| e.to_string())
+                }
+                (None, _) => Err("usage: write <page> <text>".into()),
+                (_, None) => Err("no open transaction — `begin` first".into()),
+            },
+            "read" => match parts.next().and_then(|p| p.parse::<u32>().ok()) {
+                Some(page) => {
+                    let bytes = match tx.as_mut() {
+                        Some(t) => t.read(page),
+                        None => db.read_page(page),
+                    };
+                    bytes
+                        .map(|b| {
+                            let printable: String = b
+                                .iter()
+                                .take_while(|&&c| c != 0)
+                                .map(|&c| if c.is_ascii_graphic() || c == b' ' { c as char } else { '.' })
+                                .collect();
+                            format!("page {page}: {printable:?}")
+                        })
+                        .map_err(|e| e.to_string())
+                }
+                None => Err("usage: read <page>".into()),
+            },
+            "commit" => match tx.take() {
+                Some(t) => t.commit().map(|id| format!("committed {id}")).map_err(|e| e.to_string()),
+                None => Err("no open transaction".into()),
+            },
+            "abort" => match tx.take() {
+                Some(t) => t
+                    .abort()
+                    .map(|()| "aborted (undone via parity where stolen)".to_string())
+                    .map_err(|e| e.to_string()),
+                None => Err("no open transaction".into()),
+            },
+            "crash" => {
+                if let Some(t) = tx.take() {
+                    std::mem::forget(t); // dies with the power
+                }
+                db.crash();
+                db.recover()
+                    .map(|r| {
+                        format!(
+                            "recovered: {} winners, {} losers ({} parity-undone, {} log-undone, {} redone)",
+                            r.winners.len(),
+                            r.losers.len(),
+                            r.undone_via_parity,
+                            r.undone_via_log,
+                            r.redone
+                        )
+                    })
+                    .map_err(|e| e.to_string())
+            }
+            "fail" => match parts.next().and_then(|p| p.parse::<u16>().ok()) {
+                Some(d) => {
+                    db.fail_disk(d);
+                    Ok(format!("disk {d} failed — reads continue in degraded mode"))
+                }
+                None => Err("usage: fail <disk>".into()),
+            },
+            "rebuild" => match parts.next().and_then(|p| p.parse::<u16>().ok()) {
+                Some(d) => db
+                    .media_recover(d)
+                    .map(|n| format!("rebuilt {n} blocks onto disk {d}"))
+                    .map_err(|e| e.to_string()),
+                None => Err("usage: rebuild <disk>".into()),
+            },
+            "corrupt" => match parts.next().and_then(|p| p.parse::<u32>().ok()) {
+                Some(p) => {
+                    db.corrupt_data_page(p);
+                    Ok(format!("latent sector error injected under page {p}"))
+                }
+                None => Err("usage: corrupt <page>".into()),
+            },
+            "scrub" => db
+                .scrub()
+                .map(|r| {
+                    format!(
+                        "scanned {} pages; repaired {} data, {} parity",
+                        r.pages_scanned, r.data_repaired, r.parity_repaired
+                    )
+                })
+                .map_err(|e| e.to_string()),
+            "verify" => db
+                .verify()
+                .map(|v| {
+                    if v.is_empty() {
+                        "parity invariants hold".to_string()
+                    } else {
+                        format!("VIOLATIONS: {v:?}")
+                    }
+                })
+                .map_err(|e| e.to_string()),
+            "stats" => {
+                let s = db.stats();
+                Ok(format!(
+                    "array: {} reads / {} writes; log: {} writes ({} bytes); buffer hit ratio {:.2}",
+                    s.array.reads,
+                    s.array.writes,
+                    s.log.writes,
+                    db.log_bytes(),
+                    s.buffer.hit_ratio()
+                ))
+            }
+            other => Err(format!("unknown command {other:?} — try `help`")),
+        };
+        match result {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+    println!("bye");
+}

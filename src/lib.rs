@@ -1,0 +1,44 @@
+//! # rda — database recovery using redundant disk arrays
+//!
+//! A Rust reproduction of *Database Recovery Using Redundant Disk Arrays*
+//! (A. N. Mourad, W. K. Fuchs, D. G. Saab; ICDE 1992). The paper shows how
+//! the parity redundancy already present in a redundant disk array can be
+//! exploited for rapid **transaction UNDO** — eliminating most before-image
+//! logging — via a *twin-page* scheme for parity pages, on top of the media
+//! recovery the array provides anyway.
+//!
+//! This facade crate re-exports the workspace's crates:
+//!
+//! * [`array`](mod@array) — simulated redundant disk arrays (RAID-5 rotated parity and
+//!   parity striping, twin-parity layouts, degraded mode, rebuild).
+//! * [`wal`] — write-ahead logging substrate (page & record logging,
+//!   BOT/EOT, duplexed logs, TOC/ACC checkpoints, log chains).
+//! * [`buffer`] — database buffer manager (STEAL/FORCE policies, clock/LRU).
+//! * [`core`] — the paper's contribution: parity-group dirty tracking, twin
+//!   parity management with `Current_Parity`, a transaction manager with
+//!   parity-based UNDO, crash and media recovery, plus a pure-WAL baseline.
+//! * [`kv`] — a transactional key-value record manager (slotted pages,
+//!   hash buckets, overflow chains) built on the engine.
+//! * [`model`] — the paper's §5 analytical performance model (Figures 9–13).
+//! * [`sim`] — synthetic OLTP workload generation and trace-driven
+//!   measurement against the real engine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rda::core::{Database, DbConfig, EngineKind};
+//!
+//! let db = Database::open(DbConfig::small_test(EngineKind::Rda));
+//! let mut tx = db.begin();
+//! tx.write(3, b"hello recovery").unwrap();
+//! tx.commit().unwrap();
+//! assert_eq!(&db.read_page(3).unwrap()[..14], b"hello recovery");
+//! ```
+
+pub use rda_array as array;
+pub use rda_buffer as buffer;
+pub use rda_core as core;
+pub use rda_kv as kv;
+pub use rda_model as model;
+pub use rda_sim as sim;
+pub use rda_wal as wal;
