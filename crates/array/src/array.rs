@@ -37,7 +37,12 @@ impl DiskArray {
             .map(|d| crate::SimDisk::new(DiskId(d), geo.blocks_per_disk(), cfg.page_size))
             .collect();
         let stats = Arc::new(IoStats::with_disks(geo.disks()));
-        DiskArray { cfg, geo, disks, stats }
+        DiskArray {
+            cfg,
+            geo,
+            disks,
+            stats,
+        }
     }
 
     /// The configuration the array was built with.
@@ -128,6 +133,11 @@ impl DiskArray {
 
     /// Read a data page, reconstructing through the given parity slot when
     /// the direct read fails.
+    ///
+    /// # Errors
+    /// [`ArrayError::BadDataPage`] for an out-of-range page;
+    /// [`ArrayError::Unrecoverable`] when the direct read fails and the
+    /// group cannot be reconstructed either.
     pub fn read_data_via(&self, page: DataPageId, slot: ParitySlot) -> Result<Page> {
         self.check_data(page)?;
         match self.read_phys(self.geo.data_loc(page)) {
@@ -142,6 +152,11 @@ impl DiskArray {
     /// Read a data page with **no** degraded fallback (one transfer or an
     /// error). Recovery managers use this to distinguish a clean read from
     /// a reconstruction.
+    ///
+    /// # Errors
+    /// [`ArrayError::BadDataPage`] for an out-of-range page;
+    /// [`ArrayError::DiskFailed`] / [`ArrayError::MediaError`] when the
+    /// page's disk or sector is unreadable (no reconstruction is tried).
     pub fn try_read_data(&self, page: DataPageId) -> Result<Page> {
         self.check_data(page)?;
         self.read_phys(self.geo.data_loc(page))
@@ -152,6 +167,10 @@ impl DiskArray {
     /// This intentionally breaks the parity invariant; it exists for array
     /// initialization, rebuild internals, and tests. Normal mutation goes
     /// through [`DiskArray::small_write`].
+    ///
+    /// # Errors
+    /// [`ArrayError::BadDataPage`] for an out-of-range page;
+    /// [`ArrayError::DiskFailed`] when the target disk is down.
     pub fn write_data_unprotected(&self, page: DataPageId, data: &Page) -> Result<()> {
         self.check_data(page)?;
         self.write_phys(self.geo.data_loc(page), data)
@@ -160,17 +179,68 @@ impl DiskArray {
     // ---- parity I/O ------------------------------------------------------
 
     /// Read a parity page (one transfer).
+    ///
+    /// # Errors
+    /// [`ArrayError::BadGroup`] for an out-of-range group;
+    /// [`ArrayError::NoTwinParity`] when `slot` is `P1` on a single-parity
+    /// layout; [`ArrayError::DiskFailed`] / [`ArrayError::MediaError`] when
+    /// the parity block is unreadable.
     pub fn read_parity(&self, g: GroupId, slot: ParitySlot) -> Result<Page> {
         self.check_group(g)?;
-        let loc = self.geo.parity_loc(g, slot).ok_or(ArrayError::NoTwinParity)?;
+        let loc = self
+            .geo
+            .parity_loc(g, slot)
+            .ok_or(ArrayError::NoTwinParity)?;
         self.read_phys(loc)
     }
 
     /// Write a parity page (one transfer).
+    ///
+    /// # Errors
+    /// [`ArrayError::BadGroup`] for an out-of-range group;
+    /// [`ArrayError::NoTwinParity`] when `slot` is `P1` on a single-parity
+    /// layout; [`ArrayError::DiskFailed`] when the parity disk is down.
     pub fn write_parity(&self, g: GroupId, slot: ParitySlot, parity: &Page) -> Result<()> {
         self.check_group(g)?;
-        let loc = self.geo.parity_loc(g, slot).ok_or(ArrayError::NoTwinParity)?;
+        let loc = self
+            .geo
+            .parity_loc(g, slot)
+            .ok_or(ArrayError::NoTwinParity)?;
         self.write_phys(loc, parity)
+    }
+
+    // ---- unbilled diagnostic reads ----------------------------------------
+
+    /// Read a data page **without billing a transfer** — for invariant
+    /// auditors and test oracles only. A real system's scrubber pays for
+    /// its reads; an auditor that perturbed the transfer counters would
+    /// invalidate the very cost model it is checking.
+    ///
+    /// # Errors
+    /// [`ArrayError::BadDataPage`] for an out-of-range page;
+    /// [`ArrayError::DiskFailed`] / [`ArrayError::MediaError`] when the
+    /// page's disk or sector is unreadable (no reconstruction is tried).
+    pub fn peek_data(&self, page: DataPageId) -> Result<Page> {
+        self.check_data(page)?;
+        let loc = self.geo.data_loc(page);
+        self.disk(loc.disk).read(loc.block)
+    }
+
+    /// Read a parity page **without billing a transfer** — the parity-side
+    /// counterpart of [`DiskArray::peek_data`].
+    ///
+    /// # Errors
+    /// [`ArrayError::BadGroup`] for an out-of-range group;
+    /// [`ArrayError::NoTwinParity`] when `slot` is `P1` on a single-parity
+    /// layout; [`ArrayError::DiskFailed`] / [`ArrayError::MediaError`] when
+    /// the parity block is unreadable.
+    pub fn peek_parity(&self, g: GroupId, slot: ParitySlot) -> Result<Page> {
+        self.check_group(g)?;
+        let loc = self
+            .geo
+            .parity_loc(g, slot)
+            .ok_or(ArrayError::NoTwinParity)?;
+        self.disk(loc.disk).read(loc.block)
     }
 
     // ---- composite operations ---------------------------------------------
@@ -189,6 +259,11 @@ impl DiskArray {
     ///
     /// Returns the new parity page so callers can chain further updates
     /// without re-reading.
+    ///
+    /// # Errors
+    /// [`ArrayError::BadDataPage`] for an out-of-range page, plus any error
+    /// of the underlying data/parity reads and writes ([`ArrayError::DiskFailed`],
+    /// [`ArrayError::MediaError`], [`ArrayError::Unrecoverable`]).
     pub fn small_write(
         &self,
         page: DataPageId,
@@ -217,12 +292,7 @@ impl DiskArray {
     /// # Errors
     /// Rejects a wrong-length `pages` slice via panic in debug builds and
     /// `BadGroup`-adjacent misuse via the usual range checks.
-    pub fn full_group_write(
-        &self,
-        g: GroupId,
-        pages: &[Page],
-        slots: &[ParitySlot],
-    ) -> Result<()> {
+    pub fn full_group_write(&self, g: GroupId, pages: &[Page], slots: &[ParitySlot]) -> Result<()> {
         self.check_group(g)?;
         let members = self.geo.members(g);
         assert_eq!(
@@ -246,6 +316,11 @@ impl DiskArray {
     /// (§3: the striped organization "allows both large (full stripe)
     /// concurrent accesses or small (individual disk) accesses"). `n`
     /// transfers; results are in member order.
+    ///
+    /// # Errors
+    /// [`ArrayError::BadGroup`] for an out-of-range group;
+    /// [`ArrayError::DiskFailed`] / [`ArrayError::MediaError`] when any
+    /// member is unreadable (no reconstruction is tried).
     pub fn read_full_group(&self, g: GroupId) -> Result<Vec<Page>> {
         self.check_group(g)?;
         self.geo
@@ -282,6 +357,10 @@ impl DiskArray {
 
     /// Recompute a group's parity from its data members (`n` reads) and
     /// return it. Does not write anything.
+    ///
+    /// # Errors
+    /// [`ArrayError::BadGroup`] for an out-of-range group;
+    /// [`ArrayError::Unrecoverable`] when any member read fails.
     pub fn compute_group_parity(&self, g: GroupId) -> Result<Page> {
         self.check_group(g)?;
         let mut acc = self.blank_page();
@@ -296,6 +375,10 @@ impl DiskArray {
 
     /// Does the parity page in `slot` equal the XOR of the group's data
     /// pages? Used by tests and consistency checkers.
+    ///
+    /// # Errors
+    /// Propagates the errors of [`DiskArray::read_parity`] and
+    /// [`DiskArray::compute_group_parity`].
     pub fn group_parity_ok(&self, g: GroupId, slot: ParitySlot) -> Result<bool> {
         let actual = self.read_parity(g, slot)?;
         let expect = self.compute_group_parity(g)?;
@@ -341,6 +424,11 @@ impl DiskArray {
     /// committed parity, which is correct once losers have been undone).
     ///
     /// Returns the number of blocks rebuilt.
+    ///
+    /// # Errors
+    /// [`ArrayError::Unrecoverable`] when a lost block's group has a second
+    /// unavailable page, and any error of the parity/data writes that place
+    /// rebuilt blocks on the replacement disk.
     pub fn rebuild_disk(
         &self,
         disk: DiskId,
@@ -407,7 +495,8 @@ mod tests {
         let new = patterned(&a, 1);
         let before = a.stats().snapshot();
         // Old data not supplied: 2 reads + 2 writes = 4 transfers (a = 4).
-        a.small_write(DataPageId(0), &new, None, ParitySlot::P0).unwrap();
+        a.small_write(DataPageId(0), &new, None, ParitySlot::P0)
+            .unwrap();
         let mid = a.stats().snapshot();
         assert_eq!(mid.delta(&before).transfers(), 4);
         assert_eq!(mid.delta(&before).reads, 2);
@@ -415,7 +504,8 @@ mod tests {
         let old = a.read_data(DataPageId(0)).unwrap();
         let before = a.stats().snapshot();
         let newer = patterned(&a, 9);
-        a.small_write(DataPageId(0), &newer, Some(&old), ParitySlot::P0).unwrap();
+        a.small_write(DataPageId(0), &newer, Some(&old), ParitySlot::P0)
+            .unwrap();
         let after = a.stats().snapshot();
         assert_eq!(after.delta(&before).transfers(), 3);
         assert_eq!(after.delta(&before).reads, 1);
@@ -475,9 +565,9 @@ mod tests {
     fn full_group_write_consistent() {
         let a = array(Organization::ParityStriping, true);
         let g = GroupId(3);
-        let pages: Vec<Page> =
-            (0..4).map(|i| patterned(&a, i as u8 * 17 + 1)).collect();
-        a.full_group_write(g, &pages, &[ParitySlot::P0, ParitySlot::P1]).unwrap();
+        let pages: Vec<Page> = (0..4).map(|i| patterned(&a, i as u8 * 17 + 1)).collect();
+        a.full_group_write(g, &pages, &[ParitySlot::P0, ParitySlot::P1])
+            .unwrap();
         assert!(a.group_parity_ok(g, ParitySlot::P0).unwrap());
         assert!(a.group_parity_ok(g, ParitySlot::P1).unwrap());
         for (m, p) in a.geometry().members(g).iter().zip(&pages) {
@@ -490,7 +580,8 @@ mod tests {
         let a = array(Organization::RotatedParity, false);
         let members = a.geometry().members(GroupId(2));
         for (i, m) in members.iter().enumerate() {
-            a.small_write(*m, &patterned(&a, i as u8 + 1), None, ParitySlot::P0).unwrap();
+            a.small_write(*m, &patterned(&a, i as u8 + 1), None, ParitySlot::P0)
+                .unwrap();
         }
         let before = a.stats().snapshot();
         let pages = a.read_full_group(GroupId(2)).unwrap();
@@ -507,10 +598,17 @@ mod tests {
         // Dirty a bunch of pages, keeping both twins committed-equal.
         for i in 0..a.data_pages() {
             let p = patterned(&a, (i % 251) as u8);
-            a.small_write(DataPageId(i), &p, None, ParitySlot::P0).unwrap();
-            let parity = a.read_parity(a.geometry().group_of(DataPageId(i)), ParitySlot::P0).unwrap();
-            a.write_parity(a.geometry().group_of(DataPageId(i)), ParitySlot::P1, &parity)
+            a.small_write(DataPageId(i), &p, None, ParitySlot::P0)
                 .unwrap();
+            let parity = a
+                .read_parity(a.geometry().group_of(DataPageId(i)), ParitySlot::P0)
+                .unwrap();
+            a.write_parity(
+                a.geometry().group_of(DataPageId(i)),
+                ParitySlot::P1,
+                &parity,
+            )
+            .unwrap();
         }
         let victim = DiskId(2);
         a.fail_disk(victim);
@@ -527,10 +625,30 @@ mod tests {
     }
 
     #[test]
+    fn peek_reads_are_unbilled() {
+        let a = array(Organization::RotatedParity, true);
+        let d = DataPageId(3);
+        let new = patterned(&a, 0x42);
+        a.small_write(d, &new, None, ParitySlot::P0).unwrap();
+        let before = a.stats().snapshot();
+        assert_eq!(a.peek_data(d).unwrap(), new);
+        let g = a.geometry().group_of(d);
+        assert_eq!(
+            a.peek_parity(g, ParitySlot::P0).unwrap(),
+            a.read_parity(g, ParitySlot::P0).unwrap()
+        );
+        // One billed read_parity; the two peeks cost nothing.
+        assert_eq!(a.stats().snapshot().delta(&before).transfers(), 1);
+    }
+
+    #[test]
     fn out_of_range_addresses_rejected() {
         let a = array(Organization::RotatedParity, false);
         let bad_page = DataPageId(a.data_pages());
-        assert_eq!(a.read_data(bad_page).unwrap_err(), ArrayError::BadDataPage(bad_page));
+        assert_eq!(
+            a.read_data(bad_page).unwrap_err(),
+            ArrayError::BadDataPage(bad_page)
+        );
         let bad_group = GroupId(a.groups());
         assert_eq!(
             a.read_parity(bad_group, ParitySlot::P0).unwrap_err(),

@@ -71,7 +71,10 @@ impl SimDisk {
             return Err(ArrayError::DiskFailed(self.id));
         }
         if inner.bad_blocks.contains(&block) {
-            return Err(ArrayError::MediaError { disk: self.id, block });
+            return Err(ArrayError::MediaError {
+                disk: self.id,
+                block,
+            });
         }
         Ok(inner
             .blocks
@@ -166,7 +169,10 @@ mod tests {
         assert!(d.is_failed());
         assert_eq!(d.read(0).unwrap_err(), ArrayError::DiskFailed(DiskId(0)));
         let p = Page::zeroed(32);
-        assert_eq!(d.write(0, &p).unwrap_err(), ArrayError::DiskFailed(DiskId(0)));
+        assert_eq!(
+            d.write(0, &p).unwrap_err(),
+            ArrayError::DiskFailed(DiskId(0))
+        );
     }
 
     #[test]
@@ -184,7 +190,10 @@ mod tests {
         let d = disk();
         d.write(2, &Page::from_bytes(&[9u8; 32])).unwrap();
         d.corrupt_block(2);
-        assert!(matches!(d.read(2), Err(ArrayError::MediaError { block: 2, .. })));
+        assert!(matches!(
+            d.read(2),
+            Err(ArrayError::MediaError { block: 2, .. })
+        ));
         // Other blocks still readable.
         assert!(d.read(1).is_ok());
         // Rewriting heals the sector.
@@ -196,6 +205,12 @@ mod tests {
     fn wrong_page_size_rejected() {
         let d = disk();
         let err = d.write(0, &Page::zeroed(16)).unwrap_err();
-        assert_eq!(err, ArrayError::PageSizeMismatch { expected: 32, got: 16 });
+        assert_eq!(
+            err,
+            ArrayError::PageSizeMismatch {
+                expected: 32,
+                got: 16
+            }
+        );
     }
 }

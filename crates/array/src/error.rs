@@ -42,7 +42,10 @@ impl fmt::Display for ArrayError {
                 write!(f, "latent sector error on {disk} block {block}")
             }
             ArrayError::Unrecoverable(g) => {
-                write!(f, "group {g} has lost more than one page; cannot reconstruct")
+                write!(
+                    f,
+                    "group {g} has lost more than one page; cannot reconstruct"
+                )
             }
             ArrayError::BadDataPage(p) => write!(f, "data page {p} out of range"),
             ArrayError::BadGroup(g) => write!(f, "group {g} out of range"),
@@ -50,7 +53,10 @@ impl fmt::Display for ArrayError {
                 write!(f, "parity slot P1 addressed on a single-parity array")
             }
             ArrayError::PageSizeMismatch { expected, got } => {
-                write!(f, "page size mismatch: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "page size mismatch: expected {expected} bytes, got {got}"
+                )
             }
         }
     }
@@ -64,10 +70,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ArrayError::MediaError { disk: DiskId(3), block: 77 };
+        let e = ArrayError::MediaError {
+            disk: DiskId(3),
+            block: 77,
+        };
         assert!(e.to_string().contains("disk3"));
         assert!(e.to_string().contains("77"));
-        let e = ArrayError::PageSizeMismatch { expected: 4096, got: 512 };
+        let e = ArrayError::PageSizeMismatch {
+            expected: 4096,
+            got: 512,
+        };
         assert!(e.to_string().contains("4096"));
     }
 }

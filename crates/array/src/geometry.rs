@@ -148,9 +148,7 @@ impl Geometry {
     pub fn group_of(&self, page: DataPageId) -> GroupId {
         debug_assert!(page.0 < self.data_pages());
         match self.organization {
-            Organization::RotatedParity | Organization::DedicatedParity => {
-                GroupId(page.0 / self.n)
-            }
+            Organization::RotatedParity | Organization::DedicatedParity => GroupId(page.0 / self.n),
             Organization::ParityStriping => {
                 let (_, row, offset) = self.striping_decompose(page);
                 GroupId(row * self.area + offset)
@@ -195,7 +193,10 @@ impl Geometry {
                 let g = GroupId(page.0 / self.n);
                 let idx = page.0 % self.n;
                 let disk = self.nth_data_disk(g, idx);
-                PhysLoc { disk: DiskId(disk), block: u64::from(g.0) }
+                PhysLoc {
+                    disk: DiskId(disk),
+                    block: u64::from(g.0),
+                }
             }
             Organization::ParityStriping => {
                 let (disk, row, offset) = self.striping_decompose(page);
@@ -243,15 +244,12 @@ impl Geometry {
                 let parity = self.parity_disks(g);
                 let mut out = Vec::with_capacity(self.n as usize);
                 for disk in 0..u32::from(self.disks) {
-                    if disk as u16 == parity[0]
-                        || (self.replicas == 2 && disk as u16 == parity[1])
+                    if disk as u16 == parity[0] || (self.replicas == 2 && disk as u16 == parity[1])
                     {
                         continue;
                     }
                     let c = self.data_area_rank(disk, row);
-                    let l = disk * self.pages_per_disk()
-                        + c * self.area
-                        + offset;
+                    let l = disk * self.pages_per_disk() + c * self.area + offset;
                     out.push(DataPageId(l));
                 }
                 out
@@ -383,7 +381,10 @@ mod tests {
         // Stripe 0: parity on disk 3, data D0..D2 on disks 0..2.
         assert_eq!(
             g.parity_loc(GroupId(0), ParitySlot::P0).unwrap(),
-            PhysLoc { disk: DiskId(3), block: 0 }
+            PhysLoc {
+                disk: DiskId(3),
+                block: 0
+            }
         );
         for i in 0..3 {
             assert_eq!(g.data_loc(DataPageId(i)).disk, DiskId(i as u16));
@@ -533,8 +534,14 @@ mod tests {
         // RAID-4: every group's parity sits on the same disk(s).
         let g = geo(Organization::DedicatedParity, 4, 8, true);
         for grp in 0..8u32 {
-            assert_eq!(g.parity_loc(GroupId(grp), ParitySlot::P0).unwrap().disk, DiskId(5));
-            assert_eq!(g.parity_loc(GroupId(grp), ParitySlot::P1).unwrap().disk, DiskId(4));
+            assert_eq!(
+                g.parity_loc(GroupId(grp), ParitySlot::P0).unwrap().disk,
+                DiskId(5)
+            );
+            assert_eq!(
+                g.parity_loc(GroupId(grp), ParitySlot::P1).unwrap().disk,
+                DiskId(4)
+            );
         }
     }
 

@@ -46,9 +46,6 @@
 //! assert_eq!(recovered.as_ref()[0], 0xAB);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod array;
 mod config;
 mod disk;

@@ -142,7 +142,7 @@ impl Page {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = FNV_OFFSET;
-        for &b in self.0.iter() {
+        for &b in &self.0 {
             h ^= u64::from(b);
             h = h.wrapping_mul(FNV_PRIME);
         }
@@ -210,7 +210,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "length mismatch")]
     fn xor_size_mismatch_panics() {
         let mut a = Page::zeroed(4);
         let b = Page::zeroed(8);

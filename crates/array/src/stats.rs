@@ -68,7 +68,10 @@ impl IoStats {
     /// Per-disk transfer totals (empty if per-disk tracking is off).
     #[must_use]
     pub fn per_disk(&self) -> Vec<u64> {
-        self.per_disk.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.per_disk
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Estimated wall time of the recorded work, in milliseconds, under a
@@ -107,7 +110,10 @@ impl IoStats {
     /// Capture the current counter values.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot { reads: self.reads(), writes: self.writes() }
+        StatsSnapshot {
+            reads: self.reads(),
+            writes: self.writes(),
+        }
     }
 }
 

@@ -26,7 +26,11 @@ pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
         let sv = u64::from_ne_bytes(s.try_into().expect("chunk of 8"));
         d.copy_from_slice(&(dv ^ sv).to_ne_bytes());
     }
-    for (d, s) in dst_chunks.into_remainder().iter_mut().zip(src_chunks.remainder()) {
+    for (d, s) in dst_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_chunks.remainder())
+    {
         *d ^= *s;
     }
 }
@@ -34,6 +38,7 @@ pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
 /// Compute the XOR of many equally-sized slices into a fresh buffer.
 ///
 /// Returns `None` when `inputs` is empty.
+#[must_use]
 pub fn xor_many(inputs: &[&[u8]]) -> Option<Vec<u8>> {
     let first = inputs.first()?;
     let mut acc = first.to_vec();

@@ -1,10 +1,7 @@
 //! Property-based tests for array layout and parity algebra.
 
 use proptest::prelude::*;
-use rda_array::{
-    ArrayConfig, DataPageId, DiskArray, DiskId, GroupId, Organization, Page, ParitySlot,
-};
-use std::collections::HashSet;
+use rda_array::{ArrayConfig, Organization};
 
 const PAGE: usize = 48;
 

@@ -27,14 +27,13 @@ fn bench_commit_parity_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("commit_parity_strategy");
 
     // Strawman: full-group parity recompute at commit.
-    let a = DiskArray::new(
-        ArrayConfig::new(Organization::RotatedParity, 10, 50).page_size(512),
-    );
+    let a = DiskArray::new(ArrayConfig::new(Organization::RotatedParity, 10, 50).page_size(512));
     group.bench_function("single_parity_recompute_n10", |b| {
         b.iter(|| {
             let parity = a.compute_group_parity(GroupId(7)).unwrap();
-            a.write_parity(GroupId(7), ParitySlot::P0, black_box(&parity)).unwrap();
-        })
+            a.write_parity(GroupId(7), ParitySlot::P0, black_box(&parity))
+                .unwrap();
+        });
     });
 
     // The twin scheme: an actual one-page RDA transaction (begin, write,
@@ -51,7 +50,7 @@ fn bench_commit_parity_strategies(c: &mut Criterion) {
             let mut tx = db.begin();
             tx.write(i, &[1; 16]).unwrap();
             black_box(tx.commit().unwrap());
-        })
+        });
     });
     group.finish();
 }
@@ -75,7 +74,7 @@ fn bench_replacement_policy(c: &mut Criterion) {
                         tx.write(i, &[k as u8; 16]).unwrap();
                     }
                     black_box(tx.commit().unwrap());
-                })
+                });
             },
         );
     }
@@ -89,12 +88,16 @@ fn bench_read_organizations(c: &mut Criterion) {
     for org in [Organization::RotatedParity, Organization::ParityStriping] {
         let a = DiskArray::new(ArrayConfig::new(org, 10, 50).page_size(512));
         let mut i = 0u32;
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{org:?}")), &a, |b, a| {
-            b.iter(|| {
-                i = (i + 1) % a.data_pages();
-                black_box(a.read_data(DataPageId(i)).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{org:?}")),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    i = (i + 1) % a.data_pages();
+                    black_box(a.read_data(DataPageId(i)).unwrap())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -18,19 +18,28 @@ fn bench_small_write(c: &mut Criterion) {
         let a = array(org, false);
         let page = a.blank_page();
         let mut i = 0u32;
-        group.bench_with_input(BenchmarkId::new("no_old", format!("{org:?}")), &a, |b, a| {
-            b.iter(|| {
-                i = (i + 7) % a.data_pages();
-                a.small_write(DataPageId(i), black_box(&page), None, ParitySlot::P0).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("no_old", format!("{org:?}")),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    i = (i + 7) % a.data_pages();
+                    a.small_write(DataPageId(i), black_box(&page), None, ParitySlot::P0)
+                        .unwrap()
+                });
+            },
+        );
         let old = a.read_data(DataPageId(0)).unwrap();
-        group.bench_with_input(BenchmarkId::new("with_old", format!("{org:?}")), &a, |b, a| {
-            b.iter(|| {
-                a.small_write(DataPageId(0), black_box(&page), Some(&old), ParitySlot::P0)
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("with_old", format!("{org:?}")),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    a.small_write(DataPageId(0), black_box(&page), Some(&old), ParitySlot::P0)
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -40,8 +49,9 @@ fn bench_full_group_write(c: &mut Criterion) {
     let pages: Vec<_> = (0..10).map(|_| a.blank_page()).collect();
     c.bench_function("full_group_write_twin", |b| {
         b.iter(|| {
-            a.full_group_write(GroupId(3), black_box(&pages), &ParitySlot::BOTH).unwrap();
-        })
+            a.full_group_write(GroupId(3), black_box(&pages), &ParitySlot::BOTH)
+                .unwrap();
+        });
     });
 }
 
@@ -50,7 +60,7 @@ fn bench_degraded_read(c: &mut Criterion) {
     let victim = a.locate_data(DataPageId(5)).disk;
     a.fail_disk(victim);
     c.bench_function("degraded_read_n10", |b| {
-        b.iter(|| black_box(a.read_data(DataPageId(5)).unwrap()))
+        b.iter(|| black_box(a.read_data(DataPageId(5)).unwrap()));
     });
 }
 
@@ -65,7 +75,7 @@ fn bench_rebuild(c: &mut Criterion) {
             |a| {
                 black_box(a.rebuild_disk(DiskId(0), |_| ParitySlot::P0).unwrap());
             },
-        )
+        );
     });
 }
 
@@ -75,7 +85,7 @@ fn bench_xor(c: &mut Criterion) {
     c.bench_function("xor_page_2020B", |b| {
         b.iter(|| {
             d.xor_in_place(black_box(&a));
-        })
+        });
     });
 }
 

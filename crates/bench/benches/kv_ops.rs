@@ -25,9 +25,10 @@ fn bench_put_commit(c: &mut Criterion) {
                     i += 1;
                     let key = format!("key-{}", i % 512);
                     let mut tx = s.db().begin();
-                    s.put(&mut tx, key.as_bytes(), b"value-payload-32-bytes-long!!").unwrap();
+                    s.put(&mut tx, key.as_bytes(), b"value-payload-32-bytes-long!!")
+                        .unwrap();
                     black_box(tx.commit().unwrap());
-                })
+                });
             },
         );
     }
@@ -59,12 +60,18 @@ fn bench_txn_of_five_puts_abort(c: &mut Criterion) {
             i += 1;
             let mut tx = s.db().begin();
             for k in 0..5 {
-                s.put(&mut tx, format!("k{}-{}", i % 64, k).as_bytes(), b"payload").unwrap();
+                s.put(&mut tx, format!("k{}-{}", i % 64, k).as_bytes(), b"payload")
+                    .unwrap();
             }
             tx.abort().unwrap();
-        })
+        });
     });
 }
 
-criterion_group!(benches, bench_put_commit, bench_get, bench_txn_of_five_puts_abort);
+criterion_group!(
+    benches,
+    bench_put_commit,
+    bench_get,
+    bench_txn_of_five_puts_abort
+);
 criterion_main!(benches);

@@ -11,25 +11,29 @@ fn bench_point_evaluations(c: &mut Criterion) {
     let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
     let mut group = c.benchmark_group("model_point");
     group.bench_function(BenchmarkId::from_parameter("a1_toc"), |b| {
-        b.iter(|| black_box(families::a1::evaluate(black_box(&p))))
+        b.iter(|| black_box(families::a1::evaluate(black_box(&p))));
     });
     group.bench_function(BenchmarkId::from_parameter("a2_acc_optimized"), |b| {
-        b.iter(|| black_box(families::a2::evaluate(black_box(&p))))
+        b.iter(|| black_box(families::a2::evaluate(black_box(&p))));
     });
     group.bench_function(BenchmarkId::from_parameter("a3_toc"), |b| {
-        b.iter(|| black_box(families::a3::evaluate(black_box(&p))))
+        b.iter(|| black_box(families::a3::evaluate(black_box(&p))));
     });
     group.bench_function(BenchmarkId::from_parameter("a4_acc_optimized"), |b| {
-        b.iter(|| black_box(families::a4::evaluate(black_box(&p))))
+        b.iter(|| black_box(families::a4::evaluate(black_box(&p))));
     });
     group.finish();
 }
 
 fn bench_figures(c: &mut Criterion) {
     let grid: Vec<f64> = (0..=19).map(|i| f64::from(i) * 0.05).collect();
-    c.bench_function("fig9_full_sweep", |b| b.iter(|| black_box(fig9(black_box(&grid)))));
+    c.bench_function("fig9_full_sweep", |b| {
+        b.iter(|| black_box(fig9(black_box(&grid))))
+    });
     let s: Vec<f64> = (1..=9).map(|i| f64::from(i) * 5.0).collect();
-    c.bench_function("fig13_full_sweep", |b| b.iter(|| black_box(fig13(black_box(&s)))));
+    c.bench_function("fig13_full_sweep", |b| {
+        b.iter(|| black_box(fig13(black_box(&s))))
+    });
 }
 
 criterion_group!(benches, bench_point_evaluations, bench_figures);

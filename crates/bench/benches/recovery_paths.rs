@@ -30,7 +30,7 @@ fn bench_commit(c: &mut Criterion) {
                         tx.write(page, &[i as u8; 32]).unwrap();
                     }
                     black_box(tx.commit().unwrap());
-                })
+                });
             },
         );
     }
@@ -56,7 +56,7 @@ fn bench_abort_stolen(c: &mut Criterion) {
                         tx.write(p * 10, &[0xEE; 32]).unwrap();
                     }
                     tx.abort().unwrap();
-                })
+                });
             },
         );
     }
@@ -69,27 +69,33 @@ fn bench_restart(c: &mut Criterion) {
     let mut group = c.benchmark_group("restart_recovery");
     group.sample_size(20);
     for losers in [1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(losers), &losers, |b, &losers| {
-            b.iter_with_setup(
-                || {
-                    let database = db(EngineKind::Rda, 4);
-                    for l in 0..losers {
-                        let mut tx = database.begin();
-                        // One page per distinct group; the tiny buffer
-                        // steals it.
-                        tx.write((l as u32) * 10, &[7; 32]).unwrap();
-                        tx.read(((l as u32) * 10 + 5) % database.data_pages()).unwrap();
-                        tx.read(((l as u32) * 10 + 7) % database.data_pages()).unwrap();
-                        std::mem::forget(tx);
-                    }
-                    database.crash();
-                    database
-                },
-                |database| {
-                    black_box(database.recover().unwrap());
-                },
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(losers),
+            &losers,
+            |b, &losers| {
+                b.iter_with_setup(
+                    || {
+                        let database = db(EngineKind::Rda, 4);
+                        for l in 0..losers {
+                            let mut tx = database.begin();
+                            // One page per distinct group; the tiny buffer
+                            // steals it.
+                            tx.write((l as u32) * 10, &[7; 32]).unwrap();
+                            tx.read(((l as u32) * 10 + 5) % database.data_pages())
+                                .unwrap();
+                            tx.read(((l as u32) * 10 + 7) % database.data_pages())
+                                .unwrap();
+                            std::mem::forget(tx);
+                        }
+                        database.crash();
+                        database
+                    },
+                    |database| {
+                        black_box(database.recover().unwrap());
+                    },
+                );
+            },
+        );
     }
     group.finish();
 }

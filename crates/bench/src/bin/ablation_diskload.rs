@@ -9,10 +9,10 @@
 //!
 //! Run: `cargo run --release -p rda-bench --bin ablation_diskload`
 
-use rda_array::{ArrayConfig, DataPageId, DiskArray, Organization, ParitySlot};
-use rda_bench::write_json;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rda_array::{ArrayConfig, DataPageId, DiskArray, Organization, ParitySlot};
+use rda_bench::write_json;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -33,7 +33,11 @@ fn run(org: Organization) -> Row {
     let per_disk = a.stats().per_disk();
     let mean = per_disk.iter().sum::<u64>() as f64 / per_disk.len() as f64;
     let max = *per_disk.iter().max().unwrap() as f64;
-    Row { organization: format!("{org:?}"), per_disk, max_over_mean: max / mean }
+    Row {
+        organization: format!("{org:?}"),
+        per_disk,
+        max_over_mean: max / mean,
+    }
 }
 
 fn main() {
@@ -45,7 +49,10 @@ fn main() {
         Organization::DedicatedParity,
     ] {
         let row = run(org);
-        println!("{:<16} max/mean = {:.3}", row.organization, row.max_over_mean);
+        println!(
+            "{:<16} max/mean = {:.3}",
+            row.organization, row.max_over_mean
+        );
         println!("  {:?}", row.per_disk);
         rows.push(row);
     }

@@ -40,7 +40,11 @@ fn run(amortized: bool) -> Row {
         6,
     );
     Row {
-        accounting: if amortized { "amortized (group commit)" } else { "synchronous forces" },
+        accounting: if amortized {
+            "amortized (group commit)"
+        } else {
+            "synchronous forces"
+        },
         rda_ct: cmp.rda.transfers_per_committed,
         wal_ct: cmp.wal.transfers_per_committed,
         gain_pct: cmp.gain() * 100.0,
@@ -49,7 +53,10 @@ fn run(amortized: bool) -> Row {
 
 fn main() {
     println!("A4 (record logging, ¬FORCE/ACC), 300 txns — force-accounting ablation\n");
-    println!("{:<28} {:>10} {:>10} {:>9}", "log accounting", "RDA c_t", "WAL c_t", "gain");
+    println!(
+        "{:<28} {:>10} {:>10} {:>9}",
+        "log accounting", "RDA c_t", "WAL c_t", "gain"
+    );
     let rows = vec![run(false), run(true)];
     for r in &rows {
         println!(

@@ -20,7 +20,10 @@ struct Row {
 fn main() {
     let base = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
     println!("A1, high update, C = 0.9 — sweep of parity-group size N\n");
-    println!("{:>4} {:>16} {:>8} {:>10}", "N", "twin overhead", "p_l", "RDA gain");
+    println!(
+        "{:>4} {:>16} {:>8} {:>10}",
+        "N", "twin overhead", "p_l", "RDA gain"
+    );
     let mut rows = Vec::new();
     for n in [2.0, 4.0, 5.0, 8.0, 10.0, 16.0, 25.0, 50.0] {
         let e = families::a1::evaluate(&base.group_size(n));
@@ -32,7 +35,12 @@ fn main() {
             e.p_l,
             e.gain() * 100.0
         );
-        rows.push(Row { n, overhead_pct: overhead, p_l: e.p_l, gain_pct: e.gain() * 100.0 });
+        rows.push(Row {
+            n,
+            overhead_pct: overhead,
+            p_l: e.p_l,
+            gain_pct: e.gain() * 100.0,
+        });
     }
     println!("\nsmall N: heavy storage overhead; large N: p_l grows and the UNDO");
     println!("savings shrink — N = 10 (the paper's choice) sits on the flat part.");

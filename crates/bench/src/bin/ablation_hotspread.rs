@@ -40,7 +40,10 @@ fn run(scenario: &'static str, pages: u32, hot: u32) -> Row {
 
 fn main() {
     println!("A1 workload, 300 txns, P = 6 — hot-set spread vs RDA gain\n");
-    println!("{:<34} {:>10} {:>10} {:>9}", "scenario", "RDA c_t", "WAL c_t", "gain");
+    println!(
+        "{:<34} {:>10} {:>10} {:>9}",
+        "scenario", "RDA c_t", "WAL c_t", "gain"
+    );
     let rows = vec![
         // 80 hot pages spread over 1000 pages → ~80 distinct parity groups.
         run("hot set spread across groups", 1000, 80),
@@ -49,7 +52,10 @@ fn main() {
         run("hot set piled into few groups", 100, 80),
     ];
     for r in &rows {
-        println!("{:<34} {:>10.1} {:>10.1} {:>8.1}%", r.scenario, r.rda_ct, r.wal_ct, r.gain_pct);
+        println!(
+            "{:<34} {:>10.1} {:>10.1} {:>8.1}%",
+            r.scenario, r.rda_ct, r.wal_ct, r.gain_pct
+        );
     }
     println!("\nspread vs piled gain gap shows the uniform-placement assumption in the");
     println!("paper's p_l derivation is load-bearing for the headline result.");

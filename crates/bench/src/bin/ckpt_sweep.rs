@@ -50,7 +50,12 @@ fn main() {
         let (page_mode, crashes) = run(ops, LogGranularity::Page);
         let (record_mode, _) = run(ops, LogGranularity::Record);
         println!("{ops:>16} {page_mode:>20.1} {record_mode:>20.1} {crashes:>9}");
-        rows.push(Row { ckpt_every_ops: ops, page_mode, record_mode, crashes });
+        rows.push(Row {
+            ckpt_every_ops: ops,
+            page_mode,
+            record_mode,
+            crashes,
+        });
     }
     println!("\nfrequent checkpoints clearly hurt (left side of the model's U). The");
     println!("right side never bends up here because this engine's restart redo does");

@@ -37,7 +37,10 @@ fn print_line(name: &str, b: &CostBreakdown) {
 }
 
 fn main() {
-    let c: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.9);
+    let c: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.9);
     let mut rows = Vec::new();
     for wl in [Workload::HighUpdate, Workload::HighRetrieval] {
         println!("\n== {wl:?}, C = {c} ==");
@@ -55,8 +58,16 @@ fn main() {
         for (name, eval) in evals {
             print_line(&format!("{name} ¬RDA"), &eval.non_rda);
             print_line(&format!("{name} +RDA"), &eval.rda);
-            rows.push(Row { family: name, rda: false, breakdown: eval.non_rda });
-            rows.push(Row { family: name, rda: true, breakdown: eval.rda });
+            rows.push(Row {
+                family: name,
+                rda: false,
+                breakdown: eval.non_rda,
+            });
+            rows.push(Row {
+                family: name,
+                rda: true,
+                breakdown: eval.rda,
+            });
         }
     }
     println!("\n(costs in page transfers; I* = optimal checkpoint interval; rt =");

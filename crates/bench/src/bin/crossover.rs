@@ -30,11 +30,7 @@ fn main() {
         let a2 = families::a2::evaluate(&p);
         println!(
             "{:>5.2} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
-            c,
-            a1.non_rda.throughput,
-            a1.rda.throughput,
-            a2.non_rda.throughput,
-            a2.rda.throughput
+            c, a1.non_rda.throughput, a1.rda.throughput, a2.non_rda.throughput, a2.rda.throughput
         );
         rows.push(Row {
             c,
@@ -50,7 +46,11 @@ fn main() {
         .all(|r| r.force_toc < r.noforce_acc && r.force_toc_rda > r.noforce_acc);
     println!(
         "\nCLAIM-X {}: ¬FORCE beats FORCE without RDA, and FORCE+RDA beats ¬FORCE without RDA",
-        if reversed { "CONFIRMED" } else { "NOT confirmed" }
+        if reversed {
+            "CONFIRMED"
+        } else {
+            "NOT confirmed"
+        }
     );
     write_json("crossover", &rows);
 }

@@ -10,9 +10,8 @@ use rda_model::{families, fig12, ModelParams, Workload};
 fn main() {
     let fig = fig12(&figure_grid());
     print_figure(&fig);
-    let point = families::a4::evaluate(
-        &ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9),
-    );
+    let point =
+        families::a4::evaluate(&ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9));
     println!(
         "\nCLAIM-14: paper reports ≈14% gain at C = 0.9 (high update); model gives {:.1}%",
         point.gain() * 100.0

@@ -11,9 +11,8 @@ fn main() {
     let fig = fig9(&figure_grid());
     print_figure(&fig);
 
-    let point = families::a1::evaluate(
-        &ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9),
-    );
+    let point =
+        families::a1::evaluate(&ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9));
     println!(
         "\nCLAIM-42: paper reports ≈42% gain at C = 0.9 (high update); model gives {:.1}%",
         point.gain() * 100.0

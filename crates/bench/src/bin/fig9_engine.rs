@@ -23,6 +23,12 @@ struct Point {
     gain_pct: f64,
 }
 
+#[derive(Serialize)]
+struct Out {
+    high_update: Vec<Point>,
+    high_retrieval: Vec<Point>,
+}
+
 fn sweep(spec_for: impl Fn(f64) -> WorkloadSpec, label: &str) -> Vec<Point> {
     println!("\n  [{label}]");
     println!(
@@ -72,10 +78,11 @@ fn main() {
     );
     println!("\ncompare against `--bin fig9` (the analytical curves): the gain should");
     println!("be large and C-insensitive for high update, small for high retrieval.");
-    #[derive(Serialize)]
-    struct Out {
-        high_update: Vec<Point>,
-        high_retrieval: Vec<Point>,
-    }
-    write_json("fig9_engine", &Out { high_update, high_retrieval });
+    write_json(
+        "fig9_engine",
+        &Out {
+            high_update,
+            high_retrieval,
+        },
+    );
 }

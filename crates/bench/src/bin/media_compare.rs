@@ -34,8 +34,11 @@ fn measure(post_dump_txns: u32) -> Row {
     for round in 0..post_dump_txns {
         let mut tx = db.begin();
         for k in 0..10u32 {
-            tx.write((round * 7 + k * 13) % db.data_pages(), &[round as u8 | 1; 16])
-                .expect("work");
+            tx.write(
+                (round * 7 + k * 13) % db.data_pages(),
+                &[round as u8 | 1; 16],
+            )
+            .expect("work");
         }
         tx.commit().expect("work");
     }
@@ -51,7 +54,12 @@ fn measure(post_dump_txns: u32) -> Row {
     let d = db.stats().delta(&before);
     let restore_transfers = d.array.transfers() + d.log.transfers();
 
-    Row { post_dump_txns, rebuild_transfers, restore_transfers, redo_records_applied }
+    Row {
+        post_dump_txns,
+        rebuild_transfers,
+        restore_transfers,
+        redo_records_applied,
+    }
 }
 
 fn main() {

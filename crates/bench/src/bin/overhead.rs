@@ -18,7 +18,10 @@ struct Row {
 }
 
 fn main() {
-    println!("{:>4} {:>13} {:>16} {:>11} {:>15}", "N", "disks(1×par)", "overhead(1×par)", "disks(twin)", "overhead(twin)");
+    println!(
+        "{:>4} {:>13} {:>16} {:>11} {:>15}",
+        "N", "disks(1×par)", "overhead(1×par)", "disks(twin)", "overhead(twin)"
+    );
     let mut rows = Vec::new();
     for n in [2u32, 4, 5, 8, 10, 16, 20, 32] {
         let single = ArrayConfig::new(Organization::RotatedParity, n, 10);

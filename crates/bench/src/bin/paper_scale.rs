@@ -59,7 +59,10 @@ fn main() {
 
     println!("paper-scale run: S = 5000, N = 10, B = 300, P = 6, 2020 B pages, 600 txns\n");
     println!("measured communality C = {:.2}\n", out.measured_c);
-    println!("{:<28} {:>12} {:>12} {:>8}", "", "¬RDA rt", "RDA rt", "gain");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "", "¬RDA rt", "RDA rt", "gain"
+    );
     println!(
         "{:<28} {:>12.0} {:>12.0} {:>7.1}%",
         "engine (T / measured c_t)", out.engine_rt_wal, out.engine_rt_rda, out.engine_gain_pct

@@ -41,7 +41,8 @@ fn measure(n: u32) -> Row {
         p
     };
     for i in 0..a.data_pages() {
-        a.small_write(DataPageId(i), &page, None, ParitySlot::P0).unwrap();
+        a.small_write(DataPageId(i), &page, None, ParitySlot::P0)
+            .unwrap();
     }
     let before = a.stats().snapshot();
     let before_disks = a.stats().per_disk();
@@ -62,8 +63,8 @@ fn measure(n: u32) -> Row {
     // into the MTTDL model for a 50-group farm.
     let blocks = a.geometry().blocks_per_disk() as f64;
     let window_at_1gb_hours = window_hours * (500_000.0 / blocks);
-    let mttdl_years = mttdl_array(PAPER_DISK_MTTF_HOURS, n + 1, 50, window_at_1gb_hours)
-        / (24.0 * 365.25);
+    let mttdl_years =
+        mttdl_array(PAPER_DISK_MTTF_HOURS, n + 1, 50, window_at_1gb_hours) / (24.0 * 365.25);
     Row {
         n,
         disks: a.geometry().disks(),

@@ -13,7 +13,14 @@ fn main() {
     println!("A1 (page logging, FORCE/TOC), S = 500 pages, B = 50 frames, 200 txns\n");
     println!(
         "{:>9} {:>10} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10}",
-        "locality", "meas. C", "model ¬RDA", "sim ¬RDA", "model RDA", "sim RDA", "model gain", "sim gain"
+        "locality",
+        "meas. C",
+        "model ¬RDA",
+        "sim ¬RDA",
+        "model RDA",
+        "sim RDA",
+        "model gain",
+        "sim gain"
     );
     let mut checks = Vec::new();
     for locality in [0.3, 0.5, 0.7, 0.85, 0.95] {

@@ -31,9 +31,8 @@ fn main() {
     });
 
     // Figure 9 axis anchors.
-    let a1_c0 = families::a1::evaluate(
-        &ModelParams::paper_defaults(Workload::HighUpdate).communality(0.0),
-    );
+    let a1_c0 =
+        families::a1::evaluate(&ModelParams::paper_defaults(Workload::HighUpdate).communality(0.0));
     checks.push(Check {
         id: "FIG9-AXIS",
         claim: "¬RDA throughput ≈48 800 at C=0 (axis floor)",
@@ -43,8 +42,8 @@ fn main() {
 
     // CLAIM-X (§5.2.2): the FORCE+RDA > ¬FORCE¬RDA reversal.
     let a2 = families::a2::evaluate(&hu9);
-    let reversal = a2.non_rda.throughput > a1.non_rda.throughput
-        && a1.rda.throughput > a2.non_rda.throughput;
+    let reversal =
+        a2.non_rda.throughput > a1.non_rda.throughput && a1.rda.throughput > a2.non_rda.throughput;
     checks.push(Check {
         id: "CLAIM-X",
         claim: "¬FORCE beats FORCE without RDA; reversed with RDA",

@@ -28,8 +28,14 @@ fn main() {
     let mut rows = Vec::new();
     for c in [0.0, 0.5, 0.9] {
         for (family, eval) in [
-            ("A3", families::a3::evaluate as fn(&ModelParams) -> rda_model::Evaluation),
-            ("A4", families::a4::evaluate as fn(&ModelParams) -> rda_model::Evaluation),
+            (
+                "A3",
+                families::a3::evaluate as fn(&ModelParams) -> rda_model::Evaluation,
+            ),
+            (
+                "A4",
+                families::a4::evaluate as fn(&ModelParams) -> rda_model::Evaluation,
+            ),
         ] {
             let base = ModelParams::paper_defaults(Workload::HighUpdate).communality(c);
             let rec = eval(&base.variant(ModelVariant::Reconstructed)).gain() * 100.0;

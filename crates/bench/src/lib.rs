@@ -13,8 +13,7 @@ use std::path::PathBuf;
 #[must_use]
 pub fn figure_dir() -> PathBuf {
     std::env::var_os("RDA_FIGURE_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/figures"))
+        .map_or_else(|| PathBuf::from("target/figures"), PathBuf::from)
 }
 
 /// Serialize a figure payload to `<dir>/<id>.json` (best effort — a
@@ -36,11 +35,15 @@ pub fn write_json<T: Serialize>(id: &str, payload: &T) {
 /// high-retrieval panel.
 pub fn print_figure(fig: &FigureSeries) {
     println!("== {} — {} ==", fig.id, fig.family);
-    for (name, series) in
-        [("high update frequency", &fig.high_update), ("high retrieval frequency", &fig.high_retrieval)]
-    {
+    for (name, series) in [
+        ("high update frequency", &fig.high_update),
+        ("high retrieval frequency", &fig.high_retrieval),
+    ] {
         println!("\n  [{name}]");
-        println!("  {:>5} {:>14} {:>14} {:>8}", "C", "¬RDA rt", "RDA rt", "gain");
+        println!(
+            "  {:>5} {:>14} {:>14} {:>8}",
+            "C", "¬RDA rt", "RDA rt", "gain"
+        );
         for pt in series {
             println!(
                 "  {:>5.2} {:>14.0} {:>14.0} {:>7.1}%",

@@ -20,9 +20,6 @@
 //! future" — footnote 3), so the policy is a config knob and an ablation
 //! bench compares them.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod pool;
 
 pub use pool::{

@@ -29,7 +29,11 @@ impl BufferConfig {
     /// A STEAL/clock pool with `frames` frames — the paper's setting.
     #[must_use]
     pub fn steal_clock(frames: usize) -> BufferConfig {
-        BufferConfig { frames, steal: true, policy: ReplacePolicy::Clock }
+        BufferConfig {
+            frames,
+            steal: true,
+            policy: ReplacePolicy::Clock,
+        }
     }
 }
 
@@ -244,14 +248,20 @@ impl BufferPool {
         self.stats.misses += 1;
         let idx = self.make_room(steal)?;
         self.install(idx, page, data, true);
-        self.slots[idx].as_mut().expect("installed frame").modifiers.insert(txn);
+        self.slots[idx]
+            .as_mut()
+            .expect("installed frame")
+            .modifiers
+            .insert(txn);
         Ok(())
     }
 
     /// Contents of a resident page, if any. Does not count as a reference.
     #[must_use]
     pub fn peek(&self, page: DataPageId) -> Option<&Page> {
-        self.map.get(&page).map(|&idx| &self.slots[idx].as_ref().expect("mapped").data)
+        self.map
+            .get(&page)
+            .map(|&idx| &self.slots[idx].as_ref().expect("mapped").data)
     }
 
     /// Is the resident page dirty?
@@ -407,11 +417,18 @@ impl BufferPool {
     /// # Panics
     /// Panics if there is no free frame or the page is already resident.
     pub fn insert(&mut self, page: DataPageId, data: Page, dirty: bool, modifier: Option<u64>) {
-        assert!(!self.map.contains_key(&page), "insert of already-resident page");
+        assert!(
+            !self.map.contains_key(&page),
+            "insert of already-resident page"
+        );
         let idx = self.free.pop().expect("insert requires a free frame");
         self.install(idx, page, data, dirty);
         if let Some(txn) = modifier {
-            self.slots[idx].as_mut().expect("installed frame").modifiers.insert(txn);
+            self.slots[idx]
+                .as_mut()
+                .expect("installed frame")
+                .modifiers
+                .insert(txn);
         }
     }
 
@@ -511,11 +528,9 @@ impl BufferPool {
                     }
                 }
                 // Final pass ignoring reference bits (all were hot).
-                let evictable_idx = (0..n).map(|o| (self.hand + o) % n).find(|&i| {
-                    self.slots[i]
-                        .as_ref()
-                        .is_some_and(|f| self.evictable(f))
-                });
+                let evictable_idx = (0..n)
+                    .map(|o| (self.hand + o) % n)
+                    .find(|&i| self.slots[i].as_ref().is_some_and(|f| self.evictable(f)));
                 evictable_idx
             }
         }
@@ -532,16 +547,24 @@ mod tests {
         Page::from_bytes(&[b; 8])
     }
 
+    // Infallible stand-ins still return Result to match the pool's
+    // callback signatures.
+    #[allow(clippy::unnecessary_wraps)]
     fn no_steal(_: StealRequest<'_>) -> Result<(), NoErr> {
         Ok(())
     }
 
+    #[allow(clippy::unnecessary_wraps)]
     fn fetch_zero(_: DataPageId) -> Result<Page, NoErr> {
         Ok(Page::zeroed(8))
     }
 
     fn pool(frames: usize, steal: bool, policy: ReplacePolicy) -> BufferPool {
-        BufferPool::new(BufferConfig { frames, steal, policy })
+        BufferPool::new(BufferConfig {
+            frames,
+            steal,
+            policy,
+        })
     }
 
     #[test]
@@ -550,7 +573,9 @@ mod tests {
         let got = p.read(DataPageId(1), fetch_zero, no_steal).unwrap();
         assert!(got.is_zeroed());
         assert_eq!(p.stats().misses, 1);
-        let _ = p.read(DataPageId(1), |_| unreachable!("must hit"), no_steal).unwrap();
+        let _ = p
+            .read(DataPageId(1), |_| unreachable!("must hit"), no_steal)
+            .unwrap();
         assert_eq!(p.stats().hits, 1);
         assert!((p.stats().hit_ratio() - 0.5).abs() < 1e-12);
     }
@@ -716,7 +741,10 @@ mod tests {
     fn pop_victim_respects_pins_and_nosteal() {
         let mut p = pool(1, false, ReplacePolicy::Clock);
         p.insert(DataPageId(1), page(1), true, Some(4));
-        assert!(p.pop_victim().is_none(), "nosteal blocks uncommitted eviction");
+        assert!(
+            p.pop_victim().is_none(),
+            "nosteal blocks uncommitted eviction"
+        );
         p.release_txn(4);
         p.pin(DataPageId(1));
         assert!(p.pop_victim().is_none(), "pinned frame blocked");

@@ -2,9 +2,6 @@
 //! legality (pins, ¬STEAL), and accounting against a reference model.
 
 use proptest::prelude::*;
-use rda_array::{DataPageId, Page};
-use rda_buffer::{BufferConfig, BufferPool, ReplacePolicy};
-use std::collections::{HashMap, HashSet};
 
 #[derive(Debug, Clone)]
 enum Op {

@@ -57,7 +57,10 @@ impl Engine {
             pages.push(self.read_disk(DataPageId(p))?);
         }
         self.log.force();
-        Ok(Archive { pages, log_pos: Lsn(self.dur.log_store.len()) })
+        Ok(Archive {
+            pages,
+            log_pos: Lsn(self.dur.log_store.len()),
+        })
     }
 
     /// Restore the database from an archive and roll it forward from the
@@ -69,7 +72,9 @@ impl Engine {
     pub(crate) fn archive_restore(&mut self, archive: &Archive) -> Result<u64> {
         self.require_quiesced()?;
         if archive.pages() != self.dur.array.data_pages() {
-            return Err(DbError::WrongGranularity("archive shape does not match the database"));
+            return Err(DbError::WrongGranularity(
+                "archive shape does not match the database",
+            ));
         }
         self.buffer.crash(); // cached pages are about to be stale
 
@@ -85,8 +90,10 @@ impl Engine {
         for g in 0..self.dur.array.groups() {
             let g = GroupId(g);
             let members = self.dur.array.geometry().members(g);
-            let images: Vec<Page> =
-                members.iter().map(|m| archive.pages[m.0 as usize].clone()).collect();
+            let images: Vec<Page> = members
+                .iter()
+                .map(|m| archive.pages[m.0 as usize].clone())
+                .collect();
             self.dur.array.full_group_write(g, &images, &slots)?;
             if self.is_rda() {
                 self.dur.twins.set_committed(g, ParitySlot::P0, now);
@@ -94,7 +101,10 @@ impl Engine {
         }
 
         // Roll forward committed work logged after the dump.
-        let records = self.dur.log_store.read_range(archive.log_pos, Lsn(self.dur.log_store.len()));
+        let records = self
+            .dur
+            .log_store
+            .read_range(archive.log_pos, Lsn(self.dur.log_store.len()));
         let analysis = Analysis::run(&records);
         let winners: BTreeSet<_> = analysis.winners().into_iter().collect();
         let mut applied = 0u64;
@@ -114,10 +124,19 @@ impl Engine {
                         applied += 1;
                     }
                 }
-                LogRecord::RecordRedo { txn, page, offset, after }
-                | LogRecord::RecordUpdate { txn, page, offset, after, .. }
-                    if winners.contains(txn) =>
-                {
+                LogRecord::RecordRedo {
+                    txn,
+                    page,
+                    offset,
+                    after,
+                }
+                | LogRecord::RecordUpdate {
+                    txn,
+                    page,
+                    offset,
+                    after,
+                    ..
+                } if winners.contains(txn) => {
                     let old = self.read_disk(*page)?;
                     let mut new = old.clone();
                     let off = *offset as usize;

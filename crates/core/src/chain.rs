@@ -59,6 +59,16 @@ impl ChainDirectory {
         self.chains.lock().contains_key(&txn)
     }
 
+    /// Every transaction with a non-empty chain, in sorted order. The
+    /// invariant auditor checks this against the live-transaction table:
+    /// a chain entry surviving its transaction's EOT is a leak.
+    #[must_use]
+    pub fn txns(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self.chains.lock().keys().copied().collect();
+        v.sort();
+        v
+    }
+
     /// Drop `txn`'s chain (EOT — the outcome record in the log supersedes
     /// it).
     pub fn clear_txn(&self, txn: TxnId) {

@@ -89,8 +89,16 @@ impl DbConfig {
             array: ArrayConfig::new(Organization::RotatedParity, 4, 8)
                 .twin(twin)
                 .page_size(64),
-            buffer: BufferConfig { frames: 8, steal: true, policy: ReplacePolicy::Clock },
-            log: LogConfig { page_size: 256, copies: 2, amortized: false },
+            buffer: BufferConfig {
+                frames: 8,
+                steal: true,
+                policy: ReplacePolicy::Clock,
+            },
+            log: LogConfig {
+                page_size: 256,
+                copies: 2,
+                amortized: false,
+            },
             granularity: LogGranularity::Page,
             eot: EotPolicy::Force,
             checkpoint: CheckpointPolicy::Manual,
@@ -109,7 +117,11 @@ impl DbConfig {
         DbConfig {
             engine,
             array: ArrayConfig::new(Organization::RotatedParity, n, groups).twin(twin),
-            buffer: BufferConfig { frames: b_frames, steal: true, policy: ReplacePolicy::Clock },
+            buffer: BufferConfig {
+                frames: b_frames,
+                steal: true,
+                policy: ReplacePolicy::Clock,
+            },
             log: LogConfig::default(),
             granularity: LogGranularity::Page,
             eot: EotPolicy::Force,

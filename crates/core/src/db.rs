@@ -65,7 +65,9 @@ impl Database {
     /// [`DbConfig::validate`]).
     #[must_use]
     pub fn open(cfg: DbConfig) -> Database {
-        Database { engine: Arc::new(Mutex::new(Engine::open(cfg))) }
+        Database {
+            engine: Arc::new(Mutex::new(Engine::open(cfg))),
+        }
     }
 
     /// Begin a transaction.
@@ -75,13 +77,26 @@ impl Database {
     /// [`Database::recover`] first.
     #[must_use]
     pub fn begin(&self) -> Transaction {
-        let id = self.engine.lock().begin().expect("database needs recovery before begin()");
-        Transaction { engine: Arc::clone(&self.engine), id, finished: false }
+        let id = self
+            .engine
+            .lock()
+            .begin()
+            .expect("database needs recovery before begin()");
+        Transaction {
+            engine: Arc::clone(&self.engine),
+            id,
+            finished: false,
+        }
     }
 
     /// Read the current contents of a page, outside any transaction
     /// (reflects the latest propagated state; equal to the last committed
     /// state when no transaction is writing the page).
+    ///
+    /// # Errors
+    /// [`DbError::NeedsRecovery`] after an unrecovered crash;
+    /// [`DbError::BadPage`] for an out-of-range page; array errors when the
+    /// page is unreadable even in degraded mode.
     pub fn read_page(&self, page: u32) -> Result<Vec<u8>> {
         let mut engine = self.engine.lock();
         let txn = engine.begin()?;
@@ -97,6 +112,10 @@ impl Database {
     }
 
     /// Take an action-consistent checkpoint now.
+    ///
+    /// # Errors
+    /// [`DbError::NeedsRecovery`] after an unrecovered crash; array errors
+    /// when flushing dirty pages fails.
     pub fn checkpoint(&self) -> Result<()> {
         self.engine.lock().checkpoint()
     }
@@ -109,11 +128,18 @@ impl Database {
     }
 
     /// Run restart recovery after a crash.
+    ///
+    /// # Errors
+    /// Array errors when the UNDO/REDO passes cannot read or write the
+    /// pages they need (e.g. a disk failed during the outage).
     pub fn recover(&self) -> Result<RecoveryReport> {
         self.engine.lock().recover()
     }
 
     /// Convenience: crash then recover.
+    ///
+    /// # Errors
+    /// Same as [`Database::recover`].
     pub fn crash_and_recover(&self) -> Result<RecoveryReport> {
         let mut engine = self.engine.lock();
         engine.crash();
@@ -123,12 +149,19 @@ impl Database {
     /// Truncate the write-ahead log to the oldest record recovery could
     /// still need (last checkpoint / earliest active BOT). Returns the
     /// number of records discarded. Invalidates older archives.
+    ///
+    /// # Errors
+    /// [`DbError::NeedsRecovery`] after an unrecovered crash.
     pub fn truncate_log(&self) -> Result<u64> {
         self.engine.lock().truncate_log()
     }
 
     /// Take a transaction-consistent full archive copy (the §1 baseline's
     /// backup pass). Requires quiescence; bills one read per page.
+    ///
+    /// # Errors
+    /// [`DbError::ActiveTransactions`] unless quiescent; array errors when
+    /// a page cannot be read.
     pub fn archive_dump(&self) -> Result<crate::Archive> {
         self.engine.lock().archive_dump()
     }
@@ -136,6 +169,10 @@ impl Database {
     /// Restore from an archive and roll forward from the redo log — the
     /// traditional media recovery the paper argues is too expensive.
     /// Returns the number of redo records applied.
+    ///
+    /// # Errors
+    /// [`DbError::ActiveTransactions`] unless quiescent; array errors when
+    /// writing restored pages fails.
     pub fn archive_restore(&self, archive: &crate::Archive) -> Result<u64> {
         self.engine.lock().archive_restore(archive)
     }
@@ -176,11 +213,20 @@ impl Database {
     /// disaster; single failures should use [`Database::media_recover`],
     /// which replaces and rebuilds in one step).
     pub fn replace_disk_blank(&self, disk: u16) {
-        self.engine.lock().dur.array.replace_disk_blank(DiskId(disk));
+        self.engine
+            .lock()
+            .dur
+            .array
+            .replace_disk_blank(DiskId(disk));
     }
 
     /// Rebuild a failed disk from the surviving group members. Requires
     /// quiescence (no active transactions).
+    ///
+    /// # Errors
+    /// [`DbError::ActiveTransactions`] unless quiescent;
+    /// [`ArrayError::Unrecoverable`](rda_array::ArrayError::Unrecoverable)
+    /// when a second failure blocks reconstruction.
     pub fn media_recover(&self, disk: u16) -> Result<u64> {
         self.engine.lock().media_recover(DiskId(disk))
     }
@@ -211,12 +257,20 @@ impl Database {
 
     /// Scrub the array's parity invariants; returns violations (empty when
     /// consistent). Bills array reads like a real scrubber.
+    ///
+    /// # Errors
+    /// Array errors when a parity or data page cannot be read at all (a
+    /// *mismatch* is reported in the returned list, not as an error).
     pub fn verify(&self) -> Result<Vec<String>> {
         self.engine.lock().verify_parity()
     }
 
     /// Patrol scrub: read every data and committed-parity page, repairing
     /// latent sector errors from parity. Requires quiescence.
+    ///
+    /// # Errors
+    /// [`DbError::ActiveTransactions`] unless quiescent; array errors when
+    /// repair writes fail.
     pub fn scrub(&self) -> Result<crate::ScrubReport> {
         self.engine.lock().scrub_repair()
     }
@@ -225,6 +279,33 @@ impl Database {
     #[must_use]
     pub fn active_transactions(&self) -> usize {
         self.engine.lock().active.len()
+    }
+
+    /// Run the cross-layer invariant auditor (parity-vs-twins XOR
+    /// recompute, `Dirty_Set` cross-checks, lock/chain leak detection) on
+    /// the current state. Reads the array through the unbilled peek
+    /// interface, so the transfer counters are untouched. With the
+    /// `paranoid` feature the same auditor also runs automatically after
+    /// every steal, commit, abort and scrub.
+    #[must_use]
+    pub fn audit(&self) -> crate::AuditReport {
+        self.engine.lock().run_audit()
+    }
+
+    /// Overwrite a group's *committed* parity twin with readable garbage
+    /// (fault injection for the auditor: unlike
+    /// [`Database::corrupt_committed_parity`], the sector stays readable,
+    /// so only an XOR recompute can notice).
+    pub fn scribble_committed_parity(&self, group: u32) {
+        let engine = self.engine.lock();
+        let g = rda_array::GroupId(group);
+        let slot = engine.committed_slot(g);
+        if let Ok(mut parity) = engine.dur.array.peek_parity(g, slot) {
+            for (i, b) in parity.as_mut().iter_mut().enumerate() {
+                *b ^= 0xA5_u8.wrapping_add(i as u8);
+            }
+            let _ = engine.dur.array.write_parity(g, slot, &parity);
+        }
     }
 }
 
@@ -244,22 +325,44 @@ impl Transaction {
     }
 
     /// Read a page.
+    ///
+    /// # Errors
+    /// [`DbError::LockConflict`] when another transaction writes the page;
+    /// [`DbError::BadPage`] for an out-of-range page.
     pub fn read(&mut self, page: u32) -> Result<Vec<u8>> {
         self.engine.lock().txn_read(self.id, DataPageId(page))
     }
 
     /// Overwrite a page (page-logging granularity). Payloads shorter than
     /// the page are zero-padded.
+    ///
+    /// # Errors
+    /// [`DbError::LockConflict`] on lock conflict; [`DbError::BadPage`] /
+    /// [`DbError::PageOverflow`] for bad addresses;
+    /// [`DbError::WrongGranularity`] under record logging.
     pub fn write(&mut self, page: u32, data: &[u8]) -> Result<()> {
-        self.engine.lock().txn_write(self.id, DataPageId(page), data)
+        self.engine
+            .lock()
+            .txn_write(self.id, DataPageId(page), data)
     }
 
     /// Update a byte range of a page (record-logging granularity).
+    ///
+    /// # Errors
+    /// [`DbError::LockConflict`] on lock conflict; [`DbError::BadPage`] /
+    /// [`DbError::PageOverflow`] for bad addresses;
+    /// [`DbError::WrongGranularity`] under page logging.
     pub fn update(&mut self, page: u32, offset: usize, data: &[u8]) -> Result<()> {
-        self.engine.lock().txn_update(self.id, DataPageId(page), offset, data)
+        self.engine
+            .lock()
+            .txn_update(self.id, DataPageId(page), offset, data)
     }
 
     /// Commit. Consumes the handle.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownTxn`] if a crash wiped the transaction; array
+    /// errors when the commit-time parity flip or log force fails.
     pub fn commit(mut self) -> Result<TxnId> {
         self.finished = true;
         self.engine.lock().txn_commit(self.id)?;
@@ -267,6 +370,10 @@ impl Transaction {
     }
 
     /// Abort and roll back. Consumes the handle.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownTxn`] if a crash wiped the transaction; array
+    /// errors when rollback I/O fails.
     pub fn abort(mut self) -> Result<()> {
         self.finished = true;
         self.engine.lock().txn_abort(self.id)
@@ -279,7 +386,7 @@ impl Drop for Transaction {
             let mut engine = self.engine.lock();
             // After a crash the transaction is already gone; ignore.
             match engine.txn_abort(self.id) {
-                Ok(()) | Err(DbError::UnknownTxn(_)) | Err(DbError::NeedsRecovery) => {}
+                Ok(()) | Err(DbError::UnknownTxn(_) | DbError::NeedsRecovery) => {}
                 Err(e) => panic!("abort on drop failed: {e}"),
             }
         }

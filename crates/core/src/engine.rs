@@ -195,10 +195,14 @@ impl Engine {
     pub(crate) fn read_disk(&self, page: DataPageId) -> Result<Page> {
         match self.dur.array.try_read_data(page) {
             Ok(p) => Ok(p),
-            Err(rda_array::ArrayError::DiskFailed(_))
-            | Err(rda_array::ArrayError::MediaError { .. }) => {
+            Err(
+                rda_array::ArrayError::DiskFailed(_) | rda_array::ArrayError::MediaError { .. },
+            ) => {
                 let g = self.dur.array.geometry().group_of(page);
-                Ok(self.dur.array.reconstruct_data(page, self.disk_read_slot(g))?)
+                Ok(self
+                    .dur
+                    .array
+                    .reconstruct_data(page, self.disk_read_slot(g))?)
             }
             Err(e) => Err(e.into()),
         }
@@ -283,8 +287,7 @@ impl Engine {
                 if let Some(img) = st.last_stolen.get(&page) {
                     return Ok(img.clone());
                 }
-                if self.cfg.eot == EotPolicy::Force
-                    && self.cfg.granularity == LogGranularity::Page
+                if self.cfg.eot == EotPolicy::Force && self.cfg.granularity == LogGranularity::Page
                 {
                     if let Some(img) = st.before.get(&page) {
                         return Ok(img.clone());
@@ -381,6 +384,7 @@ impl Engine {
                     st.last_stolen.insert(page, data.clone());
                 }
             }
+            self.paranoid_audit("steal_uncommitted(logged)");
             return Ok(());
         }
 
@@ -465,6 +469,7 @@ impl Engine {
                 st.last_stolen.insert(page, data.clone());
             }
         }
+        self.paranoid_audit("steal_uncommitted");
         Ok(())
     }
 
@@ -540,7 +545,11 @@ impl Engine {
         }
         let page_size = self.cfg.array.page_size;
         if bytes.len() > page_size {
-            return Err(DbError::PageOverflow { offset: 0, len: bytes.len(), page_size });
+            return Err(DbError::PageOverflow {
+                offset: 0,
+                len: bytes.len(),
+                page_size,
+            });
         }
         self.txn_state(txn)?;
         self.locks.lock_page(page, txn)?;
@@ -574,10 +583,15 @@ impl Engine {
         }
         let page_size = self.cfg.array.page_size;
         if offset + bytes.len() > page_size {
-            return Err(DbError::PageOverflow { offset, len: bytes.len(), page_size });
+            return Err(DbError::PageOverflow {
+                offset,
+                len: bytes.len(),
+                page_size,
+            });
         }
         self.txn_state(txn)?;
-        self.locks.lock_range(page, offset as u32, bytes.len() as u32, txn)?;
+        self.locks
+            .lock_range(page, offset as u32, bytes.len() as u32, txn)?;
         let current = self.buffered_read(page)?;
         let mut new = current.clone();
         new.as_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
@@ -617,14 +631,22 @@ impl Engine {
         if self.cfg.eot == EotPolicy::Force {
             for page in &written {
                 if self.buffer.is_dirty(*page) {
-                    let data = self.buffer.peek(*page).expect("dirty page resident").clone();
+                    let data = self
+                        .buffer
+                        .peek(*page)
+                        .expect("dirty page resident")
+                        .clone();
                     // The frame may carry other transactions' uncommitted
                     // byte ranges (record locking), or — if this page was
                     // stolen earlier and re-dirtied by someone else — none
                     // of ours at all; UNDO protection must follow the
                     // frame's *current* modifiers.
-                    let mods: BTreeSet<TxnId> =
-                        self.buffer.modifiers_of(*page).iter().map(|&t| TxnId(t)).collect();
+                    let mods: BTreeSet<TxnId> = self
+                        .buffer
+                        .modifiers_of(*page)
+                        .iter()
+                        .map(|&t| TxnId(t))
+                        .collect();
                     if mods.is_empty() {
                         self.write_back_committed(*page, &data)?;
                     } else {
@@ -650,7 +672,11 @@ impl Engine {
                             .as_ref()
                             .to_vec(),
                     };
-                    self.log.append(LogRecord::AfterImage { txn, page: *page, image });
+                    self.log.append(LogRecord::AfterImage {
+                        txn,
+                        page: *page,
+                        image,
+                    });
                 }
             }
             LogGranularity::Record => {
@@ -677,7 +703,10 @@ impl Engine {
 
         self.log.append(LogRecord::Commit { txn });
         if self.cfg.eot == EotPolicy::Force {
-            self.log.append(LogRecord::Checkpoint { kind: CheckpointKind::Toc, active: vec![] });
+            self.log.append(LogRecord::Checkpoint {
+                kind: CheckpointKind::Toc,
+                active: vec![],
+            });
         }
         self.log.force();
 
@@ -691,6 +720,7 @@ impl Engine {
         self.locks.release_txn(txn);
         self.buffer.release_txn(txn.0);
         self.active.remove(&txn);
+        self.paranoid_audit("txn_commit");
         Ok(())
     }
 
@@ -743,18 +773,25 @@ impl Engine {
             self.log.force();
         }
 
-        debug_assert!(self.dirty.groups_of(txn).is_empty(), "parity undo cleaned groups");
+        debug_assert!(
+            self.dirty.groups_of(txn).is_empty(),
+            "parity undo cleaned groups"
+        );
         self.dur.chain.clear_txn(txn);
         self.locks.release_txn(txn);
         self.buffer.release_txn(txn.0);
         self.active.remove(&txn);
+        self.paranoid_audit("txn_abort");
         Ok(())
     }
 
     /// Undo one parity-riding page during a normal abort.
     fn undo_via_parity(&mut self, txn: TxnId, page: DataPageId) -> Result<()> {
         let g = self.dur.array.geometry().group_of(page);
-        let info = self.dirty.get(g).expect("parity-stolen page has dirty group");
+        let info = self
+            .dirty
+            .get(g)
+            .expect("parity-stolen page has dirty group");
         debug_assert_eq!(info.page, page);
         debug_assert_eq!(info.txn, txn);
         let work = info.working;
@@ -762,7 +799,11 @@ impl Engine {
 
         let p_work_res = self.dur.array.read_parity(g, work);
         let p_comm_res = self.dur.array.read_parity(g, committed);
-        let d_new = match self.active.get(&txn).and_then(|st| st.last_stolen.get(&page)) {
+        let d_new = match self
+            .active
+            .get(&txn)
+            .and_then(|st| st.last_stolen.get(&page))
+        {
             Some(p) => p.clone(),
             None => self.read_disk(page)?,
         };
@@ -774,20 +815,19 @@ impl Engine {
         // image in memory (a crash in that exact window is the scheme's
         // documented blind spot — the committed twin is the only durable
         // copy of the before-image).
-        let (p_comm, d_old): (Option<Page>, Option<Page>) =
-            match (p_work_res, p_comm_res) {
-                (Ok(p_work), Ok(p_comm)) => {
-                    let mut d_old = p_work.xor(&p_comm);
-                    d_old.xor_in_place(&d_new);
-                    (Some(p_comm), Some(d_old))
-                }
-                (Err(rda_array::ArrayError::DiskFailed(_)), Ok(p_comm)) => {
-                    let d_old = self.dur.array.reconstruct_data(page, committed)?;
-                    (Some(p_comm), Some(d_old))
-                }
-                (Ok(_), Err(rda_array::ArrayError::DiskFailed(_))) => (None, None),
-                (Err(e), _) | (_, Err(e)) => return Err(e.into()),
-            };
+        let (p_comm, d_old): (Option<Page>, Option<Page>) = match (p_work_res, p_comm_res) {
+            (Ok(p_work), Ok(p_comm)) => {
+                let mut d_old = p_work.xor(&p_comm);
+                d_old.xor_in_place(&d_new);
+                (Some(p_comm), Some(d_old))
+            }
+            (Err(rda_array::ArrayError::DiskFailed(_)), Ok(p_comm)) => {
+                let d_old = self.dur.array.reconstruct_data(page, committed)?;
+                (Some(p_comm), Some(d_old))
+            }
+            (Ok(_), Err(rda_array::ArrayError::DiskFailed(_))) => (None, None),
+            (Err(e), _) | (_, Err(e)) => return Err(e.into()),
+        };
         // … but the correct restore target differs:
         // * page logging — the first-touch before-image (under ¬FORCE the
         //   committed-visible state may be newer than d_old: a committed
@@ -800,7 +840,12 @@ impl Engine {
         // Both reduce to d_old under FORCE with exclusive access.
         let restore = match self.cfg.granularity {
             LogGranularity::Page => {
-                match self.active.get(&txn).and_then(|st| st.before.get(&page)).cloned() {
+                match self
+                    .active
+                    .get(&txn)
+                    .and_then(|st| st.before.get(&page))
+                    .cloned()
+                {
                     Some(before) => before,
                     None => d_old
                         .clone()
@@ -809,13 +854,10 @@ impl Engine {
             }
             LogGranularity::Record => {
                 let mut img = d_new.clone();
-                if let Some(ops) =
-                    self.active.get(&txn).and_then(|st| st.rec_ops.get(&page))
-                {
+                if let Some(ops) = self.active.get(&txn).and_then(|st| st.rec_ops.get(&page)) {
                     for op in ops.iter().rev() {
                         let off = op.offset as usize;
-                        img.as_mut()[off..off + op.before.len()]
-                            .copy_from_slice(&op.before);
+                        img.as_mut()[off..off + op.before.len()].copy_from_slice(&op.before);
                     }
                 }
                 img
@@ -823,7 +865,11 @@ impl Engine {
         };
         // Pin the restored image in the log so a crash mid-undo can replay
         // this step instead of re-deriving it from (now mutated) parity.
-        self.log.append(LogRecord::Compensation { txn, page, image: restore.as_ref().to_vec() });
+        self.log.append(LogRecord::Compensation {
+            txn,
+            page,
+            image: restore.as_ref().to_vec(),
+        });
         self.log.force();
 
         match self.dur.array.write_data_unprotected(page, &restore) {
@@ -878,6 +924,9 @@ impl Engine {
     /// Read this transaction's UNDO information back from the log (billed),
     /// returning per-page before-images (page mode) or before-diff lists in
     /// log order (record mode).
+    // Result-returning for symmetry with the other undo sources even
+    // though log readback itself cannot fail in the simulated store.
+    #[allow(clippy::unnecessary_wraps)]
     fn read_undo_from_log(&mut self, txn: TxnId) -> Result<UndoInfo> {
         // Ensure everything relevant is durable before reading it back.
         self.log.force();
@@ -887,10 +936,20 @@ impl Engine {
         let mut undo = UndoInfo::default();
         for (_, record) in records {
             match record {
-                LogRecord::BeforeImage { txn: t, page, image } if t == txn => {
+                LogRecord::BeforeImage {
+                    txn: t,
+                    page,
+                    image,
+                } if t == txn => {
                     undo.images.entry(page).or_insert(image);
                 }
-                LogRecord::RecordUpdate { txn: t, page, offset, before, .. } if t == txn => {
+                LogRecord::RecordUpdate {
+                    txn: t,
+                    page,
+                    offset,
+                    before,
+                    ..
+                } if t == txn => {
                     undo.diffs.entry(page).or_default().push((offset, before));
                 }
                 _ => {}
@@ -904,12 +963,18 @@ impl Engine {
         let g = self.dur.array.geometry().group_of(page);
         let restored = match self.cfg.granularity {
             LogGranularity::Page => {
-                let image = undo.images.get(&page).expect("logged steal has before-image");
+                let image = undo
+                    .images
+                    .get(&page)
+                    .expect("logged steal has before-image");
                 Page::from_bytes(image)
             }
             LogGranularity::Record => {
                 let mut current = self.read_disk(page)?;
-                let diffs = undo.diffs.get(&page).expect("logged steal has before-diffs");
+                let diffs = undo
+                    .diffs
+                    .get(&page)
+                    .expect("logged steal has before-diffs");
                 for (offset, before) in diffs.iter().rev() {
                     let off = *offset as usize;
                     current.as_mut()[off..off + before.len()].copy_from_slice(before);
@@ -969,8 +1034,12 @@ impl Engine {
         self.check_ready()?;
         for (page, _) in self.buffer.dirty_pages() {
             let data = self.buffer.peek(page).expect("dirty page resident").clone();
-            let modifiers: BTreeSet<TxnId> =
-                self.buffer.modifiers_of(page).iter().map(|&t| TxnId(t)).collect();
+            let modifiers: BTreeSet<TxnId> = self
+                .buffer
+                .modifiers_of(page)
+                .iter()
+                .map(|&t| TxnId(t))
+                .collect();
             if modifiers.is_empty() {
                 self.write_back_committed(page, &data)?;
             } else {
@@ -983,7 +1052,10 @@ impl Engine {
             v.sort();
             v
         };
-        self.log.append(LogRecord::Checkpoint { kind: CheckpointKind::Acc, active });
+        self.log.append(LogRecord::Checkpoint {
+            kind: CheckpointKind::Acc,
+            active,
+        });
         self.log.force();
         self.ops_since_ckpt = 0;
         Ok(())

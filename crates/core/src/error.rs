@@ -58,14 +58,21 @@ impl fmt::Display for DbError {
             DbError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
             DbError::TxnFinished(t) => write!(f, "transaction {t} already finished"),
             DbError::BadPage(p) => write!(f, "page {p} out of range"),
-            DbError::PageOverflow { offset, len, page_size } => write!(
+            DbError::PageOverflow {
+                offset,
+                len,
+                page_size,
+            } => write!(
                 f,
                 "write of {len} bytes at offset {offset} overflows {page_size}-byte page"
             ),
             DbError::BufferWedged => write!(f, "buffer pool cannot make room"),
             DbError::WrongGranularity(what) => write!(f, "wrong logging granularity: {what}"),
             DbError::ActiveTransactions(n) => {
-                write!(f, "operation requires quiescence but {n} transactions are active")
+                write!(
+                    f,
+                    "operation requires quiescence but {n} transactions are active"
+                )
             }
             DbError::NeedsRecovery => {
                 write!(f, "database crashed; run restart recovery first")
@@ -91,10 +98,17 @@ mod tests {
 
     #[test]
     fn display_mentions_specifics() {
-        let e = DbError::LockConflict { page: DataPageId(3), holder: TxnId(8) };
+        let e = DbError::LockConflict {
+            page: DataPageId(3),
+            holder: TxnId(8),
+        };
         assert!(e.to_string().contains("D3"));
         assert!(e.to_string().contains("T8"));
-        let e = DbError::PageOverflow { offset: 10, len: 20, page_size: 16 };
+        let e = DbError::PageOverflow {
+            offset: 10,
+            len: 20,
+            page_size: 16,
+        };
         assert!(e.to_string().contains("16"));
     }
 

@@ -150,6 +150,40 @@ impl DirtySet {
         self.map.clear();
         self.by_txn.clear();
     }
+
+    /// Internal-consistency check between the per-group map and the
+    /// per-transaction index; returns one message per inconsistency.
+    /// Used by the paranoid invariant auditor.
+    pub(crate) fn self_check(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (g, info) in &self.map {
+            if !self
+                .by_txn
+                .get(&info.txn)
+                .is_some_and(|set| set.contains(g))
+            {
+                violations.push(format!(
+                    "dirty group {g} (page {}, txn {}) missing from its owner's by_txn index",
+                    info.page, info.txn
+                ));
+            }
+        }
+        for (txn, groups) in &self.by_txn {
+            for g in groups {
+                match self.map.get(g) {
+                    None => violations.push(format!(
+                        "by_txn index of txn {txn} names group {g}, which is not dirty"
+                    )),
+                    Some(info) if info.txn != *txn => violations.push(format!(
+                        "by_txn index of txn {txn} names group {g}, owned by txn {}",
+                        info.txn
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+        violations
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +196,10 @@ mod tests {
     #[test]
     fn clean_group_dirties() {
         let mut ds = DirtySet::new();
-        assert_eq!(ds.classify(GroupId(0), DataPageId(3), T1), StealClass::DirtiesGroup);
+        assert_eq!(
+            ds.classify(GroupId(0), DataPageId(3), T1),
+            StealClass::DirtiesGroup
+        );
         ds.mark(GroupId(0), DataPageId(3), T1, ParitySlot::P1);
         assert!(ds.is_dirty(GroupId(0)));
         assert_eq!(ds.len(), 1);
@@ -172,7 +209,10 @@ mod tests {
     fn same_page_same_txn_rides() {
         let mut ds = DirtySet::new();
         ds.mark(GroupId(0), DataPageId(3), T1, ParitySlot::P1);
-        assert_eq!(ds.classify(GroupId(0), DataPageId(3), T1), StealClass::RidesExisting);
+        assert_eq!(
+            ds.classify(GroupId(0), DataPageId(3), T1),
+            StealClass::RidesExisting
+        );
     }
 
     #[test]
@@ -180,9 +220,15 @@ mod tests {
         let mut ds = DirtySet::new();
         ds.mark(GroupId(0), DataPageId(3), T1, ParitySlot::P1);
         // Same group, different page, same txn.
-        assert_eq!(ds.classify(GroupId(0), DataPageId(4), T1), StealClass::NeedsLogging);
+        assert_eq!(
+            ds.classify(GroupId(0), DataPageId(4), T1),
+            StealClass::NeedsLogging
+        );
         // Same group, same page, different txn.
-        assert_eq!(ds.classify(GroupId(0), DataPageId(3), T2), StealClass::NeedsLogging);
+        assert_eq!(
+            ds.classify(GroupId(0), DataPageId(3), T2),
+            StealClass::NeedsLogging
+        );
     }
 
     #[test]
@@ -223,6 +269,76 @@ mod tests {
         assert_eq!(ds.groups_of(T1), vec![GroupId(3)]);
         assert!(ds.is_dirty(GroupId(3)));
         assert!(ds.groups_of(T2).is_empty());
+    }
+
+    #[test]
+    fn remove_then_resteal_dirties_again() {
+        // The abort path undoes the riding page and calls `remove`; the
+        // group must then classify as clean so a *new* transaction (or the
+        // same one retrying) can ride the parity again.
+        let mut ds = DirtySet::new();
+        ds.mark(GroupId(0), DataPageId(3), T1, ParitySlot::P1);
+        assert_eq!(
+            ds.remove(GroupId(0)),
+            Some(DirtyInfo {
+                page: DataPageId(3),
+                txn: T1,
+                working: ParitySlot::P1,
+            })
+        );
+        assert_eq!(
+            ds.classify(GroupId(0), DataPageId(3), T2),
+            StealClass::DirtiesGroup
+        );
+        ds.mark(GroupId(0), DataPageId(3), T2, ParitySlot::P0);
+        assert_eq!(ds.get(GroupId(0)).unwrap().txn, T2);
+        // And the aborted owner's index entry is gone.
+        assert!(ds.groups_of(T1).is_empty());
+        assert!(ds.self_check().is_empty());
+    }
+
+    #[test]
+    fn take_txn_then_resteal_by_same_txn() {
+        // After commit (`take_txn`) the same transaction id could in
+        // principle reappear (engine ids are unique, but the table must
+        // not care): a fresh mark re-dirties from scratch.
+        let mut ds = DirtySet::new();
+        ds.mark(GroupId(2), DataPageId(9), T1, ParitySlot::P1);
+        let taken = ds.take_txn(T1);
+        assert_eq!(taken.len(), 1);
+        assert!(ds.is_empty());
+        assert_eq!(
+            ds.classify(GroupId(2), DataPageId(8), T1),
+            StealClass::DirtiesGroup
+        );
+        ds.mark(GroupId(2), DataPageId(8), T1, ParitySlot::P0);
+        assert_eq!(ds.groups_of(T1), vec![GroupId(2)]);
+        assert!(ds.self_check().is_empty());
+    }
+
+    #[test]
+    fn classify_covers_all_three_figure3_classes() {
+        let mut ds = DirtySet::new();
+        ds.mark(GroupId(1), DataPageId(4), T1, ParitySlot::P1);
+        // Clean group → dirties.
+        assert_eq!(
+            ds.classify(GroupId(0), DataPageId(0), T1),
+            StealClass::DirtiesGroup
+        );
+        // Dirty by same page+txn → rides.
+        assert_eq!(
+            ds.classify(GroupId(1), DataPageId(4), T1),
+            StealClass::RidesExisting
+        );
+        // Dirty by different page or txn → logs.
+        assert_eq!(
+            ds.classify(GroupId(1), DataPageId(5), T1),
+            StealClass::NeedsLogging
+        );
+        assert_eq!(
+            ds.classify(GroupId(1), DataPageId(4), T2),
+            StealClass::NeedsLogging
+        );
     }
 
     #[test]

@@ -36,10 +36,8 @@
 //! assert_eq!(&db.read_page(3).unwrap()[..14], b"hello recovery");
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod archive;
+mod audit;
 mod chain;
 mod config;
 mod db;
@@ -52,6 +50,7 @@ mod scrub;
 mod twin;
 
 pub use archive::Archive;
+pub use audit::AuditReport;
 pub use chain::ChainDirectory;
 pub use config::{CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity};
 pub use db::{Database, DbStats, Transaction};

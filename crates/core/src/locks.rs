@@ -57,9 +57,15 @@ impl LockTable {
             }
         }
         // Shared holders other than the upgrader block the exclusive lock.
-        if let Some(readers) = self.shared.get(&page) {
+        if let Some(readers) = self.shared.get_mut(&page) {
             if let Some(&holder) = readers.iter().find(|&&t| t != txn) {
                 return Err(DbError::LockConflict { page, holder });
+            }
+            // Upgrade: the S entry is subsumed by the X lock; leaving it
+            // behind would make the table report a phantom reader.
+            readers.remove(&txn);
+            if readers.is_empty() {
+                self.shared.remove(&page);
             }
         }
         self.pages.insert(page, txn);
@@ -94,7 +100,13 @@ impl LockTable {
     /// # Errors
     /// [`DbError::LockConflict`] on overlap with another transaction's
     /// range, or if another transaction holds the whole page.
-    pub fn lock_range(&mut self, page: DataPageId, offset: u32, len: u32, txn: TxnId) -> Result<()> {
+    pub fn lock_range(
+        &mut self,
+        page: DataPageId,
+        offset: u32,
+        len: u32,
+        txn: TxnId,
+    ) -> Result<()> {
         if let Some(&holder) = self.pages.get(&page) {
             if holder != txn {
                 return Err(DbError::LockConflict { page, holder });
@@ -108,11 +120,12 @@ impl LockTable {
             }
         }
         let ranges = self.ranges.entry(page).or_default();
-        let end = offset + len;
-        if let Some(&(_, _, holder)) = ranges
-            .iter()
-            .find(|(o, l, h)| *h != txn && offset < *o + *l && *o < end)
-        {
+        // Widen to u64 so ranges touching the top of the u32 address space
+        // cannot overflow into a false non-overlap.
+        let end = u64::from(offset) + u64::from(len);
+        if let Some(&(_, _, holder)) = ranges.iter().find(|(o, l, h)| {
+            *h != txn && u64::from(offset) < u64::from(*o) + u64::from(*l) && u64::from(*o) < end
+        }) {
             return Err(DbError::LockConflict { page, holder });
         }
         ranges.push((offset, len, txn));
@@ -155,14 +168,32 @@ impl LockTable {
         });
     }
 
-    /// Number of transactions holding any lock (diagnostic).
+    /// Every transaction holding any lock — exclusive page, byte range,
+    /// or shared — in sorted order. The invariant auditor checks this set
+    /// against the live-transaction table to find leaked entries.
     #[must_use]
-    pub fn holders(&self) -> usize {
+    pub fn holder_txns(&self) -> std::collections::BTreeSet<TxnId> {
         let mut set: std::collections::BTreeSet<TxnId> = self.pages.values().copied().collect();
         for ranges in self.ranges.values() {
             set.extend(ranges.iter().map(|(_, _, t)| *t));
         }
-        set.len()
+        for readers in self.shared.values() {
+            set.extend(readers.iter().copied());
+        }
+        set
+    }
+
+    /// Number of transactions holding any lock (diagnostic).
+    #[must_use]
+    pub fn holders(&self) -> usize {
+        self.holder_txns().len()
+    }
+
+    /// Is the table completely empty (no exclusive, range, or shared
+    /// entries)? True whenever no transaction is active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty() && self.ranges.is_empty() && self.shared.is_empty()
     }
 
     /// Drop everything (crash).
@@ -188,7 +219,10 @@ mod tests {
         lt.lock_page(P, T1).unwrap(); // reentrant
         assert_eq!(
             lt.lock_page(P, T2).unwrap_err(),
-            DbError::LockConflict { page: P, holder: T1 }
+            DbError::LockConflict {
+                page: P,
+                holder: T1
+            }
         );
         lt.release_txn(T1);
         lt.lock_page(P, T2).unwrap();
@@ -217,7 +251,7 @@ mod tests {
         lt.lock_range(P, 0, 4, T1).unwrap();
         assert!(lt.lock_page(P, T2).is_err());
         lt.lock_page(P, T1).unwrap(); // own ranges do not block
-        // Now a range request by T2 hits the page lock.
+                                      // Now a range request by T2 hits the page lock.
         assert!(lt.lock_range(P, 20, 4, T2).is_err());
     }
 
@@ -237,8 +271,14 @@ mod tests {
         let mut lt = LockTable::new();
         lt.lock_shared(P, T1).unwrap();
         lt.lock_shared(P, T2).unwrap(); // readers coexist
-        assert!(lt.lock_page(P, T1).is_err(), "upgrade blocked by other reader");
-        assert!(lt.lock_range(P, 0, 4, T2).is_err(), "range write blocked by reader");
+        assert!(
+            lt.lock_page(P, T1).is_err(),
+            "upgrade blocked by other reader"
+        );
+        assert!(
+            lt.lock_range(P, 0, 4, T2).is_err(),
+            "range write blocked by reader"
+        );
         lt.release_txn(T2);
         lt.lock_page(P, T1).unwrap(); // sole reader upgrades
         assert!(lt.lock_shared(P, T2).is_err(), "X lock blocks new readers");
@@ -263,6 +303,65 @@ mod tests {
         lt.release_txn(T1);
         assert_eq!(lt.holders(), 1);
         lt.lock_range(P, 0, 4, T2).unwrap();
+    }
+
+    #[test]
+    fn upgrade_consumes_the_shared_entry() {
+        let mut lt = LockTable::new();
+        lt.lock_shared(P, T1).unwrap();
+        lt.lock_page(P, T1).unwrap(); // sole reader upgrades S → X
+                                      // The stale S entry must be gone: exactly one holder, and releasing
+                                      // the transaction leaves a truly empty table.
+        assert_eq!(lt.holder_txns().into_iter().collect::<Vec<_>>(), vec![T1]);
+        lt.release_txn(T1);
+        assert!(lt.is_empty(), "upgrade left a phantom shared entry behind");
+        // And a fresh exclusive is immediately grantable to someone else.
+        lt.lock_page(P, T2).unwrap();
+    }
+
+    #[test]
+    fn range_near_u32_max_does_not_overflow() {
+        let mut lt = LockTable::new();
+        lt.lock_range(P, u32::MAX - 4, 4, T1).unwrap();
+        // Overlapping range by another txn must conflict, not wrap around.
+        assert!(lt.lock_range(P, u32::MAX - 2, 2, T2).is_err());
+        // A disjoint low range still coexists.
+        lt.lock_range(P, 0, 8, T2).unwrap();
+    }
+
+    #[test]
+    fn range_and_page_conflicts_overlap_both_ways() {
+        let mut lt = LockTable::new();
+        lt.lock_range(P, 16, 16, T1).unwrap();
+        // Exact-boundary neighbours do not overlap.
+        lt.lock_range(P, 0, 16, T2).unwrap();
+        lt.lock_range(P, 32, 16, T2).unwrap();
+        // One-byte intrusion at either edge conflicts.
+        assert!(lt.lock_range(P, 15, 2, T2).is_err());
+        assert!(lt.lock_range(P, 31, 2, T2).is_err());
+        // Whole-page requests conflict with any foreign range, and ranges
+        // conflict with a foreign page lock.
+        assert!(lt.lock_page(P, T2).is_err());
+        lt.lock_page(DataPageId(7), T1).unwrap();
+        assert!(lt.lock_range(DataPageId(7), 0, 1, T2).is_err());
+    }
+
+    #[test]
+    fn release_all_lock_kinds_empties_the_table() {
+        // The abort path calls release_txn for everything a transaction
+        // held; afterwards the table must be literally empty — a leaked
+        // entry would block unrelated transactions forever.
+        let mut lt = LockTable::new();
+        lt.lock_page(DataPageId(1), T1).unwrap();
+        lt.lock_range(DataPageId(2), 0, 8, T1).unwrap();
+        lt.lock_shared(DataPageId(3), T1).unwrap();
+        assert!(!lt.is_empty());
+        lt.release_txn(T1);
+        assert!(
+            lt.is_empty(),
+            "abort must drop page, range and shared locks"
+        );
+        assert_eq!(lt.holders(), 0);
     }
 
     #[test]

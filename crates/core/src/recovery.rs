@@ -99,8 +99,11 @@ impl Engine {
         // the last flush of its committed state — every parity undo (crash
         // or normal abort) leaves a Compensation record, so the log tells
         // us. Over-inclusion only costs a few extra redo reads.
-        let mut regressed: BTreeSet<DataPageId> =
-            analysis.compensations.keys().map(|(_, page)| *page).collect();
+        let mut regressed: BTreeSet<DataPageId> = analysis
+            .compensations
+            .keys()
+            .map(|(_, page)| *page)
+            .collect();
         for loser in &report.losers {
             let pages = loser_parity_pages.get(loser).cloned().unwrap_or_default();
             for page in pages {
@@ -190,8 +193,11 @@ impl Engine {
         let mut d_old = p_work.xor(&p_comm);
         d_old.xor_in_place(&d_new);
 
-        self.log
-            .append(LogRecord::Compensation { txn: loser, page, image: d_old.as_ref().to_vec() });
+        self.log.append(LogRecord::Compensation {
+            txn: loser,
+            page,
+            image: d_old.as_ref().to_vec(),
+        });
         self.log.force();
 
         self.dur.array.write_data_unprotected(page, &d_old)?;
@@ -231,11 +237,11 @@ impl Engine {
                 let image = records
                     .iter()
                     .find_map(|(_, r)| match r {
-                        LogRecord::BeforeImage { txn, page: p, image }
-                            if *txn == loser && *p == page =>
-                        {
-                            Some(image)
-                        }
+                        LogRecord::BeforeImage {
+                            txn,
+                            page: p,
+                            image,
+                        } if *txn == loser && *p == page => Some(image),
                         _ => None,
                     })
                     .expect("logged-undo page has a before-image");
@@ -246,11 +252,13 @@ impl Engine {
                 let diffs: Vec<(u32, &Vec<u8>)> = records
                     .iter()
                     .filter_map(|(_, r)| match r {
-                        LogRecord::RecordUpdate { txn, page: p, offset, before, .. }
-                            if *txn == loser && *p == page =>
-                        {
-                            Some((*offset, before))
-                        }
+                        LogRecord::RecordUpdate {
+                            txn,
+                            page: p,
+                            offset,
+                            before,
+                            ..
+                        } if *txn == loser && *p == page => Some((*offset, before)),
                         _ => None,
                     })
                     .collect();
@@ -297,7 +305,10 @@ impl Engine {
         regressed: &BTreeSet<DataPageId>,
     ) -> Result<u64> {
         let winners: BTreeSet<TxnId> = analysis.winners().into_iter().collect();
-        let start = analysis.last_acc_checkpoint.as_ref().map_or(Lsn(0), |(l, _)| *l);
+        let start = analysis
+            .last_acc_checkpoint
+            .as_ref()
+            .map_or(Lsn(0), |(l, _)| *l);
         // Pages regressed by parity undo need whole-log redo.
         let in_scope = |lsn: Lsn, page: DataPageId| lsn >= start || regressed.contains(&page);
 
@@ -331,10 +342,19 @@ impl Engine {
                 let mut diffs: BTreeMap<DataPageId, Vec<(u32, &Vec<u8>)>> = BTreeMap::new();
                 for (lsn, record) in records {
                     match record {
-                        LogRecord::RecordRedo { txn, page, offset, after }
-                        | LogRecord::RecordUpdate { txn, page, offset, after, .. }
-                            if winners.contains(txn) && in_scope(*lsn, *page) =>
-                        {
+                        LogRecord::RecordRedo {
+                            txn,
+                            page,
+                            offset,
+                            after,
+                        }
+                        | LogRecord::RecordUpdate {
+                            txn,
+                            page,
+                            offset,
+                            after,
+                            ..
+                        } if winners.contains(txn) && in_scope(*lsn, *page) => {
                             diffs.entry(*page).or_default().push((*offset, after));
                         }
                         _ => {}
@@ -376,7 +396,9 @@ impl Engine {
         }
         let twins = Arc::clone(&self.dur.twins);
         let rebuilt = if self.is_rda() {
-            self.dur.array.rebuild_disk(disk, |g| twins.current_slot(g))?
+            self.dur
+                .array
+                .rebuild_disk(disk, |g| twins.current_slot(g))?
         } else {
             self.dur.array.rebuild_disk(disk, |_| ParitySlot::P0)?
         };
@@ -413,7 +435,10 @@ impl Engine {
                 .rfind(|r| {
                     matches!(
                         r,
-                        LogRecord::Checkpoint { kind: rda_wal::CheckpointKind::Acc, .. }
+                        LogRecord::Checkpoint {
+                            kind: rda_wal::CheckpointKind::Acc,
+                            ..
+                        }
                     )
                 })
                 .unwrap_or(Lsn(store.base())),

@@ -55,15 +55,14 @@ impl Engine {
             for member in self.dur.array.geometry().members(g) {
                 report.pages_scanned += 1;
                 match self.dur.array.try_read_data(member) {
-                    Ok(_) => {}
                     Err(ArrayError::MediaError { .. }) => {
                         let repaired = self.dur.array.reconstruct_data(member, committed)?;
                         self.dur.array.write_data_unprotected(member, &repaired)?;
                         report.data_repaired += 1;
                     }
-                    // A whole failed disk is media recovery's job, not the
-                    // scrubber's.
-                    Err(ArrayError::DiskFailed(_)) => {}
+                    // A readable page needs nothing; a whole failed disk is
+                    // media recovery's job, not the scrubber's.
+                    Ok(_) | Err(ArrayError::DiskFailed(_)) => {}
                     Err(e) => return Err(e.into()),
                 }
             }
@@ -82,19 +81,21 @@ impl Engine {
                     Err(ArrayError::Unrecoverable(_)) => {}
                     Err(e) => return Err(e.into()),
                 },
-                Err(ArrayError::MediaError { .. }) => match self.dur.array.compute_group_parity(g)
-                {
-                    Ok(expect) => {
-                        self.dur.array.write_parity(g, committed, &expect)?;
-                        report.parity_repaired += 1;
+                Err(ArrayError::MediaError { .. }) => {
+                    match self.dur.array.compute_group_parity(g) {
+                        Ok(expect) => {
+                            self.dur.array.write_parity(g, committed, &expect)?;
+                            report.parity_repaired += 1;
+                        }
+                        Err(ArrayError::Unrecoverable(_)) => {}
+                        Err(e) => return Err(e.into()),
                     }
-                    Err(ArrayError::Unrecoverable(_)) => {}
-                    Err(e) => return Err(e.into()),
-                },
+                }
                 Err(ArrayError::DiskFailed(_)) => {}
                 Err(e) => return Err(e.into()),
             }
         }
+        self.paranoid_audit("scrub_repair");
         Ok(report)
     }
 }

@@ -51,7 +51,10 @@ impl TwinMeta {
     fn fresh() -> TwinMeta {
         // A freshly formatted array: P0 holds the (all-zero) committed
         // parity, P1 is obsolete.
-        TwinMeta { ts: [1, 0], state: [TwinState::Committed, TwinState::Obsolete] }
+        TwinMeta {
+            ts: [1, 0],
+            state: [TwinState::Committed, TwinState::Obsolete],
+        }
     }
 
     /// Algorithm Current_Parity (Figure 7): the twin with the larger
@@ -76,7 +79,9 @@ impl TwinDirectory {
     /// Directory for `groups` freshly formatted groups.
     #[must_use]
     pub fn new(groups: u32) -> TwinDirectory {
-        TwinDirectory { metas: Mutex::new(vec![TwinMeta::fresh(); groups as usize]) }
+        TwinDirectory {
+            metas: Mutex::new(vec![TwinMeta::fresh(); groups as usize]),
+        }
     }
 
     /// Number of groups tracked.
@@ -101,7 +106,12 @@ impl TwinDirectory {
     /// its logical clock above this.
     #[must_use]
     pub fn max_ts(&self) -> u64 {
-        self.metas.lock().iter().map(|m| m.ts[0].max(m.ts[1])).max().unwrap_or(0)
+        self.metas
+            .lock()
+            .iter()
+            .map(|m| m.ts[0].max(m.ts[1]))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Begin working on a group: the non-current twin becomes the working
@@ -234,9 +244,15 @@ mod tests {
     #[test]
     fn current_parity_prefers_higher_timestamp() {
         // Direct check of Figure 7 semantics.
-        let meta = TwinMeta { ts: [3, 8], state: [TwinState::Obsolete, TwinState::Committed] };
+        let meta = TwinMeta {
+            ts: [3, 8],
+            state: [TwinState::Obsolete, TwinState::Committed],
+        };
         assert_eq!(meta.current(), ParitySlot::P1);
-        let meta = TwinMeta { ts: [9, 8], state: [TwinState::Committed, TwinState::Obsolete] };
+        let meta = TwinMeta {
+            ts: [9, 8],
+            state: [TwinState::Committed, TwinState::Obsolete],
+        };
         assert_eq!(meta.current(), ParitySlot::P0);
     }
 }

@@ -32,7 +32,10 @@ fn dump_then_restore_roundtrips() {
 
         // Total media loss: every disk replaced; restore from the archive.
         let applied = db.archive_restore(&archive).unwrap();
-        assert!(applied >= 1, "{engine:?}: post-dump commit must be replayed");
+        assert!(
+            applied >= 1,
+            "{engine:?}: post-dump commit must be replayed"
+        );
         let got = db.read_page(3).unwrap();
         assert_eq!(&got[..19], b"post-dump committed", "{engine:?}");
         let got = db.read_page(4).unwrap();
@@ -53,7 +56,7 @@ fn restore_heals_a_failed_and_replaced_array() {
     // back. Swap in blank disks via media path is impossible (two losses
     // in one group), so restore over replaced hardware:
     db.media_recover(0).unwrap_err(); // parity cannot rebuild two losses
-    // Simulate field service replacing both drives with blanks.
+                                      // Simulate field service replacing both drives with blanks.
     db.replace_disk_blank(0);
     db.replace_disk_blank(1);
     db.archive_restore(&archive).unwrap();
@@ -68,7 +71,10 @@ fn archive_requires_quiescence() {
     let db = loaded_db(EngineKind::Rda);
     let mut tx = db.begin();
     tx.write(0, b"busy").unwrap();
-    assert!(matches!(db.archive_dump(), Err(DbError::ActiveTransactions(1))));
+    assert!(matches!(
+        db.archive_dump(),
+        Err(DbError::ActiveTransactions(1))
+    ));
     tx.abort().unwrap();
     db.archive_dump().unwrap();
 }
@@ -104,7 +110,8 @@ fn rebuild_cost_is_flat_while_restore_grows_with_the_log() {
     for round in 0u32..40 {
         let mut tx = db.begin();
         for k in 0..5 {
-            tx.write((round * 5 + k) % db.data_pages(), &[round as u8 + 1; 16]).unwrap();
+            tx.write((round * 5 + k) % db.data_pages(), &[round as u8 + 1; 16])
+                .unwrap();
         }
         tx.commit().unwrap();
     }

@@ -16,8 +16,16 @@ fn cfg(engine: EngineKind, frames: usize) -> DbConfig {
         array: ArrayConfig::new(Organization::RotatedParity, 4, 8)
             .twin(engine == EngineKind::Rda)
             .page_size(PAGE),
-        buffer: BufferConfig { frames, steal: true, policy: ReplacePolicy::Clock },
-        log: LogConfig { page_size: 256, copies: 2, amortized: false },
+        buffer: BufferConfig {
+            frames,
+            steal: true,
+            policy: ReplacePolicy::Clock,
+        },
+        log: LogConfig {
+            page_size: 256,
+            copies: 2,
+            amortized: false,
+        },
         granularity: LogGranularity::Page,
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
@@ -164,5 +172,8 @@ fn double_failure_in_one_group_is_reported() {
             saw_error = true;
         }
     }
-    assert!(saw_error, "a two-disk loss must surface as an error somewhere");
+    assert!(
+        saw_error,
+        "a two-disk loss must surface as an error somewhere"
+    );
 }

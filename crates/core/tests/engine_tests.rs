@@ -17,8 +17,16 @@ fn cfg(engine: EngineKind, frames: usize) -> DbConfig {
         array: ArrayConfig::new(Organization::RotatedParity, 4, 8)
             .twin(engine == EngineKind::Rda)
             .page_size(PAGE),
-        buffer: BufferConfig { frames, steal: true, policy: ReplacePolicy::Clock },
-        log: LogConfig { page_size: 256, copies: 2, amortized: false },
+        buffer: BufferConfig {
+            frames,
+            steal: true,
+            policy: ReplacePolicy::Clock,
+        },
+        log: LogConfig {
+            page_size: 256,
+            copies: 2,
+            amortized: false,
+        },
         granularity: LogGranularity::Page,
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
@@ -46,7 +54,10 @@ fn commit_then_read_back() {
         tx.commit().unwrap();
         assert_page(&db, 0, b"alpha");
         assert_page(&db, 5, b"beta");
-        assert!(db.verify().unwrap().is_empty(), "{engine:?} parity consistent");
+        assert!(
+            db.verify().unwrap().is_empty(),
+            "{engine:?} parity consistent"
+        );
     }
 }
 
@@ -192,7 +203,10 @@ fn crash_with_stolen_uncommitted_pages_undoes_on_disk_state() {
             for p in 0..6 {
                 assert_page(&db, p, &[p as u8 + 1; 16]);
             }
-            assert!(db.verify().unwrap().is_empty(), "{engine:?} {granularity:?}");
+            assert!(
+                db.verify().unwrap().is_empty(),
+                "{engine:?} {granularity:?}"
+            );
         }
     }
 }
@@ -329,9 +343,7 @@ fn shared_page_steal_logs_and_rolls_back_per_txn() {
     // Two transactions share a page (disjoint ranges) under a tiny buffer:
     // the stolen page cannot ride parity and both txns' diffs are logged.
     // One commits, the other aborts.
-    let db = Database::open(
-        cfg(EngineKind::Rda, 2).granularity(LogGranularity::Record),
-    );
+    let db = Database::open(cfg(EngineKind::Rda, 2).granularity(LogGranularity::Record));
     let mut t1 = db.begin();
     let mut t2 = db.begin();
     t1.update(0, 0, b"AAAA").unwrap();
@@ -444,10 +456,16 @@ fn stale_transaction_handle_after_crash_errors() {
 fn wrong_granularity_calls_rejected() {
     let db = Database::open(cfg(EngineKind::Rda, 8));
     let mut tx = db.begin();
-    assert!(matches!(tx.update(0, 0, b"x"), Err(DbError::WrongGranularity(_))));
+    assert!(matches!(
+        tx.update(0, 0, b"x"),
+        Err(DbError::WrongGranularity(_))
+    ));
     let db = Database::open(cfg(EngineKind::Rda, 8).granularity(LogGranularity::Record));
     let mut tx = db.begin();
-    assert!(matches!(tx.write(0, b"x"), Err(DbError::WrongGranularity(_))));
+    assert!(matches!(
+        tx.write(0, b"x"),
+        Err(DbError::WrongGranularity(_))
+    ));
 }
 
 #[test]
@@ -464,7 +482,10 @@ fn oversized_write_rejected() {
     let db = Database::open(cfg(EngineKind::Rda, 8));
     let mut tx = db.begin();
     let too_big = vec![0u8; PAGE + 1];
-    assert!(matches!(tx.write(0, &too_big), Err(DbError::PageOverflow { .. })));
+    assert!(matches!(
+        tx.write(0, &too_big),
+        Err(DbError::PageOverflow { .. })
+    ));
     let db = Database::open(cfg(EngineKind::Rda, 8).granularity(LogGranularity::Record));
     let mut tx = db.begin();
     assert!(matches!(
@@ -588,7 +609,10 @@ fn automatic_acc_checkpoints_fire() {
         tx.write(p, b"x").unwrap();
     }
     tx.commit().unwrap();
-    assert!(db.stats().log.writes > log_before, "checkpoints hit the log");
+    assert!(
+        db.stats().log.writes > log_before,
+        "checkpoints hit the log"
+    );
     // Crash: committed state survives, uncommitted checkpointed pages were
     // already exercised by `checkpoint_flushes_uncommitted_with_protection`.
     db.crash_and_recover().unwrap();
@@ -656,7 +680,10 @@ fn nosteal_buffer_policy_still_commits_and_aborts() {
             Err(e) => panic!("unexpected: {e}"),
         }
     }
-    assert!(wedged, "a ¬STEAL pool must refuse once full of uncommitted pages");
+    assert!(
+        wedged,
+        "a ¬STEAL pool must refuse once full of uncommitted pages"
+    );
     tx.abort().unwrap();
     assert!(db.verify().unwrap().is_empty());
 }
@@ -674,7 +701,10 @@ fn strict_read_locks_give_strict_2pl() {
     assert!(matches!(reader.read(0), Err(DbError::LockConflict { .. })));
     // And readers block writers symmetrically.
     reader.read(1).unwrap();
-    assert!(matches!(writer.write(1, b"x"), Err(DbError::LockConflict { .. })));
+    assert!(matches!(
+        writer.write(1, b"x"),
+        Err(DbError::LockConflict { .. })
+    ));
     // Multiple readers coexist.
     let mut reader2 = db.begin();
     reader2.read(1).unwrap();

@@ -5,9 +5,7 @@
 
 use rda_array::{ArrayConfig, Organization};
 use rda_buffer::{BufferConfig, ReplacePolicy};
-use rda_core::{
-    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity,
-};
+use rda_core::{CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity};
 use rda_wal::LogConfig;
 
 fn cfg(org: Organization, engine: EngineKind, frames: usize) -> DbConfig {
@@ -16,8 +14,16 @@ fn cfg(org: Organization, engine: EngineKind, frames: usize) -> DbConfig {
         array: ArrayConfig::new(org, 4, 8)
             .twin(engine == EngineKind::Rda)
             .page_size(64),
-        buffer: BufferConfig { frames, steal: true, policy: ReplacePolicy::Clock },
-        log: LogConfig { page_size: 256, copies: 2, amortized: false },
+        buffer: BufferConfig {
+            frames,
+            steal: true,
+            policy: ReplacePolicy::Clock,
+        },
+        log: LogConfig {
+            page_size: 256,
+            copies: 2,
+            amortized: false,
+        },
         granularity: LogGranularity::Page,
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
@@ -52,7 +58,11 @@ fn lifecycle_on_every_organization() {
             }
             tx.abort().unwrap();
             for p in 0..pages {
-                assert_eq!(db.read_page(p).unwrap()[0], p as u8 + 1, "{org:?} {engine:?} p{p}");
+                assert_eq!(
+                    db.read_page(p).unwrap()[0],
+                    p as u8 + 1,
+                    "{org:?} {engine:?} p{p}"
+                );
             }
 
             // Crash with in-flight stolen work.
@@ -63,7 +73,11 @@ fn lifecycle_on_every_organization() {
             std::mem::forget(tx);
             db.crash_and_recover().unwrap();
             for p in 0..pages {
-                assert_eq!(db.read_page(p).unwrap()[0], p as u8 + 1, "{org:?} {engine:?} p{p}");
+                assert_eq!(
+                    db.read_page(p).unwrap()[0],
+                    p as u8 + 1,
+                    "{org:?} {engine:?} p{p}"
+                );
             }
 
             assert!(db.verify().unwrap().is_empty(), "{org:?} {engine:?}");
@@ -86,7 +100,11 @@ fn media_recovery_on_every_organization() {
         assert_eq!(db.read_page(0).unwrap()[0], 7, "{org:?} degraded read");
         db.media_recover(1).unwrap();
         for p in 0..pages {
-            assert_eq!(db.read_page(p).unwrap()[0], (p % 200) as u8 + 7, "{org:?} p{p}");
+            assert_eq!(
+                db.read_page(p).unwrap()[0],
+                (p % 200) as u8 + 7,
+                "{org:?} p{p}"
+            );
         }
         assert!(db.verify().unwrap().is_empty(), "{org:?}");
     }

@@ -43,8 +43,16 @@ fn config(engine: EngineKind, eot: EotPolicy, frames: usize) -> DbConfig {
         array: ArrayConfig::new(Organization::RotatedParity, 4, 6)
             .twin(engine == EngineKind::Rda)
             .page_size(PAGE),
-        buffer: BufferConfig { frames, steal: true, policy: ReplacePolicy::Clock },
-        log: LogConfig { page_size: 128, copies: 1, amortized: false },
+        buffer: BufferConfig {
+            frames,
+            steal: true,
+            policy: ReplacePolicy::Clock,
+        },
+        log: LogConfig {
+            page_size: 128,
+            copies: 1,
+            amortized: false,
+        },
         granularity: LogGranularity::Page,
         eot,
         checkpoint: CheckpointPolicy::Manual,
@@ -60,7 +68,10 @@ struct Oracle {
 }
 
 fn run_history(db: &Database, ops: &[Op]) {
-    let mut oracle = Oracle { committed: HashMap::new(), overlays: vec![HashMap::new(); TXN_SLOTS] };
+    let mut oracle = Oracle {
+        committed: HashMap::new(),
+        overlays: vec![HashMap::new(); TXN_SLOTS],
+    };
     let mut handles: Vec<Option<Transaction>> = (0..TXN_SLOTS).map(|_| None).collect();
 
     let check_committed = |oracle: &Oracle| {

@@ -5,7 +5,9 @@
 use rda_core::{CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy};
 
 fn db(engine: EngineKind, eot: EotPolicy) -> Database {
-    let cfg = DbConfig::small_test(engine).eot(eot).checkpoint(CheckpointPolicy::Manual);
+    let cfg = DbConfig::small_test(engine)
+        .eot(eot)
+        .checkpoint(CheckpointPolicy::Manual);
     Database::open(cfg)
 }
 

@@ -108,6 +108,10 @@ impl BTree {
     }
 
     /// Point lookup.
+    ///
+    /// # Errors
+    /// Propagates engine errors from the underlying transactional page
+    /// reads/writes (lock conflicts, crashed engine, array I/O).
     pub fn get(&self, tx: &mut Transaction, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut page = self.root(tx)?;
         loop {
@@ -148,7 +152,10 @@ impl BTree {
         if let Some((sep, right)) = self.insert_rec(tx, root, key, value)? {
             // Root split: a new root above the old one.
             let new_root = self.allocate(tx)?;
-            let node = Node::Internal { keys: vec![sep], children: vec![root, right] };
+            let node = Node::Internal {
+                keys: vec![sep],
+                children: vec![root, right],
+            };
             self.flush(tx, new_root, &node)?;
             self.set_root(tx, new_root)?;
         }
@@ -176,20 +183,34 @@ impl BTree {
                     return Ok(None);
                 }
                 // Split: move the upper half right.
-                let Node::Leaf { next, mut entries } = node else { unreachable!() };
+                let Node::Leaf { next, mut entries } = node else {
+                    unreachable!()
+                };
                 let mid = entries.len() / 2;
                 let right_entries = entries.split_off(mid);
                 let sep = right_entries[0].0.clone();
                 let right_page = self.allocate(tx)?;
-                let right = Node::Leaf { next, entries: right_entries };
-                let left = Node::Leaf { next: right_page, entries };
+                let right = Node::Leaf {
+                    next,
+                    entries: right_entries,
+                };
+                let left = Node::Leaf {
+                    next: right_page,
+                    entries,
+                };
                 self.flush(tx, right_page, &right)?;
                 self.flush(tx, page, &left)?;
                 Ok(Some((sep, right_page)))
             }
-            Node::Internal { mut keys, mut children } => {
-                let idx = Node::Internal { keys: keys.clone(), children: children.clone() }
-                    .route(key);
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let idx = Node::Internal {
+                    keys: keys.clone(),
+                    children: children.clone(),
+                }
+                .route(key);
                 let child = children[idx];
                 let Some((sep, right)) = self.insert_rec(tx, child, key, value)? else {
                     return Ok(None);
@@ -202,7 +223,13 @@ impl BTree {
                     return Ok(None);
                 }
                 // Split the internal node; the middle key moves up.
-                let Node::Internal { mut keys, mut children } = node else { unreachable!() };
+                let Node::Internal {
+                    mut keys,
+                    mut children,
+                } = node
+                else {
+                    unreachable!()
+                };
                 let mid = keys.len() / 2;
                 let up = keys[mid].clone();
                 let right_keys = keys.split_off(mid + 1);
@@ -212,7 +239,10 @@ impl BTree {
                 self.flush(
                     tx,
                     right_page,
-                    &Node::Internal { keys: right_keys, children: right_children },
+                    &Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
                 )?;
                 self.flush(tx, page, &Node::Internal { keys, children })?;
                 Ok(Some((up, right_page)))
@@ -221,12 +251,20 @@ impl BTree {
     }
 
     /// Delete; returns whether the key existed. No rebalancing.
+    ///
+    /// # Errors
+    /// Propagates engine errors from the underlying transactional page
+    /// reads/writes (lock conflicts, crashed engine, array I/O).
     pub fn delete(&self, tx: &mut Transaction, key: &[u8]) -> Result<bool> {
         let mut page = self.root(tx)?;
         loop {
             match self.load(tx, page)? {
                 Node::Internal { keys, children } => {
-                    let idx = Node::Internal { keys, children: children.clone() }.route(key);
+                    let idx = Node::Internal {
+                        keys,
+                        children: children.clone(),
+                    }
+                    .route(key);
                     page = children[idx];
                 }
                 Node::Leaf { next, mut entries } => {
@@ -242,6 +280,10 @@ impl BTree {
     }
 
     /// Half-open range scan `[start, end)` in key order.
+    ///
+    /// # Errors
+    /// Propagates engine errors from the underlying transactional page
+    /// reads/writes (lock conflicts, crashed engine, array I/O).
     pub fn range(
         &self,
         tx: &mut Transaction,
@@ -251,7 +293,11 @@ impl BTree {
         // Descend to the leaf that could hold `start`.
         let mut page = self.root(tx)?;
         while let Node::Internal { keys, children } = self.load(tx, page)? {
-            let idx = Node::Internal { keys, children: children.clone() }.route(start);
+            let idx = Node::Internal {
+                keys,
+                children: children.clone(),
+            }
+            .route(start);
             page = children[idx];
         }
         let mut out = Vec::new();
@@ -275,6 +321,10 @@ impl BTree {
     }
 
     /// Every entry, in key order.
+    ///
+    /// # Errors
+    /// Propagates engine errors from the underlying transactional page
+    /// reads/writes (lock conflicts, crashed engine, array I/O).
     pub fn scan_all(&self, tx: &mut Transaction) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         self.range(tx, &[], &[0xFF; 64])
     }
@@ -287,11 +337,9 @@ fn probe_page_size(db: &Database) -> Result<usize> {
     tx.abort()?;
     match probe {
         Ok(()) => Ok(bytes.len()),
-        Err(rda_core::DbError::WrongGranularity(_)) => {
-            Err(KvError::Db(rda_core::DbError::WrongGranularity(
-                "BTree requires LogGranularity::Record",
-            )))
-        }
+        Err(rda_core::DbError::WrongGranularity(_)) => Err(KvError::Db(
+            rda_core::DbError::WrongGranularity("BTree requires LogGranularity::Record"),
+        )),
         Err(e) => Err(e.into()),
     }
 }
@@ -303,8 +351,7 @@ mod tests {
 
     fn tree() -> BTree {
         // Larger page count so splits have room: 10 groups of 4 = 40 pages.
-        let mut cfg =
-            DbConfig::small_test(EngineKind::Rda).granularity(LogGranularity::Record);
+        let mut cfg = DbConfig::small_test(EngineKind::Rda).granularity(LogGranularity::Record);
         cfg.array.groups = 40; // 160 tiny pages: room for split churn
         BTree::create(Database::open(cfg)).unwrap()
     }
@@ -319,7 +366,8 @@ mod tests {
         let mut tx = t.db().begin();
         // Insert in a scrambled order.
         for i in [5u32, 1, 9, 3, 7, 0, 8, 2, 6, 4] {
-            t.insert(&mut tx, &k(i), format!("v{i}").as_bytes()).unwrap();
+            t.insert(&mut tx, &k(i), format!("v{i}").as_bytes())
+                .unwrap();
         }
         for i in 0..10 {
             assert_eq!(
@@ -405,7 +453,10 @@ mod tests {
         let all = t.scan_all(&mut tx).unwrap();
         assert_eq!(all.len(), 10, "split structure rolled back");
         for i in 0..10u32 {
-            assert_eq!(t.get(&mut tx, &k(i)).unwrap().as_deref(), Some(&b"base"[..]));
+            assert_eq!(
+                t.get(&mut tx, &k(i)).unwrap().as_deref(),
+                Some(&b"base"[..])
+            );
         }
         tx.abort().unwrap();
         assert!(t.db().verify().unwrap().is_empty());

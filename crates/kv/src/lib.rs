@@ -40,9 +40,6 @@
 //! # tx.abort().unwrap();
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod btree;
 mod node;
 mod page;

@@ -39,7 +39,10 @@ impl Node {
     /// A fresh empty leaf.
     #[must_use]
     pub fn empty_leaf() -> Node {
-        Node::Leaf { next: 0, entries: Vec::new() }
+        Node::Leaf {
+            next: 0,
+            entries: Vec::new(),
+        }
     }
 
     /// Decode a node from page bytes.
@@ -98,7 +101,12 @@ impl Node {
     pub fn encoded_len(&self) -> usize {
         match self {
             Node::Leaf { entries, .. } => {
-                1 + 4 + 2 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+                1 + 4
+                    + 2
+                    + entries
+                        .iter()
+                        .map(|(k, v)| 4 + k.len() + v.len())
+                        .sum::<usize>()
             }
             Node::Internal { keys, .. } => {
                 1 + 2 + 4 + keys.iter().map(|k| 2 + k.len() + 4).sum::<usize>()
@@ -112,7 +120,10 @@ impl Node {
     /// Panics if the node does not fit — callers split before encoding.
     #[must_use]
     pub fn encode(&self, page_size: usize) -> Vec<u8> {
-        assert!(self.encoded_len() <= page_size, "node overflows page; split first");
+        assert!(
+            self.encoded_len() <= page_size,
+            "node overflows page; split first"
+        );
         let mut out = Vec::with_capacity(page_size);
         match self {
             Node::Leaf { next, entries } => {
@@ -149,9 +160,7 @@ impl Node {
     #[must_use]
     pub fn route(&self, key: &[u8]) -> usize {
         match self {
-            Node::Internal { keys, .. } => {
-                keys.iter().take_while(|k| k.as_slice() <= key).count()
-            }
+            Node::Internal { keys, .. } => keys.iter().take_while(|k| k.as_slice() <= key).count(),
             Node::Leaf { .. } => panic!("route() on a leaf"),
         }
     }

@@ -57,7 +57,11 @@ impl SlottedPage {
     /// Overflow-chain pointer (0 = none).
     #[must_use]
     pub fn next(&self) -> u32 {
-        u32::from_be_bytes(self.bytes[HDR_NEXT..HDR_NEXT + 4].try_into().expect("4 bytes"))
+        u32::from_be_bytes(
+            self.bytes[HDR_NEXT..HDR_NEXT + 4]
+                .try_into()
+                .expect("4 bytes"),
+        )
     }
 
     /// Set the overflow-chain pointer.
@@ -68,8 +72,11 @@ impl SlottedPage {
     /// Number of directory slots (including tombstones).
     #[must_use]
     pub fn slot_count(&self) -> usize {
-        u16::from_be_bytes(self.bytes[HDR_SLOTS..HDR_SLOTS + 2].try_into().expect("2 bytes"))
-            as usize
+        u16::from_be_bytes(
+            self.bytes[HDR_SLOTS..HDR_SLOTS + 2]
+                .try_into()
+                .expect("2 bytes"),
+        ) as usize
     }
 
     fn set_slot_count(&mut self, n: usize) {
@@ -112,7 +119,9 @@ impl SlottedPage {
     /// Find a live record by key.
     #[must_use]
     pub fn find(&self, key: &[u8]) -> Option<SlotRef> {
-        self.records().find(|(_, k, _)| *k == key).map(|(r, _, _)| r)
+        self.records()
+            .find(|(_, k, _)| *k == key)
+            .map(|(r, _, _)| r)
     }
 
     /// Value bytes of a record.
@@ -121,8 +130,7 @@ impl SlottedPage {
         let cell = &self.bytes[r.offset..r.offset + r.len];
         let klen = u16::from_be_bytes(cell[0..2].try_into().expect("klen")) as usize;
         let vstart = 2 + klen;
-        let vlen =
-            u16::from_be_bytes(cell[vstart..vstart + 2].try_into().expect("vlen")) as usize;
+        let vlen = u16::from_be_bytes(cell[vstart..vstart + 2].try_into().expect("vlen")) as usize;
         &cell[vstart + 2..vstart + 2 + vlen]
     }
 
@@ -194,8 +202,10 @@ impl SlottedPage {
     /// Rewrite the page with only its live records, reclaiming tombstoned
     /// space. Record order is not preserved.
     pub fn compact(&mut self) {
-        let live: Vec<(Vec<u8>, Vec<u8>)> =
-            self.records().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+        let live: Vec<(Vec<u8>, Vec<u8>)> = self
+            .records()
+            .map(|(_, k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
         let next = self.next();
         self.bytes.fill(0);
         self.set_next(next);

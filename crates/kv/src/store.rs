@@ -26,8 +26,14 @@ impl fmt::Display for KvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KvError::Db(e) => write!(f, "engine error: {e}"),
-            KvError::RecordTooLarge { need, page_capacity } => {
-                write!(f, "record of {need} bytes exceeds page capacity {page_capacity}")
+            KvError::RecordTooLarge {
+                need,
+                page_capacity,
+            } => {
+                write!(
+                    f,
+                    "record of {need} bytes exceeds page capacity {page_capacity}"
+                )
             }
             KvError::StoreFull => write!(f, "no free pages for overflow"),
             KvError::Corrupt(what) => write!(f, "corrupt store: {what}"),
@@ -78,7 +84,11 @@ impl KvStore {
         let mut tx = db.begin();
         tx.update(META_PAGE, 0, &meta)?;
         tx.commit()?;
-        Ok(KvStore { db, buckets, page_size })
+        Ok(KvStore {
+            db,
+            buckets,
+            page_size,
+        })
     }
 
     /// Attach to an existing store (e.g. after a crash + recovery).
@@ -92,7 +102,11 @@ impl KvStore {
             return Err(KvError::Corrupt("missing RDKV magic"));
         }
         let buckets = u32::from_be_bytes(meta[4..8].try_into().expect("4 bytes"));
-        Ok(KvStore { db, buckets, page_size })
+        Ok(KvStore {
+            db,
+            buckets,
+            page_size,
+        })
     }
 
     /// The engine underneath (begin transactions here).
@@ -137,7 +151,10 @@ impl KvStore {
         let need = SlottedPage::cell_size(key, value);
         let capacity = self.page_size.saturating_sub(10); // header + one slot
         if need > capacity {
-            return Err(KvError::RecordTooLarge { need, page_capacity: capacity });
+            return Err(KvError::RecordTooLarge {
+                need,
+                page_capacity: capacity,
+            });
         }
 
         // Walk the chain: replace in place if the key exists anywhere.
@@ -177,8 +194,7 @@ impl KvStore {
         let mut page_id = bucket;
         loop {
             let mut page = self.load(tx, page_id)?;
-            if page.free_space() < SlottedPage::cell_size(key, value)
-                && page.records().count() > 0
+            if page.free_space() < SlottedPage::cell_size(key, value) && page.records().count() > 0
             {
                 page.compact();
             }
@@ -215,6 +231,10 @@ impl KvStore {
     }
 
     /// Look a key up.
+    ///
+    /// # Errors
+    /// Propagates engine errors from the underlying transactional page
+    /// reads/writes (lock conflicts, crashed engine, array I/O).
     pub fn get(&self, tx: &mut Transaction, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut page_id = self.bucket_of(key);
         loop {
@@ -230,6 +250,10 @@ impl KvStore {
     }
 
     /// Delete a key; returns whether it existed.
+    ///
+    /// # Errors
+    /// Propagates engine errors from the underlying transactional page
+    /// reads/writes (lock conflicts, crashed engine, array I/O).
     pub fn delete(&self, tx: &mut Transaction, key: &[u8]) -> Result<bool> {
         let mut page_id = self.bucket_of(key);
         loop {
@@ -247,6 +271,10 @@ impl KvStore {
     }
 
     /// All live records, in bucket order (then chain order).
+    ///
+    /// # Errors
+    /// Propagates engine errors from the underlying transactional page
+    /// reads/writes (lock conflicts, crashed engine, array I/O).
     pub fn scan(&self, tx: &mut Transaction) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut out = Vec::new();
         for bucket in 1..=self.buckets {
@@ -311,7 +339,10 @@ mod tests {
         let mut tx = s.db().begin();
         s.put(&mut tx, b"k", b"old").unwrap();
         s.put(&mut tx, b"k", b"new-and-longer").unwrap();
-        assert_eq!(s.get(&mut tx, b"k").unwrap().as_deref(), Some(&b"new-and-longer"[..]));
+        assert_eq!(
+            s.get(&mut tx, b"k").unwrap().as_deref(),
+            Some(&b"new-and-longer"[..])
+        );
         tx.commit().unwrap();
         let mut tx = s.db().begin();
         assert_eq!(s.scan(&mut tx).unwrap().len(), 1);
@@ -345,7 +376,10 @@ mod tests {
         tx.abort().unwrap();
 
         let mut tx = s.db().begin();
-        assert_eq!(s.get(&mut tx, b"stable").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(
+            s.get(&mut tx, b"stable").unwrap().as_deref(),
+            Some(&b"1"[..])
+        );
         assert_eq!(s.get(&mut tx, b"fresh").unwrap(), None);
         tx.abort().unwrap();
     }
@@ -355,8 +389,12 @@ mod tests {
         let s = store();
         let mut tx = s.db().begin();
         for i in 0..10u32 {
-            s.put(&mut tx, format!("key{i}").as_bytes(), format!("val{i}").as_bytes())
-                .unwrap();
+            s.put(
+                &mut tx,
+                format!("key{i}").as_bytes(),
+                format!("val{i}").as_bytes(),
+            )
+            .unwrap();
         }
         tx.commit().unwrap();
 
@@ -369,7 +407,9 @@ mod tests {
         let mut tx = s.db().begin();
         for i in 0..10u32 {
             assert_eq!(
-                s.get(&mut tx, format!("key{i}").as_bytes()).unwrap().as_deref(),
+                s.get(&mut tx, format!("key{i}").as_bytes())
+                    .unwrap()
+                    .as_deref(),
                 Some(format!("val{i}").as_bytes()),
                 "key{i}"
             );
@@ -413,7 +453,9 @@ mod tests {
     #[test]
     fn page_granularity_rejected() {
         let cfg = DbConfig::small_test(EngineKind::Rda); // page logging
-        let err = KvStore::create(Database::open(cfg), 4).err().expect("must fail");
+        let err = KvStore::create(Database::open(cfg), 4)
+            .err()
+            .expect("must fail");
         assert!(matches!(err, KvError::Db(DbError::WrongGranularity(_))));
     }
 

@@ -4,12 +4,8 @@
 use proptest::prelude::*;
 use rda_array::{ArrayConfig, Organization};
 use rda_buffer::{BufferConfig, ReplacePolicy};
-use rda_core::{
-    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity,
-};
-use rda_kv::KvStore;
+use rda_core::{CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity};
 use rda_wal::LogConfig;
-use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -36,8 +32,16 @@ fn cfg() -> DbConfig {
         array: ArrayConfig::new(Organization::RotatedParity, 4, 10)
             .twin(true)
             .page_size(96),
-        buffer: BufferConfig { frames: 6, steal: true, policy: ReplacePolicy::Clock },
-        log: LogConfig { page_size: 256, copies: 1, amortized: false },
+        buffer: BufferConfig {
+            frames: 6,
+            steal: true,
+            policy: ReplacePolicy::Clock,
+        },
+        log: LogConfig {
+            page_size: 256,
+            copies: 1,
+            amortized: false,
+        },
         granularity: LogGranularity::Record,
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,

@@ -43,12 +43,7 @@ pub fn optimal_interval_closed_form(
 /// maximizing [`throughput`]. Used to cross-check (and in the benches, to
 /// replace) the closed form, whose printed version in the OCR is garbled.
 #[must_use]
-pub fn optimize_interval(
-    t: f64,
-    c_t: f64,
-    c_c: f64,
-    c_s_of_i: impl Fn(f64) -> f64 + Copy,
-) -> f64 {
+pub fn optimize_interval(t: f64, c_t: f64, c_c: f64, c_s_of_i: impl Fn(f64) -> f64 + Copy) -> f64 {
     let f = |i: f64| throughput(t, c_t, c_c, i, c_s_of_i);
     // Golden-section on a log scale: the optimum spans orders of magnitude.
     let (mut lo, mut hi) = (c_t.max(1.0).ln(), t.ln());
@@ -62,7 +57,7 @@ pub fn optimize_interval(
             hi = m2;
         }
     }
-    ((lo + hi) / 2.0).exp()
+    f64::midpoint(lo, hi).exp()
 }
 
 #[cfg(test)]

@@ -63,7 +63,11 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
         + p.s_total / p.n;
     let rda = toc_breakdown(p, c_l_rda, c_b_rda, c_s_rda);
 
-    Evaluation { non_rda, rda, p_l: pl }
+    Evaluation {
+        non_rda,
+        rda,
+        p_l: pl,
+    }
 }
 
 #[cfg(test)]
@@ -106,8 +110,7 @@ mod tests {
         // §5.2.1: "the improvement ... is much more significant in the
         // high update frequency environment".
         let hu = evaluate(&ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9));
-        let hr =
-            evaluate(&ModelParams::paper_defaults(Workload::HighRetrieval).communality(0.9));
+        let hr = evaluate(&ModelParams::paper_defaults(Workload::HighRetrieval).communality(0.9));
         assert!(hu.gain() > hr.gain());
         assert!(hr.gain() > 0.0, "RDA still helps retrieval workloads");
     }

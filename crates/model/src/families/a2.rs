@@ -57,9 +57,7 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
         + chain * pfu
         + pfu
         + half_pages
-            * ((4.0 + 2.0 * pl) * (1.0 - p.c) * (1.0 - ps)
-                + 6.0 * ps * pl
-                + 5.0 * ps * (1.0 - pl))
+            * ((4.0 + 2.0 * pl) * (1.0 - p.c) * (1.0 - ps) + 6.0 * ps * pl + 5.0 * ps * (1.0 - pl))
         + 4.0;
     // §5.2.2: "The value of a in the expressions of c_r and c_u is 4 for
     // ¬RDA and 4 + 2·p_l for RDA" (a write-back hitting a dirty group must
@@ -71,8 +69,7 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
     // (s/2)·p_u·(4·(1−p_s) + 4·p_s·p_l + 5·p_s·(1−p_l)) per loser and the
     // S/N bitmap rebuild.
     let redo_rda = c_l_rda / 4.0 + 4.0 * spu;
-    let loser_undo =
-        half_pages * (4.0 * (1.0 - ps) + 4.0 * ps * pl + 5.0 * ps * (1.0 - pl));
+    let loser_undo = half_pages * (4.0 * (1.0 - ps) + 4.0 * ps * pl + 5.0 * ps * (1.0 - pl));
     let restart_fixed_rda = pfu * (c_l_rda / 4.0 + loser_undo) + p.s_total / p.n;
     let rda = acc_breakdown(
         p,
@@ -86,7 +83,11 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
         redo_rda,
     );
 
-    Evaluation { non_rda, rda, p_l: pl }
+    Evaluation {
+        non_rda,
+        rda,
+        p_l: pl,
+    }
 }
 
 #[cfg(test)]
@@ -100,9 +101,15 @@ mod tests {
         // significant in this case" — compare with A1's ≈42%.
         let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
         let gain = evaluate(&p).gain();
-        assert!((0.0..0.15).contains(&gain), "A2 gain should be small, got {gain}");
+        assert!(
+            (0.0..0.15).contains(&gain),
+            "A2 gain should be small, got {gain}"
+        );
         let a1_gain = a1::evaluate(&p).gain();
-        assert!(a1_gain > 2.0 * gain, "A1 gain {a1_gain} should dwarf A2 gain {gain}");
+        assert!(
+            a1_gain > 2.0 * gain,
+            "A1 gain {a1_gain} should dwarf A2 gain {gain}"
+        );
     }
 
     /// CLAIM-X (§5.2.2): "while the ¬FORCE ACC algorithm outperforms the

@@ -46,8 +46,7 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
         (3.0 + 2.0 * pl) * spu + 4.0 * redo_bytes / rp.l_p + 4.0 * undo_bytes_rda / rp.l_p;
     // c_b' = P·f_u·(l_bc + s·p_u·(l_bc + L)·p_l/2 + (l_bc + l_h)·chain)/l_p
     //      + (p_u·s/2)·(6·p_l + 5·(1 − p_l)) + 4.
-    let c_b_rda = pfu
-        * (rp.l_bc + spu * (rp.l_bc + l) * pl / 2.0 + (rp.l_bc + rp.l_h) * chain)
+    let c_b_rda = pfu * (rp.l_bc + spu * (rp.l_bc + l) * pl / 2.0 + (rp.l_bc + rp.l_h) * chain)
         / rp.l_p
         + half_pages * (6.0 * pl + 5.0 * (1.0 - pl))
         + 4.0;
@@ -60,7 +59,11 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
         + p.s_total / p.n;
     let rda = toc_breakdown(p, c_l_rda, c_b_rda, c_s_rda);
 
-    Evaluation { non_rda, rda, p_l: pl }
+    Evaluation {
+        non_rda,
+        rda,
+        p_l: pl,
+    }
 }
 
 #[cfg(test)]

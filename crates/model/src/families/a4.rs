@@ -43,8 +43,7 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
     let c_c = 4.0 * p.b * pm;
     let redo = c_l / 4.0 + 4.0 * spu;
     let restart_fixed = pfu * redo;
-    let non_rda =
-        acc_breakdown(p, c_l, c_b, c_c, pm, 4.0, 2.0 * p_i, restart_fixed, redo);
+    let non_rda = acc_breakdown(p, c_l, c_b, c_c, pm, 4.0, 2.0 * p_i, restart_fixed, redo);
 
     // ---- RDA ------------------------------------------------------------------
     // c_l' = 4·(2·l_bc + s·p_u·(l_bc + L·(2 − p_s·(1 − p_l)))
@@ -60,9 +59,7 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
     //                   + 5·p_s·(1 − p_l)) + 4.
     let c_b_rda = pfu * (c_l_rda / 8.0)
         + half_pages
-            * ((4.0 + 2.0 * pl) * (1.0 - p.c) * (1.0 - ps)
-                + 6.0 * ps * pl
-                + 5.0 * ps * (1.0 - pl))
+            * ((4.0 + 2.0 * pl) * (1.0 - p.c) * (1.0 - ps) + 6.0 * ps * pl + 5.0 * ps * (1.0 - pl))
         + 4.0;
     let a_rda = 4.0 + 2.0 * pl;
     let c_c_rda = a_rda * p.b * pm;
@@ -70,8 +67,7 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
     // Loser undo per crash (per loser): unpropagated pages conservatively
     // rewritten at 4, logged steals 4, parity steals 5; plus the S/N
     // bitmap rebuild.
-    let loser_undo =
-        half_pages * (4.0 * (1.0 - ps) + 4.0 * ps * pl + 5.0 * ps * (1.0 - pl));
+    let loser_undo = half_pages * (4.0 * (1.0 - ps) + 4.0 * ps * pl + 5.0 * ps * (1.0 - pl));
     let restart_fixed_rda = pfu * (c_l_rda / 4.0 + loser_undo) + p.s_total / p.n;
     // c_r' uses 2·p_i·p_l: only steals that cannot ride the parity force
     // record logging at replacement time.
@@ -87,7 +83,11 @@ pub fn evaluate(p: &ModelParams) -> Evaluation {
         redo_rda,
     );
 
-    Evaluation { non_rda, rda, p_l: pl }
+    Evaluation {
+        non_rda,
+        rda,
+        p_l: pl,
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +101,11 @@ mod tests {
         // and for C = 0.9, the increase in throughput is about 14%".
         let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(0.9);
         let gain = evaluate(&p).gain();
-        assert!((0.05..0.30).contains(&gain), "expected ≈14%, got {:.1}%", gain * 100.0);
+        assert!(
+            (0.05..0.30).contains(&gain),
+            "expected ≈14%, got {:.1}%",
+            gain * 100.0
+        );
     }
 
     /// Figure 13's shape: the RDA benefit grows strongly with transaction

@@ -79,31 +79,54 @@ fn sweep(
 /// Default communality grid for the figures (the paper plots C ∈ [0, 1]).
 #[must_use]
 pub fn default_grid() -> Vec<f64> {
-    (0..=20).map(|i| f64::from(i) * 0.05).map(|c| c.min(0.99)).collect()
+    (0..=20)
+        .map(|i| f64::from(i) * 0.05)
+        .map(|c| c.min(0.99))
+        .collect()
 }
 
 /// Figure 9: page logging, FORCE/TOC.
 #[must_use]
 pub fn fig9(cs: &[f64]) -> FigureSeries {
-    sweep("fig9", "¬ATOMIC, STEAL, FORCE, TOC — page logging", families::a1::evaluate, cs)
+    sweep(
+        "fig9",
+        "¬ATOMIC, STEAL, FORCE, TOC — page logging",
+        families::a1::evaluate,
+        cs,
+    )
 }
 
 /// Figure 10: page logging, ¬FORCE/ACC.
 #[must_use]
 pub fn fig10(cs: &[f64]) -> FigureSeries {
-    sweep("fig10", "¬ATOMIC, STEAL, ¬FORCE, ACC — page logging", families::a2::evaluate, cs)
+    sweep(
+        "fig10",
+        "¬ATOMIC, STEAL, ¬FORCE, ACC — page logging",
+        families::a2::evaluate,
+        cs,
+    )
 }
 
 /// Figure 11: record logging, FORCE/TOC.
 #[must_use]
 pub fn fig11(cs: &[f64]) -> FigureSeries {
-    sweep("fig11", "¬ATOMIC, STEAL, FORCE, TOC — record logging", families::a3::evaluate, cs)
+    sweep(
+        "fig11",
+        "¬ATOMIC, STEAL, FORCE, TOC — record logging",
+        families::a3::evaluate,
+        cs,
+    )
 }
 
 /// Figure 12: record logging, ¬FORCE/ACC.
 #[must_use]
 pub fn fig12(cs: &[f64]) -> FigureSeries {
-    sweep("fig12", "¬ATOMIC, STEAL, ¬FORCE, ACC — record logging", families::a4::evaluate, cs)
+    sweep(
+        "fig12",
+        "¬ATOMIC, STEAL, ¬FORCE, ACC — record logging",
+        families::a4::evaluate,
+        cs,
+    )
 }
 
 /// Figure 13: percent RDA gain versus pages accessed per transaction, for
@@ -116,10 +139,17 @@ pub fn fig13(s_values: &[f64]) -> GainSeries {
         .iter()
         .map(|&s| {
             let e = families::a4::evaluate(&base.pages_per_txn(s));
-            GainPoint { s, percent_gain: e.gain() * 100.0 }
+            GainPoint {
+                s,
+                percent_gain: e.gain() * 100.0,
+            }
         })
         .collect();
-    GainSeries { id: "fig13", family: "¬FORCE, ACC, record logging — C = 0.9, high update", points }
+    GainSeries {
+        id: "fig13",
+        family: "¬FORCE, ACC, record logging — C = 0.9, high update",
+        points,
+    }
 }
 
 #[cfg(test)]

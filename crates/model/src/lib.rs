@@ -32,9 +32,6 @@
 //! assert!(gain > 0.30 && gain < 0.55, "gain = {gain}");
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod ckpt;
 pub mod families;
 mod figures;

@@ -95,7 +95,14 @@ impl ModelParams {
             f_u,
             p_u,
             c: 0.0,
-            record: RecordParams { d, r: 100.0, e: 10.0, l_bc: 16.0, l_p: 2020.0, l_h: 4.0 },
+            record: RecordParams {
+                d,
+                r: 100.0,
+                e: 10.0,
+                l_bc: 16.0,
+                l_p: 2020.0,
+                l_h: 4.0,
+            },
             variant: ModelVariant::Reconstructed,
         }
     }

@@ -163,7 +163,10 @@ mod tests {
             s_rec += per * (1.0 - params.c * s_rec / params.b);
         }
         let closed = s_u(&params, k);
-        assert!((closed - s_rec).abs() < 1e-9, "closed {closed} vs recurrence {s_rec}");
+        assert!(
+            (closed - s_rec).abs() < 1e-9,
+            "closed {closed} vs recurrence {s_rec}"
+        );
     }
 
     #[test]
@@ -178,7 +181,10 @@ mod tests {
         let lit = rec.variant(crate::ModelVariant::PaperLiteral);
         let a = s_u(&rec, 4.8);
         let b = s_u(&lit, 4.8);
-        assert!((a - 2.0 * b).abs() < 1e-9, "literal drops the 1/C = 2 factor");
+        assert!(
+            (a - 2.0 * b).abs() < 1e-9,
+            "literal drops the 1/C = 2 factor"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! operating points.
 
 use proptest::prelude::*;
-use rda_model::{families, p_l, p_m, p_s, s_u, Evaluation, ModelParams, Workload};
+use rda_model::{Evaluation, ModelParams, Workload};
 
 fn params_strategy() -> impl Strategy<Value = ModelParams> {
     (
@@ -13,7 +13,10 @@ fn params_strategy() -> impl Strategy<Value = ModelParams> {
         2.0..40.0f64,
     )
         .prop_map(|(wl, c, s, n)| {
-            ModelParams::paper_defaults(wl).communality(c).pages_per_txn(s).group_size(n)
+            ModelParams::paper_defaults(wl)
+                .communality(c)
+                .pages_per_txn(s)
+                .group_size(n)
         })
 }
 

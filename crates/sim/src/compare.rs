@@ -37,7 +37,10 @@ pub fn compare_engines(
         cfg.concurrency = concurrency;
         run_workload(&cfg, spec, txns)
     };
-    Comparison { rda: run(EngineKind::Rda), wal: run(EngineKind::Wal) }
+    Comparison {
+        rda: run(EngineKind::Rda),
+        wal: run(EngineKind::Wal),
+    }
 }
 
 /// A model-vs-measurement checkpoint: the model's predicted per-transaction
@@ -82,8 +85,7 @@ pub fn model_vs_sim(pages: u32, frames: usize, txns: usize, locality: f64) -> Mo
         db
     };
     let comparison = compare_engines(make_db, &spec, txns, 6);
-    let measured_c =
-        f64::midpoint(comparison.rda.measured_c, comparison.wal.measured_c).min(0.99);
+    let measured_c = f64::midpoint(comparison.rda.measured_c, comparison.wal.measured_c).min(0.99);
 
     let mut params = ModelParams::paper_defaults(Workload::HighUpdate).communality(measured_c);
     params.s_total = f64::from(pages);
@@ -108,12 +110,7 @@ mod tests {
     #[test]
     fn engines_comparable_on_same_workload() {
         let spec = WorkloadSpec::high_update(200, 16);
-        let cmp = compare_engines(
-            |engine| DbConfig::paper_like(engine, 200, 32),
-            &spec,
-            80,
-            4,
-        );
+        let cmp = compare_engines(|engine| DbConfig::paper_like(engine, 200, 32), &spec, 80, 4);
         assert!(cmp.rda.committed > 0 && cmp.wal.committed > 0);
         // Identical scripts → identical commit counts.
         assert_eq!(cmp.rda.committed, cmp.wal.committed);
@@ -123,9 +120,15 @@ mod tests {
     fn model_and_sim_agree_on_direction() {
         let check = model_vs_sim(500, 40, 150, 0.7);
         assert!(check.model_gain > 0.0, "model: RDA wins: {check:?}");
-        assert!(check.sim_gain > -0.05, "sim must not contradict the model: {check:?}");
+        assert!(
+            check.sim_gain > -0.05,
+            "sim must not contradict the model: {check:?}"
+        );
         // Costs within a factor of 4 of each other (the model idealizes).
         let ratio = check.sim_ct_wal / check.model_ct_wal;
-        assert!((0.25..4.0).contains(&ratio), "cost ratio {ratio}: {check:?}");
+        assert!(
+            (0.25..4.0).contains(&ratio),
+            "cost ratio {ratio}: {check:?}"
+        );
     }
 }

@@ -35,7 +35,14 @@ impl SimConfig {
     /// verification on.
     #[must_use]
     pub fn new(db: DbConfig) -> SimConfig {
-        SimConfig { db, concurrency: 6, seed: 0xDA7A, warmup: 50, crash_every: None, verify: true }
+        SimConfig {
+            db,
+            concurrency: 6,
+            seed: 0xDA7A,
+            warmup: 50,
+            crash_every: None,
+            verify: true,
+        }
     }
 }
 
@@ -220,7 +227,10 @@ pub fn run_scripts(cfg: &SimConfig, scripts: Vec<TxnScript>) -> SimResult {
             idle_passes = 0;
         } else {
             idle_passes += 1;
-            assert!(idle_passes <= 8 * MAX_STALLS, "driver wedged: nothing progresses");
+            assert!(
+                idle_passes <= 8 * MAX_STALLS,
+                "driver wedged: nothing progresses"
+            );
         }
     }
 
@@ -275,7 +285,10 @@ mod tests {
     }
 
     fn small_spec() -> WorkloadSpec {
-        WorkloadSpec { hot_pages: 24, ..WorkloadSpec::high_update(200, 24) }
+        WorkloadSpec {
+            hot_pages: 24,
+            ..WorkloadSpec::high_update(200, 24)
+        }
     }
 
     #[test]

@@ -14,9 +14,6 @@
 //! The empirical hit ratio is reported alongside the transfer counts so
 //! model and simulation are compared at the same operating point.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod compare;
 mod driver;
 mod threaded;

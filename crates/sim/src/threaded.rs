@@ -14,7 +14,7 @@ use rda_core::{Database, DbConfig, DbError};
 use serde::Serialize;
 
 /// Result of a threaded run.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ThreadedResult {
     /// Committed transactions.
     pub committed: u64,
@@ -22,6 +22,12 @@ pub struct ThreadedResult {
     pub aborted: u64,
     /// Transactions given up after repeated lock conflicts.
     pub conflict_aborts: u64,
+    /// Transactions abandoned on a non-conflict engine error. A healthy
+    /// run has zero; a poisoned worker now reports here instead of
+    /// aborting the whole process.
+    pub failures: u64,
+    /// The first failure's message, when any occurred.
+    pub first_failure: Option<String>,
     /// Total array + log transfers for the whole run.
     pub transfers: u64,
 }
@@ -29,10 +35,10 @@ pub struct ThreadedResult {
 /// Execute `scripts` on `threads` worker threads sharing one database.
 ///
 /// Lock conflicts retry a bounded number of times (restarting the
-/// transaction), then count as conflict aborts.
-///
-/// # Panics
-/// Panics on engine errors other than lock conflicts — those are bugs.
+/// transaction), then count as conflict aborts. Engine errors other than
+/// lock conflicts abandon that script and are reported in
+/// [`ThreadedResult::failures`] / [`ThreadedResult::first_failure`] —
+/// one poisoned worker no longer panics the whole run.
 #[must_use]
 pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) -> ThreadedResult {
     let db = Database::open(db_cfg.clone());
@@ -43,39 +49,68 @@ pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) 
     }
     drop(tx_scripts);
 
-    let (tx_out, rx_out) = channel::unbounded::<(u64, u64, u64)>();
+    type WorkerTally = (u64, u64, u64, u64, Option<String>);
+    let (tx_out, rx_out) = channel::unbounded::<WorkerTally>();
     crossbeam::scope(|scope| {
         for _ in 0..threads.max(1) {
             let db = db.clone();
             let rx_scripts = rx_scripts.clone();
             let tx_out = tx_out.clone();
             scope.spawn(move |_| {
-                let (mut committed, mut aborted, mut conflicts) = (0u64, 0u64, 0u64);
+                let (mut committed, mut aborted, mut conflicts, mut failures) =
+                    (0u64, 0u64, 0u64, 0u64);
+                let mut first_failure = None;
                 while let Ok((idx, script)) = rx_scripts.recv() {
                     match run_one(&db, idx, &script, page_mode) {
                         Outcome::Committed => committed += 1,
                         Outcome::Aborted => aborted += 1,
                         Outcome::GaveUp => conflicts += 1,
+                        Outcome::Failed(msg) => {
+                            failures += 1;
+                            first_failure.get_or_insert(msg);
+                        }
                     }
                 }
-                tx_out.send((committed, aborted, conflicts)).expect("main alive");
+                tx_out
+                    .send((committed, aborted, conflicts, failures, first_failure))
+                    .expect("main alive");
             });
         }
         drop(tx_out);
     })
     .expect("worker panicked");
 
-    let (mut committed, mut aborted, mut conflict_aborts) = (0, 0, 0);
-    while let Ok((c, a, x)) = rx_out.recv() {
+    let (mut committed, mut aborted, mut conflict_aborts, mut failures) = (0, 0, 0, 0);
+    let mut first_failure = None;
+    while let Ok((c, a, x, f, msg)) = rx_out.recv() {
         committed += c;
         aborted += a;
         conflict_aborts += x;
+        failures += f;
+        if let Some(msg) = msg {
+            first_failure.get_or_insert(msg);
+        }
     }
+
+    // With paranoid auditing on, every steal/commit/abort already audited
+    // itself; close the run with one final quiescent pass as well.
+    #[cfg(feature = "paranoid")]
+    {
+        let report = db.audit();
+        assert!(
+            report.is_clean(),
+            "post-run paranoid audit: {:?}",
+            report.violations()
+        );
+    }
+
     let stats = db.stats();
     ThreadedResult {
         committed,
         aborted,
         conflict_aborts,
+        failures,
+        first_failure,
         transfers: stats.array.transfers() + stats.log.transfers(),
     }
 }
@@ -84,6 +119,7 @@ enum Outcome {
     Committed,
     Aborted,
     GaveUp,
+    Failed(String),
 }
 
 fn run_one(db: &Database, idx: usize, script: &TxnScript, page_mode: bool) -> Outcome {
@@ -109,15 +145,26 @@ fn run_one(db: &Database, idx: usize, script: &TxnScript, page_mode: bool) -> Ou
                     std::thread::yield_now();
                     continue 'attempt;
                 }
-                Err(e) => panic!("threaded access failed: {e}"),
+                // Anything else is a real engine failure: give the script
+                // up and report it instead of panicking the worker.
+                Err(e) => return Outcome::Failed(format!("access failed: {e}")),
             }
         }
-        if script.aborts {
-            tx.abort().expect("scripted abort");
-            return Outcome::Aborted;
-        }
-        tx.commit().expect("commit");
-        return Outcome::Committed;
+        return if script.aborts {
+            match tx.abort() {
+                Ok(()) => Outcome::Aborted,
+                Err(e) => Outcome::Failed(format!("scripted abort failed: {e}")),
+            }
+        } else {
+            match tx.commit() {
+                Ok(_) => Outcome::Committed,
+                Err(DbError::LockConflict { .. }) => {
+                    std::thread::yield_now();
+                    continue 'attempt;
+                }
+                Err(e) => Outcome::Failed(format!("commit failed: {e}")),
+            }
+        };
     }
     Outcome::GaveUp
 }
@@ -145,10 +192,11 @@ mod tests {
         let spec = WorkloadSpec::high_update(300, 60);
         let result = run_workload_threaded(&cfg, &spec, 120, 4, 5);
         assert_eq!(
-            result.committed + result.aborted + result.conflict_aborts,
+            result.committed + result.aborted + result.conflict_aborts + result.failures,
             120,
             "{result:?}"
         );
+        assert_eq!(result.failures, 0, "{:?}", result.first_failure);
         assert!(result.committed >= 100, "{result:?}");
         assert!(result.transfers > 0);
     }
@@ -162,12 +210,16 @@ mod tests {
         let db = Database::open(cfg.clone());
         let scripts: Vec<TxnScript> = (0..50u32)
             .map(|p| TxnScript {
-                accesses: vec![crate::Access { page: p, kind: AccessKind::Update }],
+                accesses: vec![crate::Access {
+                    page: p,
+                    kind: AccessKind::Update,
+                }],
                 aborts: false,
             })
             .collect();
         let result = run_threaded(&cfg, scripts, 8);
         assert_eq!(result.committed, 50);
+        assert_eq!(result.failures, 0, "{:?}", result.first_failure);
         let _ = db; // fresh DB just to show open() is cheap; contents
                     // checked via a second sequential run below.
     }
@@ -178,5 +230,39 @@ mod tests {
         let spec = WorkloadSpec::high_update(300, 60);
         let result = run_workload_threaded(&cfg, &spec, 80, 6, 9);
         assert!(result.committed > 0);
+        assert_eq!(result.failures, 0, "{:?}", result.first_failure);
+    }
+
+    /// Deterministic multi-threaded stress for the paranoid auditor: a
+    /// fixed seed generates a conflict-heavy mix of committing and
+    /// aborting transactions over a small hot set, on both engines and
+    /// both logging granularities. With `--features paranoid` every
+    /// steal, commit and abort audits the full invariant set mid-flight,
+    /// and `run_threaded` closes with a quiescent audit.
+    #[test]
+    #[cfg_attr(not(feature = "paranoid"), ignore = "run with --features paranoid")]
+    fn paranoid_threaded_stress_audits_every_transition() {
+        for kind in [EngineKind::Rda, EngineKind::Wal] {
+            for record in [false, true] {
+                let mut cfg = DbConfig::paper_like(kind, 120, 12);
+                if record {
+                    cfg.granularity = rda_core::LogGranularity::Record;
+                }
+                // Tiny hot set → plenty of shared groups, steals and
+                // conflict-driven restarts.
+                let spec = WorkloadSpec::high_update(120, 8);
+                let result = run_workload_threaded(&cfg, &spec, 90, 6, 0xDECAF);
+                assert_eq!(
+                    result.committed + result.aborted + result.conflict_aborts + result.failures,
+                    90,
+                    "{result:?}"
+                );
+                assert_eq!(
+                    result.failures, 0,
+                    "kind {kind:?} record {record}: {:?}",
+                    result.first_failure
+                );
+            }
+        }
     }
 }

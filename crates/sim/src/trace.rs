@@ -20,7 +20,11 @@ impl Trace {
     /// Generate a trace of `count` transactions.
     #[must_use]
     pub fn generate(spec: WorkloadSpec, count: usize, seed: u64) -> Trace {
-        Trace { spec, seed, scripts: spec.generate(count, seed) }
+        Trace {
+            spec,
+            seed,
+            scripts: spec.generate(count, seed),
+        }
     }
 
     /// Number of scripts.

@@ -137,7 +137,10 @@ impl WorkloadSpec {
                 Access { page, kind }
             })
             .collect();
-        TxnScript { accesses, aborts: rng.gen_bool(self.p_b) }
+        TxnScript {
+            accesses,
+            aborts: rng.gen_bool(self.p_b),
+        }
     }
 }
 
@@ -166,7 +169,9 @@ mod tests {
         let a = spec.generate(10, 1);
         let b = spec.generate(10, 2);
         let fingerprint = |ts: &[TxnScript]| -> Vec<u32> {
-            ts.iter().flat_map(|t| t.accesses.iter().map(|a| a.page)).collect()
+            ts.iter()
+                .flat_map(|t| t.accesses.iter().map(|a| a.page))
+                .collect()
         };
         assert_ne!(fingerprint(&a), fingerprint(&b));
     }

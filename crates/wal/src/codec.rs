@@ -48,7 +48,13 @@ pub fn encode(record: &LogRecord, out: &mut BytesMut) {
             out.put_u32(page.0);
             put_bytes(out, image);
         }
-        LogRecord::RecordUpdate { txn, page, offset, before, after } => {
+        LogRecord::RecordUpdate {
+            txn,
+            page,
+            offset,
+            before,
+            after,
+        } => {
             out.put_u8(TAG_RECORD);
             out.put_u64(txn.0);
             out.put_u32(page.0);
@@ -56,7 +62,12 @@ pub fn encode(record: &LogRecord, out: &mut BytesMut) {
             put_bytes(out, before);
             put_bytes(out, after);
         }
-        LogRecord::RecordRedo { txn, page, offset, after } => {
+        LogRecord::RecordRedo {
+            txn,
+            page,
+            offset,
+            after,
+        } => {
             out.put_u8(TAG_RECORD_REDO);
             out.put_u64(txn.0);
             out.put_u32(page.0);
@@ -132,7 +143,10 @@ pub fn decode(buf: &mut Bytes) -> Result<LogRecord, WalError> {
             offset: get_u32(buf)?,
             after: get_bytes(buf)?,
         }),
-        TAG_STEAL => Ok(LogRecord::StealNote { txn: get_txn(buf)?, page: get_page(buf)? }),
+        TAG_STEAL => Ok(LogRecord::StealNote {
+            txn: get_txn(buf)?,
+            page: get_page(buf)?,
+        }),
         TAG_COMP => Ok(LogRecord::Compensation {
             txn: get_txn(buf)?,
             page: get_page(buf)?,
@@ -194,62 +208,77 @@ fn get_bytes(buf: &mut Bytes) -> Result<Vec<u8>, WalError> {
 mod tests {
     use super::*;
 
-    fn roundtrip(record: LogRecord) {
+    fn roundtrip(record: &LogRecord) {
         let mut buf = BytesMut::new();
-        encode(&record, &mut buf);
-        assert_eq!(buf.len(), encoded_len(&record));
+        encode(record, &mut buf);
+        assert_eq!(buf.len(), encoded_len(record));
         let mut bytes = buf.freeze();
         let decoded = decode(&mut bytes).unwrap();
-        assert_eq!(decoded, record);
-        assert_eq!(bytes.remaining(), 0, "decode must consume exactly one record");
+        assert_eq!(decoded, *record);
+        assert_eq!(
+            bytes.remaining(),
+            0,
+            "decode must consume exactly one record"
+        );
     }
 
     #[test]
     fn roundtrip_all_variants() {
-        roundtrip(LogRecord::Bot { txn: TxnId(42) });
-        roundtrip(LogRecord::Commit { txn: TxnId(u64::MAX) });
-        roundtrip(LogRecord::Abort { txn: TxnId(0) });
-        roundtrip(LogRecord::BeforeImage {
+        roundtrip(&LogRecord::Bot { txn: TxnId(42) });
+        roundtrip(&LogRecord::Commit {
+            txn: TxnId(u64::MAX),
+        });
+        roundtrip(&LogRecord::Abort { txn: TxnId(0) });
+        roundtrip(&LogRecord::BeforeImage {
             txn: TxnId(7),
             page: DataPageId(12),
             image: vec![1, 2, 3, 4, 5],
         });
-        roundtrip(LogRecord::AfterImage {
+        roundtrip(&LogRecord::AfterImage {
             txn: TxnId(7),
             page: DataPageId(12),
             image: vec![],
         });
-        roundtrip(LogRecord::RecordUpdate {
+        roundtrip(&LogRecord::RecordUpdate {
             txn: TxnId(9),
             page: DataPageId(3),
             offset: 1000,
             before: vec![0xAA; 100],
             after: vec![0x55; 100],
         });
-        roundtrip(LogRecord::RecordRedo {
+        roundtrip(&LogRecord::RecordRedo {
             txn: TxnId(9),
             page: DataPageId(3),
             offset: 4,
             after: vec![1],
         });
-        roundtrip(LogRecord::StealNote { txn: TxnId(11), page: DataPageId(2) });
-        roundtrip(LogRecord::Compensation {
+        roundtrip(&LogRecord::StealNote {
+            txn: TxnId(11),
+            page: DataPageId(2),
+        });
+        roundtrip(&LogRecord::Compensation {
             txn: TxnId(13),
             page: DataPageId(8),
             image: vec![3; 40],
         });
-        roundtrip(LogRecord::Checkpoint {
+        roundtrip(&LogRecord::Checkpoint {
             kind: CheckpointKind::Acc,
             active: vec![TxnId(1), TxnId(5), TxnId(9)],
         });
-        roundtrip(LogRecord::Checkpoint { kind: CheckpointKind::Toc, active: vec![] });
+        roundtrip(&LogRecord::Checkpoint {
+            kind: CheckpointKind::Toc,
+            active: vec![],
+        });
     }
 
     #[test]
     fn back_to_back_records_decode_in_order() {
         let records = vec![
             LogRecord::Bot { txn: TxnId(1) },
-            LogRecord::StealNote { txn: TxnId(1), page: DataPageId(4) },
+            LogRecord::StealNote {
+                txn: TxnId(1),
+                page: DataPageId(4),
+            },
             LogRecord::Commit { txn: TxnId(1) },
         ];
         let mut buf = BytesMut::new();
@@ -271,7 +300,11 @@ mod tests {
         // Truncated record.
         let mut buf = BytesMut::new();
         encode(
-            &LogRecord::BeforeImage { txn: TxnId(1), page: DataPageId(1), image: vec![9; 64] },
+            &LogRecord::BeforeImage {
+                txn: TxnId(1),
+                page: DataPageId(1),
+                image: vec![9; 64],
+            },
             &mut buf,
         );
         let mut truncated = buf.freeze().slice(0..20);

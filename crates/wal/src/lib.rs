@@ -26,9 +26,6 @@
 //! crash) and a volatile [`LogManager`] writer; [`LogManager::crash`]
 //! discards unforced records exactly as a power failure would.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod codec;
 mod manager;
 mod record;

@@ -20,7 +20,10 @@ impl LogManager {
     /// Attach a writer to a (possibly pre-existing) durable store.
     #[must_use]
     pub fn new(store: Arc<LogStore>) -> LogManager {
-        LogManager { store, volatile: Mutex::new(Vec::new()) }
+        LogManager {
+            store,
+            volatile: Mutex::new(Vec::new()),
+        }
     }
 
     /// The durable store behind this writer.

@@ -195,22 +195,37 @@ mod tests {
     fn txn_accessor() {
         assert_eq!(LogRecord::Bot { txn: TxnId(3) }.txn(), Some(TxnId(3)));
         assert_eq!(
-            LogRecord::Checkpoint { kind: CheckpointKind::Acc, active: vec![] }.txn(),
+            LogRecord::Checkpoint {
+                kind: CheckpointKind::Acc,
+                active: vec![]
+            }
+            .txn(),
             None
         );
     }
 
     #[test]
     fn page_accessor() {
-        let r = LogRecord::StealNote { txn: TxnId(1), page: DataPageId(9) };
+        let r = LogRecord::StealNote {
+            txn: TxnId(1),
+            page: DataPageId(9),
+        };
         assert_eq!(r.page(), Some(DataPageId(9)));
         assert_eq!(LogRecord::Commit { txn: TxnId(1) }.page(), None);
     }
 
     #[test]
     fn undo_redo_classification() {
-        let before = LogRecord::BeforeImage { txn: TxnId(1), page: DataPageId(0), image: vec![] };
-        let after = LogRecord::AfterImage { txn: TxnId(1), page: DataPageId(0), image: vec![] };
+        let before = LogRecord::BeforeImage {
+            txn: TxnId(1),
+            page: DataPageId(0),
+            image: vec![],
+        };
+        let after = LogRecord::AfterImage {
+            txn: TxnId(1),
+            page: DataPageId(0),
+            image: vec![],
+        };
         let rec = LogRecord::RecordUpdate {
             txn: TxnId(1),
             page: DataPageId(0),

@@ -77,10 +77,16 @@ impl Analysis {
                     out.outcomes.entry(*txn).or_insert(TxnOutcome::InFlight);
                     out.compensations.insert((*txn, *page), image.clone());
                 }
-                LogRecord::Checkpoint { kind: CheckpointKind::Acc, active } => {
+                LogRecord::Checkpoint {
+                    kind: CheckpointKind::Acc,
+                    active,
+                } => {
                     out.last_acc_checkpoint = Some((*lsn, active.clone()));
                 }
-                LogRecord::Checkpoint { kind: CheckpointKind::Toc, .. } => {}
+                LogRecord::Checkpoint {
+                    kind: CheckpointKind::Toc,
+                    ..
+                } => {}
             }
         }
         out
@@ -138,13 +144,26 @@ mod tests {
     fn collects_steal_notes_and_logged_undo() {
         let records = lsn_seq(vec![
             LogRecord::Bot { txn: TxnId(1) },
-            LogRecord::StealNote { txn: TxnId(1), page: DataPageId(4) },
-            LogRecord::BeforeImage { txn: TxnId(1), page: DataPageId(7), image: vec![] },
-            LogRecord::StealNote { txn: TxnId(1), page: DataPageId(4) },
+            LogRecord::StealNote {
+                txn: TxnId(1),
+                page: DataPageId(4),
+            },
+            LogRecord::BeforeImage {
+                txn: TxnId(1),
+                page: DataPageId(7),
+                image: vec![],
+            },
+            LogRecord::StealNote {
+                txn: TxnId(1),
+                page: DataPageId(4),
+            },
         ]);
         let a = Analysis::run(&records);
         assert_eq!(
-            a.parity_steals[&TxnId(1)].iter().copied().collect::<Vec<_>>(),
+            a.parity_steals[&TxnId(1)]
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![DataPageId(4)]
         );
         assert_eq!(
@@ -156,9 +175,15 @@ mod tests {
     #[test]
     fn last_acc_checkpoint_wins() {
         let records = lsn_seq(vec![
-            LogRecord::Checkpoint { kind: CheckpointKind::Acc, active: vec![TxnId(1)] },
+            LogRecord::Checkpoint {
+                kind: CheckpointKind::Acc,
+                active: vec![TxnId(1)],
+            },
             LogRecord::Bot { txn: TxnId(2) },
-            LogRecord::Checkpoint { kind: CheckpointKind::Acc, active: vec![TxnId(2)] },
+            LogRecord::Checkpoint {
+                kind: CheckpointKind::Acc,
+                active: vec![TxnId(2)],
+            },
         ]);
         let a = Analysis::run(&records);
         let (lsn, active) = a.last_acc_checkpoint.unwrap();

@@ -43,7 +43,11 @@ pub struct LogConfig {
 
 impl Default for LogConfig {
     fn default() -> LogConfig {
-        LogConfig { page_size: 2020, copies: 2, amortized: false }
+        LogConfig {
+            page_size: 2020,
+            copies: 2,
+            amortized: false,
+        }
     }
 }
 
@@ -119,7 +123,9 @@ impl LogStore {
     /// checkpoint), or an archive the caller intends to restore from.
     pub fn truncate_before(&self, upto: Lsn) -> u64 {
         let mut inner = self.inner.lock();
-        let cut = upto.0.clamp(inner.base, inner.base + inner.records.len() as u64);
+        let cut = upto
+            .0
+            .clamp(inner.base, inner.base + inner.records.len() as u64);
         let drop_count = (cut - inner.base) as usize;
         inner.records.drain(..drop_count);
         inner.base = cut;
@@ -261,7 +267,11 @@ mod tests {
     use rda_array::DataPageId;
 
     fn store(page_size: usize, copies: u32) -> Arc<LogStore> {
-        LogStore::new(LogConfig { page_size, copies, amortized: false })
+        LogStore::new(LogConfig {
+            page_size,
+            copies,
+            amortized: false,
+        })
     }
 
     #[test]
@@ -290,15 +300,27 @@ mod tests {
         // Each image record is ~117 bytes (1+8+4+4+100): two of them span
         // 3 pages (bytes 0..234).
         s.append_durable(vec![
-            LogRecord::AfterImage { txn: TxnId(1), page: DataPageId(0), image: vec![0; 100] },
-            LogRecord::AfterImage { txn: TxnId(1), page: DataPageId(1), image: vec![0; 100] },
+            LogRecord::AfterImage {
+                txn: TxnId(1),
+                page: DataPageId(0),
+                image: vec![0; 100],
+            },
+            LogRecord::AfterImage {
+                txn: TxnId(1),
+                page: DataPageId(1),
+                image: vec![0; 100],
+            },
         ]);
         assert_eq!(s.stats().writes(), 3);
     }
 
     #[test]
     fn amortized_mode_bills_partial_tail_once() {
-        let s = LogStore::new(LogConfig { page_size: 1024, copies: 1, amortized: true });
+        let s = LogStore::new(LogConfig {
+            page_size: 1024,
+            copies: 1,
+            amortized: true,
+        });
         s.append_durable(vec![LogRecord::Bot { txn: TxnId(1) }]);
         assert_eq!(s.stats().writes(), 1, "first touch of page 0");
         s.append_durable(vec![LogRecord::Commit { txn: TxnId(1) }]);

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use rda_array::DataPageId;
-use rda_wal::{codec, Analysis, CheckpointKind, LogConfig, LogManager, LogRecord, LogStore, TxnId};
+use rda_wal::{CheckpointKind, LogRecord, TxnId};
 
 fn record_strategy() -> impl Strategy<Value = LogRecord> {
     let txn = (1u64..20).prop_map(TxnId);
@@ -18,23 +18,41 @@ fn record_strategy() -> impl Strategy<Value = LogRecord> {
             .prop_map(|(txn, page, image)| LogRecord::BeforeImage { txn, page, image }),
         (txn.clone(), page.clone(), bytes.clone())
             .prop_map(|(txn, page, image)| LogRecord::AfterImage { txn, page, image }),
-        (txn.clone(), page.clone(), 0u32..2020, bytes.clone(), bytes.clone()).prop_map(
-            |(txn, page, offset, before, after)| LogRecord::RecordUpdate {
+        (
+            txn.clone(),
+            page.clone(),
+            0u32..2020,
+            bytes.clone(),
+            bytes.clone()
+        )
+            .prop_map(
+                |(txn, page, offset, before, after)| LogRecord::RecordUpdate {
+                    txn,
+                    page,
+                    offset,
+                    before,
+                    after
+                }
+            ),
+        (txn.clone(), page.clone(), 0u32..2020, bytes.clone()).prop_map(
+            |(txn, page, offset, after)| LogRecord::RecordRedo {
                 txn,
                 page,
                 offset,
-                before,
                 after
             }
         ),
-        (txn.clone(), page.clone(), 0u32..2020, bytes.clone()).prop_map(
-            |(txn, page, offset, after)| LogRecord::RecordRedo { txn, page, offset, after }
-        ),
         (txn.clone(), page.clone()).prop_map(|(txn, page)| LogRecord::StealNote { txn, page }),
-        (txn, page, bytes)
-            .prop_map(|(txn, page, image)| LogRecord::Compensation { txn, page, image }),
+        (txn, page, bytes).prop_map(|(txn, page, image)| LogRecord::Compensation {
+            txn,
+            page,
+            image
+        }),
         prop::collection::vec((1u64..20).prop_map(TxnId), 0..5).prop_map(|active| {
-            LogRecord::Checkpoint { kind: CheckpointKind::Acc, active }
+            LogRecord::Checkpoint {
+                kind: CheckpointKind::Acc,
+                active,
+            }
         }),
     ]
 }

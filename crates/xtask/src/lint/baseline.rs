@@ -1,0 +1,50 @@
+//! The unwrap/expect ratchet baseline: a checked-in per-file count that
+//! may only go down. `cargo xtask lint` fails when a file exceeds its
+//! recorded count; `--update-baseline` rewrites the file with current
+//! counts (the normal way to bank an improvement).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+pub const BASELINE_FILE: &str = "crates/xtask/unwrap-baseline.txt";
+
+const HEADER: &str = "\
+# unwrap/expect ratchet baseline — maintained by `cargo xtask lint --update-baseline`.
+# One line per file: <count> <path>. Counts exclude comments, strings and
+# #[cfg(test)] items. The lint fails when a file exceeds its count here;
+# lower a count by fixing call sites and re-running with --update-baseline.
+";
+
+/// Parse the baseline file. Missing file → `None`.
+pub fn load(root: &Path) -> Option<BTreeMap<String, usize>> {
+    let text = std::fs::read_to_string(root.join(BASELINE_FILE)).ok()?;
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((count, path)) = line.split_once(' ') {
+            if let Ok(count) = count.parse::<usize>() {
+                map.insert(path.trim().to_string(), count);
+            }
+        }
+    }
+    Some(map)
+}
+
+/// Rewrite the baseline with `counts` (zero-count files are omitted).
+///
+/// # Errors
+/// Returns a message when the file cannot be written.
+pub fn store(root: &Path, counts: &BTreeMap<String, usize>) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut out = String::from(HEADER);
+    for (path, count) in counts {
+        if *count > 0 {
+            let _ = writeln!(out, "{count} {path}");
+        }
+    }
+    std::fs::write(root.join(BASELINE_FILE), out)
+        .map_err(|e| format!("cannot write {BASELINE_FILE}: {e}"))
+}

@@ -1,0 +1,196 @@
+//! The individual lint rules. Each takes preprocessed sources and pushes
+//! human-readable violations; `mod.rs` decides overall pass/fail.
+
+use std::collections::BTreeMap;
+
+use super::source::{count_token, line_of, token_positions};
+use super::SourceFile;
+
+/// Crates whose library code is subject to the unwrap/expect ratchet —
+/// the recovery-critical layers where a stray panic can take down the
+/// "database" mid-protocol.
+pub const RATCHET_CRATES: &[&str] = &["crates/core", "crates/array", "crates/buffer", "crates/wal"];
+
+/// Count `.unwrap()` / `.expect(` call sites per ratcheted file.
+pub fn unwrap_counts(files: &[SourceFile]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for f in files {
+        if !in_ratchet_scope(&f.rel_path) {
+            continue;
+        }
+        let n = f.code.matches(".unwrap()").count() + f.code.matches(".expect(").count();
+        counts.insert(f.rel_path.clone(), n);
+    }
+    counts
+}
+
+fn in_ratchet_scope(rel_path: &str) -> bool {
+    RATCHET_CRATES.iter().any(|c| {
+        rel_path
+            .strip_prefix(c)
+            .and_then(|rest| rest.strip_prefix("/src/"))
+            .is_some()
+    })
+}
+
+/// Compare current counts against the baseline; returns (violations,
+/// improvable) where `improvable` lists files now below their baseline.
+pub fn ratchet_check(
+    counts: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> (Vec<String>, Vec<String>) {
+    let mut violations = Vec::new();
+    let mut improvable = Vec::new();
+    for (path, &count) in counts {
+        let allowed = baseline.get(path).copied().unwrap_or(0);
+        if count > allowed {
+            violations.push(format!(
+                "[unwrap-ratchet] {path}: {count} unwrap()/expect() call sites \
+                 (baseline allows {allowed}) — handle the error or lower the \
+                 count elsewhere first"
+            ));
+        } else if count < allowed {
+            improvable.push(format!(
+                "{path}: {count} < baseline {allowed} — run `cargo xtask lint \
+                 --update-baseline` to bank the improvement"
+            ));
+        }
+    }
+    for path in baseline.keys() {
+        if !counts.contains_key(path) {
+            improvable.push(format!(
+                "{path}: file gone from ratchet scope — run `cargo xtask lint --update-baseline`"
+            ));
+        }
+    }
+    (violations, improvable)
+}
+
+/// Every `pub fn` returning `Result` in non-test library code must carry
+/// a `# Errors` section in its doc comment (mirrors
+/// `clippy::missing_errors_doc`, but also covers functions clippy skips
+/// because a private module hides them — the doc is still the contract
+/// for the next maintainer).
+pub fn errors_doc(files: &[SourceFile], violations: &mut Vec<String>) {
+    for f in files {
+        let code_lines: Vec<&str> = f.code.lines().collect();
+        let text_lines: Vec<&str> = f.text.lines().collect();
+        for pos in token_positions(&f.code, "fn") {
+            let line_idx = line_of(&f.code, pos) - 1;
+            let Some(first) = code_lines.get(line_idx) else {
+                continue;
+            };
+            // Only `pub fn`, not pub(crate)/pub(super) (not API surface).
+            let before_fn: &str = {
+                let col = pos - f.code[..pos].rfind('\n').map_or(0, |p| p + 1);
+                &first[..col.min(first.len())]
+            };
+            let trimmed = before_fn.trim();
+            if trimmed != "pub" && !trimmed.ends_with(" pub") {
+                continue;
+            }
+            // Collect the signature until its body or `;`.
+            let mut sig = String::new();
+            for line in code_lines.iter().skip(line_idx).take(24) {
+                if let Some(stop) = line.find(['{', ';']) {
+                    sig.push_str(&line[..stop]);
+                    break;
+                }
+                sig.push_str(line);
+                sig.push(' ');
+            }
+            let Some(ret) = sig.split_once("->").map(|(_, r)| r) else {
+                continue;
+            };
+            // Token match so `SimResult` / `ThreadedResult` don't count.
+            if count_token(ret, "Result") == 0 {
+                continue;
+            }
+            // Walk upward over attributes, then require `# Errors` in the
+            // contiguous doc block (checked on the original text, since
+            // stripping blanks comments).
+            let mut i = line_idx;
+            while i > 0 && text_lines[i - 1].trim_start().starts_with("#[") {
+                i -= 1;
+            }
+            let mut documented = false;
+            while i > 0 {
+                let doc = text_lines[i - 1].trim_start();
+                if let Some(body) = doc.strip_prefix("///") {
+                    if body.trim() == "# Errors" {
+                        documented = true;
+                    }
+                    i -= 1;
+                } else {
+                    break;
+                }
+            }
+            if !documented {
+                violations.push(format!(
+                    "[errors-doc] {}:{}: public fn returning Result lacks a \
+                     `# Errors` doc section",
+                    f.rel_path,
+                    line_idx + 1
+                ));
+            }
+        }
+    }
+}
+
+/// The raw disk type must not leak above `rda-array`: everything else
+/// goes through `DiskArray`, which owns the parity protocol and the
+/// transfer accounting the paper's cost model depends on.
+pub fn array_discipline(files: &[SourceFile], violations: &mut Vec<String>) {
+    for f in files {
+        if f.rel_path.starts_with("crates/array/") {
+            continue;
+        }
+        for pos in token_positions(&f.code, "SimDisk") {
+            violations.push(format!(
+                "[array-discipline] {}:{}: direct `SimDisk` access outside \
+                 rda-array bypasses parity maintenance and transfer accounting \
+                 — go through `DiskArray`",
+                f.rel_path,
+                line_of(&f.code, pos)
+            ));
+        }
+    }
+}
+
+/// No `unsafe` anywhere (the whole stack is a simulation; nothing
+/// justifies it), and every workspace manifest must opt into the shared
+/// `[workspace.lints]` table so `unsafe_code = "deny"` actually applies.
+pub fn unsafe_and_lint_config(
+    files: &[SourceFile],
+    manifests: &[(String, String)],
+    root_manifest: &str,
+    violations: &mut Vec<String>,
+) {
+    for f in files {
+        for pos in token_positions(&f.code, "unsafe") {
+            violations.push(format!(
+                "[deny-unsafe] {}:{}: `unsafe` is banned in this workspace",
+                f.rel_path,
+                line_of(&f.code, pos)
+            ));
+        }
+    }
+    if count_token(root_manifest, "unsafe_code") == 0
+        || !root_manifest.contains("unsafe_code = \"deny\"")
+    {
+        violations.push(
+            "[lint-config] root Cargo.toml must set `unsafe_code = \"deny\"` \
+             under [workspace.lints.rust]"
+                .to_string(),
+        );
+    }
+    for (path, body) in manifests {
+        let normalized: String = body.split_whitespace().collect::<Vec<_>>().join(" ");
+        if !normalized.contains("[lints] workspace = true") {
+            violations.push(format!(
+                "[lint-config] {path}: missing `[lints] workspace = true` — \
+                 the crate escapes the shared workspace lint table"
+            ));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Lossless-layout source preprocessing for the lint rules.
+//!
+//! [`strip`] replaces the contents of comments and string/char literals
+//! with spaces (newlines preserved), so token rules can use naive
+//! substring search without being fooled by doc examples or messages.
+//! [`blank_test_items`] additionally blanks any item gated behind
+//! `#[cfg(test)]`, so test-only code is exempt from production rules.
+
+/// Replace comments and string/char/byte literals with spaces, keeping
+/// every newline so line numbers survive.
+#[allow(clippy::many_single_char_names)] // b/n/i/c are byte-scanner idiom
+pub fn strip(text: &str) -> String {
+    let b = text.as_bytes();
+    let mut out = b.to_vec();
+    let n = b.len();
+    let mut i = 0;
+
+    // Blank out[from..to], preserving newlines.
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for slot in &mut out[from..to] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+
+    while i < n {
+        let c = b[i];
+        let prev_ident = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            blank(&mut out, start, i);
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, start, i);
+        } else if c == b'"' {
+            let start = i;
+            i += 1;
+            while i < n {
+                if b[i] == b'\\' {
+                    i += 2;
+                } else if b[i] == b'"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, start, i.min(n));
+        } else if !prev_ident && (c == b'r' || c == b'b') {
+            // Possible raw/byte literal prefix: r", r#", b", br", br#", b'.
+            let mut j = i;
+            if b[j] == b'b' {
+                j += 1;
+            }
+            let raw = j < n && b[j] == b'r';
+            if raw {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while raw && j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == b'"' {
+                let start = i;
+                i = j + 1;
+                if raw {
+                    // Scan for `"` followed by `hashes` hashes.
+                    'outer: while i < n {
+                        if b[i] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'outer;
+                            }
+                        }
+                        i += 1;
+                    }
+                } else {
+                    while i < n {
+                        if b[i] == b'\\' {
+                            i += 2;
+                        } else if b[i] == b'"' {
+                            i += 1;
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                blank(&mut out, start, i.min(n));
+            } else if j < n && b[j] == b'\'' && b[i] == b'b' && j == i + 1 {
+                // Byte char literal b'x'.
+                let start = i;
+                i = j + 1;
+                while i < n {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i.min(n));
+            } else {
+                i += 1;
+            }
+        } else if c == b'\'' {
+            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+            let is_lifetime = i + 1 < n
+                && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                && !(i + 2 < n && b[i + 2] == b'\'');
+            if is_lifetime {
+                i += 2;
+            } else {
+                let start = i;
+                i += 1;
+                while i < n {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i.min(n));
+            }
+        } else {
+            i += 1;
+        }
+    }
+
+    // The input was valid UTF-8 and we only overwrote bytes with spaces
+    // at literal boundaries, which are ASCII; non-ASCII interior bytes of
+    // literals were blanked wholesale, so this cannot fail — but fall
+    // back to a lossy conversion rather than panicking inside the linter.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// Blank every item annotated `#[cfg(test)]` (module, fn, impl, use, …)
+/// in already-stripped source. Brace matching is reliable because
+/// comments and strings are gone.
+pub fn blank_test_items(code: &str) -> String {
+    let mut out = code.as_bytes().to_vec();
+    let needle = b"#[cfg(test)]";
+    let mut search_from = 0;
+    while let Some(pos) = find(&out, needle, search_from) {
+        let mut i = pos + needle.len();
+        // Walk to the end of the item: either a `;` (use/static) or the
+        // matching `}` of its first brace block.
+        let mut depth = 0usize;
+        let mut entered = false;
+        while i < out.len() {
+            match out[i] {
+                b'{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                b';' if !entered => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        for slot in &mut out[pos..i] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+        search_from = i;
+    }
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Count word-boundary occurrences of `token` (identifier rules).
+pub fn count_token(code: &str, token: &str) -> usize {
+    let b = code.as_bytes();
+    let t = token.as_bytes();
+    let mut count = 0;
+    let mut from = 0;
+    while let Some(pos) = find(b, t, from) {
+        let left_ok = pos == 0 || !(b[pos - 1].is_ascii_alphanumeric() || b[pos - 1] == b'_');
+        let end = pos + t.len();
+        let right_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if left_ok && right_ok {
+            count += 1;
+        }
+        from = pos + 1;
+    }
+    count
+}
+
+/// 1-based line number of byte offset `pos`.
+// `bytecount` would be faster, but lint inputs are small and the crate
+// is not a workspace dependency.
+#[allow(clippy::naive_bytecount)]
+pub fn line_of(code: &str, pos: usize) -> usize {
+    code.as_bytes()[..pos.min(code.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// All word-boundary match offsets of `token`.
+pub fn token_positions(code: &str, token: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let t = token.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find(b, t, from) {
+        let left_ok = pos == 0 || !(b[pos - 1].is_ascii_alphanumeric() || b[pos - 1] == b'_');
+        let end = pos + t.len();
+        let right_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if left_ok && right_ok {
+            out.push(pos);
+        }
+        from = pos + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"unwrap()\"; // unwrap()\n/* unwrap() */ y.unwrap();\n";
+        let code = strip(src);
+        assert_eq!(code.matches("unwrap").count(), 1);
+        assert_eq!(code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strips_raw_strings_and_chars() {
+        let src = "let s = r#\"a \"quoted\" unwrap()\"#; let c = '\"'; let l: &'static str = x;\n";
+        let code = strip(src);
+        assert!(!code.contains("unwrap"));
+        assert!(code.contains("&'static str"));
+    }
+
+    #[test]
+    fn blanks_test_modules_and_fns() {
+        let src = "fn prod() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { b.unwrap(); }\n}\n#[cfg(test)]\nuse foo::bar;\n";
+        let code = blank_test_items(&strip(src));
+        assert_eq!(code.matches("unwrap").count(), 1);
+        assert!(!code.contains("foo::bar"));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        let code = "unsafe_code unsafe not_unsafe { unsafe }";
+        assert_eq!(count_token(code, "unsafe"), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Workspace automation ("xtask" pattern): plain-Rust tooling invoked as
+//! `cargo xtask <command>` via the alias in `.cargo/config.toml`.
+//!
+//! The only command today is `lint`, a source-level static-analysis gate
+//! that enforces repo-specific invariants `rustc`/`clippy` cannot express
+//! (see [`lint`]). It has no dependencies beyond `std`, so it builds and
+//! runs everywhere the workspace does.
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update_baseline = args.iter().any(|a| a == "--update-baseline");
+            match lint::run(update_baseline) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(failures) => {
+                    eprintln!("{failures}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint                     run the workspace lint gate
+  lint --update-baseline   rewrite the unwrap/expect ratchet baseline
+                           (only lowers counts unless a rule failed)";

@@ -1,0 +1,202 @@
+//! End-to-end tests of `cargo xtask lint`, driving the real binary
+//! against throwaway fixture workspaces and against this repository.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A scratch workspace that cleans up after itself.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!("xtask-lint-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/core/src")).expect("mkdir fixture");
+        fs::create_dir_all(root.join("crates/xtask")).expect("mkdir fixture xtask");
+        fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/core\"]\n\n\
+             [workspace.lints.rust]\nunsafe_code = \"deny\"\n",
+        )
+        .expect("write root manifest");
+        fs::write(
+            root.join("crates/core/Cargo.toml"),
+            "[package]\nname = \"rda-core\"\nversion = \"0.0.0\"\nedition = \"2021\"\n\n\
+             [lints]\nworkspace = true\n",
+        )
+        .expect("write core manifest");
+        fs::write(root.join("crates/xtask/unwrap-baseline.txt"), "").expect("write baseline");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        fs::write(self.root.join(rel), content).expect("write fixture file");
+    }
+
+    fn lint(&self) -> Output {
+        run_lint_in(&self.root)
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn run_lint_in(dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .current_dir(dir)
+        .output()
+        .expect("run xtask binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn new_unwrap_in_core_fails_the_gate() {
+    let fx = Fixture::new("new-unwrap");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn risky(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    );
+    let out = fx.lint();
+    assert!(!out.status.success(), "gate must fail on a fresh unwrap");
+    let err = stderr(&out);
+    assert!(err.contains("[unwrap-ratchet]"), "wrong failure: {err}");
+    assert!(
+        err.contains("crates/core/src/lib.rs"),
+        "must name the file: {err}"
+    );
+}
+
+#[test]
+fn baselined_unwrap_passes_until_count_rises() {
+    let fx = Fixture::new("baselined");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn risky(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    );
+    fx.write(
+        "crates/xtask/unwrap-baseline.txt",
+        "1 crates/core/src/lib.rs\n",
+    );
+    let out = fx.lint();
+    assert!(
+        out.status.success(),
+        "baselined count must pass: {}",
+        stderr(&out)
+    );
+
+    // A second call site exceeds the ratchet.
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn risky(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n\
+         pub fn risky2(v: Option<u8>) -> u8 {\n    v.clone().unwrap()\n}\n",
+    );
+    let out = fx.lint();
+    assert!(
+        !out.status.success(),
+        "ratchet must catch the second unwrap"
+    );
+    assert!(
+        stderr(&out).contains("baseline allows 1"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn test_code_comments_and_strings_are_exempt() {
+    let fx = Fixture::new("exempt");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "//! doc: call .unwrap() freely in examples\n\
+         pub fn msg() -> &'static str {\n    \".unwrap() in a string\"\n}\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
+    );
+    let out = fx.lint();
+    assert!(
+        out.status.success(),
+        "exempt contexts flagged: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unsafe_and_missing_workspace_lints_are_caught() {
+    let fx = Fixture::new("unsafe");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn peek(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    let out = fx.lint();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("[deny-unsafe]"), "{}", stderr(&out));
+
+    fx.write("crates/core/src/lib.rs", "pub fn fine() {}\n");
+    fx.write(
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"rda-core\"\nversion = \"0.0.0\"\nedition = \"2021\"\n",
+    );
+    let out = fx.lint();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("[lint-config]"), "{}", stderr(&out));
+}
+
+#[test]
+fn undocumented_public_result_fn_is_caught() {
+    let fx = Fixture::new("errdoc");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "/// Does things.\npub fn act() -> Result<(), String> {\n    Ok(())\n}\n",
+    );
+    let out = fx.lint();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("[errors-doc]"), "{}", stderr(&out));
+
+    fx.write(
+        "crates/core/src/lib.rs",
+        "/// Does things.\n///\n/// # Errors\n/// Never, actually.\n\
+         pub fn act() -> Result<(), String> {\n    Ok(())\n}\n",
+    );
+    let out = fx.lint();
+    assert!(
+        out.status.success(),
+        "documented fn flagged: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn sim_disk_outside_array_is_caught() {
+    let fx = Fixture::new("simdisk");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn sneaky(d: &rda_array::SimDisk) {\n    let _ = d;\n}\n",
+    );
+    let out = fx.lint();
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("[array-discipline]"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn this_repository_passes_its_own_gate() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run_lint_in(&repo_root);
+    assert!(
+        out.status.success(),
+        "the repo must pass its own lint gate:\n{}",
+        stderr(&out)
+    );
+}

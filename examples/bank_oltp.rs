@@ -10,12 +10,12 @@
 //!
 //! Run with: `cargo run --example bank_oltp`
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rda::array::{ArrayConfig, Organization};
 use rda::buffer::{BufferConfig, ReplacePolicy};
 use rda::core::{CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity};
 use rda::wal::LogConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const ACCOUNTS: u32 = 64;
 const INITIAL_BALANCE: u64 = 1_000;
@@ -29,7 +29,9 @@ fn decode(page: &[u8]) -> u64 {
 }
 
 fn total(db: &Database) -> u64 {
-    (0..ACCOUNTS).map(|a| decode(&db.read_page(a).unwrap())).sum()
+    (0..ACCOUNTS)
+        .map(|a| decode(&db.read_page(a).unwrap()))
+        .sum()
 }
 
 fn main() {
@@ -40,7 +42,11 @@ fn main() {
             .page_size(64),
         // A deliberately small buffer so uncommitted transfers get stolen
         // to disk and the parity UNDO path is exercised for real.
-        buffer: BufferConfig { frames: 12, steal: true, policy: ReplacePolicy::Clock },
+        buffer: BufferConfig {
+            frames: 12,
+            steal: true,
+            policy: ReplacePolicy::Clock,
+        },
         log: LogConfig::default(),
         granularity: LogGranularity::Page,
         eot: EotPolicy::NoForce,
@@ -81,7 +87,8 @@ fn main() {
             continue;
         }
         let to_balance = decode(&tx.read(to).expect("read"));
-        tx.write(from, &encode(from_balance - amount)).expect("debit");
+        tx.write(from, &encode(from_balance - amount))
+            .expect("debit");
         tx.write(to, &encode(to_balance + amount)).expect("credit");
 
         // A few transfers fail after doing their writes (client timeout,
@@ -104,7 +111,11 @@ fn main() {
                 report.undone_via_log,
                 report.redone
             );
-            assert_eq!(total(&db), expected_total, "money conserved across the crash");
+            assert_eq!(
+                total(&db),
+                expected_total,
+                "money conserved across the crash"
+            );
         }
     }
 

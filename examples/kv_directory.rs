@@ -9,8 +9,7 @@ use rda::core::{Database, DbConfig, EngineKind, LogGranularity};
 use rda_kv::KvStore;
 
 fn main() {
-    let cfg = DbConfig::paper_like(EngineKind::Rda, 200, 24)
-        .granularity(LogGranularity::Record);
+    let cfg = DbConfig::paper_like(EngineKind::Rda, 200, 24).granularity(LogGranularity::Record);
     let store = KvStore::create(Database::open(cfg), 16).expect("format store");
 
     // Load a directory.
@@ -22,7 +21,9 @@ fn main() {
         ("barbara", "abstraction"),
         ("jim", "transactions"),
     ] {
-        store.put(&mut tx, user.as_bytes(), role.as_bytes()).expect("put");
+        store
+            .put(&mut tx, user.as_bytes(), role.as_bytes())
+            .expect("put");
     }
     tx.commit().expect("load");
     println!("loaded 5 users");
@@ -53,7 +54,11 @@ fn main() {
     all.sort();
     println!("directory after abort + crash:");
     for (user, role) in &all {
-        println!("  {:10} {}", String::from_utf8_lossy(user), String::from_utf8_lossy(role));
+        println!(
+            "  {:10} {}",
+            String::from_utf8_lossy(user),
+            String::from_utf8_lossy(role)
+        );
     }
     assert_eq!(all.len(), 5, "exactly the committed users survive");
     assert!(store.get(&mut tx, b"mallory").expect("get").is_none());

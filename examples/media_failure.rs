@@ -19,7 +19,11 @@ fn run(org: Organization) {
     let cfg = DbConfig {
         engine: EngineKind::Rda,
         array: ArrayConfig::new(org, 6, 20).twin(true).page_size(128),
-        buffer: BufferConfig { frames: 24, steal: true, policy: ReplacePolicy::Lru },
+        buffer: BufferConfig {
+            frames: 24,
+            steal: true,
+            policy: ReplacePolicy::Lru,
+        },
         log: LogConfig::default(),
         granularity: LogGranularity::Page,
         eot: EotPolicy::Force,
@@ -32,7 +36,8 @@ fn run(org: Organization) {
     // Load recognizable content.
     let mut tx = db.begin();
     for p in 0..pages {
-        tx.write(p, format!("page-{p:04}").as_bytes()).expect("load");
+        tx.write(p, format!("page-{p:04}").as_bytes())
+            .expect("load");
     }
     tx.commit().expect("load commit");
 
@@ -56,7 +61,8 @@ fn run(org: Organization) {
 
     // Updates keep flowing while degraded.
     let mut tx = db.begin();
-    tx.write(3, b"updated-while-degraded").expect("degraded write");
+    tx.write(3, b"updated-while-degraded")
+        .expect("degraded write");
     tx.commit().expect("degraded commit");
 
     // Replace the drive and rebuild from the surviving group members.

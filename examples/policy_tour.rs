@@ -6,16 +6,10 @@
 //!
 //! Run with: `cargo run --release --example policy_tour`
 
-use rda::core::{
-    CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity,
-};
+use rda::core::{CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity};
 use rda::sim::{run_workload, SimConfig, WorkloadSpec};
 
-fn family_cfg(
-    engine: EngineKind,
-    granularity: LogGranularity,
-    eot: EotPolicy,
-) -> DbConfig {
+fn family_cfg(engine: EngineKind, granularity: LogGranularity, eot: EotPolicy) -> DbConfig {
     let mut cfg = DbConfig::paper_like(engine, 1000, 100);
     cfg.granularity = granularity;
     cfg.eot = eot;
@@ -29,10 +23,26 @@ fn family_cfg(
 fn main() {
     let spec = WorkloadSpec::high_update(1000, 80).locality(0.85);
     let families: [(&str, LogGranularity, EotPolicy); 4] = [
-        ("A1 page  / FORCE,TOC ", LogGranularity::Page, EotPolicy::Force),
-        ("A2 page  / ¬FORCE,ACC", LogGranularity::Page, EotPolicy::NoForce),
-        ("A3 record/ FORCE,TOC ", LogGranularity::Record, EotPolicy::Force),
-        ("A4 record/ ¬FORCE,ACC", LogGranularity::Record, EotPolicy::NoForce),
+        (
+            "A1 page  / FORCE,TOC ",
+            LogGranularity::Page,
+            EotPolicy::Force,
+        ),
+        (
+            "A2 page  / ¬FORCE,ACC",
+            LogGranularity::Page,
+            EotPolicy::NoForce,
+        ),
+        (
+            "A3 record/ FORCE,TOC ",
+            LogGranularity::Record,
+            EotPolicy::Force,
+        ),
+        (
+            "A4 record/ ¬FORCE,ACC",
+            LogGranularity::Record,
+            EotPolicy::NoForce,
+        ),
     ];
 
     println!(

@@ -17,7 +17,10 @@ fn main() {
     tx.write(5, b"beta").expect("write");
     let txid = tx.commit().expect("commit");
     println!("committed {txid:?}");
-    println!("page 0 = {:?}", String::from_utf8_lossy(&db.read_page(0).unwrap()[..5]));
+    println!(
+        "page 0 = {:?}",
+        String::from_utf8_lossy(&db.read_page(0).unwrap()[..5])
+    );
 
     // --- abort: undone via the parity array -------------------------------
     let mut tx = db.begin();
@@ -49,6 +52,9 @@ fn main() {
         stats.log.transfers(),
         stats.buffer.hit_ratio()
     );
-    assert!(db.verify().expect("scrub").is_empty(), "parity invariants hold");
+    assert!(
+        db.verify().expect("scrub").is_empty(),
+        "parity invariants hold"
+    );
     println!("parity scrub clean ✓");
 }

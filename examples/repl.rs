@@ -55,7 +55,10 @@ fn main() {
                     Ok(format!("began {id}"))
                 }
             }
-            "write" => match (parts.next().and_then(|p| p.parse::<u32>().ok()), tx.as_mut()) {
+            "write" => match (
+                parts.next().and_then(|p| p.parse::<u32>().ok()),
+                tx.as_mut(),
+            ) {
                 (Some(page), Some(t)) => {
                     let text: String = parts.collect::<Vec<_>>().join(" ");
                     t.write(page, text.as_bytes())
@@ -76,7 +79,13 @@ fn main() {
                             let printable: String = b
                                 .iter()
                                 .take_while(|&&c| c != 0)
-                                .map(|&c| if c.is_ascii_graphic() || c == b' ' { c as char } else { '.' })
+                                .map(|&c| {
+                                    if c.is_ascii_graphic() || c == b' ' {
+                                        c as char
+                                    } else {
+                                        '.'
+                                    }
+                                })
                                 .collect();
                             format!("page {page}: {printable:?}")
                         })
@@ -85,7 +94,10 @@ fn main() {
                 None => Err("usage: read <page>".into()),
             },
             "commit" => match tx.take() {
-                Some(t) => t.commit().map(|id| format!("committed {id}")).map_err(|e| e.to_string()),
+                Some(t) => t
+                    .commit()
+                    .map(|id| format!("committed {id}"))
+                    .map_err(|e| e.to_string()),
                 None => Err("no open transaction".into()),
             },
             "abort" => match tx.take() {

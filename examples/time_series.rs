@@ -12,8 +12,8 @@ fn key(ts: u64) -> [u8; 8] {
 }
 
 fn main() {
-    let mut cfg = DbConfig::paper_like(EngineKind::Rda, 400, 48)
-        .granularity(LogGranularity::Record);
+    let mut cfg =
+        DbConfig::paper_like(EngineKind::Rda, 400, 48).granularity(LogGranularity::Record);
     cfg.array.page_size = 256;
     let tree = BTree::create(Database::open(cfg)).expect("format");
 
@@ -23,7 +23,8 @@ fn main() {
         for minute in 0..60u64 {
             let ts = hour * 3600 + minute * 60;
             let reading = format!("{:.1}", 20.0 + (ts as f64 / 7000.0).sin() * 5.0);
-            tree.insert(&mut tx, &key(ts), reading.as_bytes()).expect("insert");
+            tree.insert(&mut tx, &key(ts), reading.as_bytes())
+                .expect("insert");
         }
         tx.commit().expect("hourly batch");
     }
@@ -32,14 +33,16 @@ fn main() {
     // A bad batch gets rolled back.
     let mut tx = tree.db().begin();
     for minute in 0..30u64 {
-        tree.insert(&mut tx, &key(90_000 + minute * 60), b"GARBAGE").expect("insert");
+        tree.insert(&mut tx, &key(90_000 + minute * 60), b"GARBAGE")
+            .expect("insert");
     }
     tx.abort().expect("reject bad batch");
 
     // The collector crashes mid-batch.
     let mut tx = tree.db().begin();
     for minute in 0..30u64 {
-        tree.insert(&mut tx, &key(95_000 + minute * 60), b"LOST").expect("insert");
+        tree.insert(&mut tx, &key(95_000 + minute * 60), b"LOST")
+            .expect("insert");
     }
     std::mem::forget(tx);
     let report = tree.db().crash_and_recover().expect("restart");

@@ -4,9 +4,7 @@
 
 use rda::array::{ArrayConfig, Organization};
 use rda::buffer::{BufferConfig, ReplacePolicy};
-use rda::core::{
-    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity,
-};
+use rda::core::{CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity};
 use rda::model::{families, ModelParams, Workload};
 use rda::sim::{run_workload, SimConfig, WorkloadSpec};
 use rda::wal::LogConfig;
@@ -17,8 +15,16 @@ fn engine_cfg(engine: EngineKind) -> DbConfig {
         array: ArrayConfig::new(Organization::RotatedParity, 5, 12)
             .twin(engine == EngineKind::Rda)
             .page_size(96),
-        buffer: BufferConfig { frames: 10, steal: true, policy: ReplacePolicy::Clock },
-        log: LogConfig { page_size: 512, copies: 2, amortized: false },
+        buffer: BufferConfig {
+            frames: 10,
+            steal: true,
+            policy: ReplacePolicy::Clock,
+        },
+        log: LogConfig {
+            page_size: 512,
+            copies: 2,
+            amortized: false,
+        },
         granularity: LogGranularity::Page,
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
@@ -53,7 +59,9 @@ fn engines_agree_on_visible_state() {
         std::mem::forget(t4);
         db.crash_and_recover().unwrap();
 
-        (0..db.data_pages()).map(|p| db.read_page(p).unwrap()).collect()
+        (0..db.data_pages())
+            .map(|p| db.read_page(p).unwrap())
+            .collect()
     };
     let rda = run(EngineKind::Rda);
     let wal = run(EngineKind::Wal);
