@@ -25,6 +25,7 @@ pub struct DiskArray {
     geo: Geometry,
     disks: Vec<crate::SimDisk>,
     stats: Arc<IoStats>,
+    fault: parking_lot::Mutex<Option<crate::disk::HookState>>,
 }
 
 impl DiskArray {
@@ -42,7 +43,50 @@ impl DiskArray {
             geo,
             disks,
             stats,
+            fault: parking_lot::Mutex::new(None),
         }
+    }
+
+    // ---- fault hook ------------------------------------------------------
+
+    /// Install a fault hook, consulted by every disk on every physical
+    /// read and write (billed or not). Replaces any previous hook and
+    /// resets the fault counters.
+    pub fn install_fault_hook(&self, hook: Arc<dyn crate::FaultHook>) {
+        let state = crate::disk::HookState {
+            hook,
+            stats: Arc::new(crate::FaultStats::new()),
+        };
+        for d in &self.disks {
+            d.set_fault_hook(Some(state.clone()));
+        }
+        *self.fault.lock() = Some(state);
+    }
+
+    /// Stop consulting the installed fault hook, if any. The fault
+    /// counters stay readable through [`DiskArray::fault_stats`], and
+    /// [`DiskArray::power_cycled`] still notifies the detached hook (so a
+    /// restart boundary can release a crashed latch regardless of the
+    /// order the two calls arrive in).
+    pub fn clear_fault_hook(&self) {
+        for d in &self.disks {
+            d.set_fault_hook(None);
+        }
+    }
+
+    /// Tell the installed fault hook the machine was power-cycled (a
+    /// restart boundary), releasing any crashed latch so I/O flows again.
+    pub fn power_cycled(&self) {
+        if let Some(state) = self.fault.lock().as_ref() {
+            state.hook.power_cycled();
+        }
+    }
+
+    /// Counters for faults the installed hook actually applied (`None`
+    /// before any hook was ever installed).
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<Arc<crate::FaultStats>> {
+        self.fault.lock().as_ref().map(|s| Arc::clone(&s.stats))
     }
 
     /// The configuration the array was built with.
@@ -142,9 +186,11 @@ impl DiskArray {
         self.check_data(page)?;
         match self.read_phys(self.geo.data_loc(page)) {
             Ok(p) => Ok(p),
-            Err(ArrayError::DiskFailed(_) | ArrayError::MediaError { .. }) => {
-                self.reconstruct_data(page, slot)
-            }
+            Err(
+                ArrayError::DiskFailed(_)
+                | ArrayError::MediaError { .. }
+                | ArrayError::TornPage { .. },
+            ) => self.reconstruct_data(page, slot),
             Err(e) => Err(e),
         }
     }
@@ -395,6 +441,12 @@ impl DiskArray {
     /// Inject a latent sector error at a physical location.
     pub fn corrupt(&self, loc: PhysLoc) {
         self.disk(loc.disk).corrupt_block(loc.block);
+    }
+
+    /// Tear the page at a physical location, as if the last write to it
+    /// lost power halfway (see [`crate::SimDisk::tear_block`]).
+    pub fn tear(&self, loc: PhysLoc) {
+        self.disk(loc.disk).tear_block(loc.block);
     }
 
     /// Swap a failed disk for a factory-blank replacement *without*

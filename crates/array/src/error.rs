@@ -16,6 +16,29 @@ pub enum ArrayError {
         /// Block index within the disk.
         block: u64,
     },
+    /// The block holds a half-written (torn) page image — a write to it
+    /// lost power partway, and the mismatched per-sector headers betray
+    /// it. Rewriting the block heals it.
+    TornPage {
+        /// Disk on which the torn page lives.
+        disk: DiskId,
+        /// Block index within the disk.
+        block: u64,
+    },
+    /// A transient I/O error (controller glitch); the disk state is
+    /// untouched and a retry may succeed. Only produced by an installed
+    /// fault hook.
+    Transient {
+        /// Disk that reported the glitch.
+        disk: DiskId,
+        /// Block index within the disk.
+        block: u64,
+    },
+    /// Power was lost: the I/O was refused (and, for a torn write, a
+    /// half-written image was left behind). Every subsequent I/O keeps
+    /// failing this way until the fault hook is told the machine was
+    /// power-cycled.
+    Crashed,
     /// More than one page of the same parity group is unavailable, so XOR
     /// reconstruction is impossible.
     Unrecoverable(GroupId),
@@ -41,6 +64,13 @@ impl fmt::Display for ArrayError {
             ArrayError::MediaError { disk, block } => {
                 write!(f, "latent sector error on {disk} block {block}")
             }
+            ArrayError::TornPage { disk, block } => {
+                write!(f, "torn (half-written) page on {disk} block {block}")
+            }
+            ArrayError::Transient { disk, block } => {
+                write!(f, "transient I/O error on {disk} block {block}")
+            }
+            ArrayError::Crashed => write!(f, "power lost: I/O refused until restart"),
             ArrayError::Unrecoverable(g) => {
                 write!(
                     f,

@@ -50,6 +50,7 @@ mod array;
 mod config;
 mod disk;
 mod error;
+mod fault;
 mod geometry;
 mod page;
 mod stats;
@@ -59,6 +60,7 @@ pub use array::DiskArray;
 pub use config::{ArrayConfig, Organization};
 pub use disk::SimDisk;
 pub use error::ArrayError;
+pub use fault::{FaultAction, FaultHook, FaultStats, IoEvent};
 pub use geometry::{BlockContent, Geometry, PhysLoc};
 pub use page::{DataPageId, DiskId, GroupId, Page, ParitySlot};
 pub use stats::{IoKind, IoStats, StatsSnapshot};

@@ -36,7 +36,7 @@ fn run(ops: u64, granularity: LogGranularity) -> (f64, u64) {
     cfg.crash_every = Some(60); // a crash every ~60 commits
     let spec = WorkloadSpec::high_update(1000, 80).locality(0.85);
     let result = run_workload(&cfg, &spec, 600);
-    (result.transfers_per_committed, result.crashes)
+    (result.transfers_per_committed, result.crashes_injected)
 }
 
 fn main() {

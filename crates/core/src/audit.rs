@@ -175,7 +175,11 @@ impl<'a> ParityAuditor<'a> {
         for member in e.dur.array.geometry().members(g) {
             match e.dur.array.peek_data(member) {
                 Ok(p) => acc.xor_in_place(&p),
-                Err(ArrayError::DiskFailed(_) | ArrayError::MediaError { .. }) => return None,
+                Err(
+                    ArrayError::DiskFailed(_)
+                    | ArrayError::MediaError { .. }
+                    | ArrayError::TornPage { .. },
+                ) => return None,
                 Err(e) => {
                     // Out-of-range reads cannot happen for enumerated
                     // members; surface the surprise instead of hiding it.
@@ -215,7 +219,11 @@ impl<'a> ParityAuditor<'a> {
                     }
                     report.groups_checked += 1;
                 }
-                Err(ArrayError::DiskFailed(_) | ArrayError::MediaError { .. }) => {
+                Err(
+                    ArrayError::DiskFailed(_)
+                    | ArrayError::MediaError { .. }
+                    | ArrayError::TornPage { .. },
+                ) => {
                     report.groups_skipped += 1;
                 }
                 Err(err) => report.violations.push(format!(
@@ -242,7 +250,11 @@ impl<'a> ParityAuditor<'a> {
                                 ));
                             }
                         }
-                        Err(ArrayError::DiskFailed(_) | ArrayError::MediaError { .. }) => {}
+                        Err(
+                            ArrayError::DiskFailed(_)
+                            | ArrayError::MediaError { .. }
+                            | ArrayError::TornPage { .. },
+                        ) => {}
                         Err(err) => report.violations.push(format!(
                             "dirty group {g}: cannot read riding page {}: {err}",
                             info.page

@@ -208,6 +208,49 @@ impl Database {
         }
     }
 
+    /// Tear the parity twin covering the current on-disk contents of a
+    /// group (the working twin while the group is dirty): the block is
+    /// left half-overwritten and reads back as
+    /// [`ArrayError::TornPage`](rda_array::ArrayError::TornPage) until
+    /// rewritten. Fault injection for torn-write recovery tests.
+    pub fn tear_current_parity(&self, group: u32) {
+        let engine = self.engine.lock();
+        let g = rda_array::GroupId(group);
+        let slot = engine.disk_read_slot(g);
+        if let Some(loc) = engine.dur.array.geometry().parity_loc(g, slot) {
+            engine.dur.array.tear(loc);
+        }
+    }
+
+    /// Tear the block under a data page (fault injection; see
+    /// [`Database::tear_current_parity`]).
+    pub fn tear_data_page(&self, page: u32) {
+        let engine = self.engine.lock();
+        let loc = engine.dur.array.locate_data(DataPageId(page));
+        engine.dur.array.tear(loc);
+    }
+
+    /// Install a deterministic fault hook: every physical array I/O is
+    /// offered to `hook` before it touches a disk (see
+    /// [`rda_array::FaultHook`]). Replaces any previous hook and resets
+    /// the fault counters.
+    pub fn install_fault_hook(&self, hook: std::sync::Arc<dyn rda_array::FaultHook>) {
+        self.engine.lock().dur.array.install_fault_hook(hook);
+    }
+
+    /// Stop consulting the installed fault hook (its accumulated
+    /// [`Database::fault_stats`] remain readable).
+    pub fn clear_fault_hook(&self) {
+        self.engine.lock().dur.array.clear_fault_hook();
+    }
+
+    /// Counters for the faults an installed hook actually fired, or
+    /// `None` if no hook was ever installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<std::sync::Arc<rda_array::FaultStats>> {
+        self.engine.lock().dur.array.fault_stats()
+    }
+
     /// Install a blank replacement for a failed disk without rebuilding
     /// it (use before [`Database::archive_restore`] after a multi-disk
     /// disaster; single failures should use [`Database::media_recover`],
@@ -229,6 +272,17 @@ impl Database {
     /// when a second failure blocks reconstruction.
     pub fn media_recover(&self, disk: u16) -> Result<u64> {
         self.engine.lock().media_recover(DiskId(disk))
+    }
+
+    /// Rebuild the (failed) disk holding `page` — the recovery-side
+    /// pairing of [`Database::fail_disk_of_page`].
+    ///
+    /// # Errors
+    /// Same as [`Database::media_recover`].
+    pub fn media_recover_of_page(&self, page: u32) -> Result<u64> {
+        let mut engine = self.engine.lock();
+        let disk = engine.dur.array.locate_data(DataPageId(page)).disk;
+        engine.media_recover(disk)
     }
 
     /// Current I/O statistics.

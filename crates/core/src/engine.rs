@@ -67,6 +67,17 @@ pub(crate) struct TxnState {
     pub undo_logged_upto: HashMap<DataPageId, usize>,
 }
 
+/// The complete page set of one in-flight read-modify-write, staged in the
+/// modeled controller NVRAM (see [`Durable::intent`]) before any platter
+/// write begins. Restart recovery replays it verbatim, which both finishes
+/// the interrupted sequence and heals any block it left torn.
+#[derive(Debug, Clone)]
+pub(crate) struct WriteIntent {
+    pub page: DataPageId,
+    pub data: Page,
+    pub parity: Vec<(GroupId, ParitySlot, Page)>,
+}
+
 /// The durable half of a database: everything that survives a crash.
 pub(crate) struct Durable {
     pub array: Arc<DiskArray>,
@@ -74,6 +85,13 @@ pub(crate) struct Durable {
     pub twins: Arc<TwinDirectory>,
     /// The TWIST-style steal chain (page headers on disk).
     pub chain: Arc<ChainDirectory>,
+    /// Modeled controller NVRAM closing the RAID small-write hole: a crash
+    /// between a data-page write and its parity update(s) would otherwise
+    /// leave the parity silently stale — undetectable afterwards, because
+    /// log-driven redo skips pages whose contents already match. Real
+    /// arrays close the hole with a battery-backed staging buffer; this
+    /// slot models exactly that (one RMW's pages, no extra transfers).
+    pub intent: Arc<parking_lot::Mutex<Option<WriteIntent>>>,
 }
 
 /// The database engine (volatile state over [`Durable`] storage).
@@ -103,6 +121,7 @@ impl Engine {
             log_store: Arc::clone(&log_store),
             twins: Arc::new(TwinDirectory::new(groups)),
             chain: Arc::new(ChainDirectory::new()),
+            intent: Arc::new(parking_lot::Mutex::new(None)),
         };
         let clock = dur.twins.max_ts() + 1;
         Engine {
@@ -196,7 +215,9 @@ impl Engine {
         match self.dur.array.try_read_data(page) {
             Ok(p) => Ok(p),
             Err(
-                rda_array::ArrayError::DiskFailed(_) | rda_array::ArrayError::MediaError { .. },
+                rda_array::ArrayError::DiskFailed(_)
+                | rda_array::ArrayError::MediaError { .. }
+                | rda_array::ArrayError::TornPage { .. },
             ) => {
                 let g = self.dur.array.geometry().group_of(page);
                 Ok(self
@@ -238,13 +259,48 @@ impl Engine {
                 Err(e) => return Err(e.into()),
             }
         }
+        // Stage the full write set in the modeled controller NVRAM before
+        // touching the platters: if power fails partway through the
+        // sequence, restart recovery replays the intent and the
+        // data/parity pair can never end up silently inconsistent.
+        *self.dur.intent.lock() = Some(WriteIntent {
+            page,
+            data: new.clone(),
+            parity: slots
+                .iter()
+                .zip(&parities)
+                .filter_map(|(slot, parity)| parity.as_ref().map(|p| (g, *slot, p.clone())))
+                .collect(),
+        });
+        let result = self.write_with_parity_platter(page, new, g, slots, &parities);
+        // The staging buffer is only needed while power can vanish
+        // mid-sequence; on a crash error it must survive for replay.
+        if !matches!(result, Err(DbError::Array(rda_array::ArrayError::Crashed))) {
+            *self.dur.intent.lock() = None;
+        }
+        result?;
+        self.refresh_stolen_cache(page, new);
+        Ok(())
+    }
+
+    /// The platter half of [`write_with_parity`]: perform the staged
+    /// writes. Split out so the caller can clear (or keep) the NVRAM
+    /// intent depending on how the sequence ended.
+    fn write_with_parity_platter(
+        &mut self,
+        page: DataPageId,
+        new: &Page,
+        g: GroupId,
+        slots: &[ParitySlot],
+        parities: &[Option<Page>],
+    ) -> Result<()> {
         let data_written = match self.dur.array.write_data_unprotected(page, new) {
             Ok(()) => true,
             Err(rda_array::ArrayError::DiskFailed(_)) => false,
             Err(e) => return Err(e.into()),
         };
         let mut parity_written = false;
-        for (slot, parity) in slots.iter().zip(&parities) {
+        for (slot, parity) in slots.iter().zip(parities) {
             if let Some(parity) = parity {
                 match self.dur.array.write_parity(g, *slot, parity) {
                     Ok(()) => parity_written = true,
@@ -257,7 +313,6 @@ impl Engine {
             // Two losses in one group: the new contents are gone.
             return Err(rda_array::ArrayError::Unrecoverable(g).into());
         }
-        self.refresh_stolen_cache(page, new);
         Ok(())
     }
 
@@ -426,9 +481,7 @@ impl Engine {
                 self.log.force();
 
                 let committed = self.committed_slot(g);
-                let now = self.tick();
-                let work = self.dur.twins.begin_working(g, now);
-                debug_assert_eq!(work, committed.other());
+                let work = committed.other();
 
                 let old = self.old_disk_image(page, Some(txn))?;
                 // P_work := P_committed ⊕ old ⊕ new; one parity read, one
@@ -436,14 +489,25 @@ impl Engine {
                 let mut parity = self.dur.array.read_parity(g, committed)?;
                 parity.xor_in_place(&old);
                 parity.xor_in_place(data);
+                // Note the steal *before* the first platter write (the
+                // header rides inside the data page): if power fails
+                // anywhere in the sequence, restart undo finds the note
+                // and restores the page through the committed twin — a
+                // no-op if the write never landed.
+                self.dur.chain.note_steal(txn, page);
                 match self.dur.array.write_data_unprotected(page, data) {
                     // A dead data disk is fine: the working twin encodes
                     // the new contents for degraded reads and the rebuild.
                     Ok(()) | Err(rda_array::ArrayError::DiskFailed(_)) => {}
                     Err(e) => return Err(e.into()),
                 }
-                self.dur.chain.note_steal(txn, page); // header rides the write
                 self.dur.array.write_parity(g, work, &parity)?;
+                // The twin header (timestamp + Working state) travels
+                // inside the parity page, so the directory flips only
+                // once the write has actually reached the platter.
+                let now = self.tick();
+                let flipped = self.dur.twins.begin_working(g, now);
+                debug_assert_eq!(flipped, work);
                 self.refresh_stolen_cache(page, data);
 
                 self.dirty.mark(g, page, txn, work);

@@ -44,6 +44,12 @@ pub struct RecoveryReport {
     pub redone: u64,
     /// Parity groups whose Current_Parity bit was reconstructed.
     pub bitmap_groups: u64,
+    /// Staged write intents (controller NVRAM) replayed to finish an
+    /// interrupted read-modify-write.
+    pub intent_replays: u64,
+    /// Parity twins found torn (half-written) and healed by recomputing
+    /// the group parity from its members.
+    pub torn_twins_healed: u64,
 }
 
 impl Engine {
@@ -57,6 +63,10 @@ impl Engine {
         self.locks.clear();
         self.active.clear();
         self.needs_recovery = true;
+        // The crash *is* the restart boundary in this model: an installed
+        // fault hook holding a power-loss latch releases it here so the
+        // recovery I/O that follows can reach the platters.
+        self.dur.array.power_cycled();
     }
 
     /// Restart recovery. Idempotent: a crash in the middle of a previous
@@ -71,6 +81,33 @@ impl Engine {
             losers: analysis.losers(),
             ..RecoveryReport::default()
         };
+
+        // ---- 0. replay the staged write intent ------------------------
+        // A pending intent means power failed inside a read-modify-write:
+        // some of its data/parity writes may have landed, some not, and
+        // one block may be torn. Replaying the whole staged set (absolute
+        // page images, so the replay is idempotent — a second crash here
+        // is harmless) finishes the sequence and heals any torn block.
+        // The intent is cleared only *after* the replay completes.
+        let staged = self.dur.intent.lock().clone();
+        if let Some(intent) = staged {
+            match self
+                .dur
+                .array
+                .write_data_unprotected(intent.page, &intent.data)
+            {
+                Ok(()) | Err(rda_array::ArrayError::DiskFailed(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+            for (g, slot, parity) in &intent.parity {
+                match self.dur.array.write_parity(*g, *slot, parity) {
+                    Ok(()) | Err(rda_array::ArrayError::DiskFailed(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            *self.dur.intent.lock() = None;
+            report.intent_replays += 1;
+        }
 
         // Groups that were dirty at crash time: every group containing a
         // loser's parity-riding page. Writes into these groups must keep
@@ -137,7 +174,19 @@ impl Engine {
                 let g = GroupId(g);
                 // One header read per group (the paper's S/N term).
                 let slot = self.dur.twins.current_slot(g);
-                let _ = self.dur.array.read_parity(g, slot)?;
+                match self.dur.array.read_parity(g, slot) {
+                    Ok(_) => {}
+                    Err(rda_array::ArrayError::TornPage { .. }) => {
+                        // A torn current twin (e.g. a seeded tear, or one
+                        // outside any staged intent): by this point every
+                        // loser group has been undone, so the group is
+                        // clean and its parity is simply the member XOR.
+                        let fixed = self.dur.array.compute_group_parity(g)?;
+                        self.dur.array.write_parity(g, slot, &fixed)?;
+                        report.torn_twins_healed += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
                 report.bitmap_groups += 1;
             }
         }
@@ -176,22 +225,49 @@ impl Engine {
         }
 
         // The working twin is identified durably by its Figure-8 state.
+        // `None` means the crash hit the steal before its parity write
+        // landed (the chain note rides the data write, so it can exist a
+        // beat earlier) — the data page may hold the new image, a torn
+        // image, or still the old one.
         let meta = self.dur.twins.meta(g);
         let work = match meta.state {
-            [crate::twin::TwinState::Working, _] => ParitySlot::P0,
-            [_, crate::twin::TwinState::Working] => ParitySlot::P1,
-            _ => {
-                // Already invalidated (undo finished pre-crash but the
-                // abort record was lost): data page is already restored.
-                return Ok(());
-            }
+            [crate::twin::TwinState::Working, _] => Some(ParitySlot::P0),
+            [_, crate::twin::TwinState::Working] => Some(ParitySlot::P1),
+            _ => None,
         };
-        let committed = work.other();
-        let p_work = self.dur.array.read_parity(g, work)?;
-        let p_comm = self.dur.array.read_parity(g, committed)?;
-        let d_new = self.read_disk(page)?;
-        let mut d_old = p_work.xor(&p_comm);
-        d_old.xor_in_place(&d_new);
+        let committed = match work {
+            Some(w) => w.other(),
+            None => self.dur.twins.current_slot(g),
+        };
+
+        // D_old through the committed twin: P_committed ⊕ XOR(siblings).
+        // Unlike the twin-difference identity `(P ⊕ P′) ⊕ D_new`, this
+        // holds at *every* crash point of the steal sequence — the
+        // committed parity and the sibling pages are exactly what no
+        // riding write ever touches — and it never needs to read the
+        // riding page itself, so a torn data page or a torn working twin
+        // costs nothing. The identity is kept as the degraded-mode
+        // fallback: it still works with a dead sibling disk, where
+        // reconstruction cannot.
+        let d_old = match self.dur.array.reconstruct_data(page, committed) {
+            Ok(p) => p,
+            Err(
+                e @ (rda_array::ArrayError::DiskFailed(_)
+                | rda_array::ArrayError::MediaError { .. }
+                | rda_array::ArrayError::Unrecoverable(_)),
+            ) => {
+                let Some(work) = work else {
+                    return Err(e.into());
+                };
+                let p_work = self.dur.array.read_parity(g, work)?;
+                let p_comm = self.dur.array.read_parity(g, committed)?;
+                let d_new = self.read_disk(page)?;
+                let mut d_old = p_work.xor(&p_comm);
+                d_old.xor_in_place(&d_new);
+                d_old
+            }
+            Err(e) => return Err(e.into()),
+        };
 
         self.log.append(LogRecord::Compensation {
             txn: loser,
@@ -201,8 +277,11 @@ impl Engine {
         self.log.force();
 
         self.dur.array.write_data_unprotected(page, &d_old)?;
-        self.dur.array.write_parity(g, work, &p_comm)?;
-        self.dur.twins.invalidate(g, work);
+        if let Some(work) = work {
+            let p_comm = self.dur.array.read_parity(g, committed)?;
+            self.dur.array.write_parity(g, work, &p_comm)?;
+            self.dur.twins.invalidate(g, work);
+        }
         Ok(())
     }
 

@@ -55,7 +55,7 @@ impl Engine {
             for member in self.dur.array.geometry().members(g) {
                 report.pages_scanned += 1;
                 match self.dur.array.try_read_data(member) {
-                    Err(ArrayError::MediaError { .. }) => {
+                    Err(ArrayError::MediaError { .. } | ArrayError::TornPage { .. }) => {
                         let repaired = self.dur.array.reconstruct_data(member, committed)?;
                         self.dur.array.write_data_unprotected(member, &repaired)?;
                         report.data_repaired += 1;
@@ -81,7 +81,7 @@ impl Engine {
                     Err(ArrayError::Unrecoverable(_)) => {}
                     Err(e) => return Err(e.into()),
                 },
-                Err(ArrayError::MediaError { .. }) => {
+                Err(ArrayError::MediaError { .. } | ArrayError::TornPage { .. }) => {
                     match self.dur.array.compute_group_parity(g) {
                         Ok(expect) => {
                             self.dur.array.write_parity(g, committed, &expect)?;

@@ -1,0 +1,441 @@
+//! Crashpoint exploration: crash a workload at *every* I/O and prove
+//! recovery works from each one.
+//!
+//! The paper argues (§4.3) that twin-copy parity recovery restores a
+//! consistent state from *any* failure point. This module turns that
+//! claim into a checkable property:
+//!
+//! 1. **Golden run** — replay the workload trace once against a fresh
+//!    database with a pure-counting injector to learn `T`, the total
+//!    number of physical I/Os, and to establish the expected final state.
+//! 2. **Exploration** — for each candidate crashpoint `k` (every
+//!    `1..=T` when `T` is within [`ExplorerConfig::exhaustive_limit`],
+//!    otherwise a seeded sample), replay the same trace against a fresh
+//!    database with a fault planted at the k-th I/O, run restart
+//!    recovery, and verify the survivor.
+//! 3. **Verification** — the recovered database must pass the
+//!    cross-layer invariant audit, the billed parity scrub, and an
+//!    *exact* durability oracle: a page holds the value written by
+//!    transaction `t` iff `t`'s `commit()` returned `Ok` before the
+//!    crashpoint. The oracle is exact because a commit acknowledgement
+//!    is issued only after the commit record is forced — an operation
+//!    that observes the crash can never belong to a committed
+//!    transaction.
+//!
+//! Replay is sequential (one transaction at a time), which makes the
+//! physical I/O sequence — and therefore "the k-th I/O" — a pure
+//! function of (config, trace, seed).
+
+use crate::injector::FaultInjector;
+use crate::plan::{FaultKind, FaultPlan};
+use rda_core::{Database, DbConfig, DbError, LogGranularity};
+use rda_sim::{AccessKind, TxnScript};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Which fault the explorer plants at each candidate I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMode {
+    /// Power loss before the I/O (clean crash).
+    Crash,
+    /// Power loss mid-write: the targeted page is left half-old /
+    /// half-new on the platter before the machine stops.
+    TornWrite,
+    /// The disk the I/O addresses dies; the workload continues degraded,
+    /// then the disk is rebuilt and the state verified.
+    FailDisk,
+}
+
+impl ExploreMode {
+    /// Stable lower-case name, used in JSON reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ExploreMode::Crash => "crash",
+            ExploreMode::TornWrite => "torn_write",
+            ExploreMode::FailDisk => "fail_disk",
+        }
+    }
+
+    fn plan_at(self, k: u64) -> FaultPlan {
+        match self {
+            ExploreMode::Crash => FaultPlan::crash_at(k),
+            ExploreMode::TornWrite => FaultPlan::torn_write_at(k),
+            ExploreMode::FailDisk => FaultPlan::fail_disk_at(k),
+        }
+    }
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplorerConfig {
+    /// Fault planted at each crashpoint.
+    pub mode: ExploreMode,
+    /// Explore every I/O index when the golden run performs at most this
+    /// many I/Os; otherwise fall back to seeded sampling.
+    pub exhaustive_limit: u64,
+    /// Number of distinct crashpoints to sample above the exhaustive
+    /// limit.
+    pub samples: u64,
+    /// Seed for both the sampled crashpoint choice and the page contents
+    /// written during replay.
+    pub seed: u64,
+}
+
+impl ExplorerConfig {
+    /// Defaults: crash mode, exhaustive up to 512 I/Os, 64 samples above
+    /// that.
+    #[must_use]
+    pub fn new(mode: ExploreMode) -> ExplorerConfig {
+        ExplorerConfig {
+            mode,
+            exhaustive_limit: 512,
+            samples: 64,
+            seed: 0xFA17,
+        }
+    }
+}
+
+/// Outcome of recovering from one crashpoint.
+#[derive(Debug, Clone)]
+pub struct Crashpoint {
+    /// The global I/O index the fault was planted at (1-based).
+    pub io_index: u64,
+    /// The fault kind that actually fired, if any.
+    pub fired: Option<FaultKind>,
+    /// Transactions whose `commit()` was acknowledged before the fault —
+    /// the ones the durability oracle requires to survive.
+    pub committed_before: u64,
+    /// Loser transactions rolled back by restart recovery.
+    pub losers: u64,
+    /// Staged write intents replayed (interrupted read-modify-writes).
+    pub intent_replays: u64,
+    /// Torn parity twins healed during recovery.
+    pub torn_twins_healed: u64,
+    /// Everything that went wrong at this crashpoint (empty ⇔ clean).
+    pub violations: Vec<String>,
+}
+
+impl Crashpoint {
+    /// Did recovery from this crashpoint verify clean?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Full result of one exploration.
+#[derive(Debug, Clone)]
+pub struct CrashpointReport {
+    /// The fault mode explored.
+    pub mode: ExploreMode,
+    /// Physical I/Os the golden (fault-free) run performed.
+    pub total_ios: u64,
+    /// Whether every I/O index was explored (vs. a seeded sample).
+    pub exhaustive: bool,
+    /// Transactions committed by the golden run.
+    pub golden_committed: u64,
+    /// Problems with the golden run itself (must be empty for the
+    /// exploration to mean anything).
+    pub golden_violations: Vec<String>,
+    /// One entry per explored crashpoint, in increasing I/O order.
+    pub points: Vec<Crashpoint>,
+}
+
+impl CrashpointReport {
+    /// Did the golden run and every explored crashpoint verify clean?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.golden_violations.is_empty() && self.points.iter().all(Crashpoint::is_clean)
+    }
+
+    /// The crashpoints that failed verification.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&Crashpoint> {
+        self.points.iter().filter(|p| !p.is_clean()).collect()
+    }
+}
+
+/// Deterministic page payload for transaction `txn`'s `pos`-th access.
+/// Mirrors the simulator driver's content scheme: one nonzero byte per
+/// write, so a recovered page identifies exactly which write it holds.
+#[must_use]
+pub fn value_byte(seed: u64, txn: usize, pos: usize) -> u8 {
+    let mixed = seed
+        ^ (txn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (pos as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mixed = mixed.wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((mixed >> 32) as u8) | 1
+}
+
+/// What one replay attempt observed.
+struct ReplayRun {
+    /// Pages → byte written by the last *acknowledged-committed* writer.
+    oracle: BTreeMap<u32, u8>,
+    /// Transactions whose commit was acknowledged.
+    committed: u64,
+    /// The machine stopped (crash latch / dead disk) mid-replay.
+    stopped: bool,
+    /// An error that the fault model does not explain.
+    violation: Option<String>,
+}
+
+/// Replay `scripts` sequentially against `db`. `stop_on_array_error`
+/// widens the "machine stopped" classification from `Crashed` to any
+/// array error (used in [`ExploreMode::FailDisk`], where a dying disk
+/// surfaces as `DiskFailed`/`Unrecoverable` rather than a crash).
+fn replay(
+    db: &Database,
+    scripts: &[TxnScript],
+    seed: u64,
+    page_mode: bool,
+    stop_on_array_error: bool,
+) -> ReplayRun {
+    let mut run = ReplayRun {
+        oracle: BTreeMap::new(),
+        committed: 0,
+        stopped: false,
+        violation: None,
+    };
+    'scripts: for (idx, script) in scripts.iter().enumerate() {
+        let mut pending: BTreeMap<u32, u8> = BTreeMap::new();
+        let mut tx = db.begin();
+        for (pos, access) in script.accesses.iter().enumerate() {
+            let result = match access.kind {
+                AccessKind::Read => tx.read(access.page).map(|_| ()),
+                AccessKind::Update => {
+                    let value = value_byte(seed, idx, pos);
+                    let write = if page_mode {
+                        tx.write(access.page, &[value])
+                    } else {
+                        tx.update(access.page, 0, &[value])
+                    };
+                    if write.is_ok() {
+                        pending.insert(access.page, value);
+                    }
+                    write
+                }
+            };
+            if let Err(e) = result {
+                // The handle must not run its Drop-abort against a dead
+                // engine — exactly what a real client loses in a crash.
+                std::mem::forget(tx);
+                classify_stop(e, stop_on_array_error, &mut run);
+                break 'scripts;
+            }
+        }
+        // End of transaction: scripted abort or commit. Either consumes
+        // the handle even on error.
+        let eot = if script.aborts {
+            tx.abort()
+        } else {
+            tx.commit().map(|_| ())
+        };
+        match eot {
+            Ok(()) => {
+                if !script.aborts {
+                    run.committed += 1;
+                    run.oracle.append(&mut pending);
+                }
+            }
+            Err(e) => {
+                classify_stop(e, stop_on_array_error, &mut run);
+                break 'scripts;
+            }
+        }
+    }
+    run
+}
+
+/// Route one operation error into `stopped` (explained by the planted
+/// fault) or `violation` (a bug).
+fn classify_stop(e: DbError, stop_on_array_error: bool, run: &mut ReplayRun) {
+    match e {
+        DbError::Array(rda_array::ArrayError::Crashed) => run.stopped = true,
+        DbError::Array(_) if stop_on_array_error => run.stopped = true,
+        other => run.violation = Some(format!("unexpected operation error: {other}")),
+    }
+}
+
+/// Check a recovered (or rebuilt) database against the durability
+/// oracle plus the repo's own consistency machinery.
+fn verify_survivor(db: &Database, oracle: &BTreeMap<u32, u8>, violations: &mut Vec<String>) {
+    let audit = db.audit();
+    for v in audit.violations() {
+        violations.push(format!("audit: {v}"));
+    }
+    match db.verify() {
+        Ok(list) => violations.extend(list.into_iter().map(|v| format!("verify: {v}"))),
+        Err(e) => violations.push(format!("verify failed to run: {e}")),
+    }
+    for (&page, &want) in oracle {
+        match db.read_page(page) {
+            Ok(data) => {
+                let got = data.first().copied().unwrap_or(0);
+                if got != want {
+                    violations.push(format!(
+                        "durability: page {page} holds {got:#04x}, committed value was {want:#04x}"
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("durability: page {page} unreadable: {e}")),
+        }
+    }
+}
+
+/// Choose the crashpoints to explore: all of `1..=total` under the
+/// limit, otherwise `samples` distinct indices drawn with xorshift64.
+fn choose_crashpoints(total: u64, cfg: &ExplorerConfig) -> (Vec<u64>, bool) {
+    if total <= cfg.exhaustive_limit {
+        return ((1..=total).collect(), true);
+    }
+    let mut state = cfg.seed | 1;
+    let mut picked = BTreeSet::new();
+    let want = (cfg.samples.min(total)) as usize;
+    while picked.len() < want {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        picked.insert(state % total + 1);
+    }
+    (picked.into_iter().collect(), false)
+}
+
+/// Run one crashpoint: replay with a fault planted at I/O `k`, recover,
+/// verify.
+fn explore_point(
+    db_cfg: &DbConfig,
+    scripts: &[TxnScript],
+    cfg: &ExplorerConfig,
+    k: u64,
+) -> Crashpoint {
+    let db = Database::open(db_cfg.clone());
+    let injector = Arc::new(FaultInjector::new(cfg.mode.plan_at(k)));
+    db.install_fault_hook(injector.clone());
+
+    let page_mode = db_cfg.granularity == LogGranularity::Page;
+    let run = replay(
+        &db,
+        scripts,
+        cfg.seed,
+        page_mode,
+        cfg.mode == ExploreMode::FailDisk,
+    );
+    let mut point = Crashpoint {
+        io_index: k,
+        fired: None,
+        committed_before: run.committed,
+        losers: 0,
+        intent_replays: 0,
+        torn_twins_healed: 0,
+        violations: Vec::new(),
+    };
+    if let Some(v) = run.violation {
+        point.violations.push(v);
+    }
+    let fired = injector.fired();
+    point.fired = fired.first().map(|f| f.kind);
+    if fired.is_empty() {
+        point.violations.push(format!(
+            "planted fault at I/O {k} never fired — replay diverged from the golden run"
+        ));
+        return point;
+    }
+
+    match cfg.mode {
+        ExploreMode::Crash | ExploreMode::TornWrite => {
+            if !run.stopped {
+                point.violations.push(format!(
+                    "fault fired at I/O {k} but no operation observed the crash"
+                ));
+                return point;
+            }
+            db.crash();
+            match db.recover() {
+                Ok(report) => {
+                    point.losers = report.losers.len() as u64;
+                    point.intent_replays = report.intent_replays;
+                    point.torn_twins_healed = report.torn_twins_healed;
+                }
+                Err(e) => {
+                    point
+                        .violations
+                        .push(format!("restart recovery failed: {e}"));
+                    return point;
+                }
+            }
+        }
+        ExploreMode::FailDisk => {
+            let dead = fired[0].disk;
+            if run.stopped {
+                // A dying disk surfaced as an operation error: treat it
+                // as the documented disk-death-plus-crash flow — crash,
+                // rebuild the disk, then run restart recovery.
+                db.crash();
+                if let Err(e) = db.media_recover(dead) {
+                    point.violations.push(format!("media recovery failed: {e}"));
+                    return point;
+                }
+                match db.recover() {
+                    Ok(report) => {
+                        point.losers = report.losers.len() as u64;
+                        point.intent_replays = report.intent_replays;
+                        point.torn_twins_healed = report.torn_twins_healed;
+                    }
+                    Err(e) => {
+                        point
+                            .violations
+                            .push(format!("restart recovery failed: {e}"));
+                        return point;
+                    }
+                }
+            } else if let Err(e) = db.media_recover(dead) {
+                // The workload finished degraded; rebuild before verify.
+                point.violations.push(format!("media recovery failed: {e}"));
+                return point;
+            }
+        }
+    }
+
+    verify_survivor(&db, &run.oracle, &mut point.violations);
+    point
+}
+
+/// Explore crashpoints of `scripts` under `db_cfg`.
+///
+/// Opens a fresh database per crashpoint, so the caller's own databases
+/// are never touched. See the module docs for the protocol.
+#[must_use]
+pub fn explore(db_cfg: &DbConfig, scripts: &[TxnScript], cfg: &ExplorerConfig) -> CrashpointReport {
+    // Golden run: count I/Os and establish the fault-free end state.
+    let golden_db = Database::open(db_cfg.clone());
+    let counter = Arc::new(FaultInjector::observer());
+    golden_db.install_fault_hook(counter.clone());
+    let page_mode = db_cfg.granularity == LogGranularity::Page;
+    let golden = replay(&golden_db, scripts, cfg.seed, page_mode, false);
+    let total = counter.ios_seen();
+
+    let mut golden_violations = Vec::new();
+    if let Some(v) = golden.violation {
+        golden_violations.push(format!("golden run: {v}"));
+    }
+    if golden.stopped {
+        golden_violations.push("golden run stopped without any planted fault".to_string());
+    }
+    verify_survivor(&golden_db, &golden.oracle, &mut golden_violations);
+
+    let (ks, exhaustive) = choose_crashpoints(total, cfg);
+    let points = ks
+        .into_iter()
+        .map(|k| explore_point(db_cfg, scripts, cfg, k))
+        .collect();
+
+    CrashpointReport {
+        mode: cfg.mode,
+        total_ios: total,
+        exhaustive,
+        golden_committed: golden.committed,
+        golden_violations,
+        points,
+    }
+}

@@ -1,0 +1,176 @@
+//! Seeded single-fault scenarios: the acceptance cases that are easier
+//! to read (and debug) as straight-line stories than as exploration
+//! sweeps.
+
+use rda_core::{Database, DbConfig, DbError, EngineKind};
+use rda_faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+use std::sync::Arc;
+
+fn open_small() -> Database {
+    Database::open(DbConfig::small_test(EngineKind::Rda))
+}
+
+fn commit_value(db: &Database, page: u32, value: u8) {
+    let mut tx = db.begin();
+    tx.write(page, &[value]).expect("write");
+    tx.commit().expect("commit");
+}
+
+fn page_value(db: &Database, page: u32) -> u8 {
+    db.read_page(page).expect("read")[0]
+}
+
+/// The PR's acceptance case: a torn write on the *working* parity twin
+/// while its group is dirty is detected at restart and recovered — the
+/// committed state survives, the loser's update disappears, and the
+/// torn twins are healed.
+#[test]
+fn torn_working_twin_is_detected_and_recovered() {
+    let db = open_small();
+    commit_value(&db, 0, 0xAA);
+
+    // One in-flight transaction dirties 9 distinct pages; the 8-frame
+    // buffer must evict at least one, stealing it into the array and
+    // leaving its group dirty (working parity twin live on disk).
+    let mut tx = db.begin();
+    for g in 0..8 {
+        tx.write(g * 4, &[0xBB]).expect("dirty page");
+    }
+    tx.write(3, &[0xBB]).expect("overflow the buffer");
+
+    // Tear the *current* parity twin of every group: for the dirty
+    // group(s) that is precisely the working twin (Current_Parity
+    // resolves to the higher timestamp, Figure 7); for clean groups it
+    // is the committed twin.
+    for g in 0..8 {
+        db.tear_current_parity(g);
+    }
+
+    db.crash();
+    drop(tx); // handle outlives the "machine" — must not panic
+    let report = db.recover().expect("restart recovery");
+
+    assert_eq!(report.losers.len(), 1, "the in-flight txn must be a loser");
+    assert!(
+        report.torn_twins_healed > 0,
+        "bitmap scan should heal torn current twins: {report:?}"
+    );
+    // Committed state survives; every loser write is gone.
+    assert_eq!(page_value(&db, 0), 0xAA);
+    for g in 1..8 {
+        assert_eq!(
+            page_value(&db, g * 4),
+            0,
+            "loser write on page {} survived",
+            g * 4
+        );
+    }
+    assert_eq!(page_value(&db, 3), 0);
+    let audit = db.audit();
+    assert!(audit.is_clean(), "{:?}", audit.violations());
+    assert!(db.verify().expect("verify").is_empty());
+}
+
+/// Satellite: a latent sector error caught by the patrol scrubber before
+/// a disk failure is harmless — media recovery still rebuilds the dead
+/// disk from healthy redundancy.
+#[test]
+fn scrubbed_latent_error_survives_later_disk_failure() {
+    let db = open_small();
+    for page in 0..8 {
+        commit_value(&db, page, 0x10 + page as u8);
+    }
+
+    // Pages 4 and 5 share a group in the 4-page-group layout. Rot page
+    // 5's sector, scrub it away, then kill page 4's disk.
+    db.corrupt_data_page(5);
+    let scrub = db.scrub().expect("scrub");
+    assert_eq!(scrub.data_repaired, 1, "{scrub:?}");
+
+    db.fail_disk_of_page(4);
+    let rebuilt = db.media_recover_of_page(4).expect("media recovery");
+    assert!(rebuilt > 0);
+    for page in 0..8 {
+        assert_eq!(page_value(&db, page), 0x10 + page as u8);
+    }
+    assert!(db.audit().is_clean());
+}
+
+/// The contrast case that motivates scrubbing: the same latent error
+/// left in place turns a single disk failure into an unrecoverable
+/// double failure for that group.
+#[test]
+fn unscrubbed_latent_error_turns_disk_failure_into_data_loss() {
+    let db = open_small();
+    for page in 0..8 {
+        commit_value(&db, page, 0x10 + page as u8);
+    }
+
+    db.corrupt_data_page(5); // latent, never scrubbed
+    db.fail_disk_of_page(4);
+
+    // Rebuilding page 4's disk needs every surviving member of the
+    // group readable — page 5's rotten sector blocks it.
+    let err = db.media_recover_of_page(4).expect_err("double failure");
+    assert!(
+        matches!(err, DbError::Array(rda_array::ArrayError::Unrecoverable(_))),
+        "expected Unrecoverable, got {err:?}"
+    );
+}
+
+/// Latent errors injected through a fault plan (rather than seeded
+/// directly) are also found and repaired by the scrubber.
+#[test]
+fn planned_latent_error_is_scrub_repaired() {
+    let db = open_small();
+    // Rot the first platter write the next transaction performs.
+    let injector = Arc::new(FaultInjector::new(FaultPlan::single(
+        FaultSpec::new(FaultKind::Latent).writes_only(),
+    )));
+    db.install_fault_hook(injector.clone());
+    commit_value(&db, 12, 0x7F);
+    db.clear_fault_hook();
+
+    let fired = injector.fired();
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].kind, FaultKind::Latent);
+    let stats = db.fault_stats().expect("stats");
+    assert_eq!(stats.latent_errors(), 1);
+
+    let scrub = db.scrub().expect("scrub");
+    assert_eq!(
+        scrub.data_repaired + scrub.parity_repaired,
+        1,
+        "exactly one rotten sector to repair: {scrub:?}"
+    );
+    assert_eq!(page_value(&db, 12), 0x7F);
+    // A second pass finds nothing.
+    let again = db.scrub().expect("scrub");
+    assert_eq!(again.data_repaired + again.parity_repaired, 0);
+}
+
+/// A transient controller error surfaces to the caller once; the retry
+/// finds the disk state untouched and succeeds.
+#[test]
+fn transient_error_surfaces_once_then_retry_succeeds() {
+    let db = open_small();
+    commit_value(&db, 9, 0x42);
+    // Reopen so the page is read from the platter, not the buffer.
+    let db = open_small();
+    commit_value(&db, 9, 0x42);
+    db.crash();
+    db.recover().expect("recover");
+
+    let injector = Arc::new(FaultInjector::new(FaultPlan::single(FaultSpec::new(
+        FaultKind::Transient,
+    ))));
+    db.install_fault_hook(injector);
+
+    let err = db.read_page(9).expect_err("transient must surface");
+    assert!(
+        matches!(err, DbError::Array(rda_array::ArrayError::Transient { .. })),
+        "got {err:?}"
+    );
+    // One-shot: the retry proceeds and sees the committed value.
+    assert_eq!(page_value(&db, 9), 0x42);
+}

@@ -22,6 +22,15 @@ impl Comparison {
     pub fn gain(&self) -> f64 {
         self.wal.transfers_per_committed / self.rda.transfers_per_committed - 1.0
     }
+
+    /// Were crashes injected during either run? Crash-mode measurements
+    /// bill restart-recovery I/O into the transfer counts and must not
+    /// be read as steady-state costs — check this before quoting
+    /// [`Comparison::gain`] against the model.
+    #[must_use]
+    pub fn crash_mode(&self) -> bool {
+        self.rda.crashes_injected > 0 || self.wal.crashes_injected > 0
+    }
 }
 
 /// Run the same workload through both engines.
@@ -32,9 +41,26 @@ pub fn compare_engines(
     txns: usize,
     concurrency: usize,
 ) -> Comparison {
+    compare_engines_under_crashes(make_db, spec, txns, concurrency, None)
+}
+
+/// [`compare_engines`], optionally injecting `crash_and_recover` into
+/// both runs every `crash_every` commits. The returned
+/// [`Comparison::crash_mode`] (and the nonzero
+/// [`SimResult::crashes_injected`] counters in serialized output) mark
+/// the measurements as crash-mode.
+#[must_use]
+pub fn compare_engines_under_crashes(
+    make_db: impl Fn(EngineKind) -> DbConfig,
+    spec: &WorkloadSpec,
+    txns: usize,
+    concurrency: usize,
+    crash_every: Option<usize>,
+) -> Comparison {
     let run = |engine: EngineKind| {
         let mut cfg = SimConfig::new(make_db(engine));
         cfg.concurrency = concurrency;
+        cfg.crash_every = crash_every;
         run_workload(&cfg, spec, txns)
     };
     Comparison {
@@ -114,6 +140,22 @@ mod tests {
         assert!(cmp.rda.committed > 0 && cmp.wal.committed > 0);
         // Identical scripts → identical commit counts.
         assert_eq!(cmp.rda.committed, cmp.wal.committed);
+    }
+
+    #[test]
+    fn crash_mode_comparisons_are_marked() {
+        let spec = WorkloadSpec::high_update(200, 16);
+        let make = |engine| DbConfig::paper_like(engine, 200, 32);
+        let clean = compare_engines(make, &spec, 40, 4);
+        assert!(!clean.crash_mode());
+        assert_eq!(clean.rda.crashes_injected, 0);
+
+        let crashy = compare_engines_under_crashes(make, &spec, 40, 4, Some(8));
+        assert!(crashy.crash_mode(), "{crashy:?}");
+        assert!(crashy.rda.crashes_injected > 0);
+        assert!(crashy.wal.crashes_injected > 0);
+        // Identical scripts → identical commit counts, crash mode or not.
+        assert_eq!(crashy.rda.committed, crashy.wal.committed);
     }
 
     #[test]

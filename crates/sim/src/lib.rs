@@ -20,7 +20,9 @@ mod threaded;
 mod trace;
 mod workload;
 
-pub use compare::{compare_engines, model_vs_sim, Comparison, ModelCheck};
+pub use compare::{
+    compare_engines, compare_engines_under_crashes, model_vs_sim, Comparison, ModelCheck,
+};
 pub use driver::{run_scripts, run_workload, SimConfig, SimResult};
 pub use threaded::{run_threaded, run_workload_threaded, ThreadedResult};
 pub use trace::Trace;

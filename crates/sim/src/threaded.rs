@@ -30,6 +30,12 @@ pub struct ThreadedResult {
     pub first_failure: Option<String>,
     /// Total array + log transfers for the whole run.
     pub transfers: u64,
+    /// Crash signals the shared database absorbed during the run, as
+    /// counted by the array's fault statistics (mirrors
+    /// [`SimResult::crashes_injected`](crate::SimResult); the threaded
+    /// driver schedules no crashes itself, so this is nonzero only when
+    /// a fault hook fired).
+    pub crashes_injected: u64,
 }
 
 /// Execute `scripts` on `threads` worker threads sharing one database.
@@ -41,6 +47,8 @@ pub struct ThreadedResult {
 /// one poisoned worker no longer panics the whole run.
 #[must_use]
 pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) -> ThreadedResult {
+    type WorkerTally = (u64, u64, u64, u64, Option<String>);
+
     let db = Database::open(db_cfg.clone());
     let page_mode = db_cfg.granularity == rda_core::LogGranularity::Page;
     let (tx_scripts, rx_scripts) = channel::unbounded::<(usize, TxnScript)>();
@@ -49,7 +57,6 @@ pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) 
     }
     drop(tx_scripts);
 
-    type WorkerTally = (u64, u64, u64, u64, Option<String>);
     let (tx_out, rx_out) = channel::unbounded::<WorkerTally>();
     crossbeam::scope(|scope| {
         for _ in 0..threads.max(1) {
@@ -112,6 +119,7 @@ pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) 
         failures,
         first_failure,
         transfers: stats.array.transfers() + stats.log.transfers(),
+        crashes_injected: db.fault_stats().map_or(0, |s| s.crashes()),
     }
 }
 

@@ -8,8 +8,15 @@ use super::SourceFile;
 
 /// Crates whose library code is subject to the unwrap/expect ratchet —
 /// the recovery-critical layers where a stray panic can take down the
-/// "database" mid-protocol.
-pub const RATCHET_CRATES: &[&str] = &["crates/core", "crates/array", "crates/buffer", "crates/wal"];
+/// "database" mid-protocol, plus the fault-injection layer (whose whole
+/// point is exercising those protocols, so it must not panic first).
+pub const RATCHET_CRATES: &[&str] = &[
+    "crates/core",
+    "crates/array",
+    "crates/buffer",
+    "crates/wal",
+    "crates/faults",
+];
 
 /// Count `.unwrap()` / `.expect(` call sites per ratcheted file.
 pub fn unwrap_counts(files: &[SourceFile]) -> BTreeMap<String, usize> {

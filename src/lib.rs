@@ -22,6 +22,10 @@
 //! * [`model`] — the paper's §5 analytical performance model (Figures 9–13).
 //! * [`sim`] — synthetic OLTP workload generation and trace-driven
 //!   measurement against the real engine.
+//! * [`faults`] — deterministic fault injection (torn writes, transient
+//!   and latent sector errors, disk death, power loss) and the
+//!   crashpoint explorer that crashes a workload at every physical I/O
+//!   and verifies recovery from each point.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +42,7 @@
 pub use rda_array as array;
 pub use rda_buffer as buffer;
 pub use rda_core as core;
+pub use rda_faults as faults;
 pub use rda_kv as kv;
 pub use rda_model as model;
 pub use rda_sim as sim;
