@@ -161,6 +161,15 @@ impl DiskArray {
         Ok(())
     }
 
+    /// Billed read that XORs the block straight into `acc` instead of
+    /// returning a fresh page — the allocation-free leg of parity
+    /// recomputes and degraded reconstruction.
+    fn read_phys_xor_into(&self, loc: PhysLoc, acc: &mut Page) -> Result<()> {
+        self.disk(loc.disk).read_xor_into(loc.block, acc)?;
+        self.stats.record_on(IoKind::Read, loc.disk.0);
+        Ok(())
+    }
+
     // ---- data-page I/O ---------------------------------------------------
 
     /// Read a data page (one transfer). Falls back to XOR reconstruction via
@@ -206,6 +215,19 @@ impl DiskArray {
     pub fn try_read_data(&self, page: DataPageId) -> Result<Page> {
         self.check_data(page)?;
         self.read_phys(self.geo.data_loc(page))
+    }
+
+    /// [`DiskArray::try_read_data`] into a caller-supplied buffer: `buf` is
+    /// overwritten with the page contents and no page is allocated. One
+    /// billed transfer. Scrubbers probing every page of the array reuse a
+    /// single scratch page across the whole patrol pass.
+    ///
+    /// # Errors
+    /// Same as [`DiskArray::try_read_data`].
+    pub fn try_read_data_into(&self, page: DataPageId, buf: &mut Page) -> Result<()> {
+        self.check_data(page)?;
+        buf.zero_fill();
+        self.read_phys_xor_into(self.geo.data_loc(page), buf)
     }
 
     /// Write a data page **without touching parity** (one transfer).
@@ -319,13 +341,18 @@ impl DiskArray {
     ) -> Result<Page> {
         self.check_data(page)?;
         let g = self.geo.group_of(page);
+        // Borrow the caller's old image when supplied instead of cloning it;
+        // the owned fallback only exists when we had to read the disk.
+        let old_read;
         let old = match old_data {
-            Some(p) => p.clone(),
-            None => self.try_read_data(page)?,
+            Some(p) => p,
+            None => {
+                old_read = self.try_read_data(page)?;
+                &old_read
+            }
         };
         let mut parity = self.read_parity(g, parity_slot)?;
-        parity.xor_in_place(&old);
-        parity.xor_in_place(new_data);
+        parity.xor_many_in_place(&[old, new_data]);
         self.write_phys(self.geo.data_loc(page), new_data)?;
         self.write_parity(g, parity_slot, &parity)?;
         Ok(parity)
@@ -393,10 +420,8 @@ impl DiskArray {
             if member == page {
                 continue;
             }
-            let sibling = self
-                .read_phys(self.geo.data_loc(member))
+            self.read_phys_xor_into(self.geo.data_loc(member), &mut acc)
                 .map_err(|_| ArrayError::Unrecoverable(g))?;
-            acc.xor_in_place(&sibling);
         }
         Ok(acc)
     }
@@ -408,15 +433,27 @@ impl DiskArray {
     /// [`ArrayError::BadGroup`] for an out-of-range group;
     /// [`ArrayError::Unrecoverable`] when any member read fails.
     pub fn compute_group_parity(&self, g: GroupId) -> Result<Page> {
-        self.check_group(g)?;
         let mut acc = self.blank_page();
-        for member in self.geo.members(g) {
-            let sibling = self
-                .read_phys(self.geo.data_loc(member))
-                .map_err(|_| ArrayError::Unrecoverable(g))?;
-            acc.xor_in_place(&sibling);
-        }
+        self.compute_group_parity_into(g, &mut acc)?;
         Ok(acc)
+    }
+
+    /// [`DiskArray::compute_group_parity`] into a caller-supplied
+    /// accumulator: `acc` is zeroed and the group's members are XORed in
+    /// without any per-call allocation. Scrubbers sweeping every group
+    /// reuse one scratch page across the whole pass.
+    ///
+    /// # Errors
+    /// [`ArrayError::BadGroup`] for an out-of-range group;
+    /// [`ArrayError::Unrecoverable`] when any member read fails.
+    pub fn compute_group_parity_into(&self, g: GroupId, acc: &mut Page) -> Result<()> {
+        self.check_group(g)?;
+        acc.zero_fill();
+        for member in self.geo.members(g) {
+            self.read_phys_xor_into(self.geo.data_loc(member), acc)
+                .map_err(|_| ArrayError::Unrecoverable(g))?;
+        }
+        Ok(())
     }
 
     /// Does the parity page in `slot` equal the XOR of the group's data

@@ -108,6 +108,36 @@ impl SimDisk {
     /// [`ArrayError::Transient`] / [`ArrayError::Crashed`] when ordered by
     /// the fault hook.
     pub fn read(&self, block: u64) -> crate::Result<Page> {
+        let inner = self.readable(block)?;
+        Ok(inner
+            .blocks
+            .get(&block)
+            .cloned()
+            .unwrap_or_else(|| Page::zeroed(self.page_size)))
+    }
+
+    /// Read a block and XOR its contents into `dst` without allocating.
+    ///
+    /// Behaves exactly like [`SimDisk::read`] (fault hook, failure modes,
+    /// billing is the caller's concern) except the page image is folded
+    /// straight into the caller's accumulator — a never-written block is
+    /// all zeroes, so it contributes nothing. This is the hot loop of
+    /// parity recomputes and degraded-mode reconstruction.
+    ///
+    /// # Errors
+    /// Same as [`SimDisk::read`].
+    pub fn read_xor_into(&self, block: u64, dst: &mut Page) -> crate::Result<()> {
+        let inner = self.readable(block)?;
+        if let Some(page) = inner.blocks.get(&block) {
+            dst.xor_in_place(page);
+        }
+        Ok(())
+    }
+
+    /// Shared read-side gate: consult the fault hook, then check the
+    /// failure states that make the block unreadable. On success the
+    /// caller gets the locked inner state to pull the image from.
+    fn readable(&self, block: u64) -> crate::Result<parking_lot::MutexGuard<'_, DiskInner>> {
         debug_assert!(block < self.block_count, "block out of range");
         match self.consult_hook(block, false) {
             FaultAction::Proceed => {}
@@ -144,11 +174,7 @@ impl SimDisk {
                 block,
             });
         }
-        Ok(inner
-            .blocks
-            .get(&block)
-            .cloned()
-            .unwrap_or_else(|| Page::zeroed(self.page_size)))
+        Ok(inner)
     }
 
     /// Write a block.
@@ -295,6 +321,26 @@ mod tests {
         assert_eq!(d.read(3).unwrap(), p);
         // Other blocks untouched.
         assert!(d.read(4).unwrap().is_zeroed());
+    }
+
+    #[test]
+    fn read_xor_into_matches_read() {
+        let d = disk();
+        let p = Page::from_bytes(&[0x3Cu8; 32]);
+        d.write(2, &p).unwrap();
+        let mut acc = Page::from_bytes(&[0xFFu8; 32]);
+        d.read_xor_into(2, &mut acc).unwrap();
+        assert_eq!(acc, Page::from_bytes(&[0xFFu8; 32]).xor(&p));
+        // Never-written blocks contribute nothing.
+        let mut acc2 = p.clone();
+        d.read_xor_into(9, &mut acc2).unwrap();
+        assert_eq!(acc2, p);
+        // Failure modes surface identically.
+        d.corrupt_block(2);
+        assert!(matches!(
+            d.read_xor_into(2, &mut acc),
+            Err(ArrayError::MediaError { block: 2, .. })
+        ));
     }
 
     #[test]

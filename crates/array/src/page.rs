@@ -84,8 +84,22 @@ impl fmt::Display for DiskId {
 /// (the paper's model uses 2020-byte pages, `l_p = 2020`); all pages handled
 /// by one array share the same size. `Page` supports the XOR algebra used
 /// for parity maintenance.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct Page(Box<[u8]>);
+
+// Hand-written so `clone_from` forwards to `Box<[u8]>::clone_from`, which
+// reuses the existing allocation when the lengths match — and within one
+// array every page is the same size, so steal caches and parity scratch
+// buffers that are refreshed repeatedly never reallocate.
+impl Clone for Page {
+    fn clone(&self) -> Page {
+        Page(self.0.clone())
+    }
+
+    fn clone_from(&mut self, source: &Page) {
+        self.0.clone_from(&source.0);
+    }
+}
 
 impl Page {
     /// An all-zero page of `size` bytes.
@@ -133,6 +147,24 @@ impl Page {
         let mut out = self.clone();
         out.xor_in_place(other);
         out
+    }
+
+    /// XOR every input page into this one in place, without allocating.
+    ///
+    /// The multi-input form of [`Page::xor_in_place`]; parity recomputes
+    /// that fold two or three images together (old ⊕ new, or P ⊕ P′ ⊕ D)
+    /// do it in one call instead of materialising intermediate pages.
+    ///
+    /// # Panics
+    /// Panics if any input's size differs from this page's.
+    pub fn xor_many_in_place(&mut self, inputs: &[&Page]) {
+        crate::xor::xor_into(&mut self.0, inputs.iter().map(|p| &*p.0));
+    }
+
+    /// Zero every byte of the page, keeping the allocation. Used to reset
+    /// reusable parity accumulators between groups.
+    pub fn zero_fill(&mut self) {
+        self.0.fill(0);
     }
 
     /// A cheap non-cryptographic checksum (FNV-1a), handy in tests and for
@@ -207,6 +239,36 @@ mod tests {
         let p_working = d_new.xor(&rest);
         let recovered = p_committed.xor(&p_working).xor(&d_new);
         assert_eq!(recovered, d_old);
+    }
+
+    #[test]
+    fn xor_many_in_place_folds_all_inputs() {
+        let a = Page::from_bytes(&[0xAA, 0x01, 0x00, 0x42]);
+        let b = Page::from_bytes(&[0x55, 0xFF, 0x10, 0x24]);
+        let c = Page::from_bytes(&[0x0F, 0xF0, 0x99, 0x18]);
+        let mut acc = a.clone();
+        acc.xor_many_in_place(&[&b, &c]);
+        assert_eq!(acc, a.xor(&b).xor(&c));
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let src = Page::from_bytes(&[1, 2, 3, 4]);
+        let mut dst = Page::zeroed(4);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        // Different sizes still work (falls back to reallocating).
+        let mut small = Page::zeroed(2);
+        small.clone_from(&src);
+        assert_eq!(small, src);
+    }
+
+    #[test]
+    fn zero_fill_resets_contents() {
+        let mut p = Page::from_bytes(&[9, 9, 9]);
+        p.zero_fill();
+        assert!(p.is_zeroed());
+        assert_eq!(p.len(), 3);
     }
 
     #[test]

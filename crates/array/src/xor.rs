@@ -35,16 +35,33 @@ pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
     }
 }
 
+/// XOR every input slice into `dst` in place, without allocating.
+///
+/// This is the copy-lean accumulator behind [`xor_many`]: callers that
+/// already own (or can reuse) a destination buffer feed it here instead
+/// of paying for a fresh `Vec` per parity recompute.
+///
+/// # Panics
+/// Panics if any input's length differs from `dst`'s.
+pub fn xor_into<'a, I>(dst: &mut [u8], inputs: I)
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    for src in inputs {
+        xor_in_place(dst, src);
+    }
+}
+
 /// Compute the XOR of many equally-sized slices into a fresh buffer.
 ///
-/// Returns `None` when `inputs` is empty.
+/// Returns `None` when `inputs` is empty. The only allocation is the
+/// accumulator itself (a copy of the first input); the remaining inputs
+/// are folded in via [`xor_into`].
 #[must_use]
 pub fn xor_many(inputs: &[&[u8]]) -> Option<Vec<u8>> {
     let first = inputs.first()?;
     let mut acc = first.to_vec();
-    for rest in &inputs[1..] {
-        xor_in_place(&mut acc, rest);
-    }
+    xor_into(&mut acc, inputs[1..].iter().copied());
     Some(acc)
 }
 
@@ -77,6 +94,23 @@ mod tests {
         let b = [0x55u8; 9];
         let out = xor_many(&[&a, &b, &a, &b]).unwrap();
         assert!(out.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn xor_into_matches_xor_many() {
+        let a = [0x12u8; 13];
+        let b = [0x34u8; 13];
+        let c = [0x56u8; 13];
+        let mut acc = a;
+        xor_into(&mut acc, [&b[..], &c[..]]);
+        assert_eq!(acc.to_vec(), xor_many(&[&a, &b, &c]).unwrap());
+    }
+
+    #[test]
+    fn xor_into_empty_inputs_is_identity() {
+        let mut acc = [9u8; 5];
+        xor_into(&mut acc, std::iter::empty());
+        assert_eq!(acc, [9u8; 5]);
     }
 
     #[test]

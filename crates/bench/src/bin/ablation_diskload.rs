@@ -22,25 +22,25 @@ struct Row {
     max_over_mean: f64,
 }
 
-fn run(org: Organization) -> Row {
+fn measure(org: Organization) -> Result<Row, rda_array::ArrayError> {
     let a = DiskArray::new(ArrayConfig::new(org, 10, 100).page_size(256));
     let mut rng = StdRng::seed_from_u64(7);
     let page = a.blank_page();
     for _ in 0..5_000 {
         let p = DataPageId(rng.gen_range(0..a.data_pages()));
-        a.small_write(p, &page, None, ParitySlot::P0).unwrap();
+        a.small_write(p, &page, None, ParitySlot::P0)?;
     }
     let per_disk = a.stats().per_disk();
     let mean = per_disk.iter().sum::<u64>() as f64 / per_disk.len() as f64;
-    let max = *per_disk.iter().max().unwrap() as f64;
-    Row {
+    let max = per_disk.iter().max().copied().unwrap_or(0) as f64;
+    Ok(Row {
         organization: format!("{org:?}"),
         per_disk,
         max_over_mean: max / mean,
-    }
+    })
 }
 
-fn main() {
+fn run() -> Result<(), rda_array::ArrayError> {
     println!("5000 uniform small writes, N = 10, 11 disks — transfers per disk\n");
     let mut rows = Vec::new();
     for org in [
@@ -48,7 +48,7 @@ fn main() {
         Organization::ParityStriping,
         Organization::DedicatedParity,
     ] {
-        let row = run(org);
+        let row = measure(org)?;
         println!(
             "{:<16} max/mean = {:.3}",
             row.organization, row.max_over_mean
@@ -60,4 +60,12 @@ fn main() {
     println!("the RAID-4 baseline funnels every small write through one parity disk,");
     println!("which is exactly the contention Figure 1's rotation avoids.");
     write_json("ablation_diskload", &rows);
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ablation_diskload failed: {e}");
+        std::process::exit(1);
+    }
 }

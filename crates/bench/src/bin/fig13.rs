@@ -16,10 +16,11 @@ fn main() {
     for pt in &fig.points {
         println!("  {:>5.0} {:>11.1}%", pt.s, pt.percent_gain);
     }
-    println!(
-        "\npaper's axis: 6% at s = 5 rising to ≈70% at s = 45; model endpoints: {:.1}% … {:.1}%",
-        fig.points.first().unwrap().percent_gain,
-        fig.points.last().unwrap().percent_gain
-    );
+    if let (Some(first), Some(last)) = (fig.points.first(), fig.points.last()) {
+        println!(
+            "\npaper's axis: 6% at s = 5 rising to ≈70% at s = 45; model endpoints: {:.1}% … {:.1}%",
+            first.percent_gain, last.percent_gain
+        );
+    }
     write_json("fig13", &fig);
 }

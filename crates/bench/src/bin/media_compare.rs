@@ -19,50 +19,49 @@ struct Row {
     redo_records_applied: u64,
 }
 
-fn measure(post_dump_txns: u32) -> Row {
+fn measure(post_dump_txns: u32) -> Result<Row, rda_core::DbError> {
     let mut cfg = DbConfig::paper_like(EngineKind::Rda, 500, 64);
     cfg.array.page_size = 256;
     let db = Database::open(cfg);
 
     let mut tx = db.begin();
     for p in 0..db.data_pages() {
-        tx.write(p, &[(p % 200) as u8 + 1; 16]).expect("load");
+        tx.write(p, &[(p % 200) as u8 + 1; 16])?;
     }
-    tx.commit().expect("load");
+    tx.commit()?;
 
-    let archive = db.archive_dump().expect("dump");
+    let archive = db.archive_dump()?;
     for round in 0..post_dump_txns {
         let mut tx = db.begin();
         for k in 0..10u32 {
             tx.write(
                 (round * 7 + k * 13) % db.data_pages(),
                 &[round as u8 | 1; 16],
-            )
-            .expect("work");
+            )?;
         }
-        tx.commit().expect("work");
+        tx.commit()?;
     }
 
     let before = db.stats();
     db.fail_disk(3);
-    db.media_recover(3).expect("rebuild");
+    db.media_recover(3)?;
     let d = db.stats().delta(&before);
     let rebuild_transfers = d.array.transfers() + d.log.transfers();
 
     let before = db.stats();
-    let redo_records_applied = db.archive_restore(&archive).expect("restore");
+    let redo_records_applied = db.archive_restore(&archive)?;
     let d = db.stats().delta(&before);
     let restore_transfers = d.array.transfers() + d.log.transfers();
 
-    Row {
+    Ok(Row {
         post_dump_txns,
         rebuild_transfers,
         restore_transfers,
         redo_records_applied,
-    }
+    })
 }
 
-fn main() {
+fn run() -> Result<(), rda_core::DbError> {
     println!("S = 500 pages, N = 10, one failed disk — transfers to recover\n");
     println!(
         "{:>15} {:>16} {:>17} {:>13}",
@@ -70,7 +69,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for txns in [0u32, 50, 200, 800] {
-        let row = measure(txns);
+        let row = measure(txns)?;
         println!(
             "{:>15} {:>16} {:>17} {:>13}",
             row.post_dump_txns,
@@ -83,4 +82,12 @@ fn main() {
     println!("\nrebuild cost is flat in history; the archive path pays the whole");
     println!("database plus a redo tail that grows without bound (§1's argument).");
     write_json("media_compare", &rows);
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("media_compare failed: {e}");
+        std::process::exit(1);
+    }
 }

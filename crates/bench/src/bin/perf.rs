@@ -1,0 +1,238 @@
+//! PR 3 perf harness: standardized workloads with honest wall-clocks.
+//!
+//! Runs four measurements and emits a hand-rolled JSON report
+//! (`BENCH_pr3.json` by default) that future PRs append comparable
+//! numbers to:
+//!
+//! 1. **Single-thread txn throughput** — the round-robin driver on the
+//!    paper-like RDA configuration.
+//! 2. **Multi-thread txn throughput** — the same script set on 2 and 4
+//!    OS threads sharing one database.
+//! 3. **Scrub bandwidth** — repeated patrol passes over a populated
+//!    array, reported as pages and MiB per second.
+//! 4. **Explorer sweep** — the exhaustive crashpoint sweep at 1, 2 and
+//!    4 workers, asserting the three reports are byte-identical.
+//!
+//! `--smoke` shrinks every workload for CI; `--out PATH` redirects the
+//! report. Wall-clocks depend on the host, so `host_cpus` is recorded
+//! alongside every run.
+//!
+//! Run with: `cargo run --release -p rda-bench --bin perf`
+
+use rda_core::{Database, DbConfig, EngineKind};
+use rda_faults::{explore, ExploreMode, ExplorerConfig};
+use rda_sim::{run_threaded, run_workload, SimConfig, WorkloadSpec};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_pr3.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => match argv.next() {
+                Some(path) => args.out = path,
+                None => usage(),
+            },
+            other => match other.strip_prefix("--out=") {
+                Some(path) => args.out = path.to_string(),
+                None => usage(),
+            },
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perf [--smoke] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// `{"wall_ms":…,"txns_per_sec":…,…}` for one throughput run.
+fn throughput_json(committed: u64, wall: Duration, extra: &str) -> String {
+    format!(
+        "{{\"committed\":{committed},\"wall_ms\":{:.3},\"txns_per_sec\":{:.1}{extra}}}",
+        ms(wall),
+        committed as f64 / wall.as_secs_f64().max(1e-9),
+    )
+}
+
+/// Sections 1 and 2: the same workload through the round-robin driver
+/// and through 2- and 4-thread shared-database runs.
+fn bench_throughput(smoke: bool, json: &mut String) {
+    let txns = if smoke { 80 } else { 400 };
+    let db_cfg = DbConfig::paper_like(EngineKind::Rda, 200, 32);
+    let spec = WorkloadSpec::high_update(200, 24);
+
+    let mut sim = SimConfig::new(db_cfg.clone());
+    sim.warmup = if smoke { 10 } else { 40 };
+    let start = Instant::now();
+    let single = run_workload(&sim, &spec, txns);
+    let single_wall = start.elapsed();
+    let extra = format!(
+        ",\"transfers_per_committed\":{:.3},\"measured_c\":{:.4}",
+        single.transfers_per_committed, single.measured_c
+    );
+    let _ = write!(
+        json,
+        "\"txn_throughput\":{{\"txns\":{txns},\"single_thread\":{}",
+        throughput_json(single.committed, single_wall, &extra)
+    );
+
+    for threads in [2usize, 4] {
+        let scripts = spec.generate(txns, sim.seed);
+        let start = Instant::now();
+        let result = run_threaded(&db_cfg, scripts, threads);
+        let wall = start.elapsed();
+        let extra = format!(
+            ",\"conflict_aborts\":{},\"failures\":{}",
+            result.conflict_aborts, result.failures
+        );
+        let _ = write!(
+            json,
+            ",\"threads_{threads}\":{}",
+            throughput_json(result.committed, wall, &extra)
+        );
+    }
+    json.push_str("},");
+}
+
+/// Section 3: patrol-scrub bandwidth over a populated array.
+fn bench_scrub(smoke: bool, json: &mut String) -> Result<(), String> {
+    let db_cfg = DbConfig::paper_like(EngineKind::Rda, 200, 32);
+    let page_size = db_cfg.array.page_size as u64;
+    let db = Database::open(db_cfg);
+
+    // Populate every page so the scrubber reads real contents.
+    for chunk in (0..200u32).collect::<Vec<_>>().chunks(8) {
+        let mut tx = db.begin();
+        for &page in chunk {
+            tx.write(page, &[page as u8 | 1])
+                .map_err(|e| format!("populate write: {e}"))?;
+        }
+        tx.commit().map_err(|e| format!("populate commit: {e}"))?;
+    }
+
+    let passes = if smoke { 2u64 } else { 8 };
+    let mut pages_scanned = 0u64;
+    let start = Instant::now();
+    for _ in 0..passes {
+        let report = db.scrub().map_err(|e| format!("scrub: {e}"))?;
+        pages_scanned += report.pages_scanned;
+    }
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64().max(1e-9);
+    let _ = write!(
+        json,
+        "\"scrub\":{{\"passes\":{passes},\"pages_scanned\":{pages_scanned},\
+         \"page_size\":{page_size},\"wall_ms\":{:.3},\"pages_per_sec\":{:.1},\
+         \"mib_per_sec\":{:.3}}},",
+        ms(wall),
+        pages_scanned as f64 / secs,
+        (pages_scanned * page_size) as f64 / (1024.0 * 1024.0) / secs,
+    );
+    Ok(())
+}
+
+/// Section 4: the exhaustive crashpoint sweep at 1, 2 and 4 workers.
+/// The three JSON reports must be byte-identical — the wall-clocks are
+/// the only thing allowed to differ.
+fn bench_explorer(smoke: bool, json: &mut String) -> Result<(), String> {
+    let mut spec = WorkloadSpec::high_update(32, 8);
+    spec.s = 4;
+    spec.f_u = 1.0;
+    spec.p_u = 1.0;
+    spec.p_b = 0.0;
+    let mut scripts = spec.generate(if smoke { 3 } else { 6 }, 0x00C0_FFEE);
+    if let Some(s) = scripts.get_mut(1) {
+        s.aborts = true;
+    }
+    let db_cfg = DbConfig::small_test(EngineKind::Rda);
+    let base = ExplorerConfig {
+        exhaustive_limit: 4096,
+        ..ExplorerConfig::new(ExploreMode::Crash)
+    };
+
+    let mut baseline: Option<(String, u64, usize)> = None;
+    let mut sweeps = String::new();
+    for workers in [1usize, 2, 4] {
+        let cfg = ExplorerConfig { workers, ..base };
+        let start = Instant::now();
+        let report = explore(&db_cfg, &scripts, &cfg);
+        let wall = start.elapsed();
+        if !report.is_clean() {
+            return Err(format!(
+                "explorer sweep at {workers} workers found {} failure(s)",
+                report.failures().len()
+            ));
+        }
+        let rendered = report.to_json();
+        match &baseline {
+            None => baseline = Some((rendered, report.total_ios, report.points.len())),
+            Some((expect, _, _)) if *expect == rendered => {}
+            Some(_) => {
+                return Err(format!(
+                    "explorer report at {workers} workers diverged from the 1-worker sweep"
+                ));
+            }
+        }
+        let _ = write!(
+            sweeps,
+            "{}\"workers_{workers}\":{{\"wall_ms\":{:.3}}}",
+            if sweeps.is_empty() { "" } else { "," },
+            ms(wall),
+        );
+    }
+    let (_, total_ios, points) = baseline.unwrap_or((String::new(), 0, 0));
+    let _ = write!(
+        json,
+        "\"explorer\":{{\"total_ios\":{total_ios},\"points\":{points},\
+         \"byte_identical\":true,{sweeps}}}",
+    );
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut json = format!(
+        "{{\"bench\":\"pr3-perf\",\"smoke\":{},\"host_cpus\":{host_cpus},",
+        args.smoke
+    );
+    bench_throughput(args.smoke, &mut json);
+    bench_scrub(args.smoke, &mut json)?;
+    bench_explorer(args.smoke, &mut json)?;
+    json.push('}');
+    json.push('\n');
+    Ok(json)
+}
+
+fn main() {
+    let args = parse_args();
+    match run(&args) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&args.out, &json) {
+                eprintln!("failed to write {}: {e}", args.out);
+                std::process::exit(1);
+            }
+            print!("{json}");
+            eprintln!("wrote {}", args.out);
+        }
+        Err(e) => {
+            eprintln!("perf bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -30,7 +30,7 @@ struct Row {
     mttdl_years: f64,
 }
 
-fn measure(n: u32) -> Row {
+fn measure(n: u32) -> Result<Row, rda_array::ArrayError> {
     // Keep total data constant (~2000 pages) as N varies.
     let groups = 2000 / n;
     let a = DiskArray::new(ArrayConfig::new(Organization::RotatedParity, n, groups).page_size(256));
@@ -41,13 +41,12 @@ fn measure(n: u32) -> Row {
         p
     };
     for i in 0..a.data_pages() {
-        a.small_write(DataPageId(i), &page, None, ParitySlot::P0)
-            .unwrap();
+        a.small_write(DataPageId(i), &page, None, ParitySlot::P0)?;
     }
     let before = a.stats().snapshot();
     let before_disks = a.stats().per_disk();
     a.fail_disk(DiskId(1));
-    a.rebuild_disk(DiskId(1), |_| ParitySlot::P0).unwrap();
+    a.rebuild_disk(DiskId(1), |_| ParitySlot::P0)?;
     let transfers = a.stats().snapshot().delta(&before).transfers();
     // The window is bounded by the busiest disk during the rebuild.
     let after_disks = a.stats().per_disk();
@@ -65,17 +64,17 @@ fn measure(n: u32) -> Row {
     let window_at_1gb_hours = window_hours * (500_000.0 / blocks);
     let mttdl_years =
         mttdl_array(PAPER_DISK_MTTF_HOURS, n + 1, 50, window_at_1gb_hours) / (24.0 * 365.25);
-    Row {
+    Ok(Row {
         n,
         disks: a.geometry().disks(),
         rebuild_transfers: transfers,
         rebuild_window_hours: window_hours,
         window_at_1gb_hours,
         mttdl_years,
-    }
+    })
 }
 
-fn main() {
+fn run() -> Result<(), rda_array::ArrayError> {
     println!(
         "one failed disk, ~2000 data pages, {MS_PER_TRANSFER} ms/page — rebuild window vs N\n"
     );
@@ -85,7 +84,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for n in [4u32, 8, 10, 16, 25] {
-        let row = measure(n);
+        let row = measure(n)?;
         println!(
             "{:>4} {:>6} {:>18} {:>14.3} {:>14.2} {:>20.0}",
             row.n,
@@ -101,4 +100,12 @@ fn main() {
     println!("often — both effects shrink MTTDL, which is the quantitative case for");
     println!("moderate N that the paper's (100/N)% overhead argument pushes against.");
     write_json("rebuild_window", &rows);
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("rebuild_window failed: {e}");
+        std::process::exit(1);
+    }
 }

@@ -102,6 +102,10 @@ pub struct BufferStats {
     pub writebacks: u64,
     /// Clean evictions.
     pub drops: u64,
+    /// Frames examined while hunting an eviction victim. A full LRU scan
+    /// adds one per occupied frame; a hit on the cached LRU watermark
+    /// adds exactly one.
+    pub eviction_scans: u64,
 }
 
 impl BufferStats {
@@ -139,6 +143,13 @@ pub struct BufferPool {
     hand: usize,
     tick: u64,
     stats: BufferStats,
+    /// Cached LRU watermark: `(slot, last_use)` of the frame that was the
+    /// *global* minimum `last_use` over all occupied frames (evictable or
+    /// not) at the end of the previous full scan. Ticks only grow, so no
+    /// later touch or install can create a smaller one; the hint stays
+    /// authoritative as long as that frame is untouched and evictable,
+    /// letting `pick_victim` skip the O(frames) scan.
+    lru_hint: Option<(usize, u64)>,
 }
 
 impl BufferPool {
@@ -158,6 +169,7 @@ impl BufferPool {
             hand: 0,
             tick: 0,
             stats: BufferStats::default(),
+            lru_hint: None,
         }
     }
 
@@ -354,6 +366,7 @@ impl BufferPool {
             *slot = None;
         }
         self.hand = 0;
+        self.lru_hint = None;
     }
 
     // ---- staged API (no closures) -------------------------------------
@@ -481,12 +494,16 @@ impl BufferPool {
             } else {
                 self.stats.steals += 1;
             }
-            steal(StealRequest {
+            if let Err(e) = steal(StealRequest {
                 page: frame.page,
                 data: &frame.data,
                 modifiers: &frame.modifiers,
-            })
-            .map_err(BufferError::Backend)?;
+            }) {
+                // The victim stays resident, but the hint seeded by
+                // `pick_victim` assumed it was gone — discard it.
+                self.lru_hint = None;
+                return Err(BufferError::Backend(e));
+            }
         } else {
             self.stats.drops += 1;
         }
@@ -497,16 +514,64 @@ impl BufferPool {
 
     fn pick_victim(&mut self) -> Option<usize> {
         match self.cfg.policy {
-            ReplacePolicy::Lru => self
-                .slots
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.as_ref().map(|f| (i, f)))
-                .filter(|(_, f)| self.evictable(f))
-                .min_by_key(|(_, f)| f.last_use)
-                .map(|(i, _)| i),
+            ReplacePolicy::Lru => {
+                // Fast path: the watermark cached by the previous full
+                // scan was the global minimum `last_use` then, and ticks
+                // only grow, so nothing can have undercut it since. It is
+                // still the true LRU victim as long as the frame is
+                // untouched and evictable.
+                if let Some((idx, tick)) = self.lru_hint.take() {
+                    if let Some(frame) = self.slots[idx].as_ref() {
+                        if frame.last_use == tick && self.evictable(frame) {
+                            self.stats.eviction_scans += 1;
+                            return Some(idx);
+                        }
+                    }
+                }
+                // Full scan: pick the evictable minimum, and remember the
+                // two smallest *global* minima so the next call can start
+                // from whichever survives this eviction.
+                let mut scanned = 0u64;
+                let mut victim: Option<(usize, u64)> = None;
+                let mut min1: Option<(usize, u64, bool)> = None;
+                let mut min2: Option<(usize, u64, bool)> = None;
+                for (i, frame) in self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.as_ref().map(|f| (i, f)))
+                {
+                    scanned += 1;
+                    let can_evict = self.evictable(frame);
+                    if can_evict && victim.is_none_or(|(_, t)| frame.last_use < t) {
+                        victim = Some((i, frame.last_use));
+                    }
+                    if min1.is_none_or(|(_, t, _)| frame.last_use < t) {
+                        min2 = min1;
+                        min1 = Some((i, frame.last_use, can_evict));
+                    } else if min2.is_none_or(|(_, t, _)| frame.last_use < t) {
+                        min2 = Some((i, frame.last_use, can_evict));
+                    }
+                }
+                self.stats.eviction_scans += scanned;
+                let (vi, _) = victim?;
+                // Seed the next hint with the smallest survivor — but only
+                // if it was evictable at scan time (pins and modifiers can
+                // change later; the fast path re-checks both).
+                let next = match min1 {
+                    Some((i, _, _)) if i == vi => min2,
+                    other => other,
+                };
+                self.lru_hint = match next {
+                    Some((i, t, true)) => Some((i, t)),
+                    _ => None,
+                };
+                Some(vi)
+            }
             ReplacePolicy::Clock => {
                 let n = self.slots.len();
+                let mut scanned = 0u64;
+                let mut found = None;
                 // Two sweeps: the first clears reference bits, the second
                 // must find any evictable frame.
                 for _ in 0..2 * n {
@@ -515,6 +580,7 @@ impl BufferPool {
                     let Some(frame) = self.slots[idx].as_mut() else {
                         continue;
                     };
+                    scanned += 1;
                     if frame.pins > 0 {
                         continue;
                     }
@@ -524,14 +590,22 @@ impl BufferPool {
                     }
                     let frame = self.slots[idx].as_ref().expect("occupied");
                     if self.evictable(frame) {
-                        return Some(idx);
+                        found = Some(idx);
+                        break;
                     }
                 }
-                // Final pass ignoring reference bits (all were hot).
-                let evictable_idx = (0..n)
-                    .map(|o| (self.hand + o) % n)
-                    .find(|&i| self.slots[i].as_ref().is_some_and(|f| self.evictable(f)));
-                evictable_idx
+                if found.is_none() {
+                    // Final pass ignoring reference bits (all were hot).
+                    found = (0..n).map(|o| (self.hand + o) % n).find(|&i| {
+                        let occupied = self.slots[i].as_ref();
+                        if occupied.is_some() {
+                            scanned += 1;
+                        }
+                        occupied.is_some_and(|f| self.evictable(f))
+                    });
+                }
+                self.stats.eviction_scans += scanned;
+                found
             }
         }
     }
@@ -667,6 +741,80 @@ mod tests {
         p.read(DataPageId(3), fetch_zero, no_steal).unwrap();
         assert!(p.peek(DataPageId(2)).is_none());
         assert!(p.peek(DataPageId(1)).is_some());
+    }
+
+    #[test]
+    fn lru_hint_short_circuits_second_eviction() {
+        let mut p = pool(3, true, ReplacePolicy::Lru);
+        for i in 1..=3 {
+            p.read(DataPageId(i), fetch_zero, no_steal).unwrap();
+        }
+        assert_eq!(p.stats().eviction_scans, 0);
+        // First eviction: full scan over all three occupied frames; seeds
+        // the watermark with the second-oldest frame.
+        p.read(DataPageId(4), fetch_zero, no_steal).unwrap();
+        assert!(p.peek(DataPageId(1)).is_none());
+        assert_eq!(p.stats().eviction_scans, 3);
+        // Second eviction: watermark hit, one frame examined.
+        p.read(DataPageId(5), fetch_zero, no_steal).unwrap();
+        assert!(p.peek(DataPageId(2)).is_none());
+        assert_eq!(p.stats().eviction_scans, 4);
+    }
+
+    #[test]
+    fn lru_hint_invalidated_by_touch_stays_correct() {
+        let mut p = pool(3, true, ReplacePolicy::Lru);
+        for i in 1..=3 {
+            p.read(DataPageId(i), fetch_zero, no_steal).unwrap();
+        }
+        p.read(DataPageId(4), fetch_zero, no_steal).unwrap(); // evicts 1, hints at 2
+        p.read(DataPageId(2), fetch_zero, no_steal).unwrap(); // touch 2: hint stale
+        p.read(DataPageId(5), fetch_zero, no_steal).unwrap();
+        assert!(
+            p.peek(DataPageId(3)).is_none(),
+            "true LRU evicted, not the stale hint"
+        );
+        assert!(p.peek(DataPageId(2)).is_some());
+        // 3 (first full scan) + 3 (rescan after the stale hint).
+        assert_eq!(p.stats().eviction_scans, 6);
+    }
+
+    #[test]
+    fn lru_hint_respects_late_pin() {
+        let mut p = pool(3, true, ReplacePolicy::Lru);
+        for i in 1..=3 {
+            p.read(DataPageId(i), fetch_zero, no_steal).unwrap();
+        }
+        p.read(DataPageId(4), fetch_zero, no_steal).unwrap(); // evicts 1, hints at 2
+        assert!(p.pin(DataPageId(2)));
+        p.read(DataPageId(5), fetch_zero, no_steal).unwrap();
+        assert!(
+            p.peek(DataPageId(2)).is_some(),
+            "pinned hint frame survives"
+        );
+        assert!(p.peek(DataPageId(3)).is_none());
+        p.unpin(DataPageId(2));
+    }
+
+    #[test]
+    fn lru_no_hint_when_oldest_is_pinned() {
+        let mut p = pool(3, true, ReplacePolicy::Lru);
+        for i in 1..=3 {
+            p.read(DataPageId(i), fetch_zero, no_steal).unwrap();
+        }
+        assert!(p.pin(DataPageId(1)));
+        // Victim is page 2 (oldest evictable); the global minimum (pinned
+        // page 1) is not a usable watermark, so no hint is seeded.
+        p.read(DataPageId(4), fetch_zero, no_steal).unwrap();
+        assert!(p.peek(DataPageId(2)).is_none());
+        assert_eq!(p.stats().eviction_scans, 3);
+        p.read(DataPageId(5), fetch_zero, no_steal).unwrap();
+        assert!(p.peek(DataPageId(3)).is_none());
+        assert_eq!(
+            p.stats().eviction_scans,
+            6,
+            "full rescan; no stale-hint shortcut"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ impl DbStats {
                 steals: self.buffer.steals - earlier.buffer.steals,
                 writebacks: self.buffer.writebacks - earlier.buffer.writebacks,
                 drops: self.buffer.drops - earlier.buffer.drops,
+                eviction_scans: self.buffer.eviction_scans - earlier.buffer.eviction_scans,
             },
         }
     }

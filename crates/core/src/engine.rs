@@ -67,6 +67,21 @@ pub(crate) struct TxnState {
     pub undo_logged_upto: HashMap<DataPageId, usize>,
 }
 
+impl TxnState {
+    /// Cache `data` as the last disk image this transaction stole for
+    /// `page`. Refreshing an existing entry copies into the page buffer
+    /// already held (`Page::clone_from` reuses the allocation) instead of
+    /// building a new page per steal.
+    pub(crate) fn note_stolen(&mut self, page: DataPageId, data: &Page) {
+        match self.last_stolen.entry(page) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().clone_from(data),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(data.clone());
+            }
+        }
+    }
+}
+
 /// The complete page set of one in-flight read-modify-write, staged in the
 /// modeled controller NVRAM (see [`Durable::intent`]) before any platter
 /// write begins. Restart recovery replays it verbatim, which both finishes
@@ -245,39 +260,42 @@ impl Engine {
         slots: &[ParitySlot],
     ) -> Result<()> {
         let g = self.dur.array.geometry().group_of(page);
-        let mut parities = Vec::with_capacity(slots.len());
+        // A dead twin carries no information worth updating (the rebuild
+        // will recompute its block), so only live parities are staged.
+        let mut staged: Vec<(GroupId, ParitySlot, Page)> = Vec::with_capacity(slots.len());
         for slot in slots {
             match self.dur.array.read_parity(g, *slot) {
                 Ok(mut parity) => {
-                    parity.xor_in_place(old);
-                    parity.xor_in_place(new);
-                    parities.push(Some(parity));
+                    parity.xor_many_in_place(&[old, new]);
+                    staged.push((g, *slot, parity));
                 }
-                // A dead twin carries no information worth updating; the
-                // rebuild will recompute its block.
-                Err(rda_array::ArrayError::DiskFailed(_)) => parities.push(None),
+                Err(rda_array::ArrayError::DiskFailed(_)) => {}
                 Err(e) => return Err(e.into()),
             }
         }
         // Stage the full write set in the modeled controller NVRAM before
         // touching the platters: if power fails partway through the
         // sequence, restart recovery replays the intent and the
-        // data/parity pair can never end up silently inconsistent.
-        *self.dur.intent.lock() = Some(WriteIntent {
+        // data/parity pair can never end up silently inconsistent. The
+        // parity pages are *moved* into the staging slot — the platter
+        // writes below read them back out of it, so nothing is copied.
+        let nvram = Arc::clone(&self.dur.intent);
+        let mut intent_slot = nvram.lock();
+        *intent_slot = Some(WriteIntent {
             page,
             data: new.clone(),
-            parity: slots
-                .iter()
-                .zip(&parities)
-                .filter_map(|(slot, parity)| parity.as_ref().map(|p| (g, *slot, p.clone())))
-                .collect(),
+            parity: staged,
         });
-        let result = self.write_with_parity_platter(page, new, g, slots, &parities);
+        let mut result = Ok(());
+        if let Some(intent) = intent_slot.as_ref() {
+            result = self.write_with_parity_platter(page, new, g, &intent.parity);
+        }
         // The staging buffer is only needed while power can vanish
         // mid-sequence; on a crash error it must survive for replay.
         if !matches!(result, Err(DbError::Array(rda_array::ArrayError::Crashed))) {
-            *self.dur.intent.lock() = None;
+            *intent_slot = None;
         }
+        drop(intent_slot);
         result?;
         self.refresh_stolen_cache(page, new);
         Ok(())
@@ -291,8 +309,7 @@ impl Engine {
         page: DataPageId,
         new: &Page,
         g: GroupId,
-        slots: &[ParitySlot],
-        parities: &[Option<Page>],
+        parities: &[(GroupId, ParitySlot, Page)],
     ) -> Result<()> {
         let data_written = match self.dur.array.write_data_unprotected(page, new) {
             Ok(()) => true,
@@ -300,13 +317,11 @@ impl Engine {
             Err(e) => return Err(e.into()),
         };
         let mut parity_written = false;
-        for (slot, parity) in slots.iter().zip(parities) {
-            if let Some(parity) = parity {
-                match self.dur.array.write_parity(g, *slot, parity) {
-                    Ok(()) => parity_written = true,
-                    Err(rda_array::ArrayError::DiskFailed(_)) => {}
-                    Err(e) => return Err(e.into()),
-                }
+        for (pg, slot, parity) in parities {
+            match self.dur.array.write_parity(*pg, *slot, parity) {
+                Ok(()) => parity_written = true,
+                Err(rda_array::ArrayError::DiskFailed(_)) => {}
+                Err(e) => return Err(e.into()),
             }
         }
         if !data_written && !parity_written {
@@ -436,7 +451,7 @@ impl Engine {
             for txn in modifiers {
                 if let Some(st) = self.active.get_mut(txn) {
                     st.stolen_logged.insert(page);
-                    st.last_stolen.insert(page, data.clone());
+                    st.note_stolen(page, data);
                 }
             }
             self.paranoid_audit("steal_uncommitted(logged)");
@@ -487,8 +502,7 @@ impl Engine {
                 // P_work := P_committed ⊕ old ⊕ new; one parity read, one
                 // data write, one parity write (a = 3 with old in hand).
                 let mut parity = self.dur.array.read_parity(g, committed)?;
-                parity.xor_in_place(&old);
-                parity.xor_in_place(data);
+                parity.xor_many_in_place(&[&old, data]);
                 // Note the steal *before* the first platter write (the
                 // header rides inside the data page): if power fails
                 // anywhere in the sequence, restart undo finds the note
@@ -513,14 +527,14 @@ impl Engine {
                 self.dirty.mark(g, page, txn, work);
                 let st = self.txn_state(txn)?;
                 st.stolen_parity.insert(page);
-                st.last_stolen.insert(page, data.clone());
+                st.note_stolen(page, data);
             }
             StealClass::RidesExisting => {
                 let work = self.dirty.get(g).expect("dirty group").working;
                 let old = self.old_disk_image(page, Some(txn))?;
                 self.write_with_parity(page, data, &old, &[work])?;
                 let st = self.txn_state(txn)?;
-                st.last_stolen.insert(page, data.clone());
+                st.note_stolen(page, data);
             }
             StealClass::NeedsLogging => {
                 self.log_undo_for(txn, page)?;
@@ -530,7 +544,7 @@ impl Engine {
                 self.write_with_parity(page, data, &old, &slots)?;
                 let st = self.txn_state(txn)?;
                 st.stolen_logged.insert(page);
-                st.last_stolen.insert(page, data.clone());
+                st.note_stolen(page, data);
             }
         }
         self.paranoid_audit("steal_uncommitted");
@@ -863,13 +877,19 @@ impl Engine {
 
         let p_work_res = self.dur.array.read_parity(g, work);
         let p_comm_res = self.dur.array.read_parity(g, committed);
-        let d_new = match self
+        // Borrow the cached last-stolen image when present; the owned
+        // fallback only exists when the disk had to be read.
+        let d_new_read;
+        let d_new: &Page = match self
             .active
             .get(&txn)
             .and_then(|st| st.last_stolen.get(&page))
         {
-            Some(p) => p.clone(),
-            None => self.read_disk(page)?,
+            Some(p) => p,
+            None => {
+                d_new_read = self.read_disk(page)?;
+                &d_new_read
+            }
         };
         // The parity identity yields the pre-steal *disk* version. In
         // degraded mode there are fallbacks: with the working twin dead,
@@ -881,8 +901,10 @@ impl Engine {
         // copy of the before-image).
         let (p_comm, d_old): (Option<Page>, Option<Page>) = match (p_work_res, p_comm_res) {
             (Ok(p_work), Ok(p_comm)) => {
-                let mut d_old = p_work.xor(&p_comm);
-                d_old.xor_in_place(&d_new);
+                // Reuse the working-twin page as the accumulator:
+                // D_old = P_work ⊕ P_committed ⊕ D_new, no fresh pages.
+                let mut d_old = p_work;
+                d_old.xor_many_in_place(&[&p_comm, d_new]);
                 (Some(p_comm), Some(d_old))
             }
             (Err(rda_array::ArrayError::DiskFailed(_)), Ok(p_comm)) => {
@@ -948,8 +970,7 @@ impl Engine {
         let parity_new = match (&p_comm, &d_old) {
             (Some(p_comm), Some(d_old)) => {
                 let mut parity_new = p_comm.clone();
-                parity_new.xor_in_place(d_old);
-                parity_new.xor_in_place(&restore);
+                parity_new.xor_many_in_place(&[d_old, &restore]);
                 parity_new
             }
             _ => self.dur.array.compute_group_parity(g)?,

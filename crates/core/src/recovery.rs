@@ -262,8 +262,10 @@ impl Engine {
                 let p_work = self.dur.array.read_parity(g, work)?;
                 let p_comm = self.dur.array.read_parity(g, committed)?;
                 let d_new = self.read_disk(page)?;
-                let mut d_old = p_work.xor(&p_comm);
-                d_old.xor_in_place(&d_new);
+                // Fold into the already-owned working twin page:
+                // D_old = P_work ⊕ P_committed ⊕ D_new.
+                let mut d_old = p_work;
+                d_old.xor_many_in_place(&[&p_comm, &d_new]);
                 d_old
             }
             Err(e) => return Err(e.into()),
@@ -552,7 +554,8 @@ impl Engine {
                 let p_work = self.dur.array.read_parity(g, info.working)?;
                 let p_comm = self.dur.array.read_parity(g, info.working.other())?;
                 let d_new = self.read_disk(info.page)?;
-                let d_old = p_work.xor(&p_comm).xor(&d_new);
+                let mut d_old = p_comm;
+                d_old.xor_many_in_place(&[&p_work, &d_new]);
                 // The before-image must differ from the new one only if
                 // the transaction actually changed the page; we can at
                 // least check sizes and that recomputing parity from

@@ -47,6 +47,11 @@ impl Engine {
             return Err(DbError::ActiveTransactions(self.active.len()));
         }
         let mut report = ScrubReport::default();
+        // Two scratch pages reused across the whole patrol pass: one for
+        // probing data members, one for recomputed parity. The per-page
+        // loop below allocates nothing.
+        let mut probe = self.dur.array.blank_page();
+        let mut expect = self.dur.array.blank_page();
         for g in 0..self.dur.array.groups() {
             let g = GroupId(g);
             let committed = self.committed_slot(g);
@@ -54,7 +59,7 @@ impl Engine {
             // Pass 1: data members.
             for member in self.dur.array.geometry().members(g) {
                 report.pages_scanned += 1;
-                match self.dur.array.try_read_data(member) {
+                match self.dur.array.try_read_data_into(member, &mut probe) {
                     Err(ArrayError::MediaError { .. } | ArrayError::TornPage { .. }) => {
                         let repaired = self.dur.array.reconstruct_data(member, committed)?;
                         self.dur.array.write_data_unprotected(member, &repaired)?;
@@ -62,7 +67,7 @@ impl Engine {
                     }
                     // A readable page needs nothing; a whole failed disk is
                     // media recovery's job, not the scrubber's.
-                    Ok(_) | Err(ArrayError::DiskFailed(_)) => {}
+                    Ok(()) | Err(ArrayError::DiskFailed(_)) => {}
                     Err(e) => return Err(e.into()),
                 }
             }
@@ -71,8 +76,8 @@ impl Engine {
             // disk down the group XOR cannot be recomputed — that group
             // waits for media recovery.
             match self.dur.array.read_parity(g, committed) {
-                Ok(parity) => match self.dur.array.compute_group_parity(g) {
-                    Ok(expect) => {
+                Ok(parity) => match self.dur.array.compute_group_parity_into(g, &mut expect) {
+                    Ok(()) => {
                         if parity != expect {
                             self.dur.array.write_parity(g, committed, &expect)?;
                             report.parity_corrected += 1;
@@ -82,8 +87,8 @@ impl Engine {
                     Err(e) => return Err(e.into()),
                 },
                 Err(ArrayError::MediaError { .. } | ArrayError::TornPage { .. }) => {
-                    match self.dur.array.compute_group_parity(g) {
-                        Ok(expect) => {
+                    match self.dur.array.compute_group_parity_into(g, &mut expect) {
+                        Ok(()) => {
                             self.dur.array.write_parity(g, committed, &expect)?;
                             report.parity_repaired += 1;
                         }

@@ -31,7 +31,9 @@ use crate::plan::{FaultKind, FaultPlan};
 use rda_core::{Database, DbConfig, DbError, LogGranularity};
 use rda_sim::{AccessKind, TxnScript};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Which fault the explorer plants at each candidate I/O.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,11 +82,17 @@ pub struct ExplorerConfig {
     /// Seed for both the sampled crashpoint choice and the page contents
     /// written during replay.
     pub seed: u64,
+    /// Worker threads to fan crashpoint replays over. `0` means
+    /// `available_parallelism`. Each worker opens its own fresh
+    /// [`Database`] per crashpoint, and results are collected by
+    /// crashpoint index, so the report is identical for every worker
+    /// count.
+    pub workers: usize,
 }
 
 impl ExplorerConfig {
     /// Defaults: crash mode, exhaustive up to 512 I/Os, 64 samples above
-    /// that.
+    /// that, worker pool sized to `available_parallelism`.
     #[must_use]
     pub fn new(mode: ExploreMode) -> ExplorerConfig {
         ExplorerConfig {
@@ -92,7 +100,18 @@ impl ExplorerConfig {
             exhaustive_limit: 512,
             samples: 64,
             seed: 0xFA17,
+            workers: 0,
         }
+    }
+
+    /// The worker-pool width [`explore`] will actually use: `workers`,
+    /// or `available_parallelism` when it is 0.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     }
 }
 
@@ -124,6 +143,19 @@ impl Crashpoint {
     }
 }
 
+/// How much work one explorer worker did. Deliberately *not* part of
+/// [`CrashpointReport::to_json`]: wall-clock depends on the host, and the
+/// JSON report must stay byte-identical across worker counts.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerTiming {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Crashpoints this worker replayed.
+    pub points: u64,
+    /// Busy wall-clock of this worker, from first claim to pool drain.
+    pub elapsed: Duration,
+}
+
 /// Full result of one exploration.
 #[derive(Debug, Clone)]
 pub struct CrashpointReport {
@@ -140,6 +172,9 @@ pub struct CrashpointReport {
     pub golden_violations: Vec<String>,
     /// One entry per explored crashpoint, in increasing I/O order.
     pub points: Vec<Crashpoint>,
+    /// Per-worker replay timing (one entry per pool worker, sorted by
+    /// worker index). Excluded from [`CrashpointReport::to_json`].
+    pub worker_timings: Vec<WorkerTiming>,
 }
 
 impl CrashpointReport {
@@ -425,10 +460,22 @@ pub fn explore(db_cfg: &DbConfig, scripts: &[TxnScript], cfg: &ExplorerConfig) -
     verify_survivor(&golden_db, &golden.oracle, &mut golden_violations);
 
     let (ks, exhaustive) = choose_crashpoints(total, cfg);
-    let points = ks
-        .into_iter()
-        .map(|k| explore_point(db_cfg, scripts, cfg, k))
-        .collect();
+    let workers = cfg.effective_workers().min(ks.len()).max(1);
+    let (points, worker_timings) = if workers <= 1 {
+        let start = Instant::now();
+        let points: Vec<Crashpoint> = ks
+            .into_iter()
+            .map(|k| explore_point(db_cfg, scripts, cfg, k))
+            .collect();
+        let timing = WorkerTiming {
+            worker: 0,
+            points: points.len() as u64,
+            elapsed: start.elapsed(),
+        };
+        (points, vec![timing])
+    } else {
+        explore_points_parallel(db_cfg, scripts, cfg, &ks, workers)
+    };
 
     CrashpointReport {
         mode: cfg.mode,
@@ -437,5 +484,68 @@ pub fn explore(db_cfg: &DbConfig, scripts: &[TxnScript], cfg: &ExplorerConfig) -
         golden_committed: golden.committed,
         golden_violations,
         points,
+        worker_timings,
     }
+}
+
+/// Fan `ks` out over `workers` scoped threads. Workers claim crashpoint
+/// *indices* from a shared dispenser; each replay opens its own fresh
+/// [`Database`], so replays share nothing, and results are slotted back
+/// by index — the output is the same in-order `Vec` the sequential path
+/// produces, regardless of scheduling.
+fn explore_points_parallel(
+    db_cfg: &DbConfig,
+    scripts: &[TxnScript],
+    cfg: &ExplorerConfig,
+    ks: &[u64],
+    workers: usize,
+) -> (Vec<Crashpoint>, Vec<WorkerTiming>) {
+    let next = AtomicUsize::new(0);
+    let scope_result = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let next = &next;
+                s.spawn(move |_| {
+                    let start = Instant::now();
+                    let mut done: Vec<(usize, Crashpoint)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&k) = ks.get(i) else { break };
+                        done.push((i, explore_point(db_cfg, scripts, cfg, k)));
+                    }
+                    (w, done, start.elapsed())
+                })
+            })
+            .collect();
+
+        let mut slots: Vec<Option<Crashpoint>> = Vec::with_capacity(ks.len());
+        slots.resize_with(ks.len(), || None);
+        let mut timings = Vec::with_capacity(workers);
+        for handle in handles {
+            match handle.join() {
+                Ok((worker, done, elapsed)) => {
+                    timings.push(WorkerTiming {
+                        worker,
+                        points: done.len() as u64,
+                        elapsed,
+                    });
+                    for (i, point) in done {
+                        slots[i] = Some(point);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        (slots, timings)
+    });
+    let (slots, mut timings) = match scope_result {
+        Ok(pair) => pair,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    timings.sort_by_key(|t| t.worker);
+    // Every index was claimed by exactly one worker and every worker was
+    // joined, so each slot is filled.
+    let points: Vec<Crashpoint> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(points.len(), ks.len());
+    (points, timings)
 }

@@ -92,6 +92,7 @@ mod tests {
             golden_committed: 0,
             golden_violations: Vec::new(),
             points: Vec::new(),
+            worker_timings: Vec::new(),
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));

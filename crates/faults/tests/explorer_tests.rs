@@ -126,6 +126,33 @@ fn sampling_kicks_in_above_the_exhaustive_limit() {
 }
 
 #[test]
+fn parallel_exploration_matches_sequential_byte_for_byte() {
+    let scripts = small_mixed_workload(4);
+    let base = ExplorerConfig {
+        exhaustive_limit: 4096,
+        ..ExplorerConfig::new(ExploreMode::Crash)
+    };
+    let db_cfg = DbConfig::small_test(EngineKind::Rda);
+    let seq = explore(&db_cfg, &scripts, &ExplorerConfig { workers: 1, ..base });
+    let par = explore(&db_cfg, &scripts, &ExplorerConfig { workers: 4, ..base });
+
+    assert!(seq.exhaustive);
+    assert_eq!(seq.worker_timings.len(), 1);
+    assert_eq!(par.worker_timings.len(), 4);
+    assert_eq!(
+        par.worker_timings.iter().map(|t| t.points).sum::<u64>(),
+        par.points.len() as u64,
+        "every crashpoint accounted to exactly one worker"
+    );
+    assert_eq!(
+        seq.to_json(),
+        par.to_json(),
+        "worker count must not change the report"
+    );
+    assert_clean(&seq);
+}
+
+#[test]
 fn report_serializes_to_json() {
     let scripts = small_mixed_workload(2);
     let cfg = ExplorerConfig {

@@ -9,13 +9,16 @@ use super::SourceFile;
 /// Crates whose library code is subject to the unwrap/expect ratchet —
 /// the recovery-critical layers where a stray panic can take down the
 /// "database" mid-protocol, plus the fault-injection layer (whose whole
-/// point is exercising those protocols, so it must not panic first).
+/// point is exercising those protocols, so it must not panic first), plus
+/// the bench/figure binaries (a panicking bench aborts the whole sweep
+/// instead of reporting which configuration failed).
 pub const RATCHET_CRATES: &[&str] = &[
     "crates/core",
     "crates/array",
     "crates/buffer",
     "crates/wal",
     "crates/faults",
+    "crates/bench",
 ];
 
 /// Count `.unwrap()` / `.expect(` call sites per ratcheted file.
