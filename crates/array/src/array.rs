@@ -6,6 +6,7 @@ use crate::{
     ArrayConfig, ArrayError, DataPageId, DiskId, Geometry, GroupId, IoKind, IoStats, Page,
     ParitySlot, PhysLoc, Result,
 };
+use rda_obs::{EventKind, Tracer};
 use std::sync::Arc;
 
 /// A simulated redundant disk array.
@@ -25,14 +26,24 @@ pub struct DiskArray {
     geo: Geometry,
     disks: Vec<crate::SimDisk>,
     stats: Arc<IoStats>,
+    tracer: Arc<Tracer>,
     fault: parking_lot::Mutex<Option<crate::disk::HookState>>,
 }
 
 impl DiskArray {
     /// Build an array (all pages zero-initialized, so parity = XOR of data
-    /// trivially holds everywhere).
+    /// trivially holds everywhere) with a private, disabled tracer.
     #[must_use]
     pub fn new(cfg: ArrayConfig) -> DiskArray {
+        DiskArray::with_obs(cfg, Tracer::disabled())
+    }
+
+    /// Build an array sharing the caller's [`Tracer`]. Every billed
+    /// transfer advances the tracer's global I/O clock and (when tracing
+    /// is enabled) emits a `DiskRead`/`DiskWrite` event; this is how the
+    /// whole stack gets a common, replayable timebase.
+    #[must_use]
+    pub fn with_obs(cfg: ArrayConfig, tracer: Arc<Tracer>) -> DiskArray {
         let geo = Geometry::new(&cfg);
         let disks = (0..geo.disks())
             .map(|d| crate::SimDisk::new(DiskId(d), geo.blocks_per_disk(), cfg.page_size))
@@ -43,8 +54,16 @@ impl DiskArray {
             geo,
             disks,
             stats,
+            tracer,
             fault: parking_lot::Mutex::new(None),
         }
+    }
+
+    /// The tracer this array clocks (disabled-by-default unless the
+    /// array was built via [`DiskArray::with_obs`]).
+    #[must_use]
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
     }
 
     // ---- fault hook ------------------------------------------------------
@@ -152,12 +171,20 @@ impl DiskArray {
     fn read_phys(&self, loc: PhysLoc) -> Result<Page> {
         let page = self.disk(loc.disk).read(loc.block)?;
         self.stats.record_on(IoKind::Read, loc.disk.0);
+        self.tracer.record_io(|| EventKind::DiskRead {
+            disk: loc.disk.0,
+            block: loc.block,
+        });
         Ok(page)
     }
 
     fn write_phys(&self, loc: PhysLoc, page: &Page) -> Result<()> {
         self.disk(loc.disk).write(loc.block, page)?;
         self.stats.record_on(IoKind::Write, loc.disk.0);
+        self.tracer.record_io(|| EventKind::DiskWrite {
+            disk: loc.disk.0,
+            block: loc.block,
+        });
         Ok(())
     }
 
@@ -167,6 +194,10 @@ impl DiskArray {
     fn read_phys_xor_into(&self, loc: PhysLoc, acc: &mut Page) -> Result<()> {
         self.disk(loc.disk).read_xor_into(loc.block, acc)?;
         self.stats.record_on(IoKind::Read, loc.disk.0);
+        self.tracer.record_io(|| EventKind::DiskRead {
+            disk: loc.disk.0,
+            block: loc.block,
+        });
         Ok(())
     }
 
@@ -536,6 +567,10 @@ impl DiskArray {
             };
             self.disk(disk).write(block, &page)?;
             self.stats.record_on(IoKind::Write, disk.0);
+            self.tracer.record_io(|| EventKind::DiskWrite {
+                disk: disk.0,
+                block,
+            });
             rebuilt += 1;
         }
         Ok(rebuilt)

@@ -23,5 +23,6 @@
 mod pool;
 
 pub use pool::{
-    BufferConfig, BufferError, BufferPool, BufferStats, Evicted, ReplacePolicy, StealRequest,
+    BufferConfig, BufferError, BufferPool, BufferStats, Evicted, PoolCounters, ReplacePolicy,
+    StealRequest,
 };

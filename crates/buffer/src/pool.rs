@@ -1,8 +1,11 @@
 //! The buffer pool.
 
 use rda_array::{DataPageId, Page};
+use rda_obs::{EventKind, Tracer};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Which frame-replacement policy the pool uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +123,45 @@ impl BufferStats {
     }
 }
 
+/// The pool's live counters: lock-free atomics shared via `Arc`, so a
+/// metrics registry can register read-only views over them without going
+/// through the engine's lock. [`BufferPool::stats`] loads them into the
+/// plain [`BufferStats`] snapshot the rest of the stack consumes.
+#[derive(Debug, Default)]
+pub struct PoolCounters {
+    /// Lookups served from the pool.
+    pub hits: AtomicU64,
+    /// Lookups that had to fetch.
+    pub misses: AtomicU64,
+    /// Dirty evictions with uncommitted modifiers (paper steals).
+    pub steals: AtomicU64,
+    /// Dirty evictions without uncommitted modifiers.
+    pub writebacks: AtomicU64,
+    /// Clean evictions.
+    pub drops: AtomicU64,
+    /// Frames examined while hunting an eviction victim.
+    pub eviction_scans: AtomicU64,
+}
+
+impl PoolCounters {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Load all counters into a point-in-time snapshot.
+    #[must_use]
+    pub fn load(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            eviction_scans: self.eviction_scans.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct Frame {
     page: DataPageId,
     data: Page,
@@ -142,7 +184,8 @@ pub struct BufferPool {
     free: Vec<usize>,
     hand: usize,
     tick: u64,
-    stats: BufferStats,
+    counters: Arc<PoolCounters>,
+    tracer: Arc<Tracer>,
     /// Cached LRU watermark: `(slot, last_use)` of the frame that was the
     /// *global* minimum `last_use` over all occupied frames (evictable or
     /// not) at the end of the previous full scan. Ticks only grow, so no
@@ -153,12 +196,22 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// Create an empty pool.
+    /// Create an empty pool with a private, disabled tracer.
     ///
     /// # Panics
     /// Panics if `cfg.frames == 0`.
     #[must_use]
     pub fn new(cfg: BufferConfig) -> BufferPool {
+        BufferPool::with_obs(cfg, Tracer::disabled())
+    }
+
+    /// Create an empty pool sharing the caller's [`Tracer`] — evictions
+    /// emit `Evict` events classified as steal / writeback / drop.
+    ///
+    /// # Panics
+    /// Panics if `cfg.frames == 0`.
+    #[must_use]
+    pub fn with_obs(cfg: BufferConfig, tracer: Arc<Tracer>) -> BufferPool {
         assert!(cfg.frames > 0, "buffer must have at least one frame");
         let frames = cfg.frames;
         BufferPool {
@@ -168,7 +221,8 @@ impl BufferPool {
             free: (0..frames).rev().collect(),
             hand: 0,
             tick: 0,
-            stats: BufferStats::default(),
+            counters: Arc::new(PoolCounters::default()),
+            tracer,
             lru_hint: None,
         }
     }
@@ -179,10 +233,16 @@ impl BufferPool {
         &self.cfg
     }
 
-    /// Counters.
+    /// Counters (point-in-time snapshot of the live atomics).
     #[must_use]
     pub fn stats(&self) -> BufferStats {
-        self.stats
+        self.counters.load()
+    }
+
+    /// The live atomic counters, for registering metrics views.
+    #[must_use]
+    pub fn counters(&self) -> Arc<PoolCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Number of resident pages.
@@ -223,11 +283,11 @@ impl BufferPool {
         steal: impl FnMut(StealRequest<'_>) -> Result<(), E>,
     ) -> Result<Page, BufferError<E>> {
         if let Some(&idx) = self.map.get(&page) {
-            self.stats.hits += 1;
+            PoolCounters::bump(&self.counters.hits);
             self.touch(idx);
             return Ok(self.slots[idx].as_ref().expect("mapped frame").data.clone());
         }
-        self.stats.misses += 1;
+        PoolCounters::bump(&self.counters.misses);
         let idx = self.make_room(steal)?;
         let data = fetch(page).map_err(BufferError::Backend)?;
         self.install(idx, page, data.clone(), false);
@@ -249,7 +309,7 @@ impl BufferPool {
         steal: impl FnMut(StealRequest<'_>) -> Result<(), E>,
     ) -> Result<(), BufferError<E>> {
         if let Some(&idx) = self.map.get(&page) {
-            self.stats.hits += 1;
+            PoolCounters::bump(&self.counters.hits);
             self.touch(idx);
             let frame = self.slots[idx].as_mut().expect("mapped frame");
             frame.data = data;
@@ -257,7 +317,7 @@ impl BufferPool {
             frame.modifiers.insert(txn);
             return Ok(());
         }
-        self.stats.misses += 1;
+        PoolCounters::bump(&self.counters.misses);
         let idx = self.make_room(steal)?;
         self.install(idx, page, data, true);
         self.slots[idx]
@@ -381,12 +441,12 @@ impl BufferPool {
     pub fn lookup(&mut self, page: DataPageId) -> Option<Page> {
         match self.map.get(&page) {
             Some(&idx) => {
-                self.stats.hits += 1;
+                PoolCounters::bump(&self.counters.hits);
                 self.touch(idx);
                 Some(self.slots[idx].as_ref().expect("mapped frame").data.clone())
             }
             None => {
-                self.stats.misses += 1;
+                PoolCounters::bump(&self.counters.misses);
                 None
             }
         }
@@ -409,13 +469,18 @@ impl BufferPool {
         self.free.push(victim);
         if frame.dirty {
             if frame.modifiers.is_empty() {
-                self.stats.writebacks += 1;
+                PoolCounters::bump(&self.counters.writebacks);
             } else {
-                self.stats.steals += 1;
+                PoolCounters::bump(&self.counters.steals);
             }
         } else {
-            self.stats.drops += 1;
+            PoolCounters::bump(&self.counters.drops);
         }
+        self.tracer.emit(|| EventKind::Evict {
+            page: frame.page.0,
+            steal: frame.dirty && !frame.modifiers.is_empty(),
+            writeback: frame.dirty && frame.modifiers.is_empty(),
+        });
         Some(Evicted {
             page: frame.page,
             data: frame.data,
@@ -490,9 +555,9 @@ impl BufferPool {
         let frame = self.slots[victim].as_ref().expect("victim occupied");
         if frame.dirty {
             if frame.modifiers.is_empty() {
-                self.stats.writebacks += 1;
+                PoolCounters::bump(&self.counters.writebacks);
             } else {
-                self.stats.steals += 1;
+                PoolCounters::bump(&self.counters.steals);
             }
             if let Err(e) = steal(StealRequest {
                 page: frame.page,
@@ -505,10 +570,15 @@ impl BufferPool {
                 return Err(BufferError::Backend(e));
             }
         } else {
-            self.stats.drops += 1;
+            PoolCounters::bump(&self.counters.drops);
         }
         let frame = self.slots[victim].take().expect("victim occupied");
         self.map.remove(&frame.page);
+        self.tracer.emit(|| EventKind::Evict {
+            page: frame.page.0,
+            steal: frame.dirty && !frame.modifiers.is_empty(),
+            writeback: frame.dirty && frame.modifiers.is_empty(),
+        });
         Ok(victim)
     }
 
@@ -523,7 +593,7 @@ impl BufferPool {
                 if let Some((idx, tick)) = self.lru_hint.take() {
                     if let Some(frame) = self.slots[idx].as_ref() {
                         if frame.last_use == tick && self.evictable(frame) {
-                            self.stats.eviction_scans += 1;
+                            PoolCounters::bump(&self.counters.eviction_scans);
                             return Some(idx);
                         }
                     }
@@ -553,7 +623,9 @@ impl BufferPool {
                         min2 = Some((i, frame.last_use, can_evict));
                     }
                 }
-                self.stats.eviction_scans += scanned;
+                self.counters
+                    .eviction_scans
+                    .fetch_add(scanned, Ordering::Relaxed);
                 let (vi, _) = victim?;
                 // Seed the next hint with the smallest survivor — but only
                 // if it was evictable at scan time (pins and modifiers can
@@ -604,7 +676,9 @@ impl BufferPool {
                         occupied.is_some_and(|f| self.evictable(f))
                     });
                 }
-                self.stats.eviction_scans += scanned;
+                self.counters
+                    .eviction_scans
+                    .fetch_add(scanned, Ordering::Relaxed);
                 found
             }
         }

@@ -75,6 +75,12 @@ pub struct DbConfig {
     /// recovery I/O, not isolation), and orthogonal to the recovery
     /// machinery.
     pub strict_read_locks: bool,
+    /// Event-trace ring capacity. `0` (the default) leaves the tracer
+    /// disabled; any positive value makes `Database::open` enable the
+    /// shared tracer with a ring of that many events. Because the sim
+    /// drivers and the crashpoint explorer open their databases from a
+    /// cloned `DbConfig`, this is how tracing reaches every replay.
+    pub trace_events: usize,
 }
 
 impl DbConfig {
@@ -103,6 +109,7 @@ impl DbConfig {
             eot: EotPolicy::Force,
             checkpoint: CheckpointPolicy::Manual,
             strict_read_locks: false,
+            trace_events: 0,
         }
     }
 
@@ -127,7 +134,15 @@ impl DbConfig {
             eot: EotPolicy::Force,
             checkpoint: CheckpointPolicy::Manual,
             strict_read_locks: false,
+            trace_events: 0,
         }
+    }
+
+    /// Builder-style: enable event tracing with a ring of `events`.
+    #[must_use]
+    pub fn trace(mut self, events: usize) -> DbConfig {
+        self.trace_events = events;
+        self
     }
 
     /// Builder-style: set granularity.

@@ -7,6 +7,7 @@ use crate::DbConfig;
 use parking_lot::Mutex;
 use rda_array::{DataPageId, DiskId, StatsSnapshot};
 use rda_buffer::BufferStats;
+use rda_obs::{MetricsRegistry, ObsHub, TraceSnapshot, Tracer};
 use rda_wal::TxnId;
 use std::sync::Arc;
 
@@ -334,6 +335,55 @@ impl Database {
     #[must_use]
     pub fn active_transactions(&self) -> usize {
         self.engine.lock().active.len()
+    }
+
+    /// This database's observability hub (shared event tracer + metrics
+    /// registry). Cheap to clone; all handles alias the same state.
+    #[must_use]
+    pub fn obs(&self) -> ObsHub {
+        self.engine.lock().obs.clone()
+    }
+
+    /// The shared metrics registry (counters, views over the I/O and
+    /// buffer stats, histograms).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.engine.lock().obs.metrics)
+    }
+
+    /// The shared event tracer. Enabled at open time when
+    /// [`DbConfig::trace_events`](crate::DbConfig) is positive, or at any
+    /// point via [`rda_obs::Tracer::enable`].
+    #[must_use]
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.engine.lock().obs.tracer)
+    }
+
+    /// Snapshot of the retained trace events (oldest first) plus the
+    /// ring's overwrite count.
+    #[must_use]
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.engine.lock().obs.tracer.snapshot()
+    }
+
+    /// Deterministic JSON of every counter and view in the metrics
+    /// registry (histograms excluded) — byte-comparable across replays
+    /// of the same seed.
+    #[must_use]
+    pub fn metrics_counters_json(&self) -> String {
+        self.engine.lock().obs.metrics.counters_json()
+    }
+
+    /// Full JSON export of the metrics registry, histograms included.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.engine.lock().obs.metrics.to_json()
+    }
+
+    /// Prometheus text exposition of the metrics registry.
+    #[must_use]
+    pub fn metrics_prometheus(&self) -> String {
+        self.engine.lock().obs.metrics.to_prometheus()
     }
 
     /// Run the cross-layer invariant auditor (parity-vs-twins XOR

@@ -34,6 +34,7 @@ use crate::locks::LockTable;
 use crate::twin::TwinDirectory;
 use rda_array::{DataPageId, DiskArray, GroupId, Page, ParitySlot};
 use rda_buffer::BufferPool;
+use rda_obs::{Counter, EventKind, Histogram, MetricsRegistry, ObsHub, StealKind};
 use rda_wal::{CheckpointKind, LogManager, LogRecord, LogStore, TxnId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -109,6 +110,38 @@ pub(crate) struct Durable {
     pub intent: Arc<parking_lot::Mutex<Option<WriteIntent>>>,
 }
 
+/// Engine-owned counters and histograms, registered in the shared
+/// [`MetricsRegistry`] at open time. The handles are cached here so the
+/// hot paths never take the registry lock.
+pub(crate) struct EngineMetrics {
+    pub commits: Counter,
+    pub aborts: Counter,
+    pub steals_parity: Counter,
+    pub steals_logged: Counter,
+    pub undo_parity: Counter,
+    pub undo_log: Counter,
+    pub lock_conflicts: Counter,
+    pub recoveries: Counter,
+    pub pages_per_commit: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn register(metrics: &MetricsRegistry) -> EngineMetrics {
+        EngineMetrics {
+            commits: metrics.counter("engine_commits_total"),
+            aborts: metrics.counter("engine_aborts_total"),
+            steals_parity: metrics.counter("engine_steals_parity_total"),
+            steals_logged: metrics.counter("engine_steals_logged_total"),
+            undo_parity: metrics.counter("engine_undo_parity_total"),
+            undo_log: metrics.counter("engine_undo_log_total"),
+            lock_conflicts: metrics.counter("engine_lock_conflicts_total"),
+            recoveries: metrics.counter("engine_recoveries_total"),
+            pages_per_commit: metrics
+                .histogram("engine_pages_per_commit", &[1, 2, 4, 8, 16, 32, 64]),
+        }
+    }
+}
+
 /// The database engine (volatile state over [`Durable`] storage).
 pub struct Engine {
     pub(crate) cfg: DbConfig,
@@ -122,15 +155,63 @@ pub struct Engine {
     pub(crate) clock: u64,
     pub(crate) ops_since_ckpt: u64,
     pub(crate) needs_recovery: bool,
+    pub(crate) obs: ObsHub,
+    pub(crate) metrics: EngineMetrics,
 }
 
 impl Engine {
     /// Create a fresh database.
     pub(crate) fn open(cfg: DbConfig) -> Engine {
         cfg.validate();
-        let array = Arc::new(DiskArray::new(cfg.array.clone()));
+        let obs = ObsHub::new();
+        if cfg.trace_events > 0 {
+            obs.tracer.enable(cfg.trace_events);
+        }
+        let array = Arc::new(DiskArray::with_obs(
+            cfg.array.clone(),
+            Arc::clone(&obs.tracer),
+        ));
         let groups = array.groups();
         let log_store = LogStore::new(cfg.log.clone());
+        let buffer = BufferPool::with_obs(cfg.buffer.clone(), Arc::clone(&obs.tracer));
+        // The legacy `DbStats` counters become registry views: the atomics
+        // keep living where they always did (array/log I/O stats, pool
+        // counters); the registry only reads them at export time.
+        {
+            let io = array.stats();
+            let r = Arc::clone(&io);
+            obs.metrics
+                .register_view("array_reads_total", move || r.reads());
+            obs.metrics
+                .register_view("array_writes_total", move || io.writes());
+            let log_io = log_store.stats();
+            let lr = Arc::clone(&log_io);
+            obs.metrics
+                .register_view("log_reads_total", move || lr.reads());
+            obs.metrics
+                .register_view("log_writes_total", move || log_io.writes());
+            let pc = buffer.counters();
+            let c = Arc::clone(&pc);
+            obs.metrics
+                .register_view("buffer_hits_total", move || c.load().hits);
+            let c = Arc::clone(&pc);
+            obs.metrics
+                .register_view("buffer_misses_total", move || c.load().misses);
+            let c = Arc::clone(&pc);
+            obs.metrics
+                .register_view("buffer_steals_total", move || c.load().steals);
+            let c = Arc::clone(&pc);
+            obs.metrics
+                .register_view("buffer_writebacks_total", move || c.load().writebacks);
+            let c = Arc::clone(&pc);
+            obs.metrics
+                .register_view("buffer_drops_total", move || c.load().drops);
+            obs.metrics
+                .register_view("buffer_eviction_scans_total", move || {
+                    pc.load().eviction_scans
+                });
+        }
+        let metrics = EngineMetrics::register(&obs.metrics);
         let dur = Durable {
             array,
             log_store: Arc::clone(&log_store),
@@ -141,7 +222,7 @@ impl Engine {
         let clock = dur.twins.max_ts() + 1;
         Engine {
             log: LogManager::new(log_store),
-            buffer: BufferPool::new(cfg.buffer.clone()),
+            buffer,
             dirty: DirtySet::new(),
             locks: LockTable::new(),
             active: HashMap::new(),
@@ -151,6 +232,8 @@ impl Engine {
             needs_recovery: false,
             cfg,
             dur,
+            obs,
+            metrics,
         }
     }
 
@@ -180,6 +263,16 @@ impl Engine {
 
     fn txn_state(&mut self, txn: TxnId) -> Result<&mut TxnState> {
         self.active.get_mut(&txn).ok_or(DbError::UnknownTxn(txn))
+    }
+
+    /// Note a denied lock request (the requester sees the conflict error;
+    /// this model has no blocking waits) in the trace and metrics.
+    fn note_lock_conflict(&self, page: DataPageId, txn: TxnId) {
+        self.metrics.lock_conflicts.inc();
+        self.obs.tracer.emit(|| EventKind::LockWait {
+            page: page.0,
+            txn: txn.0,
+        });
     }
 
     // ---- parity slot selection -----------------------------------------
@@ -440,7 +533,7 @@ impl Engine {
         // writers (possible under record locking), always log UNDO.
         let must_log = !self.is_rda() || single.is_none();
 
-        if must_log {
+        let steal_kind = if must_log {
             for txn in modifiers {
                 self.log_undo_for(*txn, page)?;
             }
@@ -454,11 +547,36 @@ impl Engine {
                     st.note_stolen(page, data);
                 }
             }
-            self.paranoid_audit("steal_uncommitted(logged)");
-            return Ok(());
+            StealKind::Logged
+        } else {
+            self.steal_single(page, data, g, single.expect("single modifier"))?
+        };
+        match steal_kind {
+            StealKind::Logged => self.metrics.steals_logged.inc(),
+            StealKind::DirtiesGroup | StealKind::RidesExisting => self.metrics.steals_parity.inc(),
         }
+        // txn 0 is the "several modifiers" sentinel (real ids start at 1).
+        let txn_id = single.map_or(0, |t| t.0);
+        self.obs.tracer.emit(|| EventKind::Steal {
+            group: g.0,
+            page: page.0,
+            txn: txn_id,
+            kind: steal_kind,
+        });
+        self.paranoid_audit("steal_uncommitted");
+        Ok(())
+    }
 
-        let txn = single.expect("single modifier");
+    /// The single-modifier RDA arm of [`Engine::steal_uncommitted`]:
+    /// classify the steal per Figure 3 and execute it, returning which
+    /// arm actually applied.
+    fn steal_single(
+        &mut self,
+        page: DataPageId,
+        data: &Page,
+        g: GroupId,
+        txn: TxnId,
+    ) -> Result<StealKind> {
         let mut class = self.dirty.classify(g, page, txn);
 
         // Record locking: a page may only ride the parity if this
@@ -528,6 +646,7 @@ impl Engine {
                 let st = self.txn_state(txn)?;
                 st.stolen_parity.insert(page);
                 st.note_stolen(page, data);
+                Ok(StealKind::DirtiesGroup)
             }
             StealClass::RidesExisting => {
                 let work = self.dirty.get(g).expect("dirty group").working;
@@ -535,6 +654,7 @@ impl Engine {
                 self.write_with_parity(page, data, &old, &[work])?;
                 let st = self.txn_state(txn)?;
                 st.note_stolen(page, data);
+                Ok(StealKind::RidesExisting)
             }
             StealClass::NeedsLogging => {
                 self.log_undo_for(txn, page)?;
@@ -545,10 +665,9 @@ impl Engine {
                 let st = self.txn_state(txn)?;
                 st.stolen_logged.insert(page);
                 st.note_stolen(page, data);
+                Ok(StealKind::Logged)
             }
         }
-        self.paranoid_audit("steal_uncommitted");
-        Ok(())
     }
 
     /// Write back a page whose updates are all committed.
@@ -606,7 +725,10 @@ impl Engine {
         self.check_page(page)?;
         self.txn_state(txn)?;
         if self.cfg.strict_read_locks {
-            self.locks.lock_shared(page, txn)?;
+            if let Err(e) = self.locks.lock_shared(page, txn) {
+                self.note_lock_conflict(page, txn);
+                return Err(e);
+            }
         }
         let data = self.buffered_read(page)?;
         Ok(data.as_ref().to_vec())
@@ -630,7 +752,10 @@ impl Engine {
             });
         }
         self.txn_state(txn)?;
-        self.locks.lock_page(page, txn)?;
+        if let Err(e) = self.locks.lock_page(page, txn) {
+            self.note_lock_conflict(page, txn);
+            return Err(e);
+        }
         // An update access reads the page first (the paper's model: every
         // access is a page request; updates modify the fetched page).
         let current = self.buffered_read(page)?;
@@ -668,8 +793,13 @@ impl Engine {
             });
         }
         self.txn_state(txn)?;
-        self.locks
-            .lock_range(page, offset as u32, bytes.len() as u32, txn)?;
+        if let Err(e) = self
+            .locks
+            .lock_range(page, offset as u32, bytes.len() as u32, txn)
+        {
+            self.note_lock_conflict(page, txn);
+            return Err(e);
+        }
         let current = self.buffered_read(page)?;
         let mut new = current.clone();
         new.as_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
@@ -792,12 +922,18 @@ impl Engine {
         // transaction dirtied becomes the committed parity. Zero I/O.
         for (g, info) in self.dirty.take_txn(txn) {
             self.dur.twins.commit_working(g, info.working);
+            self.obs.tracer.emit(|| EventKind::CommitTwinFlip {
+                group: g.0,
+                txn: txn.0,
+            });
         }
 
         self.dur.chain.clear_txn(txn);
         self.locks.release_txn(txn);
         self.buffer.release_txn(txn.0);
         self.active.remove(&txn);
+        self.metrics.commits.inc();
+        self.metrics.pages_per_commit.observe(written.len() as u64);
         self.paranoid_audit("txn_commit");
         Ok(())
     }
@@ -859,6 +995,7 @@ impl Engine {
         self.locks.release_txn(txn);
         self.buffer.release_txn(txn.0);
         self.active.remove(&txn);
+        self.metrics.aborts.inc();
         self.paranoid_audit("txn_abort");
         Ok(())
     }
@@ -1003,6 +1140,12 @@ impl Engine {
 
         // The group is clean again.
         self.dirty.remove(g);
+        self.metrics.undo_parity.inc();
+        self.obs.tracer.emit(|| EventKind::ParityUndo {
+            group: g.0,
+            page: page.0,
+            txn: txn.0,
+        });
         Ok(())
     }
 
@@ -1071,6 +1214,11 @@ impl Engine {
         let slots = self.write_slots(g);
         self.write_with_parity(page, &restored, &old, &slots)?;
         self.rollback_buffer(txn, page, Some(&restored));
+        self.metrics.undo_log.inc();
+        self.obs.tracer.emit(|| EventKind::LogUndo {
+            page: page.0,
+            txn: txn.0,
+        });
         Ok(())
     }
 

@@ -64,3 +64,10 @@ pub use twin::{TwinDirectory, TwinMeta, TwinState};
 // Re-export the identifiers users see in APIs.
 pub use rda_array::{DataPageId, GroupId, ParitySlot};
 pub use rda_wal::TxnId;
+
+// Re-export the observability surface so downstream crates (sim, faults,
+// bench, examples) need no direct `rda-obs` dependency to consume it.
+pub use rda_obs::{
+    Counter, EventKind, Histogram, MetricsRegistry, ObsHub, PhaseStat, RecoveryPhase, StealKind,
+    Timeline, TraceEvent, TraceSnapshot, Tracer,
+};

@@ -25,12 +25,14 @@ use crate::config::{EotPolicy, LogGranularity};
 use crate::engine::Engine;
 use crate::error::{DbError, Result};
 use rda_array::{DataPageId, DiskId, GroupId, Page, ParitySlot};
+use rda_obs::{EventKind, RecoveryPhase, Timeline};
 use rda_wal::{Analysis, LogRecord, Lsn, TxnId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What restart recovery did, for observability and tests.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
     /// Committed transactions seen in the durable log.
     pub winners: Vec<TxnId>,
@@ -44,13 +46,38 @@ pub struct RecoveryReport {
     pub redone: u64,
     /// Parity groups whose Current_Parity bit was reconstructed.
     pub bitmap_groups: u64,
+    /// Data pages whose Current_Parity coverage was validated by the
+    /// bitmap scan — the whole database, since every group is scanned
+    /// (equals the array's data-page count on the RDA engine).
+    pub pages_scanned: u64,
     /// Staged write intents (controller NVRAM) replayed to finish an
     /// interrupted read-modify-write.
     pub intent_replays: u64,
     /// Parity twins found torn (half-written) and healed by recomputing
     /// the group parity from its members.
     pub torn_twins_healed: u64,
+    /// Per-phase breakdown (wall-clock + billed array I/O counts).
+    pub timeline: Timeline,
 }
+
+/// Equality deliberately ignores [`RecoveryReport::timeline`]: its I/O
+/// counts are deterministic but its wall-clock durations are not, and
+/// report equality is what replay-determinism tests compare.
+impl PartialEq for RecoveryReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.winners == other.winners
+            && self.losers == other.losers
+            && self.undone_via_parity == other.undone_via_parity
+            && self.undone_via_log == other.undone_via_log
+            && self.redone == other.redone
+            && self.bitmap_groups == other.bitmap_groups
+            && self.pages_scanned == other.pages_scanned
+            && self.intent_replays == other.intent_replays
+            && self.torn_twins_healed == other.torn_twins_healed
+    }
+}
+
+impl Eq for RecoveryReport {}
 
 impl Engine {
     /// Simulate a system failure: all volatile state is lost. The array,
@@ -81,6 +108,21 @@ impl Engine {
             losers: analysis.losers(),
             ..RecoveryReport::default()
         };
+        self.metrics.recoveries.inc();
+
+        // Per-phase breakdown: billed array I/O from stats deltas (exact
+        // and deterministic), wall-clock from `Instant` (human-facing
+        // only — never part of report equality or deterministic JSON).
+        let io = self.dur.array.stats();
+        let mut phase_mark = io.snapshot();
+        let mut phase_start = Instant::now();
+        let mut close_phase = move |timeline: &mut Timeline, phase: RecoveryPhase| {
+            let snap = io.snapshot();
+            let d = snap.delta(&phase_mark);
+            timeline.push(phase, phase_start.elapsed(), d.reads, d.writes);
+            phase_mark = snap;
+            phase_start = Instant::now();
+        };
 
         // ---- 0. replay the staged write intent ------------------------
         // A pending intent means power failed inside a read-modify-write:
@@ -107,7 +149,11 @@ impl Engine {
             }
             *self.dur.intent.lock() = None;
             report.intent_replays += 1;
+            self.obs.tracer.emit(|| EventKind::IntentReplay {
+                page: intent.page.0,
+            });
         }
+        close_phase(&mut report.timeline, RecoveryPhase::IntentReplay);
 
         // Groups that were dirty at crash time: every group containing a
         // loser's parity-riding page. Writes into these groups must keep
@@ -150,6 +196,7 @@ impl Engine {
                 regressed.insert(page);
             }
         }
+        close_phase(&mut report.timeline, RecoveryPhase::UndoParity);
         for loser in &report.losers {
             let logged: Vec<DataPageId> = analysis
                 .logged_undo
@@ -161,12 +208,14 @@ impl Engine {
                 report.undone_via_log += 1;
             }
         }
+        close_phase(&mut report.timeline, RecoveryPhase::UndoLog);
 
         // ---- 3. redo winners (¬FORCE) -----------------------------------
         if self.cfg.eot == EotPolicy::NoForce {
             report.redone =
                 self.recover_redo(&analysis, &records, &loser_dirty_groups, &regressed)?;
         }
+        close_phase(&mut report.timeline, RecoveryPhase::Redo);
 
         // ---- 4. rebuild the Current_Parity bitmap ------------------------
         if self.is_rda() {
@@ -184,12 +233,19 @@ impl Engine {
                         let fixed = self.dur.array.compute_group_parity(g)?;
                         self.dur.array.write_parity(g, slot, &fixed)?;
                         report.torn_twins_healed += 1;
+                        self.obs
+                            .tracer
+                            .emit(|| EventKind::TornTwinHeal { group: g.0 });
                     }
                     Err(e) => return Err(e.into()),
                 }
                 report.bitmap_groups += 1;
+                // One readable header vouches for the parity coverage of
+                // every data page in the group.
+                report.pages_scanned += self.dur.array.geometry().members(g).len() as u64;
             }
         }
+        close_phase(&mut report.timeline, RecoveryPhase::BitmapScan);
 
         // ---- finish -------------------------------------------------------
         for loser in &report.losers {
@@ -221,9 +277,27 @@ impl Engine {
             let restored = Page::from_bytes(image);
             self.dur.array.write_data_unprotected(page, &restored)?;
             self.invalidate_working_twin(g)?;
-            return Ok(());
+        } else {
+            self.recover_undo_parity_via_twin(loser, page, g)?;
         }
+        self.metrics.undo_parity.inc();
+        self.obs.tracer.emit(|| EventKind::ParityUndo {
+            group: g.0,
+            page: page.0,
+            txn: loser.0,
+        });
+        Ok(())
+    }
 
+    /// The twin-difference half of [`Engine::recover_undo_parity`]: no
+    /// pinned compensation image exists yet, so derive `D_old` from the
+    /// committed twin and pin it before restoring.
+    fn recover_undo_parity_via_twin(
+        &mut self,
+        loser: TxnId,
+        page: DataPageId,
+        g: GroupId,
+    ) -> Result<()> {
         // The working twin is identified durably by its Figure-8 state.
         // `None` means the crash hit the steal before its parity write
         // landed (the chain note rides the data write, so it can exist a
@@ -355,7 +429,13 @@ impl Engine {
             return Ok(()); // already undone by an earlier recovery attempt
         }
         let slots = self.recovery_write_slots(g, loser_dirty_groups);
-        self.write_with_parity(page, &restored, &old, &slots)
+        self.write_with_parity(page, &restored, &old, &slots)?;
+        self.metrics.undo_log.inc();
+        self.obs.tracer.emit(|| EventKind::LogUndo {
+            page: page.0,
+            txn: loser.0,
+        });
+        Ok(())
     }
 
     /// Which twins recovery writes must update: both for groups that were

@@ -12,6 +12,7 @@
 use crate::engine::Engine;
 use crate::error::{DbError, Result};
 use rda_array::{ArrayError, GroupId};
+use rda_obs::EventKind;
 
 /// Outcome of one scrub pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,11 +87,16 @@ impl Engine {
                     Err(ArrayError::Unrecoverable(_)) => {}
                     Err(e) => return Err(e.into()),
                 },
-                Err(ArrayError::MediaError { .. } | ArrayError::TornPage { .. }) => {
+                Err(e @ (ArrayError::MediaError { .. } | ArrayError::TornPage { .. })) => {
                     match self.dur.array.compute_group_parity_into(g, &mut expect) {
                         Ok(()) => {
                             self.dur.array.write_parity(g, committed, &expect)?;
                             report.parity_repaired += 1;
+                            if matches!(e, ArrayError::TornPage { .. }) {
+                                self.obs
+                                    .tracer
+                                    .emit(|| EventKind::TornTwinHeal { group: g.0 });
+                            }
                         }
                         Err(ArrayError::Unrecoverable(_)) => {}
                         Err(e) => return Err(e.into()),

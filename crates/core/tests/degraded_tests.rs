@@ -30,6 +30,7 @@ fn cfg(engine: EngineKind, frames: usize) -> DbConfig {
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
+        trace_events: 0,
     }
 }
 

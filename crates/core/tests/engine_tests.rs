@@ -31,6 +31,7 @@ fn cfg(engine: EngineKind, frames: usize) -> DbConfig {
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
+        trace_events: 0,
     }
 }
 
@@ -155,7 +156,13 @@ fn crash_loses_uncommitted_and_keeps_committed() {
             assert_page(&db, 0, b"durable");
             assert_page(&db, 7, b"");
             assert!(db.verify().unwrap().is_empty(), "{engine:?} {eot:?}");
-            let _ = report;
+            // The restart bitmap scan walks every data page exactly once
+            // on the RDA engine; the WAL baseline has no parity bitmap.
+            let scanned = match engine {
+                EngineKind::Rda => u64::from(db.data_pages()),
+                EngineKind::Wal => 0,
+            };
+            assert_eq!(report.pages_scanned, scanned, "{engine:?} {eot:?}");
         }
     }
 }

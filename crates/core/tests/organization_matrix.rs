@@ -28,6 +28,7 @@ fn cfg(org: Organization, engine: EngineKind, frames: usize) -> DbConfig {
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
+        trace_events: 0,
     }
 }
 

@@ -57,6 +57,7 @@ fn config(engine: EngineKind, eot: EotPolicy, frames: usize) -> DbConfig {
         eot,
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
+        trace_events: 0,
     }
 }
 

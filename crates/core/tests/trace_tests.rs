@@ -1,0 +1,156 @@
+//! Trace-based protocol invariants and metrics determinism.
+//!
+//! These tests check the steal/commit protocol from the *outside*: the
+//! emitted event stream itself must witness the paper's one-page-per-group
+//! Dirty_Set discipline (§4.1) — every zero-I/O twin flip was paid for by
+//! an earlier parity-riding steal, and no group ever carries two
+//! uncommitted parity riders at once.
+
+use rda_array::{ArrayConfig, Organization};
+use rda_buffer::{BufferConfig, ReplacePolicy};
+use rda_core::{
+    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, EventKind, LogGranularity,
+    StealKind,
+};
+use rda_wal::LogConfig;
+use std::collections::BTreeMap;
+
+fn cfg(frames: usize) -> DbConfig {
+    DbConfig {
+        engine: EngineKind::Rda,
+        array: ArrayConfig::new(Organization::RotatedParity, 4, 8)
+            .twin(true)
+            .page_size(64),
+        buffer: BufferConfig {
+            frames,
+            steal: true,
+            policy: ReplacePolicy::Clock,
+        },
+        log: LogConfig {
+            page_size: 256,
+            copies: 2,
+            amortized: false,
+        },
+        granularity: LogGranularity::Page,
+        eot: EotPolicy::Force,
+        checkpoint: CheckpointPolicy::Manual,
+        strict_read_locks: false,
+        trace_events: 0,
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Deterministic single-threaded mix of commits and aborts over a tiny
+/// buffer, so plenty of uncommitted pages are stolen to the array.
+fn run_seeded_workload(db: &Database, seed: u64, txns: usize) {
+    let mut state = seed | 1;
+    let pages = u64::from(db.data_pages());
+    for _ in 0..txns {
+        let mut tx = db.begin();
+        let writes = xorshift(&mut state) % 3 + 1;
+        for _ in 0..writes {
+            let page = (xorshift(&mut state) % pages) as u32;
+            let value = (xorshift(&mut state) & 0xFF) as u8 | 1;
+            tx.write(page, &[value; 8]).unwrap();
+        }
+        if xorshift(&mut state) % 4 == 0 {
+            tx.abort().unwrap();
+        } else {
+            tx.commit().unwrap();
+        }
+    }
+}
+
+#[test]
+fn trace_witnesses_dirty_set_discipline() {
+    let db = Database::open(cfg(2).trace(1 << 16));
+    run_seeded_workload(&db, 0x0B5E_55ED, 60);
+
+    let snap = db.trace_snapshot();
+    assert_eq!(snap.dropped, 0, "ring too small for the workload");
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Steal { .. })),
+        "workload never stole a page — the protocol was not exercised"
+    );
+
+    // Replay the event stream against the Dirty_Set rules: group -> the
+    // transaction currently riding its working parity.
+    let mut in_flight: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut flips = 0u64;
+    for ev in &snap.events {
+        match ev.kind {
+            EventKind::Steal {
+                group, txn, kind, ..
+            } => match kind {
+                StealKind::DirtiesGroup => {
+                    assert!(
+                        !in_flight.contains_key(&group),
+                        "two in-flight parity steals in one group: {ev}"
+                    );
+                    in_flight.insert(group, txn);
+                }
+                StealKind::RidesExisting => {
+                    assert_eq!(
+                        in_flight.get(&group),
+                        Some(&txn),
+                        "riding steal without a matching in-flight entry: {ev}"
+                    );
+                }
+                StealKind::Logged => {}
+            },
+            EventKind::CommitTwinFlip { group, txn } => {
+                flips += 1;
+                assert_eq!(
+                    in_flight.remove(&group),
+                    Some(txn),
+                    "CommitTwinFlip without a preceding matching Steal: {ev}"
+                );
+            }
+            EventKind::ParityUndo { group, txn, .. } => {
+                assert_eq!(
+                    in_flight.remove(&group),
+                    Some(txn),
+                    "ParityUndo without a preceding matching Steal: {ev}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(flips > 0, "no commit ever flipped a twin");
+    assert!(
+        in_flight.is_empty(),
+        "parity riders left unresolved at quiescence: {in_flight:?}"
+    );
+}
+
+#[test]
+fn metrics_counters_are_deterministic_for_a_fixed_seed() {
+    let run = || {
+        let db = Database::open(cfg(2).trace(1 << 12));
+        run_seeded_workload(&db, 0xDECA_FBAD, 40);
+        db.metrics_counters_json()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed, single thread: counters must match");
+    assert!(a.contains("\"engine_commits_total\":"));
+    assert!(a.contains("\"array_writes_total\":"));
+    assert!(a.contains("\"buffer_steals_total\":"));
+}
+
+#[test]
+fn tracing_disabled_records_nothing() {
+    let db = Database::open(cfg(2));
+    run_seeded_workload(&db, 7, 10);
+    let snap = db.trace_snapshot();
+    assert!(snap.events.is_empty());
+    assert_eq!(snap.dropped, 0);
+}

@@ -28,7 +28,7 @@
 
 use crate::injector::FaultInjector;
 use crate::plan::{FaultKind, FaultPlan};
-use rda_core::{Database, DbConfig, DbError, LogGranularity};
+use rda_core::{Database, DbConfig, DbError, LogGranularity, RecoveryPhase, Timeline};
 use rda_sim::{AccessKind, TxnScript};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -131,6 +131,12 @@ pub struct Crashpoint {
     pub intent_replays: u64,
     /// Torn parity twins healed during recovery.
     pub torn_twins_healed: u64,
+    /// Per-phase recovery breakdown: restart phases from
+    /// [`rda_core::RecoveryReport`], preceded by a `media_rebuild` phase
+    /// in [`ExploreMode::FailDisk`]. The billed I/O counts are
+    /// deterministic; the wall-clock inside is host-dependent and only
+    /// surfaced by the timed JSON rendering.
+    pub timeline: Timeline,
     /// Everything that went wrong at this crashpoint (empty ⇔ clean).
     pub violations: Vec<String>,
 }
@@ -336,6 +342,22 @@ fn choose_crashpoints(total: u64, cfg: &ExplorerConfig) -> (Vec<u64>, bool) {
     (picked.into_iter().collect(), false)
 }
 
+/// Rebuild disk `dead` from its survivors, appending a `media_rebuild`
+/// phase (billed I/O delta plus wall-clock) to `timeline`.
+fn rebuild_timed(db: &Database, dead: u16, timeline: &mut Timeline) -> Result<(), DbError> {
+    let before = db.stats().array;
+    let start = Instant::now();
+    db.media_recover(dead)?;
+    let delta = db.stats().array.delta(&before);
+    timeline.push(
+        RecoveryPhase::MediaRebuild,
+        start.elapsed(),
+        delta.reads,
+        delta.writes,
+    );
+    Ok(())
+}
+
 /// Run one crashpoint: replay with a fault planted at I/O `k`, recover,
 /// verify.
 fn explore_point(
@@ -345,7 +367,7 @@ fn explore_point(
     k: u64,
 ) -> Crashpoint {
     let db = Database::open(db_cfg.clone());
-    let injector = Arc::new(FaultInjector::new(cfg.mode.plan_at(k)));
+    let injector = Arc::new(FaultInjector::new(cfg.mode.plan_at(k)).with_tracer(db.tracer()));
     db.install_fault_hook(injector.clone());
 
     let page_mode = db_cfg.granularity == LogGranularity::Page;
@@ -363,6 +385,7 @@ fn explore_point(
         losers: 0,
         intent_replays: 0,
         torn_twins_healed: 0,
+        timeline: Timeline::default(),
         violations: Vec::new(),
     };
     if let Some(v) = run.violation {
@@ -391,6 +414,7 @@ fn explore_point(
                     point.losers = report.losers.len() as u64;
                     point.intent_replays = report.intent_replays;
                     point.torn_twins_healed = report.torn_twins_healed;
+                    point.timeline = report.timeline;
                 }
                 Err(e) => {
                     point
@@ -407,7 +431,7 @@ fn explore_point(
                 // as the documented disk-death-plus-crash flow — crash,
                 // rebuild the disk, then run restart recovery.
                 db.crash();
-                if let Err(e) = db.media_recover(dead) {
+                if let Err(e) = rebuild_timed(&db, dead, &mut point.timeline) {
                     point.violations.push(format!("media recovery failed: {e}"));
                     return point;
                 }
@@ -416,6 +440,7 @@ fn explore_point(
                         point.losers = report.losers.len() as u64;
                         point.intent_replays = report.intent_replays;
                         point.torn_twins_healed = report.torn_twins_healed;
+                        point.timeline.phases.extend(report.timeline.phases);
                     }
                     Err(e) => {
                         point
@@ -424,7 +449,7 @@ fn explore_point(
                         return point;
                     }
                 }
-            } else if let Err(e) = db.media_recover(dead) {
+            } else if let Err(e) = rebuild_timed(&db, dead, &mut point.timeline) {
                 // The workload finished degraded; rebuild before verify.
                 point.violations.push(format!("media recovery failed: {e}"));
                 return point;

@@ -35,10 +35,18 @@ fn violations_json(violations: &[String]) -> String {
     format!("[{}]", items.join(","))
 }
 
-fn point_json(p: &Crashpoint) -> String {
+fn point_json(p: &Crashpoint, timed: bool) -> String {
+    // The deterministic rendering carries billed I/O counts only; the
+    // timed one adds per-phase `wall_us` and must never be byte-compared.
+    let timeline = if timed {
+        p.timeline.json_timed()
+    } else {
+        p.timeline.json_ios()
+    };
     format!(
         "{{\"io_index\":{},\"fired\":{},\"clean\":{},\"committed_before\":{},\
-         \"losers\":{},\"intent_replays\":{},\"torn_twins_healed\":{},\"violations\":{}}}",
+         \"losers\":{},\"intent_replays\":{},\"torn_twins_healed\":{},\
+         \"timeline\":{},\"violations\":{}}}",
         p.io_index,
         p.fired
             .map_or_else(|| "null".to_string(), |k| format!("\"{}\"", k.name())),
@@ -47,15 +55,30 @@ fn point_json(p: &Crashpoint) -> String {
         p.losers,
         p.intent_replays,
         p.torn_twins_healed,
+        timeline,
         violations_json(&p.violations),
     )
 }
 
 impl CrashpointReport {
-    /// Render the whole report as a single JSON object.
+    /// Render the whole report as a single JSON object. Byte-identical
+    /// for a given (config, trace, seed) regardless of worker count:
+    /// per-phase timelines carry billed I/O counts, never wall-clock.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let points: Vec<String> = self.points.iter().map(point_json).collect();
+        self.render(false)
+    }
+
+    /// Like [`CrashpointReport::to_json`] but each timeline phase also
+    /// carries `wall_us`. Host-dependent — for human consumption only,
+    /// never for byte comparison.
+    #[must_use]
+    pub fn to_json_timed(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, timed: bool) -> String {
+        let points: Vec<String> = self.points.iter().map(|p| point_json(p, timed)).collect();
         format!(
             "{{\"mode\":\"{}\",\"total_ios\":{},\"exhaustive\":{},\"explored\":{},\
              \"clean\":{},\"failures\":{},\"golden_committed\":{},\

@@ -62,6 +62,23 @@ fn exhaustive_crash_exploration_recovers_everywhere() {
     assert!(report.points.iter().any(|p| p.losers > 0));
     assert!(report.points.iter().any(|p| p.committed_before == 0));
     assert!(report.points.iter().any(|p| p.committed_before > 0));
+    // Every recovered crashpoint carries a per-phase timeline; the
+    // bitmap scan always reads one parity header per group, so at least
+    // one surviving point must show phase I/O.
+    assert!(report
+        .points
+        .iter()
+        .all(|p| !p.is_clean() || !p.timeline.phases.is_empty()));
+    assert!(report
+        .points
+        .iter()
+        .any(|p| p.is_clean() && p.timeline.total_ios() > 0));
+    // Both JSON renderings surface the timeline; only the timed one
+    // carries wall-clock.
+    let json = report.to_json();
+    assert!(json.contains("\"timeline\":[{\"phase\":\"intent_replay\""));
+    assert!(!json.contains("wall_us"));
+    assert!(report.to_json_timed().contains("\"wall_us\":"));
 }
 
 #[test]
@@ -99,6 +116,15 @@ fn exhaustive_disk_failure_exploration_rebuilds_everywhere() {
 
     assert!(report.exhaustive);
     assert_clean(&report);
+    // Disk death always costs a rebuild: every point's timeline leads
+    // with a media_rebuild phase that actually moved data.
+    assert!(report
+        .points
+        .iter()
+        .all(|p| p.timeline.phases.first().is_some_and(|ph| {
+            ph.phase == rda_core::RecoveryPhase::MediaRebuild && ph.reads + ph.writes > 0
+        })));
+    assert!(report.to_json().contains("\"phase\":\"media_rebuild\""));
 }
 
 #[test]
@@ -132,7 +158,9 @@ fn parallel_exploration_matches_sequential_byte_for_byte() {
         exhaustive_limit: 4096,
         ..ExplorerConfig::new(ExploreMode::Crash)
     };
-    let db_cfg = DbConfig::small_test(EngineKind::Rda);
+    // Tracing on: the event ring must not perturb replay determinism or
+    // leak wall-clock into the report.
+    let db_cfg = DbConfig::small_test(EngineKind::Rda).trace(4096);
     let seq = explore(&db_cfg, &scripts, &ExplorerConfig { workers: 1, ..base });
     let par = explore(&db_cfg, &scripts, &ExplorerConfig { workers: 4, ..base });
 

@@ -47,6 +47,7 @@ fn cfg() -> DbConfig {
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
+        trace_events: 0,
     }
 }
 

@@ -46,6 +46,7 @@ fn cfg() -> DbConfig {
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
+        trace_events: 0,
     }
 }
 

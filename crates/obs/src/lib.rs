@@ -1,0 +1,51 @@
+//! `rda-obs`: the observability substrate for the RDA stack.
+//!
+//! Three pieces, all dependency-free with respect to the rest of the
+//! workspace (every other crate depends on this one, never the
+//! reverse):
+//!
+//! * [`Tracer`] — a zero-alloc-when-disabled structured event trace
+//!   (ring buffer of [`TraceEvent`]s) clocked by the billed physical
+//!   I/O counter. The array advances the clock; engine, recovery,
+//!   scrub, buffer pool and fault injector emit protocol events.
+//! * [`MetricsRegistry`] — lock-free named counters and fixed-bucket
+//!   histograms plus read-only views over atomics that already exist
+//!   (I/O stats, pool counters), with Prometheus-text and JSON
+//!   exporters.
+//! * [`Timeline`] — per-phase recovery breakdowns (wall-clock + exact
+//!   billed I/O counts) attached to `RecoveryReport` and the
+//!   crashpoint explorer JSON.
+//!
+//! The [`ObsHub`] bundles one tracer and one registry per database
+//! instance and is what `rda-core` hands out.
+
+mod event;
+mod metrics;
+mod pack;
+mod timeline;
+mod trace;
+
+pub use event::{EventKind, StealKind, TraceEvent};
+pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use timeline::{PhaseStat, RecoveryPhase, Timeline};
+pub use trace::{TraceSnapshot, Tracer};
+
+use std::sync::Arc;
+
+/// One database instance's observability bundle: the shared event
+/// tracer (also the billed-I/O clock) and the metrics registry.
+#[derive(Clone, Default)]
+pub struct ObsHub {
+    /// The shared event tracer / I/O clock.
+    pub tracer: Arc<Tracer>,
+    /// The shared metrics registry.
+    pub metrics: Arc<MetricsRegistry>,
+}
+
+impl ObsHub {
+    /// A fresh hub with a disabled tracer and an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -1,0 +1,321 @@
+//! The metrics registry: named counters, fixed-bucket histograms, and
+//! read-only *views* over atomics that already exist elsewhere in the
+//! stack (I/O stats, buffer-pool counters), so the legacy `DbStats`
+//! plumbing becomes one registration instead of hand-threaded structs.
+//!
+//! All hot-path operations are lock-free: a [`Counter`] is an
+//! `Arc<AtomicU64>`, a [`Histogram`] observation is two `fetch_add`s
+//! plus one bucket `fetch_add`. The registry's own map is only locked
+//! on registration and export.
+//!
+//! Exports come in two flavors: Prometheus text and hand-rolled JSON
+//! (the workspace ships no real serde). [`MetricsRegistry::counters_json`]
+//! deliberately excludes histogram `sum`/`count`-derived means and any
+//! wall-clock-touched series so determinism tests can compare it
+//! byte-for-byte across runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter handle. Cheap to clone; all
+/// clones share one atomic cell.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram. Bucket `i` counts observations
+/// `<= bounds[i]`; one extra implicit `+Inf` bucket catches the rest.
+/// Observation is lock-free (bucket scan + three `fetch_add`s).
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: sorted,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, cumulative_count)` per bucket, ending with the
+    /// `+Inf` bucket reported as `None`.
+    #[must_use]
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut acc = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            acc += bucket.load(Ordering::Relaxed);
+            out.push((self.bounds.get(i).copied(), acc));
+        }
+        out
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    View(Box<dyn Fn() -> u64 + Send + Sync>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of counters, views and histograms.
+///
+/// Names are free-form but should stick to `[a-z0-9_]` so the
+/// Prometheus rendering is valid. Registration is idempotent: asking
+/// for an existing counter/histogram returns the existing handle.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`. If `name` is already
+    /// registered as a different metric kind, a detached counter is
+    /// returned (it counts, but the registered metric keeps the name).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.metrics.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    /// Register `f` as a read-only view: the exporters call it to get
+    /// the current value. Use this to surface atomics that already
+    /// live elsewhere (I/O stats, pool counters) without double
+    /// accounting. Re-registering a name replaces the old view.
+    pub fn register_view<F: Fn() -> u64 + Send + Sync + 'static>(&self, name: &str, f: F) {
+        self.metrics
+            .lock()
+            .insert(name.to_string(), Metric::View(Box::new(f)));
+    }
+
+    /// Get or create the histogram `name` with the given bucket upper
+    /// bounds (sorted and deduplicated internally). Like
+    /// [`MetricsRegistry::counter`], a kind mismatch yields a detached
+    /// instance.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.metrics.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new(bounds)),
+        }
+    }
+
+    /// Deterministic JSON of every counter and view (histograms are
+    /// excluded so wall-clock-fed series can never sneak into byte
+    /// comparisons): `{"name":value,...}` in sorted name order.
+    #[must_use]
+    pub fn counters_json(&self) -> String {
+        let map = self.metrics.lock();
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, metric) in map.iter() {
+            let value = match metric {
+                Metric::Counter(c) => c.get(),
+                Metric::View(f) => f(),
+                Metric::Histogram(_) => continue,
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Full JSON export: counters/views as numbers, histograms as
+    /// `{"buckets":[[bound,cumulative],...],"sum":S,"count":N}` with
+    /// the `+Inf` bound rendered as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let map = self.metrics.lock();
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, metric) in map.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "\"{name}\":{}", c.get());
+                }
+                Metric::View(f) => {
+                    let _ = write!(out, "\"{name}\":{}", f());
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(out, "\"{name}\":{{\"buckets\":[");
+                    for (i, (bound, cum)) in h.cumulative().iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        match bound {
+                            Some(b) => {
+                                let _ = write!(out, "[{b},{cum}]");
+                            }
+                            None => {
+                                let _ = write!(out, "[null,{cum}]");
+                            }
+                        }
+                    }
+                    let _ = write!(out, "],\"sum\":{},\"count\":{}}}", h.sum(), h.count());
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prometheus text exposition: counters and views as `counter`
+    /// family samples, histograms as the conventional
+    /// `_bucket{le=...}` / `_sum` / `_count` triple.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let map = self.metrics.lock();
+        let mut out = String::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {}", c.get());
+                }
+                Metric::View(f) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {}", f());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    for (bound, cum) in h.cumulative() {
+                        match bound {
+                            Some(b) => {
+                                let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cum}");
+                            }
+                            None => {
+                                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                            }
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum(), h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_views_export_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_second").add(2);
+        reg.counter("a_first").inc();
+        reg.register_view("c_view", || 7);
+        assert_eq!(
+            reg.counters_json(),
+            "{\"a_first\":1,\"b_second\":2,\"c_view\":7}"
+        );
+        let prom = reg.to_prometheus();
+        assert!(prom.contains("a_first 1"));
+        assert!(prom.contains("c_view 7"));
+    }
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[1, 4, 16]);
+        for v in [0, 1, 2, 5, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 108);
+        assert_eq!(
+            h.cumulative(),
+            vec![(Some(1), 2), (Some(4), 3), (Some(16), 4), (None, 5)]
+        );
+        // Histograms stay out of the deterministic counter export.
+        assert_eq!(reg.counters_json(), "{}");
+        let prom = reg.to_prometheus();
+        assert!(prom.contains("lat_bucket{le=\"+Inf\"} 5"));
+        assert!(prom.contains("lat_count 5"));
+    }
+}

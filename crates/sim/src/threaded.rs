@@ -36,6 +36,14 @@ pub struct ThreadedResult {
     /// driver schedules no crashes itself, so this is nonzero only when
     /// a fault hook fired).
     pub crashes_injected: u64,
+    /// Commits per worker thread, indexed by worker. Sums to
+    /// [`ThreadedResult::committed`]. Also registered on the database's
+    /// metrics registry as `sim_thread<w>_commits_total`.
+    pub per_thread_commits: Vec<u64>,
+    /// Scripted aborts per worker thread, indexed by worker. Sums to
+    /// [`ThreadedResult::aborted`]. Also registered as
+    /// `sim_thread<w>_aborts_total`.
+    pub per_thread_aborts: Vec<u64>,
 }
 
 /// Execute `scripts` on `threads` worker threads sharing one database.
@@ -47,7 +55,7 @@ pub struct ThreadedResult {
 /// one poisoned worker no longer panics the whole run.
 #[must_use]
 pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) -> ThreadedResult {
-    type WorkerTally = (u64, u64, u64, u64, Option<String>);
+    type WorkerTally = (usize, u64, u64, u64, u64, Option<String>);
 
     let db = Database::open(db_cfg.clone());
     let page_mode = db_cfg.granularity == rda_core::LogGranularity::Page;
@@ -57,9 +65,10 @@ pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) 
     }
     drop(tx_scripts);
 
+    let workers = threads.max(1);
     let (tx_out, rx_out) = channel::unbounded::<WorkerTally>();
     crossbeam::scope(|scope| {
-        for _ in 0..threads.max(1) {
+        for w in 0..workers {
             let db = db.clone();
             let rx_scripts = rx_scripts.clone();
             let tx_out = tx_out.clone();
@@ -79,7 +88,7 @@ pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) 
                     }
                 }
                 tx_out
-                    .send((committed, aborted, conflicts, failures, first_failure))
+                    .send((w, committed, aborted, conflicts, failures, first_failure))
                     .expect("main alive");
             });
         }
@@ -89,14 +98,34 @@ pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) 
 
     let (mut committed, mut aborted, mut conflict_aborts, mut failures) = (0, 0, 0, 0);
     let mut first_failure = None;
-    while let Ok((c, a, x, f, msg)) = rx_out.recv() {
+    let mut per_thread_commits = vec![0u64; workers];
+    let mut per_thread_aborts = vec![0u64; workers];
+    while let Ok((w, c, a, x, f, msg)) = rx_out.recv() {
         committed += c;
         aborted += a;
         conflict_aborts += x;
         failures += f;
+        per_thread_commits[w] = c;
+        per_thread_aborts[w] = a;
         if let Some(msg) = msg {
             first_failure.get_or_insert(msg);
         }
+    }
+
+    // Surface the per-worker tallies on the database's metrics registry
+    // so a registry export taken after the run includes the breakdown.
+    let metrics = db.metrics();
+    for (w, (&c, &a)) in per_thread_commits
+        .iter()
+        .zip(per_thread_aborts.iter())
+        .enumerate()
+    {
+        metrics
+            .counter(&format!("sim_thread{w}_commits_total"))
+            .add(c);
+        metrics
+            .counter(&format!("sim_thread{w}_aborts_total"))
+            .add(a);
     }
 
     // With paranoid auditing on, every steal/commit/abort already audited
@@ -120,6 +149,8 @@ pub fn run_threaded(db_cfg: &DbConfig, scripts: Vec<TxnScript>, threads: usize) 
         first_failure,
         transfers: stats.array.transfers() + stats.log.transfers(),
         crashes_injected: db.fault_stats().map_or(0, |s| s.crashes()),
+        per_thread_commits,
+        per_thread_aborts,
     }
 }
 
@@ -207,6 +238,12 @@ mod tests {
         assert_eq!(result.failures, 0, "{:?}", result.first_failure);
         assert!(result.committed >= 100, "{result:?}");
         assert!(result.transfers > 0);
+        assert_eq!(result.per_thread_commits.len(), 4);
+        assert_eq!(
+            result.per_thread_commits.iter().sum::<u64>(),
+            result.committed
+        );
+        assert_eq!(result.per_thread_aborts.iter().sum::<u64>(), result.aborted);
     }
 
     #[test]

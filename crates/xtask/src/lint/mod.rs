@@ -1,12 +1,12 @@
 //! The workspace lint gate: `cargo xtask lint`.
 //!
-//! Four source-level rules that `rustc`/`clippy` cannot (or cannot
+//! Five source-level rules that `rustc`/`clippy` cannot (or cannot
 //! cheaply) express:
 //!
 //! 1. **unwrap ratchet** — `.unwrap()` / `.expect(` in the non-test
 //!    library code of the recovery-critical crates (`core`, `array`,
-//!    `buffer`, `wal`) is capped by a checked-in per-file baseline that
-//!    may only go down.
+//!    `buffer`, `wal`, `obs`, …) is capped by a checked-in per-file
+//!    baseline that may only go down.
 //! 2. **errors-doc** — every `pub fn` returning `Result` documents its
 //!    failure modes in a `# Errors` section.
 //! 3. **array-discipline** — the raw `SimDisk` type never appears
@@ -14,6 +14,10 @@
 //!    maintenance and transfer accounting stay sound.
 //! 4. **lint-config** — `unsafe` is banned workspace-wide and every
 //!    member manifest opts into the shared `[workspace.lints]` table.
+//! 5. **trace-pairing** — each engine state transition (steal, commit
+//!    twin flip, parity/log undo, intent replay) emits its structured
+//!    trace event from exactly one call site inside the transition
+//!    function, so the event stream stays a faithful protocol witness.
 //!
 //! Rules operate on preprocessed sources (comments, strings and
 //! `#[cfg(test)]` items blanked — see [`source`]), so doc examples and
@@ -81,10 +85,11 @@ pub fn run(update_baseline: bool) -> Result<(), String> {
         )),
     }
 
-    // Rules 2-4.
+    // Rules 2-5.
     rules::errors_doc(&files, &mut violations);
     rules::array_discipline(&files, &mut violations);
     rules::unsafe_and_lint_config(&files, &manifests, &root_manifest, &mut violations);
+    rules::trace_pairing(&files, &mut violations);
 
     if violations.is_empty() {
         let total: usize = counts.values().sum();

@@ -52,6 +52,7 @@ fn main() {
         eot: EotPolicy::NoForce,
         checkpoint: CheckpointPolicy::AccEvery { ops: 64 },
         strict_read_locks: false,
+        trace_events: 0,
     };
     let db = Database::open(cfg);
 

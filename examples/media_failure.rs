@@ -29,6 +29,7 @@ fn run(org: Organization) {
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
+        trace_events: 0,
     };
     let db = Database::open(cfg);
     let pages = db.data_pages();

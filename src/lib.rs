@@ -26,6 +26,9 @@
 //!   and latent sector errors, disk death, power loss) and the
 //!   crashpoint explorer that crashes a workload at every physical I/O
 //!   and verifies recovery from each point.
+//! * [`obs`] — observability: the zero-overhead-when-disabled structured
+//!   event trace, the lock-free metrics registry (Prometheus/JSON
+//!   exporters), and per-phase recovery timelines.
 //!
 //! ## Quickstart
 //!
@@ -45,5 +48,6 @@ pub use rda_core as core;
 pub use rda_faults as faults;
 pub use rda_kv as kv;
 pub use rda_model as model;
+pub use rda_obs as obs;
 pub use rda_sim as sim;
 pub use rda_wal as wal;

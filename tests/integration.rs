@@ -29,6 +29,7 @@ fn engine_cfg(engine: EngineKind) -> DbConfig {
         eot: EotPolicy::Force,
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
+        trace_events: 0,
     }
 }
 
