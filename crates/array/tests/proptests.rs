@@ -3,8 +3,12 @@
 use proptest::prelude::*;
 use rda_array::{ArrayConfig, Organization};
 
+// Only the `proptest!` block uses these, and the offline dev stub
+// expands that block to nothing.
+#[allow(dead_code)]
 const PAGE: usize = 48;
 
+#[allow(dead_code)]
 fn org_strategy() -> impl Strategy<Value = Organization> {
     prop_oneof![
         Just(Organization::RotatedParity),
@@ -13,6 +17,7 @@ fn org_strategy() -> impl Strategy<Value = Organization> {
     ]
 }
 
+#[allow(dead_code)]
 fn cfg_strategy() -> impl Strategy<Value = ArrayConfig> {
     (org_strategy(), 1u32..8, 1u32..20, any::<bool>()).prop_map(|(org, n, groups, twin)| {
         ArrayConfig::new(org, n, groups).twin(twin).page_size(PAGE)

@@ -3,6 +3,9 @@
 
 use proptest::prelude::*;
 
+// Only the `proptest!` block uses these, and the offline dev stub
+// expands that block to nothing.
+#[allow(dead_code)]
 #[derive(Debug, Clone)]
 enum Op {
     Read(u32),
@@ -14,6 +17,7 @@ enum Op {
     PopVictim,
 }
 
+#[allow(dead_code)]
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         4 => (0u32..24).prop_map(Op::Read),

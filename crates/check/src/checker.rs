@@ -1,0 +1,509 @@
+//! Differential execution: one schedule, real engine vs. reference model.
+//!
+//! [`run_schedule`] replays a [`Schedule`] on a real [`Database`] with the
+//! planted fault (if any) armed through the `rda-faults` injector, while
+//! stepping the [`RefModel`] in lockstep. Divergence anywhere — a read
+//! returning the wrong byte, a lock conflict neither or only one side
+//! predicts, recovery failing to converge, the final committed state
+//! differing from the model, a parity invariant violation, or an event
+//! trace that breaks the steal/commit protocol — lands in
+//! [`CheckOutcome::violations`].
+//!
+//! Crash discipline: the injector latches on a planted crash or torn
+//! write, so the first engine call to notice returns
+//! `ArrayError::Crashed`. The checker then treats the machine as dead —
+//! drops every live handle, power-cycles via [`Database::crash`], and
+//! drives restart recovery to convergence. A planted fault can fire
+//! *during* recovery too (the I/O counter keeps running), in which case
+//! recovery itself crashes and is retried; the fault is spent after one
+//! firing, so the loop terminates. Disk death discovered during recovery
+//! is repaired by media recovery mid-loop, exactly as an operator would.
+
+use crate::model::{Expected, RefModel};
+use crate::schedule::{SchedOp, Schedule, MAX_SLOTS, PAGES};
+use rda_array::ArrayError;
+use rda_core::{Database, DbError, ProtocolMutations, Transaction};
+use rda_faults::{FaultInjector, FaultPlan, FaultSpec};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Everything one differential run produced.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Divergences and invariant violations; empty means the run passed.
+    pub violations: Vec<String>,
+    /// Physical array I/Os issued up to the end of the last schedule op
+    /// (before final cleanup) — the space fault points are sampled from.
+    pub workload_ios: u64,
+    /// How many times the machine went down (planted faults and
+    /// `CrashRestart` steps both count).
+    pub crashes: u64,
+    /// Did the planted fault actually fire?
+    pub fault_fired: bool,
+    /// The full event trace, rendered one event per line — byte-identical
+    /// across replays of the same schedule.
+    pub trace: String,
+    /// Event names seen (with steal kinds, e.g. `Steal:logged`), for
+    /// corpus `requires` assertions.
+    pub events: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// Did the run pass?
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// FNV-1a digest over the trace and violations — a compact
+    /// determinism witness.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325_u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.trace.as_bytes());
+        for v in &self.violations {
+            eat(v.as_bytes());
+            eat(b"\n");
+        }
+        h
+    }
+}
+
+/// What [`Run::rebuild_owed`] left behind.
+enum Rebuilt {
+    /// Every owed disk rebuilt.
+    Done,
+    /// The machine died mid-rebuild (already power-cycled); go around.
+    Crashed,
+    /// Rebuild failed for a non-crash reason; the run is wedged.
+    Wedged,
+}
+
+/// Shared state of one replay: the live handles and the crash bookkeeping.
+struct Run {
+    db: Database,
+    injector: Arc<FaultInjector>,
+    model: RefModel,
+    slots: Vec<Option<Transaction>>,
+    failed_disks: BTreeSet<u16>,
+    /// Trace sequence windows `(start, end)` occupied by restart recovery.
+    windows: Vec<(u64, u64)>,
+    violations: Vec<String>,
+    crashes: u64,
+    /// Set when recovery failed to converge; the replay stops.
+    wedged: bool,
+}
+
+impl Run {
+    fn last_seq(&self) -> u64 {
+        self.db.trace_snapshot().events.last().map_or(0, |e| e.seq)
+    }
+
+    /// Is `e` the machine dying? Lower layers sometimes wrap the
+    /// injector's `Crashed` refusal (e.g. a rebuild read maps it to
+    /// `Unrecoverable`), so any error while the crash latch is down
+    /// counts.
+    fn is_crash(&self, e: &DbError) -> bool {
+        matches!(e, DbError::Array(ArrayError::Crashed)) || self.injector.is_latched()
+    }
+
+    /// Rebuild every disk whose media recovery is owed. Returns what the
+    /// restart loop should do next.
+    fn rebuild_owed(&mut self) -> Rebuilt {
+        for disk in self.failed_disks.clone() {
+            match self.db.media_recover(disk) {
+                Ok(_) => {
+                    self.failed_disks.remove(&disk);
+                }
+                Err(ref e) if self.is_crash(e) => {
+                    self.crashes += 1;
+                    self.db.crash();
+                    return Rebuilt::Crashed;
+                }
+                Err(e) => {
+                    self.violations
+                        .push(format!("media recovery of disk {disk} failed: {e}"));
+                    self.wedged = true;
+                    return Rebuilt::Wedged;
+                }
+            }
+        }
+        Rebuilt::Done
+    }
+
+    /// The machine is down (observed `Crashed` or an explicit
+    /// `CrashRestart` step): drop all handles, power-cycle, drive restart
+    /// recovery to convergence, rebuild any dead disk, and record the
+    /// trace window recovery occupied.
+    ///
+    /// Recover first, rebuild second: restart recovery works degraded
+    /// (parity undo has a twin-difference fallback that needs no sibling
+    /// reads), while a rebuild with losers still riding the parity would
+    /// materialize polluted blocks — the parity a rebuild reads is stale
+    /// until the riders are undone. The exception is a rebuild recovery
+    /// itself demands: when it must write a page of a dead disk it
+    /// surfaces `DiskFailed`, and by then its undo passes have repaired
+    /// any parity staleness in that disk's groups.
+    ///
+    /// A planted fault can fire *during* this flow too (the I/O counter
+    /// keeps running through recovery and rebuild); the machine then dies
+    /// again and the loop retries — the fault is spent after one firing,
+    /// so the retry is clean. `failed_disks` names every disk whose
+    /// rebuild is still owed: a crash mid-rebuild leaves a half-blank
+    /// replacement the array no longer reports as failed, so the disk
+    /// stays in the set until one `media_recover` runs to completion.
+    fn crash_and_recover(&mut self) {
+        self.crashes += 1;
+        let start = self.last_seq() + 1;
+        self.db.crash();
+        // Dead handles: their Drop aborts are answered with NeedsRecovery,
+        // which Drop tolerates. The transactions are losers now.
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.model.crash();
+        'restart: for attempt in 0.. {
+            if attempt >= 8 {
+                self.violations
+                    .push("restart recovery did not converge after 8 attempts".to_string());
+                self.wedged = true;
+                break;
+            }
+            // A disk whose rebuild a previous crash interrupted is alive
+            // but half-blank, and blank blocks read as silent zeroes.
+            // Re-fail it so recovery reads its groups degraded (through
+            // parity) instead of trusting those zeroes.
+            for disk in self.failed_disks.clone() {
+                if !self.db.disk_failed(disk) {
+                    self.db.fail_disk(disk);
+                }
+            }
+            match self.db.recover() {
+                Ok(_) => match self.rebuild_owed() {
+                    Rebuilt::Done => break,
+                    Rebuilt::Crashed => {}
+                    Rebuilt::Wedged => break 'restart,
+                },
+                // Recovery had to write a page of a dead disk: rebuild it
+                // and go around.
+                Err(DbError::Array(ArrayError::DiskFailed(d))) => {
+                    self.failed_disks.insert(d.0);
+                    match self.rebuild_owed() {
+                        Rebuilt::Done | Rebuilt::Crashed => {}
+                        Rebuilt::Wedged => break 'restart,
+                    }
+                }
+                Err(ref e) if self.is_crash(e) => {
+                    self.crashes += 1;
+                    self.db.crash();
+                }
+                Err(e) => {
+                    self.violations
+                        .push(format!("restart recovery failed: {e}"));
+                    self.wedged = true;
+                    break;
+                }
+            }
+        }
+        let end = self.last_seq();
+        self.windows.push((start, end));
+    }
+}
+
+/// Replay `sched` differentially. See the module docs for the discipline.
+#[must_use]
+pub fn run_schedule(sched: &Schedule, mutations: ProtocolMutations) -> CheckOutcome {
+    let cfg = sched.knobs.config(mutations);
+    let db = Database::open(cfg);
+    let plan = match sched.fault {
+        Some(f) => FaultPlan::single(FaultSpec::at_io(f.kind, f.at_io)),
+        None => FaultPlan::empty(),
+    };
+    let injector = Arc::new(FaultInjector::new(plan).with_tracer(db.tracer()));
+    db.install_fault_hook(Arc::clone(&injector) as Arc<dyn rda_array::FaultHook>);
+
+    let mut run = Run {
+        db,
+        injector,
+        model: RefModel::new(PAGES, sched.knobs.strict),
+        slots: (0..MAX_SLOTS).map(|_| None).collect(),
+        failed_disks: BTreeSet::new(),
+        windows: Vec::new(),
+        violations: Vec::new(),
+        crashes: 0,
+        wedged: false,
+    };
+
+    for (i, op) in sched.ops.iter().enumerate() {
+        if run.wedged {
+            break;
+        }
+        step(&mut run, i, *op);
+    }
+    let workload_ios = run.injector.ios_seen();
+    if !run.wedged {
+        finalize(&mut run);
+    }
+
+    let snap = run.db.trace_snapshot();
+    if snap.dropped > 0 {
+        run.violations.push(format!(
+            "trace ring overflowed ({} events dropped): protocol invariants unverifiable",
+            snap.dropped
+        ));
+    } else {
+        run.violations.extend(
+            rda_core::protocol_violations_windowed(&snap.events, &run.windows)
+                .into_iter()
+                .map(|v| format!("trace: {v}")),
+        );
+    }
+    let mut events = Vec::with_capacity(snap.events.len());
+    let mut trace = String::new();
+    for ev in &snap.events {
+        trace.push_str(&ev.to_string());
+        trace.push('\n');
+        events.push(match ev.kind {
+            rda_core::EventKind::Steal { kind, .. } => format!("Steal:{}", kind.name()),
+            ref kind => kind.name().to_string(),
+        });
+    }
+
+    CheckOutcome {
+        violations: run.violations,
+        workload_ios,
+        crashes: run.crashes,
+        fault_fired: !run.injector.fired().is_empty(),
+        trace,
+        events,
+    }
+}
+
+/// Execute one schedule step against both sides.
+fn step(run: &mut Run, index: usize, op: SchedOp) {
+    match op {
+        SchedOp::Begin { slot } => {
+            if run.model.is_active(slot) {
+                return; // skipped: slot busy
+            }
+            run.slots[slot] = Some(run.db.begin());
+            run.model.begin(slot);
+        }
+        SchedOp::Read { slot, page } => {
+            if !run.model.is_active(slot) {
+                return;
+            }
+            let got = match run.slots[slot].as_mut() {
+                Some(tx) => tx.read(page),
+                None => return,
+            };
+            match got {
+                Ok(image) => match run.model.read(slot, page) {
+                    Expected::Value(want) => {
+                        if image.first().copied() != Some(want) {
+                            run.violations.push(format!(
+                                "op {index}: slot {slot} read page {page} = {:?}, model says {want}",
+                                image.first()
+                            ));
+                        }
+                    }
+                    Expected::Conflict => {
+                        run.violations.push(format!(
+                            "op {index}: slot {slot} read page {page} succeeded, model expected a lock conflict"
+                        ));
+                    }
+                },
+                Err(DbError::LockConflict { .. }) => {
+                    // The model must not register the S lock in this case:
+                    // its read() has no side effect on Conflict, and we
+                    // only consult it for the prediction.
+                    if run.model.read(slot, page) != Expected::Conflict {
+                        run.violations.push(format!(
+                            "op {index}: slot {slot} read page {page} hit a lock conflict the model did not predict"
+                        ));
+                    }
+                }
+                Err(ref e) if run.is_crash(e) => run.crash_and_recover(),
+                Err(e) => run.violations.push(format!(
+                    "op {index}: slot {slot} read page {page} failed unexpectedly: {e}"
+                )),
+            }
+        }
+        SchedOp::Write { slot, page, val } => {
+            if !run.model.is_active(slot) {
+                return;
+            }
+            let got = match run.slots[slot].as_mut() {
+                Some(tx) => tx.write(page, &[val]),
+                None => return,
+            };
+            match got {
+                Ok(()) => {
+                    if run.model.write(slot, page, val) == Expected::Conflict {
+                        run.violations.push(format!(
+                            "op {index}: slot {slot} write page {page} succeeded, model expected a lock conflict"
+                        ));
+                    }
+                }
+                Err(DbError::LockConflict { .. }) => {
+                    if run.model.write(slot, page, val) != Expected::Conflict {
+                        run.violations.push(format!(
+                            "op {index}: slot {slot} write page {page} hit a lock conflict the model did not predict"
+                        ));
+                    }
+                }
+                Err(ref e) if run.is_crash(e) => run.crash_and_recover(),
+                Err(e) => run.violations.push(format!(
+                    "op {index}: slot {slot} write page {page} failed unexpectedly: {e}"
+                )),
+            }
+        }
+        SchedOp::Commit { slot } => {
+            if !run.model.is_active(slot) {
+                return;
+            }
+            let Some(tx) = run.slots[slot].take() else {
+                return;
+            };
+            match tx.commit() {
+                // Commit acknowledged is exactly durable-commit: the log
+                // force is outside the fault seam, and the twin flip is
+                // zero-I/O, so Ok here obliges the engine to preserve the
+                // transaction across anything that follows.
+                Ok(_) => run.model.commit(slot),
+                Err(ref e) if run.is_crash(e) => run.crash_and_recover(),
+                Err(e) => run
+                    .violations
+                    .push(format!("op {index}: slot {slot} commit failed: {e}")),
+            }
+        }
+        SchedOp::Abort { slot } => {
+            if !run.model.is_active(slot) {
+                return;
+            }
+            let Some(tx) = run.slots[slot].take() else {
+                return;
+            };
+            match tx.abort() {
+                Ok(()) => run.model.abort(slot),
+                Err(ref e) if run.is_crash(e) => run.crash_and_recover(),
+                Err(e) => run
+                    .violations
+                    .push(format!("op {index}: slot {slot} abort failed: {e}")),
+            }
+        }
+        SchedOp::CrashRestart => run.crash_and_recover(),
+        SchedOp::FailDisk { disk } => {
+            if run.failed_disks.contains(&disk) || disk >= run.db.disks() {
+                return;
+            }
+            run.db.fail_disk(disk);
+            run.failed_disks.insert(disk);
+        }
+        SchedOp::MediaRecover { disk } => {
+            if !run.failed_disks.contains(&disk) || run.db.active_transactions() > 0 {
+                return; // requires quiescence; the final cleanup rebuilds
+            }
+            match run.db.media_recover(disk) {
+                Ok(_) => {
+                    run.failed_disks.remove(&disk);
+                }
+                Err(ref e) if run.is_crash(e) => run.crash_and_recover(),
+                Err(e) => run.violations.push(format!(
+                    "op {index}: media recovery of disk {disk} failed: {e}"
+                )),
+            }
+        }
+    }
+}
+
+/// End of schedule: quiesce, repair, and run every terminal oracle.
+fn finalize(run: &mut Run) {
+    // 1. Abort the stragglers (slot order, deterministic).
+    for slot in 0..run.slots.len() {
+        if run.wedged {
+            return;
+        }
+        if let Some(tx) = run.slots[slot].take() {
+            match tx.abort() {
+                Ok(()) => run.model.abort(slot),
+                Err(ref e) if run.is_crash(e) => run.crash_and_recover(),
+                Err(e) => run
+                    .violations
+                    .push(format!("final abort of slot {slot} failed: {e}")),
+            }
+        }
+    }
+    // 2. Safety net: a fault that latched without any call observing it.
+    if run.injector.is_latched() {
+        run.crash_and_recover();
+    }
+    // 3. Rebuild any disk still dead so the durability oracle reads a
+    //    healthy array (media recovery must restore committed state).
+    let mut guard = 0;
+    while !run.failed_disks.is_empty() && !run.wedged {
+        guard += 1;
+        if guard > 4 {
+            run.violations
+                .push("final disk rebuilds did not converge".to_string());
+            return;
+        }
+        for disk in run.failed_disks.clone() {
+            match run.db.media_recover(disk) {
+                Ok(_) => {
+                    run.failed_disks.remove(&disk);
+                }
+                // The crash flow redoes the owed rebuilds itself.
+                Err(ref e) if run.is_crash(e) => {
+                    run.crash_and_recover();
+                    break;
+                }
+                Err(e) => {
+                    run.violations
+                        .push(format!("final rebuild of disk {disk} failed: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+    if run.wedged {
+        return;
+    }
+    // 4. Durability oracle: the committed state must equal the model's.
+    match run.db.state_dump() {
+        Ok(pages) => {
+            for page in 0..run.model.pages() {
+                let got = pages
+                    .get(page as usize)
+                    .and_then(|image| image.first())
+                    .copied();
+                let want = run.model.committed_byte(page);
+                if got != Some(want) {
+                    run.violations.push(format!(
+                        "durability: page {page} = {got:?} after quiescence, model committed {want}"
+                    ));
+                }
+            }
+        }
+        Err(e) => run
+            .violations
+            .push(format!("state dump failed at quiescence: {e}")),
+    }
+    // 5. Physical parity invariants.
+    match run.db.verify() {
+        Ok(list) => run
+            .violations
+            .extend(list.into_iter().map(|v| format!("parity: {v}"))),
+        Err(e) => run.violations.push(format!("parity verify failed: {e}")),
+    }
+    // 6. Cross-layer audit (twins, Dirty_Set, lock/chain leaks).
+    let audit = run.db.audit();
+    run.violations
+        .extend(audit.violations().iter().map(|v| format!("audit: {v}")));
+}

@@ -1,0 +1,185 @@
+//! Seeded schedule generation.
+//!
+//! Schedules are a pure function of `(seed, index)`: per-slot transaction
+//! scripts are drawn using the `rda-sim` access vocabulary, then
+//! interleaved by a seeded round-robin so transactions genuinely overlap,
+//! then spiked with whole-machine events. Page choice is deliberately
+//! skewed onto the first two parity groups — group collisions are where
+//! the steal/twin protocol (one parity rider per group, overflow to the
+//! UNDO log) actually runs.
+
+use crate::schedule::{DbKnobs, FaultPoint, SchedOp, Schedule, MAX_SLOTS, PAGES};
+use rda_faults::FaultKind;
+use rda_sim::{Access, AccessKind, TxnScript};
+
+/// Tiny xorshift64 generator — the same family the rest of the workspace
+/// uses for seeded tests, kept local so schedule generation never depends
+/// on an external RNG's version-to-version stream stability.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator (a zero seed is mapped to a fixed odd constant).
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform draw in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// True with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Mix a master seed with a schedule index into an independent stream.
+#[must_use]
+pub fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generate the `index`-th schedule of the stream named by `seed`.
+#[must_use]
+pub fn generate(seed: u64, index: u64) -> Schedule {
+    let mut rng = Rng::new(mix(seed, index));
+    let knobs = DbKnobs {
+        frames: [2, 3, 4, 6][rng.below(4) as usize],
+        force: rng.chance(70),
+        strict: rng.chance(50),
+    };
+
+    // Per-slot scripts in the sim vocabulary.
+    let txns = 2 + rng.below(3) as usize; // 2..=4 concurrent roles
+    let mut scripts: Vec<TxnScript> = (0..txns)
+        .map(|_| {
+            let nops = 1 + rng.below(4) as usize; // 1..=4 accesses
+            let accesses = (0..nops)
+                .map(|_| {
+                    // 60% of traffic lands on the first two parity groups.
+                    let page = if rng.chance(60) {
+                        rng.below(8) as u32
+                    } else {
+                        rng.below(u64::from(PAGES)) as u32
+                    };
+                    let kind = if rng.chance(70) {
+                        AccessKind::Update
+                    } else {
+                        AccessKind::Read
+                    };
+                    Access { page, kind }
+                })
+                .collect();
+            if rng.chance(20) {
+                TxnScript::aborting(accesses)
+            } else {
+                TxnScript::committing(accesses)
+            }
+        })
+        .collect();
+
+    // Interleave: seeded round-robin over the remaining scripts.
+    let mut ops = Vec::new();
+    let mut cursor = vec![0usize; txns];
+    let mut begun = vec![false; txns];
+    loop {
+        let open: Vec<usize> = (0..txns)
+            .filter(|&s| cursor[s] <= scripts[s].accesses.len())
+            .collect();
+        if open.is_empty() {
+            break;
+        }
+        let slot = open[rng.below(open.len() as u64) as usize];
+        debug_assert!(slot < MAX_SLOTS);
+        if !begun[slot] {
+            begun[slot] = true;
+            ops.push(SchedOp::Begin { slot });
+        }
+        if cursor[slot] == scripts[slot].accesses.len() {
+            ops.push(if scripts[slot].aborts {
+                SchedOp::Abort { slot }
+            } else {
+                SchedOp::Commit { slot }
+            });
+            cursor[slot] += 1; // past the end: closed
+            continue;
+        }
+        let access = scripts[slot].accesses[cursor[slot]];
+        cursor[slot] += 1;
+        ops.push(match access.kind {
+            AccessKind::Read => SchedOp::Read {
+                slot,
+                page: access.page,
+            },
+            AccessKind::Update => SchedOp::Write {
+                slot,
+                page: access.page,
+                // Odd and non-zero, so every write is visible against the
+                // zero-filled initial state and against torn halves.
+                val: (rng.next_u64() & 0xFF) as u8 | 1,
+            },
+        });
+    }
+    scripts.clear();
+
+    // Whole-machine events.
+    if rng.chance(25) {
+        let at = rng.below(ops.len() as u64 + 1) as usize;
+        ops.insert(at, SchedOp::CrashRestart);
+    }
+    if rng.chance(15) {
+        // Kill one disk mid-schedule and rebuild it later (media recovery
+        // skips itself while transactions are active, so a "too early"
+        // rebuild point is deterministic too — the final cleanup rebuilds).
+        let disk = rng.below(6) as u16; // rotated parity, n=4, twin → 6 disks
+        let at = rng.below(ops.len() as u64 + 1) as usize;
+        ops.insert(at, SchedOp::FailDisk { disk });
+        let later = at + 1 + rng.below((ops.len() - at) as u64) as usize;
+        ops.insert(later, SchedOp::MediaRecover { disk });
+    }
+
+    Schedule {
+        name: format!("g{seed:016x}-{index}"),
+        knobs,
+        ops,
+        fault: None,
+    }
+}
+
+/// The fault kind to try for the `j`-th fault variant of a schedule —
+/// cycles crash → torn write → disk death.
+#[must_use]
+pub fn fault_kind_cycle(j: usize) -> FaultKind {
+    match j % 3 {
+        0 => FaultKind::Crash,
+        1 => FaultKind::TornWrite,
+        _ => FaultKind::FailDisk,
+    }
+}
+
+/// Build the `j`-th fault variant of `base` at global I/O `k`.
+#[must_use]
+pub fn fault_variant(base: &Schedule, j: usize, k: u64) -> Schedule {
+    base.with_fault(FaultPoint {
+        kind: fault_kind_cycle(j),
+        at_io: k,
+    })
+}

@@ -1,0 +1,52 @@
+//! # rda-check — model-based differential checking
+//!
+//! The recovery stack's adversarial conscience. Everything else in this
+//! workspace tests the engine against *hand-written expectations*; this
+//! crate tests it against a machine-checkable statement of its contract:
+//!
+//! 1. A **sequential reference model** ([`RefModel`]) states what
+//!    committed/visible state and lock behavior must look like, one byte
+//!    per page — deliberately too simple to share bugs with the engine.
+//! 2. A **seeded generator** ([`generate`]) produces multi-transaction
+//!    interleavings of begin/read/write/commit/abort spiked with
+//!    crash-restarts, disk deaths and media recoveries, plus planted
+//!    fault points (crash / torn write / disk death at a chosen physical
+//!    I/O) threaded through the `rda-faults` injector seam.
+//! 3. A **differential checker** ([`run_schedule`]) replays each schedule
+//!    on a real [`Database`](rda_core::Database) and the model in
+//!    lockstep, drives restart + media recovery after every machine
+//!    death, then diffs the quiesced state dump against the model and
+//!    validates the event trace against the steal/commit protocol
+//!    invariants shared with `rda-obs`.
+//! 4. A **shrinker** ([`shrink`]) delta-debugs any counterexample down to
+//!    a minimal, deterministically-failing schedule, and the **corpus**
+//!    ([`corpus`]) stores such repros as JSON for replay in CI forever
+//!    after.
+//!
+//! The checker's teeth are proved by mutation: compile a protocol
+//! mutation into the engine
+//! ([`ProtocolMutations`](rda_core::ProtocolMutations), e.g. skip the
+//! commit-time twin flip) and the sweep must find and shrink a
+//! counterexample within a few dozen schedules — see the crate tests and
+//! `cargo run -p rda-check -- --smoke`.
+
+mod checker;
+mod generate;
+mod json;
+mod model;
+mod schedule;
+mod shrink;
+mod sweep;
+
+pub mod corpus;
+
+pub use checker::{run_schedule, CheckOutcome};
+// The mutation knob rides along so checker users need no direct
+// `rda-core` import to arm it.
+pub use generate::{fault_kind_cycle, fault_variant, generate, mix, Rng};
+pub use json::{escape, Json};
+pub use model::{Expected, RefModel};
+pub use rda_core::ProtocolMutations;
+pub use schedule::{DbKnobs, FaultPoint, SchedOp, Schedule, MAX_SLOTS, PAGES};
+pub use shrink::{shrink, ShrinkOutcome};
+pub use sweep::{check_index, sweep, Failure, ScheduleResult, SweepConfig, SweepReport};

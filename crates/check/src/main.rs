@@ -1,0 +1,251 @@
+//! `rda-check` — run the model-based differential checker from the
+//! command line.
+//!
+//! ```text
+//! rda-check [--smoke] [--schedules N] [--faults N] [--seed S]
+//!           [--workers N] [--mutation] [--no-corpus]
+//!           [--out PATH] [--repro-out PATH]
+//! ```
+//!
+//! Default run: replay the regression corpus, then sweep `--schedules`
+//! seeded schedules (each golden + `--faults` sampled fault points), then
+//! prove the checker's teeth by re-running a short sweep with the
+//! `skip_commit_twin_flip` protocol mutation compiled in — that sweep
+//! must *fail*, and its counterexample must shrink to a handful of ops.
+//! Exit status 0 means: corpus green, sweep clean, mutation caught.
+//!
+//! `--mutation` flips the main sweep into mutation mode (find + shrink a
+//! counterexample, write it to `--repro-out`, exit 0 iff found); this is
+//! how new corpus entries are born.
+
+use rda_check::{corpus, shrink, sweep, ProtocolMutations, SweepConfig};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+struct Args {
+    schedules: u64,
+    faults: u64,
+    seed: u64,
+    workers: usize,
+    mutation: bool,
+    corpus: bool,
+    out: Option<String>,
+    repro_out: Option<String>,
+    replay: Option<String>,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        schedules: 500,
+        faults: 2,
+        seed: 0x1992, // ICDE 1992
+
+        workers: 4,
+        mutation: false,
+        corpus: true,
+        out: None,
+        repro_out: None,
+        replay: None,
+        trace: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--smoke" => {
+                args.schedules = 60;
+                args.faults = 2;
+            }
+            "--schedules" => args.schedules = parse_u64(&value("--schedules")?)?,
+            "--faults" => args.faults = parse_u64(&value("--faults")?)?,
+            "--seed" => args.seed = parse_u64(&value("--seed")?)?,
+            "--workers" => args.workers = parse_u64(&value("--workers")?)? as usize,
+            "--mutation" => args.mutation = true,
+            "--no-corpus" => args.corpus = false,
+            "--out" => args.out = Some(value("--out")?),
+            "--repro-out" => args.repro_out = Some(value("--repro-out")?),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--trace" => args.trace = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_u64(text: &str) -> Result<u64, String> {
+    let (text, radix) = match text.strip_prefix("0x") {
+        Some(hex) => (hex, 16),
+        None => (text, 10),
+    };
+    u64::from_str_radix(text, radix).map_err(|e| format!("bad number '{text}': {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rda-check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    if let Some(path) = &args.replay {
+        return replay_one(&args, path);
+    }
+
+    if args.corpus {
+        let count = corpus::replay_dir(&corpus::default_dir())?;
+        println!("corpus: {count} entries replayed, all expectations met");
+    }
+
+    let mutations = if args.mutation {
+        ProtocolMutations {
+            skip_commit_twin_flip: true,
+        }
+    } else {
+        ProtocolMutations::default()
+    };
+    let cfg = SweepConfig {
+        seed: args.seed,
+        schedules: args.schedules,
+        faults_per_schedule: args.faults,
+        workers: args.workers,
+        mutations,
+        stop_on_failure: args.mutation,
+    };
+    let report = sweep(&cfg);
+    println!(
+        "sweep: seed {:#x}, {} schedules, {} checks, clean = {}",
+        cfg.seed,
+        report.results.len(),
+        report.checks(),
+        report.is_clean()
+    );
+    if let Some(path) = &args.out {
+        write_file(path, &report.to_json())?;
+        println!("sweep report written to {path}");
+    }
+
+    if args.mutation {
+        // Mutation mode: the sweep must FIND a counterexample; shrink it.
+        let failures = report.failures();
+        let Some(first) = failures.first() else {
+            return Err(format!(
+                "mutation sweep found no counterexample in {} schedules — the checker has no teeth",
+                report.results.len()
+            ));
+        };
+        let shrunk = shrink(&first.schedule, mutations, 400);
+        println!(
+            "mutation caught at '{}' ({}); shrunk to {} ops in {} evals",
+            first.schedule.name,
+            first.variant,
+            shrunk.schedule.ops.len(),
+            shrunk.evals
+        );
+        if let Some(path) = &args.repro_out {
+            write_file(path, &shrunk.schedule.to_json().to_string())?;
+            println!("shrunk repro written to {path}");
+        }
+        return Ok(());
+    }
+
+    // Clean mode: the sweep must be clean, and the checker must still
+    // have teeth — prove it with a short mutated self-test.
+    if let Some(first) = report.failures().first() {
+        if let Some(path) = &args.repro_out {
+            let shrunk = shrink(&first.schedule, ProtocolMutations::default(), 400);
+            write_file(path, &shrunk.schedule.to_json().to_string())?;
+            eprintln!("shrunk repro written to {path}");
+        }
+        return Err(format!(
+            "sweep found a counterexample: '{}' ({}) — {:?}",
+            first.schedule.name, first.variant, first.violations
+        ));
+    }
+    let teeth_cfg = SweepConfig {
+        seed: args.seed,
+        schedules: 40,
+        faults_per_schedule: 1,
+        workers: args.workers,
+        mutations: ProtocolMutations {
+            skip_commit_twin_flip: true,
+        },
+        stop_on_failure: true,
+    };
+    let teeth = sweep(&teeth_cfg);
+    let failures = teeth.failures();
+    let Some(first) = failures.first() else {
+        return Err(
+            "mutation self-test found no counterexample — the checker has no teeth".to_string(),
+        );
+    };
+    let shrunk = shrink(&first.schedule, teeth_cfg.mutations, 400);
+    println!(
+        "teeth: skip_commit_twin_flip caught ({}), shrunk to {} ops",
+        first.variant,
+        shrunk.schedule.ops.len()
+    );
+    if shrunk.schedule.ops.len() > 12 {
+        return Err(format!(
+            "mutation repro did not shrink below 12 ops (got {})",
+            shrunk.schedule.ops.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `--replay PATH`: run one schedule JSON file (a shrunk repro or a
+/// corpus entry's `schedule` object) and report its outcome; `--trace`
+/// dumps the full event trace, `--mutation` arms the twin-flip mutation,
+/// `--repro-out` shrinks the failure and writes it back out.
+fn replay_one(args: &Args, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let json = rda_check::Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let sched = rda_check::Schedule::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+    let mutations = if args.mutation {
+        ProtocolMutations {
+            skip_commit_twin_flip: true,
+        }
+    } else {
+        ProtocolMutations::default()
+    };
+    let outcome = rda_check::run_schedule(&sched, mutations);
+    if args.trace {
+        print!("{}", outcome.trace);
+    }
+    println!(
+        "replay '{}': {} workload I/Os, {} crashes, fault fired = {}",
+        sched.name, outcome.workload_ios, outcome.crashes, outcome.fault_fired
+    );
+    if outcome.ok() {
+        println!("replay passed: no violations");
+        return Ok(());
+    }
+    for v in &outcome.violations {
+        println!("violation: {v}");
+    }
+    if let Some(out) = &args.repro_out {
+        let shrunk = shrink(&sched, mutations, 400);
+        write_file(out, &shrunk.schedule.to_json().to_string())?;
+        println!(
+            "shrunk to {} ops in {} evals; written to {out}",
+            shrunk.schedule.ops.len(),
+            shrunk.evals
+        );
+    }
+    Err(format!("{} violations", outcome.violations.len()))
+}
+
+fn write_file(path: &str, text: &str) -> Result<(), String> {
+    let mut file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    file.write_all(text.as_bytes())
+        .map_err(|e| format!("write {path}: {e}"))?;
+    file.write_all(b"\n")
+        .map_err(|e| format!("write {path}: {e}"))
+}

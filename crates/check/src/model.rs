@@ -1,0 +1,190 @@
+//! The sequential reference model.
+//!
+//! A deliberately dumb in-memory re-statement of what the engine is
+//! *supposed* to do, at the granularity the checker observes: one byte per
+//! page (every checker write is a one-byte payload zero-padded to the page
+//! size, so a page's first byte carries its whole identity).
+//!
+//! The model mirrors the engine's externally visible contract exactly:
+//!
+//! * **Committed state** survives everything — commit, abort, crash,
+//!   restart, disk death, media recovery.
+//! * **Current state** is what a read observes: the last write by anyone
+//!   when `strict` is off (dirty reads), which strict two-phase locking
+//!   makes equal to "committed or my own pending write".
+//! * **Abort** restores each written page to its value at this
+//!   transaction's *first* write of the page (the engine keeps a
+//!   first-touch before-image per page, whether it undoes via parity,
+//!   UNDO log, or buffer rollback).
+//! * **Locks** copy `rda-core`'s fail-fast table: exclusive page locks
+//!   for writes (blocked by a foreign X or any foreign S holder; own S
+//!   upgrades), shared locks for strict reads (blocked by a foreign X
+//!   only), everything released at end-of-transaction or crash.
+//!
+//! Anything the engine does beyond this contract — steals, parity rides,
+//! twin flips, recovery passes — is invisible here by design: the
+//! differential checker exists to prove those mechanisms never leak into
+//! the contract.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the model predicts for one read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// The operation succeeds; for a read, the page's byte value.
+    Value(u8),
+    /// The operation fails with a lock conflict (fail-fast, transaction
+    /// stays alive and keeps its locks).
+    Conflict,
+}
+
+/// Per-transaction pending state.
+#[derive(Debug, Default, Clone)]
+struct TxnModel {
+    /// page → value the page had at this txn's first write of it.
+    before: BTreeMap<u32, u8>,
+}
+
+/// The reference model. See the module docs for the contract it states.
+#[derive(Debug, Clone)]
+pub struct RefModel {
+    strict: bool,
+    committed: Vec<u8>,
+    current: Vec<u8>,
+    /// page → slot of the exclusive holder.
+    xlocks: BTreeMap<u32, usize>,
+    /// page → slots of shared holders (strict mode only).
+    slocks: BTreeMap<u32, BTreeSet<usize>>,
+    /// Active transactions by slot.
+    live: BTreeMap<usize, TxnModel>,
+}
+
+impl RefModel {
+    /// A fresh model over `pages` zero-filled pages.
+    #[must_use]
+    pub fn new(pages: u32, strict: bool) -> RefModel {
+        RefModel {
+            strict,
+            committed: vec![0; pages as usize],
+            current: vec![0; pages as usize],
+            xlocks: BTreeMap::new(),
+            slocks: BTreeMap::new(),
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// Is `slot` running a transaction?
+    #[must_use]
+    pub fn is_active(&self, slot: usize) -> bool {
+        self.live.contains_key(&slot)
+    }
+
+    /// Begin a transaction in `slot`. Returns false (no-op) if the slot is
+    /// already active — the schedule vocabulary skips such steps.
+    pub fn begin(&mut self, slot: usize) -> bool {
+        if self.is_active(slot) {
+            return false;
+        }
+        self.live.insert(slot, TxnModel::default());
+        true
+    }
+
+    /// Predict a read of `page` by `slot`, acquiring the S lock it implies
+    /// under strict mode. No side effect when the prediction is
+    /// [`Expected::Conflict`].
+    pub fn read(&mut self, slot: usize, page: u32) -> Expected {
+        if self.strict {
+            if let Some(&holder) = self.xlocks.get(&page) {
+                if holder != slot {
+                    return Expected::Conflict;
+                }
+            } else {
+                self.slocks.entry(page).or_default().insert(slot);
+            }
+        }
+        Expected::Value(self.current[page as usize])
+    }
+
+    /// Predict a write of `val` to `page` by `slot`, applying it (and
+    /// acquiring the X lock) when it succeeds. No side effect when the
+    /// prediction is [`Expected::Conflict`].
+    pub fn write(&mut self, slot: usize, page: u32, val: u8) -> Expected {
+        if let Some(&holder) = self.xlocks.get(&page) {
+            if holder != slot {
+                return Expected::Conflict;
+            }
+        } else {
+            if let Some(readers) = self.slocks.get(&page) {
+                if readers.iter().any(|&r| r != slot) {
+                    return Expected::Conflict;
+                }
+            }
+            // Upgrade: the own S entry is subsumed by the X lock.
+            if let Some(readers) = self.slocks.get_mut(&page) {
+                readers.remove(&slot);
+                if readers.is_empty() {
+                    self.slocks.remove(&page);
+                }
+            }
+            self.xlocks.insert(page, slot);
+        }
+        if let Some(txn) = self.live.get_mut(&slot) {
+            txn.before
+                .entry(page)
+                .or_insert(self.current[page as usize]);
+        }
+        self.current[page as usize] = val;
+        Expected::Value(val)
+    }
+
+    /// Commit `slot`: its writes become durable, locks released.
+    pub fn commit(&mut self, slot: usize) {
+        if let Some(txn) = self.live.remove(&slot) {
+            for &page in txn.before.keys() {
+                self.committed[page as usize] = self.current[page as usize];
+            }
+        }
+        self.release(slot);
+    }
+
+    /// Abort `slot`: every page it wrote reverts to its first-touch
+    /// before-image, locks released.
+    pub fn abort(&mut self, slot: usize) {
+        if let Some(txn) = self.live.remove(&slot) {
+            for (&page, &before) in &txn.before {
+                self.current[page as usize] = before;
+            }
+        }
+        self.release(slot);
+    }
+
+    /// Crash + restart recovery: every active transaction is a loser, the
+    /// visible state falls back to the committed state, all locks die.
+    pub fn crash(&mut self) {
+        self.live.clear();
+        self.xlocks.clear();
+        self.slocks.clear();
+        self.current.copy_from_slice(&self.committed);
+    }
+
+    /// The committed byte of `page` — the durability oracle the checker
+    /// diffs the engine's state dump against.
+    #[must_use]
+    pub fn committed_byte(&self, page: u32) -> u8 {
+        self.committed[page as usize]
+    }
+
+    /// Number of pages.
+    #[must_use]
+    pub fn pages(&self) -> u32 {
+        self.committed.len() as u32
+    }
+
+    fn release(&mut self, slot: usize) {
+        self.xlocks.retain(|_, holder| *holder != slot);
+        self.slocks.retain(|_, readers| {
+            readers.remove(&slot);
+            !readers.is_empty()
+        });
+    }
+}

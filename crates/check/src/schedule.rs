@@ -1,0 +1,399 @@
+//! Schedules: the checker's operation vocabulary.
+//!
+//! A [`Schedule`] is a fully deterministic program over a small database —
+//! an interleaving of multi-transaction begin/read/write/commit/abort
+//! steps, spiked with whole-machine events (crash + restart, disk death,
+//! media recovery) and at most one *planted* fault point threaded through
+//! the `rda-faults` I/O seam. Schedules serialize to a stable JSON shape
+//! so shrunk counterexamples can be stored in the regression corpus and
+//! replayed byte-for-byte later.
+
+use crate::json::Json;
+use rda_array::{ArrayConfig, Organization};
+use rda_core::{
+    CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity, ProtocolMutations,
+};
+use rda_faults::FaultKind;
+
+/// Transaction slots a schedule may address. Slots are *roles*, not
+/// transaction ids: a slot can be re-begun after its transaction finished
+/// or died in a crash, starting a fresh transaction in the same role.
+pub const MAX_SLOTS: usize = 6;
+
+/// Parity groups in the checker's database (rotated parity, `n = 4`,
+/// 4 groups → 16 data pages). Small enough that seeded schedules collide
+/// on groups constantly, which is where the steal/twin protocol lives.
+pub const PAGES: u32 = 16;
+
+/// One step of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedOp {
+    /// Start a transaction in `slot` (skipped if the slot is active).
+    Begin {
+        /// Target transaction slot.
+        slot: usize,
+    },
+    /// Read a page in `slot` (skipped if the slot is not active).
+    Read {
+        /// Target transaction slot.
+        slot: usize,
+        /// Page to read.
+        page: u32,
+    },
+    /// Overwrite a page in `slot` with a one-byte payload (zero-padded to
+    /// the page size; skipped if the slot is not active).
+    Write {
+        /// Target transaction slot.
+        slot: usize,
+        /// Page to overwrite.
+        page: u32,
+        /// Payload byte (the page's first byte after the write).
+        val: u8,
+    },
+    /// Commit `slot` (skipped if the slot is not active).
+    Commit {
+        /// Target transaction slot.
+        slot: usize,
+    },
+    /// Abort `slot` (skipped if the slot is not active).
+    Abort {
+        /// Target transaction slot.
+        slot: usize,
+    },
+    /// Power-cycle the machine: crash, then run restart recovery. Active
+    /// transactions die as losers.
+    CrashRestart,
+    /// Fail a whole disk; the workload continues in degraded mode
+    /// (skipped if the disk is already dead).
+    FailDisk {
+        /// Disk to kill.
+        disk: u16,
+    },
+    /// Rebuild a failed disk from the survivors (skipped if the disk is
+    /// alive or transactions are active — media recovery requires
+    /// quiescence).
+    MediaRecover {
+        /// Disk to rebuild.
+        disk: u16,
+    },
+}
+
+impl SchedOp {
+    /// The transaction slot this op addresses, if any.
+    #[must_use]
+    pub fn slot(&self) -> Option<usize> {
+        match *self {
+            SchedOp::Begin { slot }
+            | SchedOp::Read { slot, .. }
+            | SchedOp::Write { slot, .. }
+            | SchedOp::Commit { slot }
+            | SchedOp::Abort { slot } => Some(slot),
+            _ => None,
+        }
+    }
+}
+
+/// A planted fault: fire `kind` on the `at_io`-th physical array I/O
+/// (1-based, global across disks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// What goes wrong (crash, torn write, or whole-disk death).
+    pub kind: FaultKind,
+    /// Which global I/O it hits.
+    pub at_io: u64,
+}
+
+/// The database knobs a schedule varies. Everything else is pinned to the
+/// checker's standard small configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbKnobs {
+    /// Buffer frames (small values force steals mid-transaction).
+    pub frames: usize,
+    /// FORCE (true) or ¬FORCE (false) end-of-transaction policy.
+    pub force: bool,
+    /// Strict two-phase read locks (serializable) vs. dirty reads.
+    pub strict: bool,
+}
+
+impl DbKnobs {
+    /// Materialize the full [`DbConfig`] for this knob setting, with the
+    /// given protocol mutations compiled in.
+    #[must_use]
+    pub fn config(&self, mutations: ProtocolMutations) -> DbConfig {
+        DbConfig {
+            engine: EngineKind::Rda,
+            array: ArrayConfig::new(Organization::RotatedParity, 4, 4)
+                .twin(true)
+                .page_size(64),
+            buffer: rda_buffer_config(self.frames),
+            log: rda_wal::LogConfig {
+                page_size: 256,
+                copies: 2,
+                amortized: false,
+            },
+            granularity: LogGranularity::Page,
+            eot: if self.force {
+                EotPolicy::Force
+            } else {
+                EotPolicy::NoForce
+            },
+            checkpoint: CheckpointPolicy::Manual,
+            strict_read_locks: self.strict,
+            trace_events: 1 << 15,
+            mutations,
+        }
+    }
+}
+
+fn rda_buffer_config(frames: usize) -> rda_buffer::BufferConfig {
+    rda_buffer::BufferConfig {
+        frames,
+        steal: true,
+        policy: rda_buffer::ReplacePolicy::Clock,
+    }
+}
+
+/// A complete, self-describing checker input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Human-readable name (seed + index for generated schedules, a
+    /// scenario slug for corpus entries).
+    pub name: String,
+    /// Database knobs this schedule runs under.
+    pub knobs: DbKnobs,
+    /// The steps, executed in order.
+    pub ops: Vec<SchedOp>,
+    /// At most one planted fault.
+    pub fault: Option<FaultPoint>,
+}
+
+impl Schedule {
+    /// A copy of this schedule with `fault` planted (replacing any
+    /// existing fault) and the fault appended to the name.
+    #[must_use]
+    pub fn with_fault(&self, fault: FaultPoint) -> Schedule {
+        Schedule {
+            name: format!("{}+{}@{}", self.name, fault.kind.name(), fault.at_io),
+            knobs: self.knobs,
+            ops: self.ops.clone(),
+            fault: Some(fault),
+        }
+    }
+
+    /// Does any step kill a disk explicitly?
+    #[must_use]
+    pub fn has_fail_disk(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op, SchedOp::FailDisk { .. }))
+    }
+
+    /// The distinct transaction slots this schedule addresses, ascending.
+    #[must_use]
+    pub fn slots(&self) -> Vec<usize> {
+        let mut slots: Vec<usize> = self.ops.iter().filter_map(SchedOp::slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        slots
+    }
+
+    /// Serialize to the stable corpus JSON shape.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            (
+                "config".to_string(),
+                Json::Obj(vec![
+                    (
+                        "frames".to_string(),
+                        Json::Int(i64::try_from(self.knobs.frames).unwrap_or(i64::MAX)),
+                    ),
+                    (
+                        "eot".to_string(),
+                        Json::Str(if self.knobs.force { "force" } else { "noforce" }.to_string()),
+                    ),
+                    ("strict".to_string(), Json::Bool(self.knobs.strict)),
+                ]),
+            ),
+            (
+                "ops".to_string(),
+                Json::Arr(self.ops.iter().map(op_to_json).collect()),
+            ),
+        ];
+        members.push((
+            "fault".to_string(),
+            match self.fault {
+                Some(f) => Json::Obj(vec![
+                    ("mode".to_string(), Json::Str(f.kind.name().to_string())),
+                    ("at_io".to_string(), Json::Int(f.at_io.cast_signed())),
+                ]),
+                None => Json::Null,
+            },
+        ));
+        Json::Obj(members)
+    }
+
+    /// Deserialize from the corpus JSON shape.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(value: &Json) -> Result<Schedule, String> {
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("schedule missing 'name'")?
+            .to_string();
+        let config = value.get("config").ok_or("schedule missing 'config'")?;
+        let frames = config
+            .get("frames")
+            .and_then(Json::as_u64)
+            .ok_or("config missing 'frames'")? as usize;
+        let force = match config.get("eot").and_then(Json::as_str) {
+            Some("force") => true,
+            Some("noforce") => false,
+            other => return Err(format!("config 'eot' must be force|noforce, got {other:?}")),
+        };
+        let strict = config
+            .get("strict")
+            .and_then(Json::as_bool)
+            .ok_or("config missing 'strict'")?;
+        let ops = value
+            .get("ops")
+            .and_then(Json::as_arr)
+            .ok_or("schedule missing 'ops'")?
+            .iter()
+            .map(op_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let fault = match value.get("fault") {
+            None | Some(Json::Null) => None,
+            Some(f) => {
+                let kind = match f.get("mode").and_then(Json::as_str) {
+                    Some("crash") => FaultKind::Crash,
+                    Some("torn_write") => FaultKind::TornWrite,
+                    Some("fail_disk") => FaultKind::FailDisk,
+                    other => return Err(format!("bad fault mode {other:?}")),
+                };
+                let at_io = f
+                    .get("at_io")
+                    .and_then(Json::as_u64)
+                    .ok_or("fault missing 'at_io'")?;
+                Some(FaultPoint { kind, at_io })
+            }
+        };
+        Ok(Schedule {
+            name,
+            knobs: DbKnobs {
+                frames,
+                force,
+                strict,
+            },
+            ops,
+            fault,
+        })
+    }
+}
+
+fn op_to_json(op: &SchedOp) -> Json {
+    let mut members = Vec::with_capacity(4);
+    let tag = |s: &str| Json::Str(s.to_string());
+    match *op {
+        SchedOp::Begin { slot } => {
+            members.push(("op".to_string(), tag("begin")));
+            members.push((
+                "slot".to_string(),
+                Json::Int(i64::try_from(slot).unwrap_or(i64::MAX)),
+            ));
+        }
+        SchedOp::Read { slot, page } => {
+            members.push(("op".to_string(), tag("read")));
+            members.push((
+                "slot".to_string(),
+                Json::Int(i64::try_from(slot).unwrap_or(i64::MAX)),
+            ));
+            members.push(("page".to_string(), Json::Int(i64::from(page))));
+        }
+        SchedOp::Write { slot, page, val } => {
+            members.push(("op".to_string(), tag("write")));
+            members.push((
+                "slot".to_string(),
+                Json::Int(i64::try_from(slot).unwrap_or(i64::MAX)),
+            ));
+            members.push(("page".to_string(), Json::Int(i64::from(page))));
+            members.push(("val".to_string(), Json::Int(i64::from(val))));
+        }
+        SchedOp::Commit { slot } => {
+            members.push(("op".to_string(), tag("commit")));
+            members.push((
+                "slot".to_string(),
+                Json::Int(i64::try_from(slot).unwrap_or(i64::MAX)),
+            ));
+        }
+        SchedOp::Abort { slot } => {
+            members.push(("op".to_string(), tag("abort")));
+            members.push((
+                "slot".to_string(),
+                Json::Int(i64::try_from(slot).unwrap_or(i64::MAX)),
+            ));
+        }
+        SchedOp::CrashRestart => {
+            members.push(("op".to_string(), tag("crash_restart")));
+        }
+        SchedOp::FailDisk { disk } => {
+            members.push(("op".to_string(), tag("fail_disk")));
+            members.push(("disk".to_string(), Json::Int(i64::from(disk))));
+        }
+        SchedOp::MediaRecover { disk } => {
+            members.push(("op".to_string(), tag("media_recover")));
+            members.push(("disk".to_string(), Json::Int(i64::from(disk))));
+        }
+    }
+    Json::Obj(members)
+}
+
+fn op_from_json(value: &Json) -> Result<SchedOp, String> {
+    let slot = || {
+        value
+            .get("slot")
+            .and_then(Json::as_u64)
+            .map(|s| s as usize)
+            .filter(|&s| s < MAX_SLOTS)
+            .ok_or_else(|| format!("op missing valid 'slot' (< {MAX_SLOTS})"))
+    };
+    let page = || {
+        value
+            .get("page")
+            .and_then(Json::as_u64)
+            .map(|p| p as u32)
+            .ok_or("op missing 'page'")
+    };
+    let disk = || {
+        value
+            .get("disk")
+            .and_then(Json::as_u64)
+            .map(|d| d as u16)
+            .ok_or("op missing 'disk'")
+    };
+    match value.get("op").and_then(Json::as_str) {
+        Some("begin") => Ok(SchedOp::Begin { slot: slot()? }),
+        Some("read") => Ok(SchedOp::Read {
+            slot: slot()?,
+            page: page()?,
+        }),
+        Some("write") => Ok(SchedOp::Write {
+            slot: slot()?,
+            page: page()?,
+            val: value
+                .get("val")
+                .and_then(Json::as_u64)
+                .map(|v| v as u8)
+                .ok_or("write op missing 'val'")?,
+        }),
+        Some("commit") => Ok(SchedOp::Commit { slot: slot()? }),
+        Some("abort") => Ok(SchedOp::Abort { slot: slot()? }),
+        Some("crash_restart") => Ok(SchedOp::CrashRestart),
+        Some("fail_disk") => Ok(SchedOp::FailDisk { disk: disk()? }),
+        Some("media_recover") => Ok(SchedOp::MediaRecover { disk: disk()? }),
+        other => Err(format!("unknown op tag {other:?}")),
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests of the model-based differential checker: mutation
+//! sensitivity (the checker must have teeth), sweep cleanliness on the
+//! real engine, worker-count determinism, corpus replay, and the
+//! schedule JSON round-trip the corpus depends on.
+
+use rda_check::{
+    corpus, generate, run_schedule, shrink, sweep, ProtocolMutations, Schedule, SweepConfig,
+};
+
+/// With the commit-time twin flip compiled out, the sweep must find a
+/// counterexample quickly and the shrinker must reduce it to a handful
+/// of ops — the acceptance bound is 12, typical repros are ~5.
+#[test]
+fn mutation_skip_twin_flip_is_caught_and_shrinks() {
+    let cfg = SweepConfig {
+        seed: 0x1992,
+        schedules: 200,
+        faults_per_schedule: 1,
+        workers: 2,
+        mutations: ProtocolMutations {
+            skip_commit_twin_flip: true,
+        },
+        stop_on_failure: true,
+    };
+    let report = sweep(&cfg);
+    let failures = report.failures();
+    let first = failures
+        .first()
+        .expect("mutation sweep found no counterexample: the checker has no teeth");
+    let shrunk = shrink(&first.schedule, cfg.mutations, 400);
+    assert!(
+        !run_schedule(&shrunk.schedule, cfg.mutations).ok(),
+        "shrunk schedule no longer fails"
+    );
+    assert!(
+        shrunk.schedule.ops.len() <= 12,
+        "mutation repro did not shrink below 12 ops (got {})",
+        shrunk.schedule.ops.len()
+    );
+}
+
+/// The unmutated engine survives a seeded fault-laden sweep.
+#[test]
+fn clean_sweep_over_seeded_schedules() {
+    let cfg = SweepConfig {
+        seed: 0x1992,
+        schedules: 40,
+        faults_per_schedule: 2,
+        workers: 2,
+        mutations: ProtocolMutations::default(),
+        stop_on_failure: false,
+    };
+    let report = sweep(&cfg);
+    assert_eq!(report.results.len(), 40);
+    let failures = report.failures();
+    assert!(
+        failures.is_empty(),
+        "sweep found a counterexample: '{}' ({}) — {:?}",
+        failures[0].schedule.name,
+        failures[0].variant,
+        failures[0].violations
+    );
+}
+
+/// The sweep report is a pure function of the configuration minus
+/// `workers`: byte-identical JSON at 1 and 4 workers.
+#[test]
+fn sweep_report_is_worker_count_independent() {
+    let base = SweepConfig {
+        seed: 0xD15C,
+        schedules: 24,
+        faults_per_schedule: 2,
+        workers: 1,
+        mutations: ProtocolMutations::default(),
+        stop_on_failure: false,
+    };
+    let seq = sweep(&base);
+    let par = sweep(&SweepConfig { workers: 4, ..base });
+    assert_eq!(seq.to_json(), par.to_json());
+}
+
+/// Every corpus entry replays with its expectations met: verdict,
+/// determinism, and required protocol events.
+#[test]
+fn corpus_replays_green() {
+    let count = corpus::replay_dir(&corpus::default_dir())
+        .unwrap_or_else(|e| panic!("corpus replay failed: {e}"));
+    assert!(count >= 5, "corpus has shrunk to {count} entries");
+}
+
+/// Schedules survive the JSON round-trip exactly — the property the
+/// corpus and `--replay` depend on.
+#[test]
+fn schedule_json_round_trips() {
+    for index in 0..50 {
+        let sched = generate(0xC0DE, index);
+        let json = sched.to_json().to_string();
+        let parsed = rda_check::Json::parse(&json)
+            .unwrap_or_else(|e| panic!("emitted JSON unparseable: {e}"));
+        let back =
+            Schedule::from_json(&parsed).unwrap_or_else(|e| panic!("round-trip failed: {e}"));
+        assert_eq!(
+            back, sched,
+            "schedule {index} changed across the round-trip"
+        );
+    }
+}
+
+/// A planted fault variant also round-trips (fault object included).
+#[test]
+fn fault_variant_round_trips() {
+    let base = generate(0xC0DE, 3);
+    let variant = rda_check::fault_variant(&base, 1, 7);
+    let json = variant.to_json().to_string();
+    let parsed = rda_check::Json::parse(&json).expect("parse");
+    let back = Schedule::from_json(&parsed).expect("round-trip");
+    assert_eq!(back, variant);
+}

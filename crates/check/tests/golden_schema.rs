@@ -1,0 +1,118 @@
+//! Golden-schema snapshot of the crashpoint explorer's JSON report.
+//!
+//! The report is the artifact CI archives and downstream tooling parses,
+//! so its *shape* — key names, key order, the per-point record, the
+//! timeline phase list — is a contract. This test pins it with the
+//! checker's own JSON parser (which preserves member order); a field
+//! rename or reorder fails here instead of silently breaking consumers.
+
+use rda_check::Json;
+use rda_core::{DbConfig, EngineKind, RecoveryPhase, Timeline};
+use rda_faults::{explore, ExploreMode, ExplorerConfig};
+use rda_sim::WorkloadSpec;
+use std::time::Duration;
+
+fn tiny_report_json() -> String {
+    let mut spec = WorkloadSpec::high_update(16, 4);
+    spec.s = 2;
+    spec.f_u = 1.0;
+    spec.p_u = 1.0;
+    spec.p_b = 0.0;
+    let scripts = spec.generate(3, 0xBEEF);
+    let cfg = ExplorerConfig {
+        exhaustive_limit: 0,
+        samples: 4,
+        ..ExplorerConfig::new(ExploreMode::Crash)
+    };
+    explore(&DbConfig::small_test(EngineKind::Rda), &scripts, &cfg).to_json()
+}
+
+#[test]
+fn explorer_report_schema_is_pinned() {
+    let text = tiny_report_json();
+    let json = Json::parse(&text).expect("explorer report must be valid JSON");
+
+    assert_eq!(
+        json.keys(),
+        vec![
+            "mode",
+            "total_ios",
+            "exhaustive",
+            "explored",
+            "clean",
+            "failures",
+            "golden_committed",
+            "golden_violations",
+            "points",
+        ],
+        "top-level report schema changed"
+    );
+    assert_eq!(json.get("mode").and_then(Json::as_str), Some("crash"));
+    assert!(json.get("total_ios").and_then(Json::as_u64).unwrap_or(0) > 0);
+
+    let points = json
+        .get("points")
+        .and_then(Json::as_arr)
+        .expect("'points' must be an array");
+    assert!(!points.is_empty(), "explorer sampled no crashpoints");
+    for point in points {
+        assert_eq!(
+            point.keys(),
+            vec![
+                "io_index",
+                "fired",
+                "clean",
+                "committed_before",
+                "losers",
+                "intent_replays",
+                "torn_twins_healed",
+                "timeline",
+                "violations",
+            ],
+            "per-point record schema changed"
+        );
+        let timeline = point
+            .get("timeline")
+            .and_then(Json::as_arr)
+            .expect("'timeline' must be an array");
+        for phase in timeline {
+            assert_eq!(
+                phase.keys(),
+                vec!["phase", "reads", "writes"],
+                "timeline phase record schema changed"
+            );
+        }
+    }
+}
+
+/// The deterministic rendering must never leak wall-clock fields.
+#[test]
+fn deterministic_report_carries_no_wall_clock() {
+    let text = tiny_report_json();
+    assert!(
+        !text.contains("wall_us"),
+        "to_json() leaked wall-clock timing; that belongs to to_json_timed()"
+    );
+}
+
+/// `Timeline::json_ios` renders phases in push order with stable names.
+#[test]
+fn timeline_json_ios_shape() {
+    let mut t = Timeline::default();
+    t.push(RecoveryPhase::IntentReplay, Duration::ZERO, 1, 2);
+    t.push(RecoveryPhase::UndoParity, Duration::ZERO, 3, 4);
+    let json = t.json_ios();
+    let parsed = Json::parse(&json).expect("json_ios must be valid JSON");
+    let arr = parsed.as_arr().expect("array");
+    assert_eq!(arr.len(), 2);
+    assert_eq!(
+        arr[0].get("phase").and_then(Json::as_str),
+        Some("intent_replay")
+    );
+    assert_eq!(arr[0].get("reads").and_then(Json::as_u64), Some(1));
+    assert_eq!(arr[0].get("writes").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        arr[1].get("phase").and_then(Json::as_str),
+        Some("undo_parity")
+    );
+}

@@ -51,6 +51,30 @@ pub enum CheckpointPolicy {
     },
 }
 
+/// Deliberate protocol breakages for mutation-sensitivity testing.
+///
+/// The model-based checker (`rda-check`) proves it has teeth by turning
+/// one of these on and demonstrating that it finds and shrinks a failing
+/// schedule. Every knob defaults to off and must stay off outside tests:
+/// each one removes a step the recovery protocol depends on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolMutations {
+    /// Skip the zero-I/O twin flip at commit. The committed parity twin
+    /// then still reconstructs the *pre-transaction* images, so restart
+    /// recovery after a post-commit crash rolls an acknowledged
+    /// transaction back — exactly the durability violation the twin-page
+    /// protocol exists to prevent.
+    pub skip_commit_twin_flip: bool,
+}
+
+impl ProtocolMutations {
+    /// Is any mutation enabled?
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.skip_commit_twin_flip
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
@@ -81,6 +105,9 @@ pub struct DbConfig {
     /// drivers and the crashpoint explorer open their databases from a
     /// cloned `DbConfig`, this is how tracing reaches every replay.
     pub trace_events: usize,
+    /// Deliberate protocol breakages for mutation-sensitivity testing.
+    /// All off by default; see [`ProtocolMutations`].
+    pub mutations: ProtocolMutations,
 }
 
 impl DbConfig {
@@ -110,6 +137,7 @@ impl DbConfig {
             checkpoint: CheckpointPolicy::Manual,
             strict_read_locks: false,
             trace_events: 0,
+            mutations: ProtocolMutations::default(),
         }
     }
 
@@ -135,6 +163,7 @@ impl DbConfig {
             checkpoint: CheckpointPolicy::Manual,
             strict_read_locks: false,
             trace_events: 0,
+            mutations: ProtocolMutations::default(),
         }
     }
 
@@ -163,6 +192,13 @@ impl DbConfig {
     #[must_use]
     pub fn checkpoint(mut self, c: CheckpointPolicy) -> DbConfig {
         self.checkpoint = c;
+        self
+    }
+
+    /// Builder-style: enable deliberate protocol breakages (tests only).
+    #[must_use]
+    pub fn mutations(mut self, m: ProtocolMutations) -> DbConfig {
+        self.mutations = m;
         self
     }
 
@@ -208,6 +244,17 @@ mod tests {
         let mut c = DbConfig::small_test(EngineKind::Rda);
         c.array.twin = false;
         c.validate();
+    }
+
+    #[test]
+    fn mutations_default_off_and_compose() {
+        let c = DbConfig::small_test(EngineKind::Rda);
+        assert!(!c.mutations.any(), "mutations must default to off");
+        let c = c.mutations(ProtocolMutations {
+            skip_commit_twin_flip: true,
+        });
+        assert!(c.mutations.any());
+        assert!(c.mutations.skip_commit_twin_flip);
     }
 
     #[test]

@@ -113,6 +113,43 @@ impl Database {
         self.engine.lock().dur.array.data_pages()
     }
 
+    /// Number of disks in the array (data + parity spindles).
+    #[must_use]
+    pub fn disks(&self) -> u16 {
+        self.engine.lock().dur.array.geometry().disks()
+    }
+
+    /// Read every data page inside one transaction and return the images
+    /// in page order — the state-dump the model-based checker diffs
+    /// against its reference model. Using a single transaction makes the
+    /// dump atomic under `strict_read_locks` (every page is S-locked
+    /// before the first image is returned); at quiescence it is simply
+    /// the committed state.
+    ///
+    /// # Errors
+    /// [`DbError::NeedsRecovery`] after an unrecovered crash;
+    /// [`DbError::LockConflict`] when an active transaction holds a page
+    /// exclusively; array errors when a page is unreadable even in
+    /// degraded mode.
+    pub fn state_dump(&self) -> Result<Vec<Vec<u8>>> {
+        let mut engine = self.engine.lock();
+        let txn = engine.begin()?;
+        let pages = engine.dur.array.data_pages();
+        let mut dump = Vec::with_capacity(pages as usize);
+        let mut out = Ok(());
+        for page in 0..pages {
+            match engine.txn_read(txn, DataPageId(page)) {
+                Ok(image) => dump.push(image),
+                Err(e) => {
+                    out = Err(e);
+                    break;
+                }
+            }
+        }
+        let _ = engine.txn_abort(txn);
+        out.map(|()| dump)
+    }
+
     /// Take an action-consistent checkpoint now.
     ///
     /// # Errors
@@ -182,6 +219,12 @@ impl Database {
     /// Fail a disk (media failure injection).
     pub fn fail_disk(&self, disk: u16) {
         self.engine.lock().dur.array.fail_disk(DiskId(disk));
+    }
+
+    /// Is the disk currently failed (media recovery owed)?
+    #[must_use]
+    pub fn disk_failed(&self, disk: u16) -> bool {
+        self.engine.lock().dur.array.disk_failed(DiskId(disk))
     }
 
     /// Fail the whole disk holding a data page (fault injection).

@@ -301,6 +301,23 @@ impl Engine {
         }
     }
 
+    /// Are all disks hosting group `g` — every data member and both
+    /// parity twins — alive? Parity riding consumes exactly the
+    /// redundancy a dead member is already spending, so
+    /// [`Engine::steal_single`] refuses to ride in a degraded group.
+    fn group_fully_alive(&self, g: GroupId) -> bool {
+        let geo = self.dur.array.geometry();
+        let members_alive = geo
+            .members(g)
+            .iter()
+            .all(|p| !self.dur.array.disk_failed(geo.data_loc(*p).disk));
+        members_alive
+            && ParitySlot::BOTH.iter().all(|slot| {
+                geo.parity_loc(g, *slot)
+                    .is_some_and(|loc| !self.dur.array.disk_failed(loc.disk))
+            })
+    }
+
     /// Which parity twins a data-page write must update: the committed one
     /// for a clean group, **both** for a dirty group (so `P ⊕ P′` keeps
     /// encoding the un-logged page's old⊕new — paper footnote on the
@@ -589,19 +606,17 @@ impl Engine {
             class = StealClass::NeedsLogging;
         }
 
-        // Degraded mode: riding the parity needs *both* twins alive — the
-        // committed one to keep the before-image, the working one to take
-        // the update. With either twin's disk down, fall back to
-        // before-image logging for this steal.
-        if class == StealClass::DirtiesGroup && self.is_rda() {
-            let geo = self.dur.array.geometry();
-            let twins_alive = ParitySlot::BOTH.iter().all(|slot| {
-                geo.parity_loc(g, *slot)
-                    .is_some_and(|loc| !self.dur.array.disk_failed(loc.disk))
-            });
-            if !twins_alive {
-                class = StealClass::NeedsLogging;
-            }
+        // Degraded mode: riding the parity needs the *whole group* alive —
+        // both twins (the committed one keeps the before-image, the
+        // working one takes the update) and every data member: parity undo
+        // derives the old image from the group equation, and a dead member
+        // makes that equation circular with the member's own rebuild (one
+        // XOR identity, two unknowns — the before-image simply is no
+        // longer in the array). Fall back to before-image logging for any
+        // steal into a degraded group, including a re-steal that would
+        // otherwise ride its existing parity entry.
+        if class != StealClass::NeedsLogging && self.is_rda() && !self.group_fully_alive(g) {
+            class = StealClass::NeedsLogging;
         }
 
         match class {
@@ -921,6 +936,12 @@ impl Engine {
         // The twin flip: the working parity of every group this
         // transaction dirtied becomes the committed parity. Zero I/O.
         for (g, info) in self.dirty.take_txn(txn) {
+            if self.cfg.mutations.skip_commit_twin_flip {
+                // Mutation-sensitivity knob: leave the committed twin
+                // pointing at the pre-transaction parity. rda-check must
+                // observe the resulting durability violation.
+                continue;
+            }
             self.dur.twins.commit_working(g, info.working);
             self.obs.tracer.emit(|| EventKind::CommitTwinFlip {
                 group: g.0,

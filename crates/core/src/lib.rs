@@ -52,7 +52,9 @@ mod twin;
 pub use archive::Archive;
 pub use audit::AuditReport;
 pub use chain::ChainDirectory;
-pub use config::{CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity};
+pub use config::{
+    CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity, ProtocolMutations,
+};
 pub use db::{Database, DbStats, Transaction};
 pub use error::{DbError, Result};
 pub use group::{DirtyInfo, DirtySet, StealClass};
@@ -68,6 +70,7 @@ pub use rda_wal::TxnId;
 // Re-export the observability surface so downstream crates (sim, faults,
 // bench, examples) need no direct `rda-obs` dependency to consume it.
 pub use rda_obs::{
-    Counter, EventKind, Histogram, MetricsRegistry, ObsHub, PhaseStat, RecoveryPhase, StealKind,
-    Timeline, TraceEvent, TraceSnapshot, Tracer,
+    protocol_violations, protocol_violations_windowed, Counter, EventKind, Histogram,
+    MetricsRegistry, ObsHub, PhaseStat, RecoveryPhase, StealKind, Timeline, TraceEvent,
+    TraceSnapshot, Tracer,
 };

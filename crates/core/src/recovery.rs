@@ -155,6 +155,49 @@ impl Engine {
         }
         close_phase(&mut report.timeline, RecoveryPhase::IntentReplay);
 
+        // ---- 1. heal torn non-committed twins -------------------------
+        // A tear on the *working* twin (or an obsolete/invalid one) costs
+        // nothing: every rider's before-image is derived through the
+        // committed twin, which no riding write ever touches, so the torn
+        // block's content is simply reset from it. Doing this up front
+        // keeps the later undo/redo writes — which read-modify-write both
+        // twins of a dirty group — from tripping over the torn block. A
+        // torn *committed* twin of a clean group is healed by the bitmap
+        // scan (phase 4); of a dirty group it is genuine double failure
+        // and surfaces as an error from the undo reads.
+        if self.is_rda() {
+            for g in 0..self.dur.array.groups() {
+                let g = GroupId(g);
+                let meta = self.dur.twins.meta(g);
+                let work = match meta.state {
+                    [crate::twin::TwinState::Working, _] => Some(ParitySlot::P0),
+                    [_, crate::twin::TwinState::Working] => Some(ParitySlot::P1),
+                    _ => None,
+                };
+                let committed =
+                    work.map_or_else(|| self.dur.twins.current_slot(g), ParitySlot::other);
+                for slot in ParitySlot::BOTH {
+                    if slot == committed {
+                        continue;
+                    }
+                    if matches!(
+                        self.dur.array.read_parity(g, slot),
+                        Err(rda_array::ArrayError::TornPage { .. })
+                    ) {
+                        let p_comm = self.dur.array.read_parity(g, committed)?;
+                        self.dur.array.write_parity(g, slot, &p_comm)?;
+                        if work == Some(slot) {
+                            self.dur.twins.invalidate(g, slot);
+                        }
+                        report.torn_twins_healed += 1;
+                        self.obs
+                            .tracer
+                            .emit(|| EventKind::TornTwinHeal { group: g.0 });
+                    }
+                }
+            }
+        }
+
         // Groups that were dirty at crash time: every group containing a
         // loser's parity-riding page. Writes into these groups must keep
         // updating both twins until the undo completes.
@@ -546,11 +589,13 @@ impl Engine {
     /// committed twin — the paper's §1 goal of recovering "without
     /// requiring operator intervention". Requires that no transactions are
     /// active so that every group is clean.
-    /// Media recovery is also the *first* step when a disk dies together
-    /// with a system crash: the rebuild reconstructs the disk's crash-time
-    /// contents faithfully (for a group dirtied by a loser, the working
-    /// twin — selected by its higher timestamp — covers the current disk
-    /// state), after which restart recovery runs normally.
+    /// When a disk dies together with a system crash, restart recovery
+    /// runs *first*, degraded: a rebuild with losers still riding parity
+    /// would materialize stale parity into data blocks, while the parity
+    /// undo reads nothing a rider ever touched and so works without the
+    /// dead disk. Rebuild afterwards — or mid-restart when recovery must
+    /// actually *write* the dead disk (it surfaces `DiskFailed`; by then
+    /// undo has passed the staleness, so rebuild-then-retry is safe).
     pub(crate) fn media_recover(&mut self, disk: DiskId) -> Result<u64> {
         if !self.active.is_empty() {
             return Err(DbError::ActiveTransactions(self.active.len()));

@@ -6,6 +6,7 @@ use rda_array::{ArrayConfig, Organization};
 use rda_buffer::{BufferConfig, ReplacePolicy};
 use rda_core::{
     CheckpointPolicy, Database, DbConfig, DbError, EngineKind, EotPolicy, LogGranularity,
+    ProtocolMutations,
 };
 use rda_wal::LogConfig;
 
@@ -32,6 +33,7 @@ fn cfg(engine: EngineKind, frames: usize) -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        mutations: ProtocolMutations::default(),
     }
 }
 

@@ -5,7 +5,9 @@
 
 use rda_array::{ArrayConfig, Organization};
 use rda_buffer::{BufferConfig, ReplacePolicy};
-use rda_core::{CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity};
+use rda_core::{
+    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity, ProtocolMutations,
+};
 use rda_wal::LogConfig;
 
 fn cfg(org: Organization, engine: EngineKind, frames: usize) -> DbConfig {
@@ -29,6 +31,7 @@ fn cfg(org: Organization, engine: EngineKind, frames: usize) -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        mutations: ProtocolMutations::default(),
     }
 }
 

@@ -8,15 +8,21 @@ use rda_array::{ArrayConfig, Organization};
 use rda_buffer::{BufferConfig, ReplacePolicy};
 use rda_core::{
     CheckpointPolicy, Database, DbConfig, DbError, EngineKind, EotPolicy, LogGranularity,
-    Transaction,
+    ProtocolMutations, Transaction,
 };
 use rda_wal::LogConfig;
 use std::collections::HashMap;
 
+// Only the `proptest!` block uses these, and the offline dev stub
+// expands that block to nothing.
+#[allow(dead_code)]
 const PAGE: usize = 32;
+#[allow(dead_code)]
 const PAGES: u32 = 24; // 6 groups of 4
+#[allow(dead_code)]
 const TXN_SLOTS: usize = 3;
 
+#[allow(dead_code)]
 #[derive(Debug, Clone)]
 enum Op {
     Write { slot: usize, page: u32, val: u8 },
@@ -26,6 +32,7 @@ enum Op {
     Checkpoint,
 }
 
+#[allow(dead_code)]
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         6 => (0..TXN_SLOTS, 0..PAGES, any::<u8>())
@@ -37,6 +44,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+#[allow(dead_code)]
 fn config(engine: EngineKind, eot: EotPolicy, frames: usize) -> DbConfig {
     DbConfig {
         engine,
@@ -58,6 +66,7 @@ fn config(engine: EngineKind, eot: EotPolicy, frames: usize) -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        mutations: ProtocolMutations::default(),
     }
 }
 
@@ -68,6 +77,7 @@ struct Oracle {
     overlays: Vec<HashMap<u32, u8>>,
 }
 
+#[allow(dead_code)]
 fn run_history(db: &Database, ops: &[Op]) {
     let mut oracle = Oracle {
         committed: HashMap::new(),

@@ -9,11 +9,10 @@
 use rda_array::{ArrayConfig, Organization};
 use rda_buffer::{BufferConfig, ReplacePolicy};
 use rda_core::{
-    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, EventKind, LogGranularity,
-    StealKind,
+    protocol_violations, CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, EventKind,
+    LogGranularity, ProtocolMutations,
 };
 use rda_wal::LogConfig;
-use std::collections::BTreeMap;
 
 fn cfg(frames: usize) -> DbConfig {
     DbConfig {
@@ -36,6 +35,7 @@ fn cfg(frames: usize) -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        mutations: ProtocolMutations::default(),
     }
 }
 
@@ -59,7 +59,7 @@ fn run_seeded_workload(db: &Database, seed: u64, txns: usize) {
             let value = (xorshift(&mut state) & 0xFF) as u8 | 1;
             tx.write(page, &[value; 8]).unwrap();
         }
-        if xorshift(&mut state) % 4 == 0 {
+        if xorshift(&mut state).is_multiple_of(4) {
             tx.abort().unwrap();
         } else {
             tx.commit().unwrap();
@@ -81,53 +81,31 @@ fn trace_witnesses_dirty_set_discipline() {
         "workload never stole a page — the protocol was not exercised"
     );
 
-    // Replay the event stream against the Dirty_Set rules: group -> the
-    // transaction currently riding its working parity.
-    let mut in_flight: BTreeMap<u32, u64> = BTreeMap::new();
-    let mut flips = 0u64;
-    for ev in &snap.events {
-        match ev.kind {
-            EventKind::Steal {
-                group, txn, kind, ..
-            } => match kind {
-                StealKind::DirtiesGroup => {
-                    assert!(
-                        !in_flight.contains_key(&group),
-                        "two in-flight parity steals in one group: {ev}"
-                    );
-                    in_flight.insert(group, txn);
-                }
-                StealKind::RidesExisting => {
-                    assert_eq!(
-                        in_flight.get(&group),
-                        Some(&txn),
-                        "riding steal without a matching in-flight entry: {ev}"
-                    );
-                }
-                StealKind::Logged => {}
-            },
-            EventKind::CommitTwinFlip { group, txn } => {
-                flips += 1;
-                assert_eq!(
-                    in_flight.remove(&group),
-                    Some(txn),
-                    "CommitTwinFlip without a preceding matching Steal: {ev}"
-                );
-            }
-            EventKind::ParityUndo { group, txn, .. } => {
-                assert_eq!(
-                    in_flight.remove(&group),
-                    Some(txn),
-                    "ParityUndo without a preceding matching Steal: {ev}"
-                );
-            }
-            _ => {}
-        }
-    }
+    // The shared invariant checker replays the stream against the
+    // Dirty_Set rules (strict mode: this run never crashed).
+    let violations = protocol_violations(&snap.events);
+    assert!(violations.is_empty(), "{violations:?}");
+    let flips = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CommitTwinFlip { .. }))
+        .count();
     assert!(flips > 0, "no commit ever flipped a twin");
+}
+
+#[test]
+fn broken_protocol_trace_is_rejected() {
+    // A hand-built stream that flips a twin no steal paid for must be
+    // flagged — the checker's teeth, checked from the engine's side.
+    let events = vec![rda_core::TraceEvent {
+        at: 1,
+        seq: 1,
+        kind: EventKind::CommitTwinFlip { group: 0, txn: 1 },
+    }];
+    let violations = protocol_violations(&events);
     assert!(
-        in_flight.is_empty(),
-        "parity riders left unresolved at quiescence: {in_flight:?}"
+        violations.iter().any(|v| v.contains("CommitTwinFlip")),
+        "{violations:?}"
     );
 }
 

@@ -327,12 +327,29 @@ fn verify_survivor(db: &Database, oracle: &BTreeMap<u32, u8>, violations: &mut V
 /// Choose the crashpoints to explore: all of `1..=total` under the
 /// limit, otherwise `samples` distinct indices drawn with xorshift64.
 fn choose_crashpoints(total: u64, cfg: &ExplorerConfig) -> (Vec<u64>, bool) {
-    if total <= cfg.exhaustive_limit {
+    crashpoint_schedule(total, cfg.exhaustive_limit, cfg.samples, cfg.seed)
+}
+
+/// The crashpoint schedule for a run of `total` I/Os: every index in
+/// `1..=total` when `total ≤ exhaustive_limit` (second element `true`),
+/// otherwise `samples` distinct 1-based indices drawn with a seeded
+/// xorshift64 (second element `false`). Pure function of its arguments,
+/// so external drivers (the `rda-check` schedule sweeper) can plant
+/// faults at exactly the indices [`explore`] would, without going
+/// through a full [`ExplorerConfig`].
+#[must_use]
+pub fn crashpoint_schedule(
+    total: u64,
+    exhaustive_limit: u64,
+    samples: u64,
+    seed: u64,
+) -> (Vec<u64>, bool) {
+    if total <= exhaustive_limit {
         return ((1..=total).collect(), true);
     }
-    let mut state = cfg.seed | 1;
+    let mut state = seed | 1;
     let mut picked = BTreeSet::new();
-    let want = (cfg.samples.min(total)) as usize;
+    let want = (samples.min(total)) as usize;
     while picked.len() < want {
         state ^= state << 13;
         state ^= state >> 7;

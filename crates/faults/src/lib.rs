@@ -31,7 +31,8 @@ mod plan;
 mod report;
 
 pub use explorer::{
-    explore, value_byte, Crashpoint, CrashpointReport, ExploreMode, ExplorerConfig, WorkerTiming,
+    crashpoint_schedule, explore, value_byte, Crashpoint, CrashpointReport, ExploreMode,
+    ExplorerConfig, WorkerTiming,
 };
 pub use injector::{FaultInjector, FiredFault};
 pub use plan::{FaultKind, FaultPlan, FaultSpec};

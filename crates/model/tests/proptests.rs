@@ -3,8 +3,12 @@
 //! operating points.
 
 use proptest::prelude::*;
-use rda_model::{Evaluation, ModelParams, Workload};
+use proptest::test_runner::TestCaseError;
+use rda_model::{families, p_l, p_m, p_s, s_u, Evaluation, ModelParams, Workload};
 
+// Only the `proptest!` block calls this, and the offline dev stub
+// expands that block to nothing.
+#[allow(dead_code)]
 fn params_strategy() -> impl Strategy<Value = ModelParams> {
     (
         prop_oneof![Just(Workload::HighUpdate), Just(Workload::HighRetrieval)],
@@ -33,6 +37,55 @@ fn check_sane(e: &Evaluation) -> Result<(), TestCaseError> {
     }
     prop_assert!((0.0..=1.0).contains(&e.p_l), "p_l = {}", e.p_l);
     Ok(())
+}
+
+/// Always-on driver over a fixed parameter grid: the proptest dev stub
+/// compiles the property block away, so the sanity invariants are
+/// exercised here regardless.
+#[test]
+fn fixed_grid_sane_across_families() {
+    for wl in [Workload::HighUpdate, Workload::HighRetrieval] {
+        for c in [0.0, 0.3, 0.6, 0.9] {
+            for s in [3.0, 12.0, 40.0] {
+                let p = ModelParams::paper_defaults(wl)
+                    .communality(c)
+                    .pages_per_txn(s);
+                for eval in [
+                    families::a1::evaluate(&p),
+                    families::a2::evaluate(&p),
+                    families::a3::evaluate(&p),
+                    families::a4::evaluate(&p),
+                ] {
+                    if let Err(e) = check_sane(&eval) {
+                        panic!("{wl:?} C={c} s={s}: {e}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Always-on driver for the primitive probability bounds.
+#[test]
+fn fixed_grid_primitives_bounded() {
+    for k in [0.5, 4.0, 60.0, 400.0] {
+        for n in [2.0, 10.0, 40.0] {
+            let v = p_l(k, n, 5000.0);
+            assert!((0.0..=1.0).contains(&v), "p_l({k},{n}) = {v}");
+        }
+    }
+    for c in [0.0, 0.4, 0.9] {
+        let pm = p_m(0.8, 0.64, c);
+        assert!((0.0..=1.0).contains(&pm), "p_m at C={c} = {pm}");
+        let ps = p_s(300.0, c.max(0.01), 10.0, 6.0);
+        assert!((0.0..=1.0).contains(&ps), "p_s at C={c} = {ps}");
+        let p = ModelParams::paper_defaults(Workload::HighUpdate).communality(c.max(0.01));
+        let v = s_u(&p, 8.0);
+        assert!(
+            v >= 0.0 && v <= 8.0 * p.s * p.p_u + 1e-9,
+            "s_u at C={c} = {v}"
+        );
+    }
 }
 
 proptest! {

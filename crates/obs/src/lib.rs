@@ -20,12 +20,14 @@
 //! instance and is what `rda-core` hands out.
 
 mod event;
+mod invariants;
 mod metrics;
 mod pack;
 mod timeline;
 mod trace;
 
 pub use event::{EventKind, StealKind, TraceEvent};
+pub use invariants::{protocol_violations, protocol_violations_windowed};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use timeline::{PhaseStat, RecoveryPhase, Timeline};
 pub use trace::{TraceSnapshot, Tracer};

@@ -33,6 +33,24 @@ pub struct TxnScript {
 }
 
 impl TxnScript {
+    /// A script that runs `accesses` and commits.
+    #[must_use]
+    pub fn committing(accesses: Vec<Access>) -> TxnScript {
+        TxnScript {
+            accesses,
+            aborts: false,
+        }
+    }
+
+    /// A script that runs `accesses` and then aborts.
+    #[must_use]
+    pub fn aborting(accesses: Vec<Access>) -> TxnScript {
+        TxnScript {
+            accesses,
+            aborts: true,
+        }
+    }
+
     /// Does the script update anything?
     #[must_use]
     pub fn is_update(&self) -> bool {

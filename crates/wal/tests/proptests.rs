@@ -6,6 +6,9 @@ use proptest::prelude::*;
 use rda_array::DataPageId;
 use rda_wal::{CheckpointKind, LogRecord, TxnId};
 
+// Only the `proptest!` block uses these, and the offline dev stub
+// expands that block to nothing.
+#[allow(dead_code)]
 fn record_strategy() -> impl Strategy<Value = LogRecord> {
     let txn = (1u64..20).prop_map(TxnId);
     let page = (0u32..64).prop_map(DataPageId);

@@ -20,6 +20,7 @@ pub const RATCHET_CRATES: &[&str] = &[
     "crates/faults",
     "crates/bench",
     "crates/obs",
+    "crates/check",
 ];
 
 /// Count `.unwrap()` / `.expect(` call sites per ratcheted file.

@@ -14,7 +14,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rda::array::{ArrayConfig, Organization};
 use rda::buffer::{BufferConfig, ReplacePolicy};
-use rda::core::{CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity};
+use rda::core::{
+    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity, ProtocolMutations,
+};
 use rda::wal::LogConfig;
 
 const ACCOUNTS: u32 = 64;
@@ -53,6 +55,7 @@ fn main() {
         checkpoint: CheckpointPolicy::AccEvery { ops: 64 },
         strict_read_locks: false,
         trace_events: 0,
+        mutations: ProtocolMutations::default(),
     };
     let db = Database::open(cfg);
 

@@ -11,7 +11,9 @@
 
 use rda::array::{ArrayConfig, Organization};
 use rda::buffer::{BufferConfig, ReplacePolicy};
-use rda::core::{CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity};
+use rda::core::{
+    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity, ProtocolMutations,
+};
 use rda::wal::LogConfig;
 
 fn run(org: Organization) {
@@ -30,6 +32,7 @@ fn run(org: Organization) {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        mutations: ProtocolMutations::default(),
     };
     let db = Database::open(cfg);
     let pages = db.data_pages();

@@ -29,6 +29,11 @@
 //! * [`obs`] — observability: the zero-overhead-when-disabled structured
 //!   event trace, the lock-free metrics registry (Prometheus/JSON
 //!   exporters), and per-phase recovery timelines.
+//! * [`check`] — model-based differential checker: seeded multi-transaction
+//!   schedules (with crash, torn-write and disk-death points threaded
+//!   through the fault seam) replayed against both the real engine and a
+//!   sequential reference model, with delta-debugging shrinking and a
+//!   replayable regression corpus.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +49,7 @@
 
 pub use rda_array as array;
 pub use rda_buffer as buffer;
+pub use rda_check as check;
 pub use rda_core as core;
 pub use rda_faults as faults;
 pub use rda_kv as kv;

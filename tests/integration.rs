@@ -4,7 +4,9 @@
 
 use rda::array::{ArrayConfig, Organization};
 use rda::buffer::{BufferConfig, ReplacePolicy};
-use rda::core::{CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity};
+use rda::core::{
+    CheckpointPolicy, Database, DbConfig, EngineKind, EotPolicy, LogGranularity, ProtocolMutations,
+};
 use rda::model::{families, ModelParams, Workload};
 use rda::sim::{run_workload, SimConfig, WorkloadSpec};
 use rda::wal::LogConfig;
@@ -30,6 +32,7 @@ fn engine_cfg(engine: EngineKind) -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        mutations: ProtocolMutations::default(),
     }
 }
 
