@@ -106,18 +106,23 @@ impl FaultStats {
         match action {
             FaultAction::Proceed => {}
             FaultAction::Transient => {
+                // ordering: Relaxed — stats counter, read after quiesce.
                 self.transient_errors.fetch_add(1, Ordering::Relaxed);
             }
             FaultAction::Latent => {
+                // ordering: Relaxed — stats counter, read after quiesce.
                 self.latent_errors.fetch_add(1, Ordering::Relaxed);
             }
             FaultAction::FailDisk => {
+                // ordering: Relaxed — stats counter, read after quiesce.
                 self.disk_failures.fetch_add(1, Ordering::Relaxed);
             }
             FaultAction::TornWrite => {
+                // ordering: Relaxed — stats counter, read after quiesce.
                 self.torn_writes.fetch_add(1, Ordering::Relaxed);
             }
             FaultAction::Crash => {
+                // ordering: Relaxed — stats counter, read after quiesce.
                 self.crashes.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -126,24 +131,28 @@ impl FaultStats {
     /// Torn page writes applied.
     #[must_use]
     pub fn torn_writes(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.torn_writes.load(Ordering::Relaxed)
     }
 
     /// Transient I/O errors returned.
     #[must_use]
     pub fn transient_errors(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.transient_errors.load(Ordering::Relaxed)
     }
 
     /// Latent sector errors planted.
     #[must_use]
     pub fn latent_errors(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.latent_errors.load(Ordering::Relaxed)
     }
 
     /// Whole-disk failures triggered.
     #[must_use]
     pub fn disk_failures(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.disk_failures.load(Ordering::Relaxed)
     }
 
@@ -151,6 +160,7 @@ impl FaultStats {
     /// signal plus any attempts made while the hook's latch stayed down.
     #[must_use]
     pub fn crashes(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.crashes.load(Ordering::Relaxed)
     }
 }

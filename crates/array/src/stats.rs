@@ -52,7 +52,10 @@ impl IoStats {
     /// Record one transfer.
     pub fn record(&self, kind: IoKind) {
         match kind {
+            // ordering: Relaxed — billing counter; totals are compared
+            // only after the measured run completes.
             IoKind::Read => self.reads.fetch_add(1, Ordering::Relaxed),
+            // ordering: Relaxed — billing counter, as above.
             IoKind::Write => self.writes.fetch_add(1, Ordering::Relaxed),
         };
     }
@@ -61,6 +64,7 @@ impl IoStats {
     pub fn record_on(&self, kind: IoKind, disk: u16) {
         self.record(kind);
         if let Some(counter) = self.per_disk.get(usize::from(disk)) {
+            // ordering: Relaxed — per-disk billing counter, as above.
             counter.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -70,6 +74,7 @@ impl IoStats {
     pub fn per_disk(&self) -> Vec<u64> {
         self.per_disk
             .iter()
+            // ordering: Relaxed — counter read, no ordering needed.
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
@@ -92,12 +97,14 @@ impl IoStats {
     /// Total page reads so far.
     #[must_use]
     pub fn reads(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.reads.load(Ordering::Relaxed)
     }
 
     /// Total page writes so far.
     #[must_use]
     pub fn writes(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.writes.load(Ordering::Relaxed)
     }
 

@@ -28,11 +28,11 @@ fn bench_point_evaluations(c: &mut Criterion) {
 fn bench_figures(c: &mut Criterion) {
     let grid: Vec<f64> = (0..=19).map(|i| f64::from(i) * 0.05).collect();
     c.bench_function("fig9_full_sweep", |b| {
-        b.iter(|| black_box(fig9(black_box(&grid))))
+        b.iter(|| black_box(fig9(black_box(&grid))));
     });
     let s: Vec<f64> = (1..=9).map(|i| f64::from(i) * 5.0).collect();
     c.bench_function("fig13_full_sweep", |b| {
-        b.iter(|| black_box(fig13(black_box(&s))))
+        b.iter(|| black_box(fig13(black_box(&s))));
     });
 }
 

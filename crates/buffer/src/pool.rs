@@ -145,6 +145,7 @@ pub struct PoolCounters {
 
 impl PoolCounters {
     fn bump(field: &AtomicU64) {
+        // ordering: Relaxed — stats counter; snapshots need no ordering.
         field.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -152,11 +153,18 @@ impl PoolCounters {
     #[must_use]
     pub fn load(&self) -> BufferStats {
         BufferStats {
+            // ordering: Relaxed (all six) — counter reads; the snapshot
+            // is advisory and tolerates skew between fields.
             hits: self.hits.load(Ordering::Relaxed),
+            // ordering: as above.
             misses: self.misses.load(Ordering::Relaxed),
+            // ordering: as above.
             steals: self.steals.load(Ordering::Relaxed),
+            // ordering: as above.
             writebacks: self.writebacks.load(Ordering::Relaxed),
+            // ordering: as above.
             drops: self.drops.load(Ordering::Relaxed),
+            // ordering: as above.
             eviction_scans: self.eviction_scans.load(Ordering::Relaxed),
         }
     }
@@ -625,6 +633,7 @@ impl BufferPool {
                 }
                 self.counters
                     .eviction_scans
+                    // ordering: Relaxed — stats counter.
                     .fetch_add(scanned, Ordering::Relaxed);
                 let (vi, _) = victim?;
                 // Seed the next hint with the smallest survivor — but only
@@ -678,6 +687,7 @@ impl BufferPool {
                 }
                 self.counters
                     .eviction_scans
+                    // ordering: Relaxed — stats counter.
                     .fetch_add(scanned, Ordering::Relaxed);
                 found
             }

@@ -259,6 +259,9 @@ pub fn sweep(cfg: &SweepConfig) -> SweepReport {
             crossbeam::thread::scope(|scope| {
                 for _ in 0..workers.min(chunk.len()) {
                     scope.spawn(|_| loop {
+                        // ordering: Relaxed — work-queue index claim;
+                        // atomicity alone guarantees each slot is taken
+                        // once, and results publish via the mutex.
                         let slot = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if slot >= chunk.len() {
                             break;

@@ -551,6 +551,8 @@ fn explore_points_parallel(
                     let start = Instant::now();
                     let mut done: Vec<(usize, Crashpoint)> = Vec::new();
                     loop {
+                        // ordering: Relaxed — work-queue index claim;
+                        // results publish via the scope join.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&k) = ks.get(i) else { break };
                         done.push((i, explore_point(db_cfg, scripts, cfg, k)));

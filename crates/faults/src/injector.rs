@@ -119,12 +119,18 @@ impl FaultInjector {
     /// not counted).
     #[must_use]
     pub fn ios_seen(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel fetch_add in on_io
+        // so a caller sequencing on the I/O clock also sees the fault
+        // bookkeeping that preceded the count.
         self.ios.load(Ordering::Acquire)
     }
 
     /// Is the crash latch down (machine "off" until a power cycle)?
     #[must_use]
     pub fn is_latched(&self) -> bool {
+        // ordering: Acquire — pairs with the Release stores in on_io and
+        // power_cycled: seeing the latch implies seeing the fired-fault
+        // record published before it.
         self.latched.load(Ordering::Acquire)
     }
 
@@ -137,9 +143,14 @@ impl FaultInjector {
 
 impl FaultHook for FaultInjector {
     fn on_io(&self, ev: &IoEvent) -> FaultAction {
+        // ordering: Acquire — pairs with the latch Release stores; a
+        // refused I/O must observe everything the crashing I/O published.
         if self.latched.load(Ordering::Acquire) {
             return FaultAction::Crash;
         }
+        // ordering: AcqRel — the counter is the fault-firing clock:
+        // Release orders this I/O's count before a latch taken on it,
+        // Acquire keeps later plan checks after the count.
         let k = self.ios.fetch_add(1, Ordering::AcqRel) + 1;
         let mut state = self.state.lock();
         for (i, spec) in self.plan.specs.iter().enumerate() {
@@ -155,6 +166,8 @@ impl FaultHook for FaultInjector {
                 is_write: ev.is_write,
             });
             if spec.kind.stops_machine() {
+                // ordering: Release — publishes the FiredFault pushed
+                // above to Acquire readers of the latch.
                 self.latched.store(true, Ordering::Release);
             }
             self.tracer.emit(|| EventKind::FaultFired { io_index: k });
@@ -164,6 +177,8 @@ impl FaultHook for FaultInjector {
     }
 
     fn power_cycled(&self) {
+        // ordering: Release — reopening the machine must not sink below
+        // whatever reset work the caller did before the cycle.
         self.latched.store(false, Ordering::Release);
     }
 }

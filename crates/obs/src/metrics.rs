@@ -29,17 +29,20 @@ pub struct Counter(Arc<AtomicU64>);
 impl Counter {
     /// Add one.
     pub fn inc(&self) {
+        // ordering: Relaxed — monotonic counter, no ordering needed.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — monotonic counter, no ordering needed.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -75,20 +78,27 @@ impl Histogram {
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(self.bounds.len());
+        // ordering: Relaxed (all three) — the bucket, sum, and count
+        // cells are independent counters; readers tolerate a torn
+        // observation (count may lag sum by one mid-observe).
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // ordering: as above.
         self.sum.fetch_add(value, Ordering::Relaxed);
+        // ordering: as above.
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total observations.
     #[must_use]
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observed values.
     #[must_use]
     pub fn sum(&self) -> u64 {
+        // ordering: Relaxed — counter read, no ordering needed.
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -99,6 +109,7 @@ impl Histogram {
         let mut out = Vec::with_capacity(self.buckets.len());
         let mut acc = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
+            // ordering: Relaxed — counter read, no ordering needed.
             acc += bucket.load(Ordering::Relaxed);
             out.push((self.bounds.get(i).copied(), acc));
         }

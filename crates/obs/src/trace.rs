@@ -125,27 +125,40 @@ impl Tracer {
         let slots = self
             .slots
             .get_or_init(|| (0..want).map(|_| Slot::new()).collect());
+        // ordering: Release pairs with the Acquire load in snapshot so a
+        // reader that sees the new cap also sees the OnceLock-published
+        // ring it indexes into.
         self.cap.store(want.min(slots.len()), Ordering::Release);
-        self.floor
-            .store(self.next.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.enabled.store(true, Ordering::Release);
+        // ordering: Relaxed — floor only delimits the visible window;
+        // snapshot tolerates any interleaving with writers.
+        let here = self.next.load(Ordering::Relaxed);
+        // ordering: Relaxed — same window bookkeeping as the load above.
+        self.floor.store(here, Ordering::Relaxed);
+        // ordering: Relaxed — enabled is a hint, not a publication: push
+        // re-checks cap and the OnceLock before touching the ring, so a
+        // stale read costs at most one dropped/extra event.
+        self.enabled.store(true, Ordering::Relaxed);
     }
 
     /// Turn tracing off. The retained events stay readable via
     /// [`Tracer::snapshot`].
     pub fn disable(&self) {
-        self.enabled.store(false, Ordering::Release);
+        // ordering: Relaxed — see enable: disabling is advisory; an emit
+        // racing the store harmlessly records one more event.
+        self.enabled.store(false, Ordering::Relaxed);
     }
 
     /// Is the tracer currently recording?
     #[must_use]
     pub fn is_enabled(&self) -> bool {
+        // ordering: Relaxed — advisory flag, no data is guarded by it.
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Current value of the billed-I/O clock.
     #[must_use]
     pub fn io_clock(&self) -> u64 {
+        // ordering: Relaxed — monotonic counter read, no ordering needed.
         self.io_clock.load(Ordering::Relaxed)
     }
 
@@ -153,7 +166,10 @@ impl Tracer {
     /// enabled, so a disabled tracer never constructs the payload.
     #[inline]
     pub fn emit<F: FnOnce() -> EventKind>(&self, f: F) {
+        // ordering: Relaxed — advisory enable check; push re-validates
+        // the ring before writing.
         if self.enabled.load(Ordering::Relaxed) {
+            // ordering: Relaxed — clock snapshot for the event label.
             let at = self.io_clock.load(Ordering::Relaxed);
             self.push(at, f());
         }
@@ -164,7 +180,10 @@ impl Tracer {
     /// the stack-wide timebase, not a trace artifact.
     #[inline]
     pub fn record_io<F: FnOnce() -> EventKind>(&self, f: F) {
+        // ordering: Relaxed — the clock is a monotonic counter; fetch_add
+        // is already atomic and nothing is published under it.
         let at = self.io_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        // ordering: Relaxed — advisory enable check, as in emit.
         if self.enabled.load(Ordering::Relaxed) {
             self.push(at, f());
         }
@@ -175,6 +194,8 @@ impl Tracer {
     /// sites share one copy instead of bloating their hot loops.
     #[inline(never)]
     fn push(&self, at: u64, kind: EventKind) {
+        // ordering: Relaxed — cap is validated against the OnceLock ring
+        // below; the Release/Acquire edge matters only for snapshot.
         let cap = self.cap.load(Ordering::Relaxed);
         let Some(slots) = self.slots.get() else {
             return;
@@ -182,15 +203,27 @@ impl Tracer {
         if cap == 0 {
             return;
         }
+        // ordering: Relaxed — slot claim only needs atomicity; the
+        // payload is published by the slot's own seq Release below.
         let seq = self.next.fetch_add(1, Ordering::Relaxed);
         let slot = &slots[(seq as usize) & (cap - 1)];
         let (w0, w1, w2) = pack(kind);
         // Seqlock write protocol: invalidate, fill, publish.
+        // ordering: Release — invalidation must not sink below the
+        // payload stores, or a reader could pair a stale seq with new
+        // words.
         slot.seq.store(SLOT_EMPTY, Ordering::Release);
+        // ordering: Relaxed — payload words are ordered by the seq
+        // Release/Acquire pair, not individually.
         slot.at.store(at, Ordering::Relaxed);
+        // ordering: Relaxed — see at above.
         slot.w0.store(w0, Ordering::Relaxed);
+        // ordering: Relaxed — see at above.
         slot.w1.store(w1, Ordering::Relaxed);
+        // ordering: Relaxed — see at above.
         slot.w2.store(w2, Ordering::Relaxed);
+        // ordering: Release — publishes the payload; pairs with the
+        // Acquire re-check loads in snapshot (the seqlock edge).
         slot.seq.store(seq, Ordering::Release);
     }
 
@@ -201,8 +234,14 @@ impl Tracer {
     /// every test and report in this workspace — see an exact stream.
     #[must_use]
     pub fn snapshot(&self) -> TraceSnapshot {
-        let total = self.next.load(Ordering::Acquire);
+        // ordering: Relaxed — total is a bound, not a publication: each
+        // slot's own seq Acquire validates whatever this bound admits,
+        // so a stale total only shrinks the window.
+        let total = self.next.load(Ordering::Relaxed);
+        // ordering: Relaxed — window bookkeeping, see enable.
         let floor = self.floor.load(Ordering::Relaxed);
+        // ordering: Acquire — pairs with the Release store in enable so
+        // the cap we index with never exceeds the ring we see.
         let cap = self.cap.load(Ordering::Acquire) as u64;
         let Some(slots) = self.slots.get() else {
             return TraceSnapshot::default();
@@ -211,15 +250,25 @@ impl Tracer {
         let mut events = Vec::with_capacity((total - start) as usize);
         for seq in start..total {
             let slot = &slots[(seq as usize) & (cap as usize - 1)];
+            // ordering: Acquire — seqlock read protocol: pairs with the
+            // publishing Release in push; payload loads must not float
+            // above this check.
             if slot.seq.load(Ordering::Acquire) != seq {
                 continue; // overwritten or mid-write
             }
+            // ordering: Relaxed — payload guarded by the seq checks on
+            // both sides.
             let at = slot.at.load(Ordering::Relaxed);
             let words = (
+                // ordering: Relaxed — guarded by the seq checks.
                 slot.w0.load(Ordering::Relaxed),
+                // ordering: Relaxed — guarded by the seq checks.
                 slot.w1.load(Ordering::Relaxed),
+                // ordering: Relaxed — guarded by the seq checks.
                 slot.w2.load(Ordering::Relaxed),
             );
+            // ordering: Acquire — seqlock re-check: a torn read shows up
+            // as a seq change between the two fences.
             if slot.seq.load(Ordering::Acquire) != seq {
                 continue; // overwritten while reading
             }
@@ -238,8 +287,10 @@ impl Tracer {
     /// Hide all retained events from future snapshots (the sequence
     /// number keeps running).
     pub fn clear(&self) {
-        self.floor
-            .store(self.next.load(Ordering::Relaxed), Ordering::Relaxed);
+        // ordering: Relaxed — window bookkeeping, see enable.
+        let here = self.next.load(Ordering::Relaxed);
+        // ordering: Relaxed — same.
+        self.floor.store(here, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,301 @@
+//! Exhaustive interleaving check of the slot seqlock protocol in
+//! `rda_obs::trace`.
+//!
+//! `Tracer::push` writes a slot as: `seq = EMPTY` (invalidate), four
+//! payload stores, `seq = n` (publish). `Tracer::snapshot` reads it as:
+//! `seq`, payload, `seq` again, and accepts the payload only when both
+//! `seq` reads return the expected sequence number. These tests mirror
+//! that step sequence one atomic access per step and enumerate *every*
+//! interleaving of one writer with one reader, asserting the reader can
+//! never accept a torn payload (words from two different generations).
+//!
+//! Two mutation tests drop one side of the protocol each — the
+//! invalidate-first store and the publish-last store — and assert a
+//! torn read *is* then accepted in some interleaving, so the property
+//! being checked is known to have teeth.
+//!
+//! The model enumerates sequentially consistent interleavings; the
+//! Release/Acquire edges on `seq` in the real code exist to make the
+//! hardware honor exactly the step orderings enumerated here (the
+//! `// ordering:` comments in `trace.rs` carry the per-site argument,
+//! and `cargo xtask analyze` checks the Release side is paired with the
+//! Acquire side). A threaded stress test over the real `Tracer` lives
+//! in `trace.rs` (`concurrent_writers_never_produce_torn_events`).
+
+/// Mirror of `SLOT_EMPTY` in `trace.rs`: the invalidation sentinel.
+const EMPTY: u64 = u64::MAX;
+
+/// The modeled slot: one word per atomic in `trace::Slot`.
+#[derive(Clone, Copy)]
+struct Slot {
+    seq: u64,
+    at: u64,
+    w0: u64,
+    w1: u64,
+    w2: u64,
+}
+
+impl Slot {
+    /// A slot holding generation `gen` fully published under `seq`.
+    fn published(seq: u64, gen: u64) -> Slot {
+        Slot {
+            seq,
+            at: gen,
+            w0: gen,
+            w1: gen,
+            w2: gen,
+        }
+    }
+}
+
+/// What the reader observed, in snapshot's read order.
+#[derive(Clone, Copy, Default)]
+struct ReadOut {
+    seq_first: u64,
+    at: u64,
+    w0: u64,
+    w1: u64,
+    w2: u64,
+    seq_second: u64,
+}
+
+impl ReadOut {
+    /// Snapshot's acceptance test: both `seq` reads saw the expected
+    /// sequence number.
+    fn accepts(&self, want_seq: u64) -> bool {
+        self.seq_first == want_seq && self.seq_second == want_seq
+    }
+
+    /// Is the accepted payload one consistent generation?
+    fn payload_is(&self, gen: u64) -> bool {
+        self.at == gen && self.w0 == gen && self.w1 == gen && self.w2 == gen
+    }
+}
+
+/// One atomic access, by either side.
+#[derive(Clone, Copy)]
+enum Op {
+    WriteSeq(u64),
+    WriteAt(u64),
+    WriteW0(u64),
+    WriteW1(u64),
+    WriteW2(u64),
+    ReadSeqFirst,
+    ReadAt,
+    ReadW0,
+    ReadW1,
+    ReadW2,
+    ReadSeqSecond,
+}
+
+fn apply(op: Op, slot: &mut Slot, out: &mut ReadOut) {
+    match op {
+        Op::WriteSeq(v) => slot.seq = v,
+        Op::WriteAt(v) => slot.at = v,
+        Op::WriteW0(v) => slot.w0 = v,
+        Op::WriteW1(v) => slot.w1 = v,
+        Op::WriteW2(v) => slot.w2 = v,
+        Op::ReadSeqFirst => out.seq_first = slot.seq,
+        Op::ReadAt => out.at = slot.at,
+        Op::ReadW0 => out.w0 = slot.w0,
+        Op::ReadW1 => out.w1 = slot.w1,
+        Op::ReadW2 => out.w2 = slot.w2,
+        Op::ReadSeqSecond => out.seq_second = slot.seq,
+    }
+}
+
+/// `push`'s store sequence overwriting the slot with generation `gen`
+/// under sequence number `seq` — invalidate, payload, publish.
+fn writer_steps(seq: u64, gen: u64) -> Vec<Op> {
+    vec![
+        Op::WriteSeq(EMPTY),
+        Op::WriteAt(gen),
+        Op::WriteW0(gen),
+        Op::WriteW1(gen),
+        Op::WriteW2(gen),
+        Op::WriteSeq(seq),
+    ]
+}
+
+/// `snapshot`'s per-slot load sequence: check, payload, re-check.
+fn reader_steps() -> Vec<Op> {
+    vec![
+        Op::ReadSeqFirst,
+        Op::ReadAt,
+        Op::ReadW0,
+        Op::ReadW1,
+        Op::ReadW2,
+        Op::ReadSeqSecond,
+    ]
+}
+
+/// Run `check` on the reader's observation for every interleaving of
+/// `writer` and `reader` steps (each side's own order is preserved).
+/// Returns the number of complete interleavings visited.
+fn for_each_interleaving<F: FnMut(ReadOut, Slot)>(
+    initial: Slot,
+    writer: &[Op],
+    reader: &[Op],
+    check: &mut F,
+) -> usize {
+    fn go<F: FnMut(ReadOut, Slot)>(
+        slot: Slot,
+        out: ReadOut,
+        writer: &[Op],
+        reader: &[Op],
+        check: &mut F,
+    ) -> usize {
+        if writer.is_empty() && reader.is_empty() {
+            check(out, slot);
+            return 1;
+        }
+        let mut count = 0;
+        if let Some((&op, rest)) = writer.split_first() {
+            let (mut slot, mut out) = (slot, out);
+            apply(op, &mut slot, &mut out);
+            count += go(slot, out, rest, reader, check);
+        }
+        if let Some((&op, rest)) = reader.split_first() {
+            let (mut slot, mut out) = (slot, out);
+            apply(op, &mut slot, &mut out);
+            count += go(slot, out, writer, rest, check);
+        }
+        count
+    }
+    go(initial, ReadOut::default(), writer, reader, check)
+}
+
+/// Old generation published under seq 3; the ring wraps and a writer
+/// overwrites it with generation `B` under seq 11 (as in `push` after
+/// `next` laps the capacity).
+const OLD_SEQ: u64 = 3;
+const NEW_SEQ: u64 = 11;
+const A: u64 = 0xAAAA;
+const B: u64 = 0xBBBB;
+
+#[test]
+fn reader_of_old_generation_never_sees_torn_payload() {
+    let mut torn = 0u32;
+    let visited = for_each_interleaving(
+        Slot::published(OLD_SEQ, A),
+        &writer_steps(NEW_SEQ, B),
+        &reader_steps(),
+        &mut |out, _| {
+            if out.accepts(OLD_SEQ) && !out.payload_is(A) {
+                torn += 1;
+            }
+        },
+    );
+    // Every interleaving of 6 writer + 6 reader steps: C(12, 6).
+    assert_eq!(visited, 924, "enumeration must be exhaustive");
+    assert_eq!(
+        torn, 0,
+        "accepted read mixed generations in {torn} interleavings"
+    );
+}
+
+#[test]
+fn reader_of_new_generation_never_sees_torn_payload() {
+    let mut torn = 0u32;
+    let mut accepted = 0u32;
+    let visited = for_each_interleaving(
+        Slot::published(OLD_SEQ, A),
+        &writer_steps(NEW_SEQ, B),
+        &reader_steps(),
+        &mut |out, _| {
+            if out.accepts(NEW_SEQ) {
+                accepted += 1;
+                if !out.payload_is(B) {
+                    torn += 1;
+                }
+            }
+        },
+    );
+    assert_eq!(visited, 924);
+    assert_eq!(torn, 0);
+    // The property must not hold vacuously: the interleaving where the
+    // writer finishes first does accept the new generation.
+    assert!(accepted > 0, "no interleaving ever accepted the new event");
+}
+
+#[test]
+fn mutation_dropping_invalidation_admits_torn_reads() {
+    // Buggy writer: payload stores straight over a published slot, seq
+    // bumped last. A reader validating the *old* seq can interleave its
+    // payload loads with the stores and pass both checks.
+    let buggy: Vec<Op> = writer_steps(NEW_SEQ, B)
+        .into_iter()
+        .skip(1) // drop WriteSeq(EMPTY)
+        .collect();
+    let mut torn = 0u32;
+    for_each_interleaving(
+        Slot::published(OLD_SEQ, A),
+        &buggy,
+        &reader_steps(),
+        &mut |out, _| {
+            if out.accepts(OLD_SEQ) && !out.payload_is(A) {
+                torn += 1;
+            }
+        },
+    );
+    assert!(
+        torn > 0,
+        "mutant survived: the test cannot detect a missing invalidation"
+    );
+}
+
+#[test]
+fn mutation_publishing_before_payload_admits_torn_reads() {
+    // Buggy writer: publishes the new seq before filling the payload. A
+    // reader validating the *new* seq can observe stale words.
+    let buggy = vec![
+        Op::WriteSeq(EMPTY),
+        Op::WriteSeq(NEW_SEQ),
+        Op::WriteAt(B),
+        Op::WriteW0(B),
+        Op::WriteW1(B),
+        Op::WriteW2(B),
+    ];
+    let mut torn = 0u32;
+    for_each_interleaving(
+        Slot::published(OLD_SEQ, A),
+        &buggy,
+        &reader_steps(),
+        &mut |out, _| {
+            if out.accepts(NEW_SEQ) && !out.payload_is(B) {
+                torn += 1;
+            }
+        },
+    );
+    assert!(
+        torn > 0,
+        "mutant survived: the test cannot detect an early publish"
+    );
+}
+
+#[test]
+fn two_generation_lap_never_accepts_mixed_payload() {
+    // Writer performs two back-to-back overwrites (B then C) — the ring
+    // lapping a slow reader twice. The reader may accept A, B, or C,
+    // but whichever seq it validates, the payload must be that one
+    // generation. 12 writer + 6 reader steps: C(18, 6) interleavings.
+    const C: u64 = 0xCCCC;
+    const SEQ_C: u64 = 19;
+    let mut steps = writer_steps(NEW_SEQ, B);
+    steps.extend(writer_steps(SEQ_C, C));
+    let mut torn = 0u32;
+    let visited = for_each_interleaving(
+        Slot::published(OLD_SEQ, A),
+        &steps,
+        &reader_steps(),
+        &mut |out, _| {
+            for (seq, gen) in [(OLD_SEQ, A), (NEW_SEQ, B), (SEQ_C, C)] {
+                if out.accepts(seq) && !out.payload_is(gen) {
+                    torn += 1;
+                }
+            }
+        },
+    );
+    assert_eq!(visited, 18_564);
+    assert_eq!(torn, 0);
+}

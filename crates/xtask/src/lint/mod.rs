@@ -1,6 +1,6 @@
 //! The workspace lint gate: `cargo xtask lint`.
 //!
-//! Five source-level rules that `rustc`/`clippy` cannot (or cannot
+//! Four source-level rules that `rustc`/`clippy` cannot (or cannot
 //! cheaply) express:
 //!
 //! 1. **unwrap ratchet** — `.unwrap()` / `.expect(` in the non-test
@@ -14,14 +14,16 @@
 //!    maintenance and transfer accounting stay sound.
 //! 4. **lint-config** — `unsafe` is banned workspace-wide and every
 //!    member manifest opts into the shared `[workspace.lints]` table.
-//! 5. **trace-pairing** — each engine state transition (steal, commit
-//!    twin flip, parity/log undo, intent replay) emits its structured
-//!    trace event from exactly one call site inside the transition
-//!    function, so the event stream stays a faithful protocol witness.
+//!
+//! (The old rule 5, trace-pairing, moved to `cargo xtask analyze`: it is
+//! declared per transition as `tracepair` lines in `analyze.conf` and
+//! enforced by the io-pairing pass, which counts emission sites on the
+//! real token tree instead of substring-matching.)
 //!
 //! Rules operate on preprocessed sources (comments, strings and
 //! `#[cfg(test)]` items blanked — see [`source`]), so doc examples and
-//! test assertions don't trip production rules.
+//! test assertions don't trip production rules. Tokenization is shared
+//! with the analyze framework ([`crate::analyze::lexer`]).
 
 mod baseline;
 mod rules;
@@ -85,11 +87,10 @@ pub fn run(update_baseline: bool) -> Result<(), String> {
         )),
     }
 
-    // Rules 2-5.
+    // Rules 2-4.
     rules::errors_doc(&files, &mut violations);
     rules::array_discipline(&files, &mut violations);
     rules::unsafe_and_lint_config(&files, &manifests, &root_manifest, &mut violations);
-    rules::trace_pairing(&files, &mut violations);
 
     if violations.is_empty() {
         let total: usize = counts.values().sum();
@@ -112,7 +113,7 @@ pub fn run(update_baseline: bool) -> Result<(), String> {
 
 /// Walk up from the current directory to the first `Cargo.toml` that
 /// declares `[workspace]`.
-fn workspace_root() -> Result<PathBuf, String> {
+pub(crate) fn workspace_root() -> Result<PathBuf, String> {
     let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
     loop {
         let manifest = dir.join("Cargo.toml");
@@ -165,7 +166,7 @@ fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
     Ok(files)
 }
 
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+pub(crate) fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
     for entry in entries.flatten() {

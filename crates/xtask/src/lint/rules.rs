@@ -149,109 +149,6 @@ pub fn errors_doc(files: &[SourceFile], violations: &mut Vec<String>) {
     }
 }
 
-/// The protocol transitions whose trace event must be emitted from
-/// exactly one call site inside the named function. One call site per
-/// transition is what makes the event stream a faithful witness of the
-/// protocol: a second site double-counts the transition, a zeroth loses
-/// it, and either silently breaks the trace-replay invariant tests.
-/// (`TornTwinHeal` and `LockWait` are deliberately absent: healing has
-/// legitimate sites in both restart recovery and the scrubber, and lock
-/// waits fan out over the three client entry points.)
-const TRACE_PAIRS: &[(&str, &str, &str)] = &[
-    ("crates/core/src/engine.rs", "steal_uncommitted", "Steal"),
-    ("crates/core/src/engine.rs", "txn_commit", "CommitTwinFlip"),
-    ("crates/core/src/engine.rs", "undo_via_parity", "ParityUndo"),
-    ("crates/core/src/engine.rs", "undo_via_log", "LogUndo"),
-    ("crates/core/src/recovery.rs", "recover", "IntentReplay"),
-    (
-        "crates/core/src/recovery.rs",
-        "recover_undo_parity",
-        "ParityUndo",
-    ),
-    (
-        "crates/core/src/recovery.rs",
-        "recover_undo_logged",
-        "LogUndo",
-    ),
-];
-
-/// Check the [`TRACE_PAIRS`] table: each listed transition function must
-/// contain exactly one `EventKind::<Event>` emission call site. The rule
-/// is a no-op when *none* of the table's files exist (the lint fixture
-/// workspaces in `tests/lint_gate.rs`); if any exist, a missing sibling
-/// still flags, so renaming one protocol file cannot silence its checks.
-pub fn trace_pairing(files: &[SourceFile], violations: &mut Vec<String>) {
-    if !TRACE_PAIRS
-        .iter()
-        .any(|&(path, _, _)| files.iter().any(|f| f.rel_path == path))
-    {
-        return;
-    }
-    for &(path, func, event) in TRACE_PAIRS {
-        let Some(f) = files.iter().find(|f| f.rel_path == path) else {
-            violations.push(format!(
-                "[trace-pairing] {path}: file missing but listed in the \
-                 trace-pairing table"
-            ));
-            continue;
-        };
-        let Some(body) = fn_body(&f.code, func) else {
-            violations.push(format!(
-                "[trace-pairing] {path}: `fn {func}` not found — update the \
-                 trace-pairing table to follow the rename"
-            ));
-            continue;
-        };
-        let needle = format!("EventKind::{event}");
-        let n = body.matches(&needle).count();
-        if n != 1 {
-            violations.push(format!(
-                "[trace-pairing] {path}: `fn {func}` references \
-                 `{needle}` at {n} sites (want exactly 1) — route every \
-                 exit of the transition through a single emit call"
-            ));
-        }
-    }
-}
-
-/// The brace-matched body of `fn name` in stripped code (strings and
-/// comments already blanked, so brace counting is sound).
-fn fn_body<'a>(code: &'a str, name: &str) -> Option<&'a str> {
-    let needle = format!("fn {name}");
-    let mut search = 0;
-    while let Some(rel) = code[search..].find(&needle) {
-        let at = search + rel;
-        let before_ok = code[..at]
-            .chars()
-            .next_back()
-            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
-        let after_ok = code[at + needle.len()..]
-            .chars()
-            .next()
-            .is_some_and(|c| !c.is_alphanumeric() && c != '_');
-        if !(before_ok && after_ok) {
-            search = at + needle.len();
-            continue;
-        }
-        let open = at + code[at..].find('{')?;
-        let mut depth = 0usize;
-        for (i, c) in code[open..].char_indices() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return Some(&code[open..=open + i]);
-                    }
-                }
-                _ => {}
-            }
-        }
-        return None;
-    }
-    None
-}
-
 /// The raw disk type must not leak above `rda-array`: everything else
 /// goes through `DiskArray`, which owns the parity protocol and the
 /// transfer accounting the paper's cost model depends on.

@@ -5,159 +5,30 @@
 //! substring search without being fooled by doc examples or messages.
 //! [`blank_test_items`] additionally blanks any item gated behind
 //! `#[cfg(test)]`, so test-only code is exempt from production rules.
+//!
+//! The tokenization itself is the analyze [`lexer`](crate::analyze::lexer)
+//! — one scanner serves both the lint gate and the analysis passes, so a
+//! literal-form edge case (raw strings, byte chars, lifetimes) is fixed
+//! in one place.
+
+use crate::analyze::lexer::{lex, TokKind};
 
 /// Replace comments and string/char/byte literals with spaces, keeping
 /// every newline so line numbers survive.
-#[allow(clippy::many_single_char_names)] // b/n/i/c are byte-scanner idiom
 pub fn strip(text: &str) -> String {
-    let b = text.as_bytes();
-    let mut out = b.to_vec();
-    let n = b.len();
-    let mut i = 0;
-
-    // Blank out[from..to], preserving newlines.
-    let blank = |out: &mut [u8], from: usize, to: usize| {
-        for slot in &mut out[from..to] {
-            if *slot != b'\n' {
-                *slot = b' ';
-            }
-        }
-    };
-
-    while i < n {
-        let c = b[i];
-        let prev_ident = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
-        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
-            let start = i;
-            while i < n && b[i] != b'\n' {
-                i += 1;
-            }
-            blank(&mut out, start, i);
-        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
-            let start = i;
-            let mut depth = 1;
-            i += 2;
-            while i < n && depth > 0 {
-                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
+    let mut out = text.as_bytes().to_vec();
+    for t in lex(text) {
+        if matches!(t.kind, TokKind::Comment | TokKind::Str | TokKind::Char) {
+            for slot in &mut out[t.start..t.end] {
+                if *slot != b'\n' {
+                    *slot = b' ';
                 }
             }
-            blank(&mut out, start, i);
-        } else if c == b'"' {
-            let start = i;
-            i += 1;
-            while i < n {
-                if b[i] == b'\\' {
-                    i += 2;
-                } else if b[i] == b'"' {
-                    i += 1;
-                    break;
-                } else {
-                    i += 1;
-                }
-            }
-            blank(&mut out, start, i.min(n));
-        } else if !prev_ident && (c == b'r' || c == b'b') {
-            // Possible raw/byte literal prefix: r", r#", b", br", br#", b'.
-            let mut j = i;
-            if b[j] == b'b' {
-                j += 1;
-            }
-            let raw = j < n && b[j] == b'r';
-            if raw {
-                j += 1;
-            }
-            let mut hashes = 0;
-            while raw && j < n && b[j] == b'#' {
-                hashes += 1;
-                j += 1;
-            }
-            if j < n && b[j] == b'"' {
-                let start = i;
-                i = j + 1;
-                if raw {
-                    // Scan for `"` followed by `hashes` hashes.
-                    'outer: while i < n {
-                        if b[i] == b'"' {
-                            let mut k = 0;
-                            while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                i += 1 + hashes;
-                                break 'outer;
-                            }
-                        }
-                        i += 1;
-                    }
-                } else {
-                    while i < n {
-                        if b[i] == b'\\' {
-                            i += 2;
-                        } else if b[i] == b'"' {
-                            i += 1;
-                            break;
-                        } else {
-                            i += 1;
-                        }
-                    }
-                }
-                blank(&mut out, start, i.min(n));
-            } else if j < n && b[j] == b'\'' && b[i] == b'b' && j == i + 1 {
-                // Byte char literal b'x'.
-                let start = i;
-                i = j + 1;
-                while i < n {
-                    if b[i] == b'\\' {
-                        i += 2;
-                    } else if b[i] == b'\'' {
-                        i += 1;
-                        break;
-                    } else {
-                        i += 1;
-                    }
-                }
-                blank(&mut out, start, i.min(n));
-            } else {
-                i += 1;
-            }
-        } else if c == b'\'' {
-            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
-            let is_lifetime = i + 1 < n
-                && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
-                && !(i + 2 < n && b[i + 2] == b'\'');
-            if is_lifetime {
-                i += 2;
-            } else {
-                let start = i;
-                i += 1;
-                while i < n {
-                    if b[i] == b'\\' {
-                        i += 2;
-                    } else if b[i] == b'\'' {
-                        i += 1;
-                        break;
-                    } else {
-                        i += 1;
-                    }
-                }
-                blank(&mut out, start, i.min(n));
-            }
-        } else {
-            i += 1;
         }
     }
-
-    // The input was valid UTF-8 and we only overwrote bytes with spaces
-    // at literal boundaries, which are ASCII; non-ASCII interior bytes of
-    // literals were blanked wholesale, so this cannot fail — but fall
-    // back to a lossy conversion rather than panicking inside the linter.
+    // Only ASCII token-boundary bytes were overwritten (non-ASCII interior
+    // bytes of literals are blanked wholesale), so this cannot fail — but
+    // fall back to a lossy conversion rather than panicking in the linter.
     String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
 }
 

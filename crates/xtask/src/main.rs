@@ -1,11 +1,14 @@
 //! Workspace automation ("xtask" pattern): plain-Rust tooling invoked as
 //! `cargo xtask <command>` via the alias in `.cargo/config.toml`.
 //!
-//! The only command today is `lint`, a source-level static-analysis gate
-//! that enforces repo-specific invariants `rustc`/`clippy` cannot express
-//! (see [`lint`]). It has no dependencies beyond `std`, so it builds and
-//! runs everywhere the workspace does.
+//! Two commands: `lint`, the source-level gate for repo-specific
+//! invariants `rustc`/`clippy` cannot express (see [`lint`]), and
+//! `analyze`, the rda-analyze concurrency static-analysis framework
+//! (lock ordering, atomic-ordering audit, state confinement, billed-I/O
+//! pairing — see [`analyze`]). Both have no dependencies beyond `std`,
+//! so they build and run everywhere the workspace does.
 
+mod analyze;
 mod lint;
 
 use std::process::ExitCode;
@@ -16,6 +19,20 @@ fn main() -> ExitCode {
         Some("lint") => {
             let update_baseline = args.iter().any(|a| a == "--update-baseline");
             match lint::run(update_baseline) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(failures) => {
+                    eprintln!("{failures}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("analyze") => {
+            let json_path = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            match analyze::run(json_path) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(failures) => {
                     eprintln!("{failures}");
@@ -40,4 +57,7 @@ usage: cargo xtask <command>
 commands:
   lint                     run the workspace lint gate
   lint --update-baseline   rewrite the unwrap/expect ratchet baseline
-                           (only lowers counts unless a rule failed)";
+                           (only lowers counts unless a rule failed)
+  analyze                  run the rda-analyze concurrency passes
+                           (lock-order, atomics, confine, io-pairing)
+  analyze --json PATH      also write the machine-readable findings";
