@@ -1,10 +1,12 @@
 //! The redundant disk array: addressed page I/O with parity maintenance,
 //! degraded reads, and rebuild.
 
+use crate::device::BlockDevice;
+use crate::fault::HookState;
 use crate::geometry::BlockContent;
 use crate::{
     ArrayConfig, ArrayError, DataPageId, DiskId, Geometry, GroupId, IoKind, IoStats, Page,
-    ParitySlot, PhysLoc, Result,
+    ParitySlot, PhysLoc, Result, SimDisk,
 };
 use rda_obs::{EventKind, Tracer};
 use std::sync::Arc;
@@ -21,33 +23,69 @@ use std::sync::Arc;
 /// All methods take `&self`; per-disk locks serialize physical access, and
 /// higher layers are responsible for serializing read-modify-write cycles
 /// on the same parity group.
-pub struct DiskArray {
+///
+/// The array is generic over its [`BlockDevice`] backend. The default —
+/// the deterministic in-memory [`SimDisk`] — is what the checker, the
+/// crashpoint explorer, and all simulation-grade tests run on; a
+/// file-backed device (the `rda-disk` crate) slots in through
+/// [`DiskArray::with_disks`] without touching the parity protocol or the
+/// transfer accounting, both of which live here.
+pub struct DiskArray<D: BlockDevice = SimDisk> {
     cfg: ArrayConfig,
     geo: Geometry,
-    disks: Vec<crate::SimDisk>,
+    disks: Vec<D>,
     stats: Arc<IoStats>,
     tracer: Arc<Tracer>,
-    fault: parking_lot::Mutex<Option<crate::disk::HookState>>,
+    fault: parking_lot::Mutex<Option<HookState>>,
 }
 
 impl DiskArray {
-    /// Build an array (all pages zero-initialized, so parity = XOR of data
-    /// trivially holds everywhere) with a private, disabled tracer.
+    /// Build a simulated array (all pages zero-initialized, so parity =
+    /// XOR of data trivially holds everywhere) with a private, disabled
+    /// tracer.
     #[must_use]
     pub fn new(cfg: ArrayConfig) -> DiskArray {
         DiskArray::with_obs(cfg, Tracer::disabled())
     }
 
-    /// Build an array sharing the caller's [`Tracer`]. Every billed
-    /// transfer advances the tracer's global I/O clock and (when tracing
-    /// is enabled) emits a `DiskRead`/`DiskWrite` event; this is how the
-    /// whole stack gets a common, replayable timebase.
+    /// Build a simulated array sharing the caller's [`Tracer`]. Every
+    /// billed transfer advances the tracer's global I/O clock and (when
+    /// tracing is enabled) emits a `DiskRead`/`DiskWrite` event; this is
+    /// how the whole stack gets a common, replayable timebase.
     #[must_use]
     pub fn with_obs(cfg: ArrayConfig, tracer: Arc<Tracer>) -> DiskArray {
+        let disks = crate::device::sim_disks_for(&cfg);
+        DiskArray::with_disks(cfg, tracer, disks)
+    }
+}
+
+impl<D: BlockDevice> DiskArray<D> {
+    /// Build an array over caller-supplied devices — the entry point for
+    /// non-simulated backends. `disks` must contain exactly one device per
+    /// configured drive, in array order, each sized to the geometry
+    /// (checked here so a mis-built backend fails loudly at open, not as
+    /// silent data corruption later).
+    ///
+    /// # Panics
+    /// If the device count, ids, or block counts disagree with `cfg`.
+    #[must_use]
+    pub fn with_disks(cfg: ArrayConfig, tracer: Arc<Tracer>, disks: Vec<D>) -> DiskArray<D> {
         let geo = Geometry::new(&cfg);
-        let disks = (0..geo.disks())
-            .map(|d| crate::SimDisk::new(DiskId(d), geo.blocks_per_disk(), cfg.page_size))
-            .collect();
+        assert_eq!(
+            disks.len(),
+            usize::from(geo.disks()),
+            "backend supplied {} devices for a {}-disk geometry",
+            disks.len(),
+            geo.disks()
+        );
+        for (i, d) in disks.iter().enumerate() {
+            assert_eq!(d.id(), DiskId(i as u16), "device {i} has the wrong id");
+            assert_eq!(
+                d.block_count(),
+                geo.blocks_per_disk(),
+                "device {i} has the wrong block count"
+            );
+        }
         let stats = Arc::new(IoStats::with_disks(geo.disks()));
         DiskArray {
             cfg,
@@ -72,10 +110,7 @@ impl DiskArray {
     /// read and write (billed or not). Replaces any previous hook and
     /// resets the fault counters.
     pub fn install_fault_hook(&self, hook: Arc<dyn crate::FaultHook>) {
-        let state = crate::disk::HookState {
-            hook,
-            stats: Arc::new(crate::FaultStats::new()),
-        };
+        let state = HookState::new(hook);
         for d in &self.disks {
             d.set_fault_hook(Some(state.clone()));
         }
@@ -164,8 +199,25 @@ impl DiskArray {
         Ok(())
     }
 
-    fn disk(&self, id: DiskId) -> &crate::SimDisk {
+    fn disk(&self, id: DiskId) -> &D {
         &self.disks[usize::from(id.0)]
+    }
+
+    /// Durability barrier: block until every write the array has issued so
+    /// far is on stable storage, on every disk. A no-op on [`SimDisk`]
+    /// (whose writes are synchronous), so simulated runs — including every
+    /// checker and explorer schedule — are untouched; queued backends
+    /// drain their submission queues and flush here. Not billed: the
+    /// paper's cost model counts page transfers, and a barrier moves none.
+    ///
+    /// # Errors
+    /// [`ArrayError::Backend`] when a backend write that was already
+    /// accepted into a queue turns out to have failed.
+    pub fn write_barrier(&self) -> Result<()> {
+        for d in &self.disks {
+            d.barrier()?;
+        }
+        Ok(())
     }
 
     fn read_phys(&self, loc: PhysLoc) -> Result<Page> {

@@ -12,24 +12,16 @@
 //! Blocks are allocated lazily: untouched blocks read back as zeroes, like
 //! a freshly formatted device.
 
-use crate::fault::{FaultAction, FaultHook, FaultStats, IoEvent};
+use crate::fault::{FaultAction, HookState};
 use crate::{ArrayError, DiskId, Page};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 
 struct DiskInner {
     blocks: HashMap<u64, Page>,
     bad_blocks: HashSet<u64>,
     torn_blocks: HashSet<u64>,
     failed: bool,
-}
-
-/// A fault hook plus the shared counters for faults actually applied.
-#[derive(Clone)]
-pub(crate) struct HookState {
-    pub(crate) hook: Arc<dyn FaultHook>,
-    pub(crate) stats: Arc<FaultStats>,
 }
 
 /// An in-memory simulated disk.
@@ -62,8 +54,8 @@ impl SimDisk {
 
     /// Install (or clear) this disk's fault hook. Normally reached through
     /// [`DiskArray::install_fault_hook`](crate::DiskArray::install_fault_hook),
-    /// which shares one hook and one [`FaultStats`] across all disks.
-    pub(crate) fn set_fault_hook(&self, state: Option<HookState>) {
+    /// which shares one hook and one [`crate::FaultStats`] across all disks.
+    pub fn set_fault_hook(&self, state: Option<HookState>) {
         *self.hook.lock() = state;
     }
 
@@ -74,13 +66,7 @@ impl SimDisk {
         let Some(state) = guard.as_ref() else {
             return FaultAction::Proceed;
         };
-        let action = state.hook.on_io(&IoEvent {
-            disk: self.id,
-            block,
-            is_write,
-        });
-        state.stats.record(action);
-        action
+        state.consult(self.id, block, is_write)
     }
 
     /// This disk's identifier.
@@ -302,6 +288,8 @@ impl SimDisk {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultHook, FaultStats, IoEvent};
+    use std::sync::Arc;
 
     fn disk() -> SimDisk {
         SimDisk::new(DiskId(0), 16, 32)

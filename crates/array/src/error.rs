@@ -48,6 +48,15 @@ pub enum ArrayError {
     BadGroup(GroupId),
     /// Twin parity slot `P1` addressed on a single-parity array.
     NoTwinParity,
+    /// A real storage backend failed underneath the array: a file I/O
+    /// error surfaced while serving or draining queued writes. Simulated
+    /// disks never produce this.
+    Backend {
+        /// Disk whose backing store failed.
+        disk: DiskId,
+        /// Operating-system error description.
+        msg: String,
+    },
     /// A page buffer of the wrong size was supplied.
     PageSizeMismatch {
         /// Size the array was configured with.
@@ -81,6 +90,9 @@ impl fmt::Display for ArrayError {
             ArrayError::BadGroup(g) => write!(f, "group {g} out of range"),
             ArrayError::NoTwinParity => {
                 write!(f, "parity slot P1 addressed on a single-parity array")
+            }
+            ArrayError::Backend { disk, msg } => {
+                write!(f, "storage backend error on {disk}: {msg}")
             }
             ArrayError::PageSizeMismatch { expected, got } => {
                 write!(

@@ -23,6 +23,7 @@
 
 use crate::DiskId;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One physical I/O about to be performed, as seen by a fault hook.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,46 @@ pub trait FaultHook: Send + Sync {
     /// The machine was power-cycled (a restart boundary): a hook holding a
     /// crashed latch must release it so I/O flows again.
     fn power_cycled(&self) {}
+}
+
+/// A fault hook plus the shared counters for faults actually applied —
+/// the unit [`DiskArray::install_fault_hook`](crate::DiskArray::install_fault_hook)
+/// pushes down to every [`BlockDevice`](crate::BlockDevice) of the array.
+///
+/// Backends do not talk to the hook directly: they call
+/// [`HookState::consult`] once per physical I/O, which both asks the plan
+/// for a verdict and records a non-`Proceed` answer in the shared
+/// counters. Keeping that pairing in one place is what lets a fault
+/// schedule replay identically on the simulated and file-backed disks.
+#[derive(Clone)]
+pub struct HookState {
+    /// The installed fault plan.
+    pub hook: Arc<dyn FaultHook>,
+    /// Counters for faults the plan actually ordered.
+    pub stats: Arc<FaultStats>,
+}
+
+impl HookState {
+    /// Wrap `hook` with a fresh set of zeroed fault counters.
+    #[must_use]
+    pub fn new(hook: Arc<dyn FaultHook>) -> HookState {
+        HookState {
+            hook,
+            stats: Arc::new(FaultStats::new()),
+        }
+    }
+
+    /// Offer one physical I/O to the hook and record its verdict.
+    #[must_use]
+    pub fn consult(&self, disk: DiskId, block: u64, is_write: bool) -> FaultAction {
+        let action = self.hook.on_io(&IoEvent {
+            disk,
+            block,
+            is_write,
+        });
+        self.stats.record(action);
+        action
+    }
 }
 
 /// Counters for faults the array actually applied, one per

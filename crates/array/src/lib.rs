@@ -48,6 +48,7 @@
 
 mod array;
 mod config;
+mod device;
 mod disk;
 mod error;
 mod fault;
@@ -58,9 +59,10 @@ pub mod xor;
 
 pub use array::DiskArray;
 pub use config::{ArrayConfig, Organization};
+pub use device::{sim_disks_for, BlockDevice, DefaultDisk};
 pub use disk::SimDisk;
 pub use error::ArrayError;
-pub use fault::{FaultAction, FaultHook, FaultStats, IoEvent};
+pub use fault::{FaultAction, FaultHook, FaultStats, HookState, IoEvent};
 pub use geometry::{BlockContent, Geometry, PhysLoc};
 pub use page::{DataPageId, DiskId, GroupId, Page, ParitySlot};
 pub use stats::{IoKind, IoStats, StatsSnapshot};

@@ -41,6 +41,7 @@ fn measure(org: Organization) -> Result<Row, rda_array::ArrayError> {
 }
 
 fn run() -> Result<(), rda_array::ArrayError> {
+    println!("backend: simulated array (in-memory)");
     println!("5000 uniform small writes, N = 10, 11 disks — transfers per disk\n");
     let mut rows = Vec::new();
     for org in [

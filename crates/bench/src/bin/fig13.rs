@@ -9,6 +9,7 @@ use rda_bench::write_json;
 use rda_model::fig13;
 
 fn main() {
+    println!("backend: analytic model (no storage)");
     let s_values: Vec<f64> = (1..=9).map(|i| f64::from(i) * 5.0).collect();
     let fig = fig13(&s_values);
     println!("== fig13 — {} ==\n", fig.family);

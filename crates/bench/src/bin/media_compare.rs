@@ -62,6 +62,7 @@ fn measure(post_dump_txns: u32) -> Result<Row, rda_core::DbError> {
 }
 
 fn run() -> Result<(), rda_core::DbError> {
+    println!("backend: simulated array (in-memory)");
     println!("S = 500 pages, N = 10, one failed disk — transfers to recover\n");
     println!(
         "{:>15} {:>16} {:>17} {:>13}",

@@ -75,6 +75,7 @@ fn measure(n: u32) -> Result<Row, rda_array::ArrayError> {
 }
 
 fn run() -> Result<(), rda_array::ArrayError> {
+    println!("backend: simulated array (in-memory)");
     println!(
         "one failed disk, ~2000 data pages, {MS_PER_TRANSFER} ms/page — rebuild window vs N\n"
     );

@@ -13,7 +13,7 @@
 
 use crate::engine::Engine;
 use crate::error::{DbError, Result};
-use rda_array::{DataPageId, GroupId, Page, ParitySlot};
+use rda_array::{BlockDevice, DataPageId, GroupId, Page, ParitySlot};
 use rda_wal::{Analysis, LogRecord, Lsn};
 use std::collections::BTreeSet;
 
@@ -39,7 +39,7 @@ impl Archive {
     }
 }
 
-impl Engine {
+impl<D: BlockDevice> Engine<D> {
     /// Dump every data page into an archive (requires quiescence so the
     /// dump is transaction-consistent). Bills one read per page, like a
     /// full backup pass would.

@@ -29,7 +29,7 @@
 //! invariant test. [`crate::Database::audit`] runs it on demand either way.
 
 use crate::engine::Engine;
-use rda_array::{ArrayError, GroupId, Page};
+use rda_array::{ArrayError, BlockDevice, GroupId, Page};
 
 /// Outcome of one full audit pass.
 #[derive(Debug, Clone, Default)]
@@ -62,12 +62,12 @@ impl AuditReport {
 /// Constructed internally (the engine type is not public); reachable via
 /// [`crate::Database::audit`] and, under the `paranoid` feature, from the
 /// engine's steal/commit/abort/scrub hooks.
-pub(crate) struct ParityAuditor<'a> {
-    engine: &'a Engine,
+pub(crate) struct ParityAuditor<'a, D: BlockDevice> {
+    engine: &'a Engine<D>,
 }
 
-impl<'a> ParityAuditor<'a> {
-    pub(crate) fn new(engine: &'a Engine) -> ParityAuditor<'a> {
+impl<'a, D: BlockDevice> ParityAuditor<'a, D> {
+    pub(crate) fn new(engine: &'a Engine<D>) -> ParityAuditor<'a, D> {
         ParityAuditor { engine }
     }
 
@@ -298,7 +298,7 @@ impl<'a> ParityAuditor<'a> {
     }
 }
 
-impl Engine {
+impl<D: BlockDevice> Engine<D> {
     /// Run the cross-layer invariant auditor on the current state.
     pub(crate) fn run_audit(&self) -> AuditReport {
         ParityAuditor::new(self).run()

@@ -1,0 +1,132 @@
+//! The storage-backend seam: what a *real* (file-backed) backend must
+//! supply so a [`Database`](crate::Database) can be reopened over files
+//! that survived a process death.
+//!
+//! On the simulated array everything in [`Durable`](crate::engine::Durable)
+//! trivially "survives" a crash because the process keeps running. A real
+//! backend must persist three things the platter pages alone do not carry:
+//!
+//! * the **twin parity headers** ([`TwinMeta`]) — in the paper they travel
+//!   inside the parity pages; here the pages are raw bytes, so the headers
+//!   are journaled out-of-band through [`MetaSink::twin_meta`];
+//! * the **steal chain** — the TWIST-style page-header links
+//!   ([`MetaSink::chain_steal`] and friends);
+//! * the staged **write intent** (controller NVRAM) — journaled *before*
+//!   the platter writes of its read-modify-write are enqueued
+//!   ([`MetaSink::intent_set`]), so a restart can replay an interrupted
+//!   sequence exactly like the simulated recovery does.
+//!
+//! A backend hands the engine a [`BackendSetup`]: the disks, the sinks to
+//! journal into, and — when reopening — the [`RestoredState`] it read back
+//! from its journals. The engine never learns how any of it is encoded.
+
+use crate::twin::TwinMeta;
+use rda_wal::{LogRecord, LogSink};
+use std::sync::Arc;
+
+/// One staged read-modify-write, in backend-portable form (absolute page
+/// images, so replaying it is idempotent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentRecord {
+    /// Data page being overwritten.
+    pub page: u32,
+    /// New contents of the data page.
+    pub data: Vec<u8>,
+    /// Parity pages of the same sequence: `(group, slot index, contents)`.
+    pub parity: Vec<(u32, u8, Vec<u8>)>,
+}
+
+/// Journal of the durable metadata that, on the simulated array, lives in
+/// page headers and modeled NVRAM. Every call happens *synchronously
+/// inside* the state transition it mirrors, so implementations decide the
+/// durability of each record themselves (the intent records are the only
+/// ones that must reach stable storage before the method returns — the
+/// engine orders platter writes after them).
+pub trait MetaSink: Send + Sync {
+    /// A group's twin headers changed (flip, invalidation, working claim).
+    fn twin_meta(&self, group: u32, meta: TwinMeta);
+    /// `txn` stole `page` onto the parity (chain link written).
+    fn chain_steal(&self, txn: u64, page: u32);
+    /// `txn` reached EOT; its whole chain is dead.
+    fn chain_clear_txn(&self, txn: u64);
+    /// One page of `txn`'s chain was undone.
+    fn chain_clear_page(&self, txn: u64, page: u32);
+    /// A read-modify-write staged its write set. Must be durable on
+    /// return; the platter writes follow it.
+    fn intent_set(&self, intent: &IntentRecord);
+    /// Recovery finished replaying the staged intent.
+    fn intent_clear(&self);
+}
+
+/// What a backend read back from its journals when reopening a database
+/// over surviving files.
+#[derive(Debug, Clone, Default)]
+pub struct RestoredState {
+    /// Twin headers per group, in group order. Empty means "freshly
+    /// formatted" (every group in its initial committed/obsolete state).
+    pub twin_metas: Vec<TwinMeta>,
+    /// Surviving steal chains: `(txn, pages)`.
+    pub chains: Vec<(u64, Vec<u32>)>,
+    /// A staged intent that was never superseded — restart recovery
+    /// replays it.
+    pub intent: Option<IntentRecord>,
+    /// LSN of the first surviving log record (earlier ones truncated).
+    pub log_base: u64,
+    /// The durable log records, in LSN order from `log_base`.
+    pub log_records: Vec<LogRecord>,
+}
+
+/// Everything [`Database::open_with`](crate::Database::open_with) needs
+/// from a storage backend: the block devices plus the metadata seams.
+pub struct BackendSetup<D> {
+    /// One device per spindle, ordered by [`DiskId`](rda_array::DiskId).
+    pub disks: Vec<D>,
+    /// Journal for twin headers / steal chain / write intent. `None`
+    /// keeps all of it memory-only (the simulated default).
+    pub meta_sink: Option<Arc<dyn MetaSink>>,
+    /// Durable mirror of the write-ahead log. `None` keeps the log
+    /// memory-only.
+    pub log_sink: Option<Arc<dyn LogSink>>,
+    /// State read back from the journals when reopening; `None` for a
+    /// fresh database. When present the engine comes up in
+    /// needs-recovery state and [`Database::recover`](crate::Database)
+    /// must run before new work.
+    pub restored: Option<RestoredState>,
+}
+
+impl<D> BackendSetup<D> {
+    /// A fresh, memory-only setup over the given disks (no journaling —
+    /// used by tests and the simulated default path).
+    #[must_use]
+    pub fn fresh(disks: Vec<D>) -> BackendSetup<D> {
+        BackendSetup {
+            disks,
+            meta_sink: None,
+            log_sink: None,
+            restored: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_setup_has_no_seams() {
+        let setup: BackendSetup<u8> = BackendSetup::fresh(vec![1, 2, 3]);
+        assert_eq!(setup.disks.len(), 3);
+        assert!(setup.meta_sink.is_none());
+        assert!(setup.log_sink.is_none());
+        assert!(setup.restored.is_none());
+    }
+
+    #[test]
+    fn restored_state_default_is_empty() {
+        let r = RestoredState::default();
+        assert!(r.twin_metas.is_empty());
+        assert!(r.chains.is_empty());
+        assert!(r.intent.is_none());
+        assert_eq!(r.log_base, 0);
+    }
+}

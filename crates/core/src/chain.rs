@@ -18,15 +18,28 @@
 //! reclamation happens lazily on the next steal of the page, which is
 //! again a write that is already paid for).
 
+use crate::backend::MetaSink;
 use parking_lot::Mutex;
 use rda_array::DataPageId;
 use rda_wal::TxnId;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Durable registry of parity-riding steals, per transaction.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ChainDirectory {
     chains: Mutex<HashMap<TxnId, BTreeSet<DataPageId>>>,
+    /// Optional backend journal mirroring every chain mutation, the way a
+    /// real chain link travels inside the page write that steals the page.
+    sink: Option<Arc<dyn MetaSink>>,
+}
+
+impl std::fmt::Debug for ChainDirectory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainDirectory")
+            .field("chains", &self.chains)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ChainDirectory {
@@ -36,10 +49,29 @@ impl ChainDirectory {
         ChainDirectory::default()
     }
 
+    /// Directory over chains read back from a backend journal, mirroring
+    /// future mutations into `sink`.
+    #[must_use]
+    pub fn restore(entries: &[(u64, Vec<u32>)], sink: Option<Arc<dyn MetaSink>>) -> ChainDirectory {
+        let mut chains: HashMap<TxnId, BTreeSet<DataPageId>> = HashMap::new();
+        for (txn, pages) in entries {
+            let set = chains.entry(TxnId(*txn)).or_default();
+            set.extend(pages.iter().map(|p| DataPageId(*p)));
+        }
+        chains.retain(|_, set| !set.is_empty());
+        ChainDirectory {
+            chains: Mutex::new(chains),
+            sink,
+        }
+    }
+
     /// Record that `txn` stole `page` onto the parity. Called as part of
     /// the steal's data-page write (no extra transfer).
     pub fn note_steal(&self, txn: TxnId, page: DataPageId) {
         self.chains.lock().entry(txn).or_default().insert(page);
+        if let Some(sink) = &self.sink {
+            sink.chain_steal(txn.0, page.0);
+        }
     }
 
     /// The pages `txn` has stolen onto the parity (its chain), in page
@@ -72,17 +104,29 @@ impl ChainDirectory {
     /// Drop `txn`'s chain (EOT — the outcome record in the log supersedes
     /// it).
     pub fn clear_txn(&self, txn: TxnId) {
-        self.chains.lock().remove(&txn);
+        let existed = self.chains.lock().remove(&txn).is_some();
+        if existed {
+            if let Some(sink) = &self.sink {
+                sink.chain_clear_txn(txn.0);
+            }
+        }
     }
 
     /// Remove one page from `txn`'s chain (its undo has completed and the
     /// restored page write carried the header reset).
     pub fn clear_page(&self, txn: TxnId, page: DataPageId) {
         let mut chains = self.chains.lock();
+        let mut removed = false;
         if let Some(set) = chains.get_mut(&txn) {
-            set.remove(&page);
+            removed = set.remove(&page);
             if set.is_empty() {
                 chains.remove(&txn);
+            }
+        }
+        drop(chains);
+        if removed {
+            if let Some(sink) = &self.sink {
+                sink.chain_clear_page(txn.0, page.0);
             }
         }
     }

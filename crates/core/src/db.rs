@@ -1,11 +1,12 @@
 //! Public database facade: [`Database`] and [`Transaction`].
 
+use crate::backend::BackendSetup;
 use crate::engine::Engine;
 use crate::error::{DbError, Result};
 use crate::recovery::RecoveryReport;
 use crate::DbConfig;
 use parking_lot::Mutex;
-use rda_array::{DataPageId, DiskId, StatsSnapshot};
+use rda_array::{BlockDevice, DataPageId, DefaultDisk, DiskId, StatsSnapshot};
 use rda_buffer::BufferStats;
 use rda_obs::{MetricsRegistry, ObsHub, TraceSnapshot, Tracer};
 use rda_wal::TxnId;
@@ -54,13 +55,25 @@ impl DbStats {
 /// logical concurrency of `P` transactions over one I/O subsystem; true
 /// parallel execution would only perturb the transfer counts being
 /// measured).
-#[derive(Clone)]
-pub struct Database {
-    engine: Arc<Mutex<Engine>>,
+///
+/// Generic over the [`BlockDevice`] backing each spindle; the default is
+/// the deterministic simulated disk, and a real (file-backed) device slots
+/// in through [`Database::open_with`].
+pub struct Database<D: BlockDevice = DefaultDisk> {
+    engine: Arc<Mutex<Engine<D>>>,
+}
+
+// Manual impl: `#[derive(Clone)]` would wrongly require `D: Clone`.
+impl<D: BlockDevice> Clone for Database<D> {
+    fn clone(&self) -> Self {
+        Database {
+            engine: Arc::clone(&self.engine),
+        }
+    }
 }
 
 impl Database {
-    /// Create a fresh, zero-filled database.
+    /// Create a fresh, zero-filled database over simulated disks.
     ///
     /// # Panics
     /// Panics if the configuration is incoherent (see
@@ -71,6 +84,24 @@ impl Database {
             engine: Arc::new(Mutex::new(Engine::open(cfg))),
         }
     }
+}
+
+impl<D: BlockDevice> Database<D> {
+    /// Create — or, when the setup carries
+    /// [`RestoredState`](crate::backend::RestoredState), reopen — a
+    /// database over backend-supplied block devices. A reopened database
+    /// comes up in needs-recovery state: run [`Database::recover`] before
+    /// new work, exactly as after [`Database::crash`].
+    ///
+    /// # Panics
+    /// Panics if the configuration is incoherent or the supplied disks do
+    /// not match the configured geometry.
+    #[must_use]
+    pub fn open_with(cfg: DbConfig, setup: BackendSetup<D>) -> Database<D> {
+        Database {
+            engine: Arc::new(Mutex::new(Engine::open_with(cfg, setup))),
+        }
+    }
 
     /// Begin a transaction.
     ///
@@ -78,7 +109,7 @@ impl Database {
     /// Panics if the database has crashed and not yet recovered — run
     /// [`Database::recover`] first.
     #[must_use]
-    pub fn begin(&self) -> Transaction {
+    pub fn begin(&self) -> Transaction<D> {
         let id = self
             .engine
             .lock()
@@ -459,13 +490,13 @@ impl Database {
 
 /// A transaction handle. Dropped without [`Transaction::commit`], it aborts
 /// (best-effort).
-pub struct Transaction {
-    engine: Arc<Mutex<Engine>>,
+pub struct Transaction<D: BlockDevice = DefaultDisk> {
+    engine: Arc<Mutex<Engine<D>>>,
     id: TxnId,
     finished: bool,
 }
 
-impl Transaction {
+impl<D: BlockDevice> Transaction<D> {
     /// This transaction's identifier.
     #[must_use]
     pub fn id(&self) -> TxnId {
@@ -528,7 +559,7 @@ impl Transaction {
     }
 }
 
-impl Drop for Transaction {
+impl<D: BlockDevice> Drop for Transaction<D> {
     fn drop(&mut self) {
         if !self.finished {
             let mut engine = self.engine.lock();

@@ -26,13 +26,14 @@
 //!   difference `P ⊕ P′` continues to encode exactly the un-logged page's
 //!   old⊕new.
 
+use crate::backend::{BackendSetup, IntentRecord, MetaSink};
 use crate::chain::ChainDirectory;
 use crate::config::{CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity};
 use crate::error::{DbError, Result};
 use crate::group::{DirtySet, StealClass};
 use crate::locks::LockTable;
-use crate::twin::TwinDirectory;
-use rda_array::{DataPageId, DiskArray, GroupId, Page, ParitySlot};
+use crate::twin::{TwinDirectory, TwinMeta};
+use rda_array::{BlockDevice, DataPageId, DefaultDisk, DiskArray, GroupId, Page, ParitySlot};
 use rda_buffer::BufferPool;
 use rda_obs::{Counter, EventKind, Histogram, MetricsRegistry, ObsHub, StealKind};
 use rda_wal::{CheckpointKind, LogManager, LogRecord, LogStore, TxnId};
@@ -94,9 +95,44 @@ pub(crate) struct WriteIntent {
     pub parity: Vec<(GroupId, ParitySlot, Page)>,
 }
 
+impl WriteIntent {
+    /// Backend-portable form for the [`MetaSink`] journal.
+    fn to_record(&self) -> IntentRecord {
+        IntentRecord {
+            page: self.page.0,
+            data: self.data.as_ref().to_vec(),
+            parity: self
+                .parity
+                .iter()
+                .map(|(g, slot, p)| (g.0, slot.index() as u8, p.as_ref().to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild a staged intent from its journaled form at reopen time.
+    fn from_record(rec: &IntentRecord) -> WriteIntent {
+        WriteIntent {
+            page: DataPageId(rec.page),
+            data: Page::from_bytes(&rec.data),
+            parity: rec
+                .parity
+                .iter()
+                .map(|(g, slot, bytes)| {
+                    let slot = if *slot == 0 {
+                        ParitySlot::P0
+                    } else {
+                        ParitySlot::P1
+                    };
+                    (GroupId(*g), slot, Page::from_bytes(bytes))
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The durable half of a database: everything that survives a crash.
-pub(crate) struct Durable {
-    pub array: Arc<DiskArray>,
+pub(crate) struct Durable<D: BlockDevice = DefaultDisk> {
+    pub array: Arc<DiskArray<D>>,
     pub log_store: Arc<LogStore>,
     pub twins: Arc<TwinDirectory>,
     /// The TWIST-style steal chain (page headers on disk).
@@ -108,6 +144,10 @@ pub(crate) struct Durable {
     /// arrays close the hole with a battery-backed staging buffer; this
     /// slot models exactly that (one RMW's pages, no extra transfers).
     pub intent: Arc<parking_lot::Mutex<Option<WriteIntent>>>,
+    /// Backend journal for the metadata above (twin headers, steal chain,
+    /// staged intent). `None` on the simulated array, where process memory
+    /// *is* the durable medium.
+    pub meta: Option<Arc<dyn MetaSink>>,
 }
 
 /// Engine-owned counters and histograms, registered in the shared
@@ -143,9 +183,9 @@ impl EngineMetrics {
 }
 
 /// The database engine (volatile state over [`Durable`] storage).
-pub struct Engine {
+pub struct Engine<D: BlockDevice = DefaultDisk> {
     pub(crate) cfg: DbConfig,
-    pub(crate) dur: Durable,
+    pub(crate) dur: Durable<D>,
     pub(crate) log: LogManager,
     pub(crate) buffer: BufferPool,
     pub(crate) dirty: DirtySet,
@@ -160,19 +200,42 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Create a fresh database.
+    /// Create a fresh database over the default simulated disks.
     pub(crate) fn open(cfg: DbConfig) -> Engine {
+        let disks = rda_array::sim_disks_for(&cfg.array);
+        Engine::open_with(cfg, BackendSetup::fresh(disks))
+    }
+}
+
+impl<D: BlockDevice> Engine<D> {
+    /// Create (or reopen) a database over backend-supplied disks. When the
+    /// setup carries [`RestoredState`](crate::backend::RestoredState) the
+    /// engine comes up needing recovery, exactly as after a simulated
+    /// crash.
+    pub(crate) fn open_with(cfg: DbConfig, setup: BackendSetup<D>) -> Engine<D> {
         cfg.validate();
+        let BackendSetup {
+            disks,
+            meta_sink,
+            log_sink,
+            restored,
+        } = setup;
         let obs = ObsHub::new();
         if cfg.trace_events > 0 {
             obs.tracer.enable(cfg.trace_events);
         }
-        let array = Arc::new(DiskArray::with_obs(
+        let array = Arc::new(DiskArray::with_disks(
             cfg.array.clone(),
             Arc::clone(&obs.tracer),
+            disks,
         ));
         let groups = array.groups();
-        let log_store = LogStore::new(cfg.log.clone());
+        let needs_recovery = restored.is_some();
+        let (twin_metas, chains, intent, log_base, log_records) = match restored {
+            Some(r) => (r.twin_metas, r.chains, r.intent, r.log_base, r.log_records),
+            None => (Vec::new(), Vec::new(), None, 0, Vec::new()),
+        };
+        let log_store = LogStore::restore(cfg.log.clone(), log_base, log_records, log_sink);
         let buffer = BufferPool::with_obs(cfg.buffer.clone(), Arc::clone(&obs.tracer));
         // The legacy `DbStats` counters become registry views: the atomics
         // keep living where they always did (array/log I/O stats, pool
@@ -212,12 +275,25 @@ impl Engine {
                 });
         }
         let metrics = EngineMetrics::register(&obs.metrics);
+        let twin_metas = if twin_metas.is_empty() {
+            vec![TwinMeta::fresh(); groups as usize]
+        } else {
+            assert_eq!(
+                twin_metas.len(),
+                groups as usize,
+                "restored twin headers must cover every group"
+            );
+            twin_metas
+        };
         let dur = Durable {
             array,
             log_store: Arc::clone(&log_store),
-            twins: Arc::new(TwinDirectory::new(groups)),
-            chain: Arc::new(ChainDirectory::new()),
-            intent: Arc::new(parking_lot::Mutex::new(None)),
+            twins: Arc::new(TwinDirectory::restore(twin_metas, meta_sink.clone())),
+            chain: Arc::new(ChainDirectory::restore(&chains, meta_sink.clone())),
+            intent: Arc::new(parking_lot::Mutex::new(
+                intent.as_ref().map(WriteIntent::from_record),
+            )),
+            meta: meta_sink,
         };
         let clock = dur.twins.max_ts() + 1;
         Engine {
@@ -229,7 +305,7 @@ impl Engine {
             next_txn: 1,
             clock,
             ops_since_ckpt: 0,
-            needs_recovery: false,
+            needs_recovery,
             cfg,
             dur,
             obs,
@@ -389,6 +465,17 @@ impl Engine {
         // data/parity pair can never end up silently inconsistent. The
         // parity pages are *moved* into the staging slot — the platter
         // writes below read them back out of it, so nothing is copied.
+        //
+        // With a journaling backend there is one NVRAM slot but a queue of
+        // in-flight platter writes, so reusing the slot must wait until the
+        // previous sequence has fully reached the platters — otherwise the
+        // journal could name intent N while intent N-1's writes are still
+        // in flight and unreplayable. The barrier is free on the simulated
+        // array and skipped entirely without a journal.
+        let sink = self.dur.meta.clone();
+        if sink.is_some() {
+            self.dur.array.write_barrier()?;
+        }
         let nvram = Arc::clone(&self.dur.intent);
         let mut intent_slot = nvram.lock();
         *intent_slot = Some(WriteIntent {
@@ -396,6 +483,10 @@ impl Engine {
             data: new.clone(),
             parity: staged,
         });
+        if let (Some(sink), Some(intent)) = (&sink, intent_slot.as_ref()) {
+            // Durable before any platter write of this sequence enqueues.
+            sink.intent_set(&intent.to_record());
+        }
         let mut result = Ok(());
         if let Some(intent) = intent_slot.as_ref() {
             result = self.write_with_parity_platter(page, new, g, &intent.parity);
@@ -931,6 +1022,11 @@ impl Engine {
                 active: vec![],
             });
         }
+        // Commit durability barrier: every platter write this commit
+        // depends on (FORCE write-backs, earlier steals) must be on stable
+        // storage before the commit record is. A no-op on the simulated
+        // array; on a real backend it drains the per-disk write queues.
+        self.dur.array.write_barrier()?;
         self.log.force();
 
         // The twin flip: the working parity of every group this
@@ -1306,6 +1402,10 @@ impl Engine {
             v.sort();
             v
         };
+        // Redo after a restart starts at this checkpoint, which asserts
+        // that every page propagated above is on disk — make it true on a
+        // real backend before the record becomes durable.
+        self.dur.array.write_barrier()?;
         self.log.append(LogRecord::Checkpoint {
             kind: CheckpointKind::Acc,
             active,

@@ -38,6 +38,7 @@
 
 mod archive;
 mod audit;
+mod backend;
 mod chain;
 mod config;
 mod db;
@@ -51,6 +52,7 @@ mod twin;
 
 pub use archive::Archive;
 pub use audit::AuditReport;
+pub use backend::{BackendSetup, IntentRecord, MetaSink, RestoredState};
 pub use chain::ChainDirectory;
 pub use config::{
     CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity, ProtocolMutations,
@@ -64,8 +66,8 @@ pub use scrub::ScrubReport;
 pub use twin::{TwinDirectory, TwinMeta, TwinState};
 
 // Re-export the identifiers users see in APIs.
-pub use rda_array::{DataPageId, GroupId, ParitySlot};
-pub use rda_wal::TxnId;
+pub use rda_array::{BlockDevice, DataPageId, DefaultDisk, GroupId, ParitySlot};
+pub use rda_wal::{LogRecord, LogSink, TxnId};
 
 // Re-export the observability surface so downstream crates (sim, faults,
 // bench, examples) need no direct `rda-obs` dependency to consume it.

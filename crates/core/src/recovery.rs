@@ -24,7 +24,7 @@
 use crate::config::{EotPolicy, LogGranularity};
 use crate::engine::Engine;
 use crate::error::{DbError, Result};
-use rda_array::{DataPageId, DiskId, GroupId, Page, ParitySlot};
+use rda_array::{BlockDevice, DataPageId, DiskId, GroupId, Page, ParitySlot};
 use rda_obs::{EventKind, RecoveryPhase, Timeline};
 use rda_wal::{Analysis, LogRecord, Lsn, TxnId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -79,7 +79,7 @@ impl PartialEq for RecoveryReport {
 
 impl Eq for RecoveryReport {}
 
-impl Engine {
+impl<D: BlockDevice> Engine<D> {
     /// Simulate a system failure: all volatile state is lost. The array,
     /// the durable log, and the twin directory (parity page headers)
     /// survive.
@@ -148,6 +148,11 @@ impl Engine {
                 }
             }
             *self.dur.intent.lock() = None;
+            if let Some(sink) = &self.dur.meta {
+                // The journaled intent is consumed; a second restart must
+                // not replay it over post-recovery writes.
+                sink.intent_clear();
+            }
             report.intent_replays += 1;
             self.obs.tracer.emit(|| EventKind::IntentReplay {
                 page: intent.page.0,
@@ -291,9 +296,22 @@ impl Engine {
         close_phase(&mut report.timeline, RecoveryPhase::BitmapScan);
 
         // ---- finish -------------------------------------------------------
+        // Sweep stale chains. Losers' entries were cleared page by page as
+        // their undos completed; anything left belongs to a transaction
+        // whose outcome record became durable but whose EOT chain reset did
+        // not — a window that only exists on real storage, where the
+        // process can die between the log force and the header reclamation.
+        // No transaction is alive at this point, so every survivor is dead.
+        for txn in self.dur.chain.txns() {
+            self.dur.chain.clear_txn(txn);
+        }
         for loser in &report.losers {
             self.log.append(LogRecord::Abort { txn: *loser });
         }
+        // Recovery is idempotent, but once the losers' Abort records are
+        // durable a later restart will not revisit them — so the repair
+        // writes they summarize must be on stable storage first.
+        self.dur.array.write_barrier()?;
         self.log.force();
 
         let max_txn = analysis.outcomes.keys().map(|t| t.0).max().unwrap_or(0);

@@ -11,7 +11,7 @@
 
 use crate::engine::Engine;
 use crate::error::{DbError, Result};
-use rda_array::{ArrayError, GroupId};
+use rda_array::{ArrayError, BlockDevice, GroupId};
 use rda_obs::EventKind;
 
 /// Outcome of one scrub pass.
@@ -30,7 +30,7 @@ pub struct ScrubReport {
     pub parity_corrected: u64,
 }
 
-impl Engine {
+impl<D: BlockDevice> Engine<D> {
     /// Scrub every group: read all data pages (repairing unreadable
     /// sectors via XOR reconstruction) and verify/repair the committed
     /// parity. Requires quiescence so every group is clean and the

@@ -21,8 +21,10 @@
 //!  working --(txn aborts)--> invalid
 //! ```
 
+use crate::backend::MetaSink;
 use parking_lot::Mutex;
 use rda_array::{GroupId, ParitySlot};
+use std::sync::Arc;
 
 /// State of one twin parity page (paper Figure 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +50,9 @@ pub struct TwinMeta {
 }
 
 impl TwinMeta {
-    fn fresh() -> TwinMeta {
+    /// The header pair of a freshly formatted group.
+    #[must_use]
+    pub fn fresh() -> TwinMeta {
         // A freshly formatted array: P0 holds the (all-zero) committed
         // parity, P1 is obsolete.
         TwinMeta {
@@ -73,14 +77,31 @@ impl TwinMeta {
 /// the Figure-8 transitions.
 pub struct TwinDirectory {
     metas: Mutex<Vec<TwinMeta>>,
+    /// Optional backend journal: every header mutation is mirrored there
+    /// synchronously, the way a real header travels inside its page write.
+    sink: Option<Arc<dyn MetaSink>>,
 }
 
 impl TwinDirectory {
     /// Directory for `groups` freshly formatted groups.
     #[must_use]
     pub fn new(groups: u32) -> TwinDirectory {
+        TwinDirectory::restore(vec![TwinMeta::fresh(); groups as usize], None)
+    }
+
+    /// Directory over headers read back from a backend journal (or fresh
+    /// ones), mirroring future mutations into `sink`.
+    #[must_use]
+    pub fn restore(metas: Vec<TwinMeta>, sink: Option<Arc<dyn MetaSink>>) -> TwinDirectory {
         TwinDirectory {
-            metas: Mutex::new(vec![TwinMeta::fresh(); groups as usize]),
+            metas: Mutex::new(metas),
+            sink,
+        }
+    }
+
+    fn journal(&self, g: GroupId, meta: TwinMeta) {
+        if let Some(sink) = &self.sink {
+            sink.twin_meta(g.0, meta);
         }
     }
 
@@ -131,6 +152,9 @@ impl TwinDirectory {
         );
         meta.ts[work.index()] = now;
         meta.state[work.index()] = TwinState::Working;
+        let snap = *meta;
+        drop(metas);
+        self.journal(g, snap);
         work
     }
 
@@ -144,6 +168,9 @@ impl TwinDirectory {
         debug_assert_eq!(meta.state[working.index()], TwinState::Working);
         meta.state[working.index()] = TwinState::Committed;
         meta.state[working.other().index()] = TwinState::Obsolete;
+        let snap = *meta;
+        drop(metas);
+        self.journal(g, snap);
     }
 
     /// Invalidate the working twin after an abort: reset its timestamp so
@@ -153,6 +180,9 @@ impl TwinDirectory {
         let meta = &mut metas[g.0 as usize];
         meta.ts[working.index()] = 0;
         meta.state[working.index()] = TwinState::Invalid;
+        let snap = *meta;
+        drop(metas);
+        self.journal(g, snap);
     }
 
     /// Force a group's headers to name `slot` as committed with timestamp
@@ -164,6 +194,9 @@ impl TwinDirectory {
         meta.state[slot.index()] = TwinState::Committed;
         meta.ts[slot.other().index()] = 0;
         meta.state[slot.other().index()] = TwinState::Obsolete;
+        let snap = *meta;
+        drop(metas);
+        self.journal(g, snap);
     }
 }
 

@@ -1,0 +1,427 @@
+//! [`FileDisk`]: a real-file [`BlockDevice`] behind the same fault seam
+//! as [`SimDisk`](rda_array::SimDisk).
+//!
+//! Every read and write consults the installed [`HookState`] *in the
+//! calling thread, at submission* — before anything is queued — so a
+//! fault schedule's "k-th physical I/O" lands on the same operation it
+//! would hit on the simulated backend. The fault-arm semantics mirror
+//! `SimDisk` one for one; the differences are purely physical:
+//!
+//! * writes are acknowledged into a per-disk [`WriteQueue`] and reach the
+//!   platter from a writer thread (reads stay read-your-writes via the
+//!   queue);
+//! * torn pages live on the platter as a checksum mismatch rather than in
+//!   a memory set, so they survive a process death;
+//! * injected *latent* errors remain process-local test state (a real
+//!   drive's rot is physical; an injected one dies with the injector).
+
+use crate::io::{BlockImage, DiskFiles};
+use crate::queue::{QueueStats, WriteQueue};
+use parking_lot::Mutex;
+use rda_array::{ArrayError, BlockDevice, DiskId, FaultAction, HookState, Page};
+use std::collections::HashSet;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How eagerly the writer thread pushes data to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// Fsync only at explicit [`BlockDevice::barrier`] points (commit,
+    /// checkpoint, recovery finish). The queue drains to the files
+    /// continuously but stable storage is only guaranteed at barriers —
+    /// the default, and the cheaper mode.
+    #[default]
+    FsyncOnBarrier,
+    /// Fsync after every drained batch, approximating an O_DSYNC device.
+    /// Barriers then only need to drain the queue.
+    SyncEachBatch,
+}
+
+struct DiskState {
+    failed: bool,
+    bad_blocks: HashSet<u64>,
+}
+
+/// One file-backed disk of the array.
+pub struct FileDisk {
+    id: DiskId,
+    block_count: u64,
+    page_size: usize,
+    mode: DurabilityMode,
+    files: Arc<DiskFiles>,
+    queue: Arc<WriteQueue>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    state: Mutex<DiskState>,
+    hook: Mutex<Option<HookState>>,
+}
+
+impl FileDisk {
+    /// Create the backing files for a fresh disk and start its writer
+    /// thread.
+    ///
+    /// # Errors
+    /// Any file-system error creating or sizing the backing files.
+    pub fn create(
+        dir: &Path,
+        id: DiskId,
+        block_count: u64,
+        page_size: usize,
+        mode: DurabilityMode,
+    ) -> io::Result<FileDisk> {
+        let files = DiskFiles::create(dir, id.0, block_count, page_size)?;
+        Ok(FileDisk::over(files, id, page_size, mode))
+    }
+
+    /// Open a disk over surviving files (geometry is validated against
+    /// the file sizes) and start its writer thread.
+    ///
+    /// # Errors
+    /// The files are missing or their sizes do not match the geometry.
+    pub fn open(
+        dir: &Path,
+        id: DiskId,
+        block_count: u64,
+        page_size: usize,
+        mode: DurabilityMode,
+    ) -> io::Result<FileDisk> {
+        let files = DiskFiles::open(dir, id.0, block_count, page_size)?;
+        Ok(FileDisk::over(files, id, page_size, mode))
+    }
+
+    fn over(files: DiskFiles, id: DiskId, page_size: usize, mode: DurabilityMode) -> FileDisk {
+        let block_count = files.block_count();
+        let files = Arc::new(files);
+        let queue = WriteQueue::new(Arc::clone(&files), mode == DurabilityMode::SyncEachBatch);
+        let worker = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.run_worker())
+        };
+        FileDisk {
+            id,
+            block_count,
+            page_size,
+            mode,
+            files,
+            queue,
+            worker: Mutex::new(Some(worker)),
+            state: Mutex::new(DiskState {
+                failed: false,
+                bad_blocks: HashSet::new(),
+            }),
+            hook: Mutex::new(None),
+        }
+    }
+
+    /// Queue traffic counters, for metric views.
+    #[must_use]
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Shared handle to this disk's queue, so metric views can keep
+    /// observing it after the disk moves into the array.
+    pub(crate) fn queue_handle(&self) -> Arc<WriteQueue> {
+        Arc::clone(&self.queue)
+    }
+
+    fn consult_hook(&self, block: u64, is_write: bool) -> FaultAction {
+        let guard = self.hook.lock();
+        let Some(state) = guard.as_ref() else {
+            return FaultAction::Proceed;
+        };
+        state.consult(self.id, block, is_write)
+    }
+
+    fn backend_err(&self, msg: String) -> ArrayError {
+        ArrayError::Backend { disk: self.id, msg }
+    }
+
+    /// The shared read-side gate: fault hook, then failure states — the
+    /// same order as `SimDisk::readable`. On success the caller may pull
+    /// the image from the queue or the files.
+    fn read_gate(&self, block: u64) -> rda_array::Result<()> {
+        debug_assert!(block < self.block_count, "block out of range");
+        match self.consult_hook(block, false) {
+            FaultAction::Proceed => {}
+            FaultAction::Transient => {
+                return Err(ArrayError::Transient {
+                    disk: self.id,
+                    block,
+                });
+            }
+            FaultAction::Latent => {
+                self.state.lock().bad_blocks.insert(block);
+            }
+            FaultAction::FailDisk => {
+                self.state.lock().failed = true;
+            }
+            FaultAction::TornWrite | FaultAction::Crash => return Err(ArrayError::Crashed),
+        }
+        let state = self.state.lock();
+        if state.failed {
+            return Err(ArrayError::DiskFailed(self.id));
+        }
+        if state.bad_blocks.contains(&block) {
+            return Err(ArrayError::MediaError {
+                disk: self.id,
+                block,
+            });
+        }
+        Ok(())
+    }
+
+    /// Current content of a readable block: the queue's freshest image,
+    /// else the platter (which may expose a tear).
+    fn current_image(&self, block: u64) -> rda_array::Result<Page> {
+        if let Some(page) = self
+            .queue
+            .cached(block)
+            .map_err(|msg| self.backend_err(msg))?
+        {
+            return Ok(page);
+        }
+        match self.files.read_block(block) {
+            Ok(BlockImage::Intact(page)) => Ok(page),
+            Ok(BlockImage::Torn) => Err(ArrayError::TornPage {
+                disk: self.id,
+                block,
+            }),
+            Err(e) => Err(self.backend_err(format!("read of block {block} failed: {e}"))),
+        }
+    }
+}
+
+impl BlockDevice for FileDisk {
+    fn id(&self) -> DiskId {
+        self.id
+    }
+
+    fn block_count(&self) -> u64 {
+        self.block_count
+    }
+
+    fn set_fault_hook(&self, state: Option<HookState>) {
+        *self.hook.lock() = state;
+    }
+
+    fn read(&self, block: u64) -> rda_array::Result<Page> {
+        self.read_gate(block)?;
+        self.current_image(block)
+    }
+
+    fn read_xor_into(&self, block: u64, dst: &mut Page) -> rda_array::Result<()> {
+        self.read_gate(block)?;
+        let page = self.current_image(block)?;
+        dst.xor_in_place(&page);
+        Ok(())
+    }
+
+    fn write(&self, block: u64, page: &Page) -> rda_array::Result<()> {
+        debug_assert!(block < self.block_count, "block out of range");
+        if page.len() != self.page_size {
+            return Err(ArrayError::PageSizeMismatch {
+                expected: self.page_size,
+                got: page.len(),
+            });
+        }
+        let action = self.consult_hook(block, true);
+        let mut state = self.state.lock();
+        match action {
+            FaultAction::Proceed | FaultAction::Latent => {}
+            FaultAction::Transient => {
+                return Err(ArrayError::Transient {
+                    disk: self.id,
+                    block,
+                });
+            }
+            FaultAction::FailDisk => {
+                state.failed = true;
+            }
+            FaultAction::TornWrite => {
+                if state.failed {
+                    return Err(ArrayError::DiskFailed(self.id));
+                }
+                drop(state);
+                // Make the tear physical: everything acknowledged before
+                // this write reaches the platter first, then the half-new
+                // image lands without its checksum. Both are best-effort —
+                // the machine is losing power.
+                let _ = self.queue.drain();
+                let _ = self.files.write_torn_half(block, Some(page.as_ref()));
+                return Err(ArrayError::Crashed);
+            }
+            FaultAction::Crash => return Err(ArrayError::Crashed),
+        }
+        if state.failed {
+            return Err(ArrayError::DiskFailed(self.id));
+        }
+        // The landing write refreshes the checksum, healing any torn
+        // image; an injected latent error rots the block *after* the
+        // write appears to succeed, like SimDisk.
+        state.bad_blocks.remove(&block);
+        if action == FaultAction::Latent {
+            state.bad_blocks.insert(block);
+        }
+        drop(state);
+        self.queue
+            .enqueue(block, page.clone())
+            .map_err(|msg| self.backend_err(msg))
+    }
+
+    fn fail(&self) {
+        self.state.lock().failed = true;
+    }
+
+    fn is_failed(&self) -> bool {
+        self.state.lock().failed
+    }
+
+    fn corrupt_block(&self, block: u64) {
+        debug_assert!(block < self.block_count);
+        self.state.lock().bad_blocks.insert(block);
+    }
+
+    fn tear_block(&self, block: u64) {
+        debug_assert!(block < self.block_count);
+        let _ = self.queue.drain();
+        let _ = self.files.write_torn_half(block, None);
+    }
+
+    fn replace(&self) {
+        // Flush or forget whatever the dead drive still had queued, then
+        // hand over a factory-blank platter.
+        self.queue.reset();
+        let _ = self.files.reset_zero();
+        let mut state = self.state.lock();
+        state.failed = false;
+        state.bad_blocks.clear();
+    }
+
+    fn barrier(&self) -> rda_array::Result<()> {
+        self.queue.drain().map_err(|msg| self.backend_err(msg))?;
+        if self.mode == DurabilityMode::FsyncOnBarrier {
+            self.files
+                .sync()
+                .map_err(|e| self.backend_err(format!("barrier sync failed: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for FileDisk {
+    fn drop(&mut self) {
+        self.queue.shutdown();
+        if let Some(worker) = self.worker.lock().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rda-disk-dev-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn disk(dir: &Path) -> FileDisk {
+        FileDisk::create(dir, DiskId(0), 16, 32, DurabilityMode::FsyncOnBarrier).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_zero_default() {
+        let dir = tmpdir("roundtrip");
+        let d = disk(&dir);
+        assert!(d.read(5).unwrap().is_zeroed());
+        let p = Page::from_bytes(&[7u8; 32]);
+        d.write(3, &p).unwrap();
+        assert_eq!(d.read(3).unwrap(), p, "read-your-writes through the queue");
+        BlockDevice::barrier(&d).unwrap();
+        assert_eq!(
+            d.read(3).unwrap(),
+            p,
+            "and from the platter after a barrier"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contents_survive_reopen() {
+        let dir = tmpdir("reopen");
+        let d = disk(&dir);
+        d.write(2, &Page::from_bytes(&[0xCD; 32])).unwrap();
+        BlockDevice::barrier(&d).unwrap();
+        drop(d);
+        let d = FileDisk::open(&dir, DiskId(0), 16, 32, DurabilityMode::FsyncOnBarrier).unwrap();
+        assert_eq!(d.read(2).unwrap().as_ref()[0], 0xCD);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_modes_mirror_sim_disk() {
+        let dir = tmpdir("faults");
+        let d = disk(&dir);
+        d.write(1, &Page::from_bytes(&[1u8; 32])).unwrap();
+        d.corrupt_block(1);
+        assert!(matches!(d.read(1), Err(ArrayError::MediaError { .. })));
+        d.write(1, &Page::from_bytes(&[2u8; 32])).unwrap();
+        assert_eq!(d.read(1).unwrap().as_ref()[0], 2, "rewrite heals latent");
+        d.tear_block(1);
+        assert!(matches!(d.read(1), Err(ArrayError::TornPage { .. })));
+        d.write(1, &Page::from_bytes(&[3u8; 32])).unwrap();
+        BlockDevice::barrier(&d).unwrap();
+        assert_eq!(d.read(1).unwrap().as_ref()[0], 3, "rewrite heals tear");
+        d.fail();
+        assert!(matches!(d.read(1), Err(ArrayError::DiskFailed(_))));
+        d.replace();
+        assert!(d.read(1).unwrap().is_zeroed(), "replacement is blank");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_block_survives_reopen() {
+        let dir = tmpdir("torn-durable");
+        let d = disk(&dir);
+        d.write(4, &Page::from_bytes(&[6u8; 32])).unwrap();
+        BlockDevice::barrier(&d).unwrap();
+        d.tear_block(4);
+        drop(d);
+        let d = FileDisk::open(&dir, DiskId(0), 16, 32, DurabilityMode::FsyncOnBarrier).unwrap();
+        assert!(
+            matches!(d.read(4), Err(ArrayError::TornPage { .. })),
+            "the tear is physical, not process state"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_page_size_rejected() {
+        let dir = tmpdir("size");
+        let d = disk(&dir);
+        assert_eq!(
+            d.write(0, &Page::zeroed(16)).unwrap_err(),
+            ArrayError::PageSizeMismatch {
+                expected: 32,
+                got: 16
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_each_batch_mode_works() {
+        let dir = tmpdir("dsync");
+        let d = FileDisk::create(&dir, DiskId(0), 16, 32, DurabilityMode::SyncEachBatch).unwrap();
+        d.write(0, &Page::from_bytes(&[9u8; 32])).unwrap();
+        BlockDevice::barrier(&d).unwrap();
+        assert_eq!(d.read(0).unwrap().as_ref()[0], 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,48 @@
+//! # rda-disk — the file-backed storage backend
+//!
+//! Real files behind the [`BlockDevice`](rda_array::BlockDevice) seam:
+//! the same parity protocol, fault hooks and recovery machinery as the
+//! simulated array, but over a directory of actual files — so "crash"
+//! can mean a killed process and "recovery" can mean reopening whatever
+//! the file system kept.
+//!
+//! * [`FileDisk`] — one disk = one data file + one checksum file, with a
+//!   per-disk writer thread fed by a coalescing submission queue. Torn
+//!   pages are physical (image/checksum mismatch) and survive process
+//!   death; the [`FaultHook`](rda_array::FaultHook) seam injects the
+//!   same fault schedules as on `SimDisk`.
+//! * [`FileMetaStore`] / [`FileLogSink`] — append-only journals for the
+//!   state the simulator keeps in page headers, modeled NVRAM and the
+//!   in-memory log: twin parity headers, TWIST steal chains, the staged
+//!   write intent, and the WAL itself.
+//! * [`create_database`] / [`reopen_database`] — format a directory, or
+//!   replay its journals into a [`Database`](rda_core::Database) that
+//!   recovers exactly like the simulated crash/recover cycle.
+//!
+//! ```no_run
+//! use rda_core::{DbConfig, EngineKind};
+//! use rda_disk::{create_database, reopen_database, DurabilityMode};
+//!
+//! let dir = std::path::Path::new("/tmp/rda-demo");
+//! let cfg = DbConfig::small_test(EngineKind::Rda);
+//! let db = create_database(dir, cfg.clone(), DurabilityMode::FsyncOnBarrier).unwrap();
+//! let mut tx = db.begin();
+//! tx.write(3, b"hello files").unwrap();
+//! tx.commit().unwrap();
+//! drop(db); // or SIGKILL the process...
+//!
+//! let db = reopen_database(dir, cfg, DurabilityMode::FsyncOnBarrier).unwrap();
+//! db.recover().unwrap();
+//! assert_eq!(&db.read_page(3).unwrap()[..11], b"hello files");
+//! ```
+
+mod disk;
+mod io;
+mod meta;
+mod open;
+mod queue;
+
+pub use disk::{DurabilityMode, FileDisk};
+pub use meta::{FileLogSink, FileMetaStore};
+pub use open::{create_database, reopen_database, FileDb, StorageError};
+pub use queue::QueueStats;

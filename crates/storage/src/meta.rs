@@ -1,0 +1,594 @@
+//! The two metadata journals of a file-backed database, plus their
+//! crash-tolerant frame format.
+//!
+//! * `meta.journal` ([`FileMetaStore`]) persists what the simulated array
+//!   keeps in page headers and modeled NVRAM: twin parity headers, the
+//!   TWIST steal chain, and the staged write intent. It implements
+//!   [`MetaSink`], so every mutation in `rda-core` is mirrored here
+//!   synchronously.
+//! * `wal.journal` ([`FileLogSink`]) mirrors the write-ahead log through
+//!   the [`LogSink`] seam, reusing `rda-wal`'s record codec.
+//!
+//! Both files are append-only streams of length-prefixed frames. A
+//! process death can leave at most a partial frame at the tail; loading
+//! stops at the first incomplete or undecodable frame, which is exactly
+//!   the not-yet-durable suffix. Log truncation appends an O(1) marker
+//! frame instead of rewriting the file; the whole journal is compacted to
+//! a snapshot on every reopen.
+//!
+//! Durability policy: frames that *gate* platter writes (intent staging,
+//! chain links, twin header flips) are fsynced as they are appended;
+//! pure compaction hints (chain/intent clears, truncate markers) are
+//! not. WAL frames are fsynced when the store forces, via
+//! [`LogSink::sync`]. An append or fsync failure panics: a journal that
+//! cannot persist has no honest way to keep accepting mutations.
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use rda_core::{IntentRecord, MetaSink, TwinMeta, TwinState};
+use rda_wal::{codec, LogRecord, LogSink};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const TAG_TWIN_META: u8 = 1;
+const TAG_CHAIN_STEAL: u8 = 2;
+const TAG_CHAIN_CLEAR_TXN: u8 = 3;
+const TAG_CHAIN_CLEAR_PAGE: u8 = 4;
+const TAG_INTENT_SET: u8 = 5;
+const TAG_INTENT_CLEAR: u8 = 6;
+/// `wal.journal` frame tags share the numbering but live in their own file.
+const TAG_WAL_RECORD: u8 = 16;
+const TAG_WAL_TRUNCATE: u8 = 17;
+
+/// Append one length-prefixed frame, optionally forcing it to stable
+/// storage before returning.
+fn append_frame(file: &mut File, payload: &[u8], sync: bool) -> io::Result<()> {
+    file.write_all(&(payload.len() as u32).to_le_bytes())?;
+    file.write_all(payload)?;
+    if sync {
+        file.sync_data()?;
+    }
+    Ok(())
+}
+
+/// Split a journal byte stream into complete frames, dropping the
+/// (possibly torn) tail.
+fn frames(buf: &[u8]) -> Vec<&[u8]> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 4 {
+        let len = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]) as usize;
+        pos += 4;
+        if buf.len() - pos < len {
+            break;
+        }
+        out.push(&buf[pos..pos + len]);
+        pos += len;
+    }
+    out
+}
+
+/// Forward-only decoder over one frame; every taker returns `None` on
+/// underrun so a corrupt frame just ends the replay.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        self.take(len).map(<[u8]>::to_vec)
+    }
+}
+
+fn twin_state_code(s: TwinState) -> u8 {
+    match s {
+        TwinState::Committed => 0,
+        TwinState::Obsolete => 1,
+        TwinState::Working => 2,
+        TwinState::Invalid => 3,
+    }
+}
+
+fn twin_state_from(code: u8) -> Option<TwinState> {
+    match code {
+        0 => Some(TwinState::Committed),
+        1 => Some(TwinState::Obsolete),
+        2 => Some(TwinState::Working),
+        3 => Some(TwinState::Invalid),
+        _ => None,
+    }
+}
+
+fn encode_twin_meta(group: u32, meta: TwinMeta) -> Vec<u8> {
+    let mut out = vec![TAG_TWIN_META];
+    out.extend_from_slice(&group.to_le_bytes());
+    out.extend_from_slice(&meta.ts[0].to_le_bytes());
+    out.extend_from_slice(&meta.ts[1].to_le_bytes());
+    out.push(twin_state_code(meta.state[0]));
+    out.push(twin_state_code(meta.state[1]));
+    out
+}
+
+fn encode_intent(intent: &IntentRecord) -> Vec<u8> {
+    let mut out = vec![TAG_INTENT_SET];
+    out.extend_from_slice(&intent.page.to_le_bytes());
+    out.extend_from_slice(&(intent.data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&intent.data);
+    out.extend_from_slice(&(intent.parity.len() as u32).to_le_bytes());
+    for (group, slot, data) in &intent.parity {
+        out.extend_from_slice(&group.to_le_bytes());
+        out.push(*slot);
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Everything `meta.journal` held when the database was reopened.
+pub(crate) struct MetaSnapshot {
+    pub twin_metas: Vec<TwinMeta>,
+    pub chains: Vec<(u64, Vec<u32>)>,
+    pub intent: Option<IntentRecord>,
+}
+
+/// The durable side of twin headers, steal chains and staged intents.
+pub struct FileMetaStore {
+    file: Mutex<File>,
+}
+
+impl FileMetaStore {
+    fn journal_path(dir: &Path) -> PathBuf {
+        dir.join("meta.journal")
+    }
+
+    /// Create an empty journal for a freshly formatted database.
+    pub(crate) fn create(dir: &Path) -> io::Result<FileMetaStore> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(FileMetaStore::journal_path(dir))?;
+        Ok(FileMetaStore {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Replay the journal of a surviving database, compact it to a
+    /// snapshot, and return the store plus the state it held.
+    pub(crate) fn load(dir: &Path, groups: u32) -> io::Result<(FileMetaStore, MetaSnapshot)> {
+        let path = FileMetaStore::journal_path(dir);
+        let mut buf = Vec::new();
+        File::open(&path)?.read_to_end(&mut buf)?;
+
+        let mut twins = vec![TwinMeta::fresh(); groups as usize];
+        let mut chains: BTreeMap<u64, BTreeSet<u32>> = BTreeMap::new();
+        let mut intent: Option<IntentRecord> = None;
+        'replay: for frame in frames(&buf) {
+            let mut c = Cursor { buf: frame };
+            let Some(tag) = c.u8() else { break };
+            match tag {
+                TAG_TWIN_META => {
+                    let (Some(group), Some(ts0), Some(ts1), Some(s0), Some(s1)) =
+                        (c.u32(), c.u64(), c.u64(), c.u8(), c.u8())
+                    else {
+                        break 'replay;
+                    };
+                    let (Some(state0), Some(state1)) = (twin_state_from(s0), twin_state_from(s1))
+                    else {
+                        break 'replay;
+                    };
+                    if let Some(slot) = twins.get_mut(group as usize) {
+                        *slot = TwinMeta {
+                            ts: [ts0, ts1],
+                            state: [state0, state1],
+                        };
+                    }
+                }
+                TAG_CHAIN_STEAL => {
+                    let (Some(txn), Some(page)) = (c.u64(), c.u32()) else {
+                        break 'replay;
+                    };
+                    chains.entry(txn).or_default().insert(page);
+                }
+                TAG_CHAIN_CLEAR_TXN => {
+                    let Some(txn) = c.u64() else { break 'replay };
+                    chains.remove(&txn);
+                }
+                TAG_CHAIN_CLEAR_PAGE => {
+                    let (Some(txn), Some(page)) = (c.u64(), c.u32()) else {
+                        break 'replay;
+                    };
+                    if let Some(set) = chains.get_mut(&txn) {
+                        set.remove(&page);
+                        if set.is_empty() {
+                            chains.remove(&txn);
+                        }
+                    }
+                }
+                TAG_INTENT_SET => {
+                    let (Some(page), Some(data)) = (c.u32(), c.bytes()) else {
+                        break 'replay;
+                    };
+                    let Some(n) = c.u32() else { break 'replay };
+                    let mut parity = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        let (Some(group), Some(slot), Some(bytes)) = (c.u32(), c.u8(), c.bytes())
+                        else {
+                            break 'replay;
+                        };
+                        parity.push((group, slot, bytes));
+                    }
+                    intent = Some(IntentRecord { page, data, parity });
+                }
+                TAG_INTENT_CLEAR => intent = None,
+                _ => break 'replay,
+            }
+        }
+
+        // Compact: rewrite the whole history as one snapshot.
+        let tmp = path.with_extension("journal.tmp");
+        let mut out = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        for (group, meta) in twins.iter().enumerate() {
+            append_frame(&mut out, &encode_twin_meta(group as u32, *meta), false)?;
+        }
+        for (txn, pages) in &chains {
+            for page in pages {
+                let mut payload = vec![TAG_CHAIN_STEAL];
+                payload.extend_from_slice(&txn.to_le_bytes());
+                payload.extend_from_slice(&page.to_le_bytes());
+                append_frame(&mut out, &payload, false)?;
+            }
+        }
+        if let Some(intent) = &intent {
+            append_frame(&mut out, &encode_intent(intent), false)?;
+        }
+        out.sync_data()?;
+        std::fs::rename(&tmp, &path)?;
+
+        let snapshot = MetaSnapshot {
+            twin_metas: twins,
+            chains: chains
+                .into_iter()
+                .map(|(txn, pages)| (txn, pages.into_iter().collect()))
+                .collect(),
+            intent,
+        };
+        Ok((
+            FileMetaStore {
+                file: Mutex::new(out),
+            },
+            snapshot,
+        ))
+    }
+
+    fn append(&self, payload: &[u8], sync: bool) {
+        let mut file = self.file.lock();
+        if let Err(e) = append_frame(&mut file, payload, sync) {
+            panic!("meta journal append failed, durability is lost: {e}");
+        }
+    }
+}
+
+impl MetaSink for FileMetaStore {
+    fn twin_meta(&self, group: u32, meta: TwinMeta) {
+        self.append(&encode_twin_meta(group, meta), true);
+    }
+
+    fn chain_steal(&self, txn: u64, page: u32) {
+        let mut payload = vec![TAG_CHAIN_STEAL];
+        payload.extend_from_slice(&txn.to_le_bytes());
+        payload.extend_from_slice(&page.to_le_bytes());
+        self.append(&payload, true);
+    }
+
+    fn chain_clear_txn(&self, txn: u64) {
+        let mut payload = vec![TAG_CHAIN_CLEAR_TXN];
+        payload.extend_from_slice(&txn.to_le_bytes());
+        self.append(&payload, false);
+    }
+
+    fn chain_clear_page(&self, txn: u64, page: u32) {
+        let mut payload = vec![TAG_CHAIN_CLEAR_PAGE];
+        payload.extend_from_slice(&txn.to_le_bytes());
+        payload.extend_from_slice(&page.to_le_bytes());
+        self.append(&payload, false);
+    }
+
+    fn intent_set(&self, intent: &IntentRecord) {
+        self.append(&encode_intent(intent), true);
+    }
+
+    fn intent_clear(&self) {
+        self.append(&[TAG_INTENT_CLEAR], false);
+    }
+}
+
+/// The durable mirror of the write-ahead log.
+pub struct FileLogSink {
+    file: Mutex<File>,
+}
+
+impl FileLogSink {
+    fn journal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.journal")
+    }
+
+    /// Create an empty WAL journal.
+    pub(crate) fn create(dir: &Path) -> io::Result<FileLogSink> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(FileLogSink::journal_path(dir))?;
+        Ok(FileLogSink {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Replay the WAL journal of a surviving database, compact it, and
+    /// return the sink plus `(base, records)` for
+    /// [`LogStore::restore`](rda_wal::LogStore::restore).
+    pub(crate) fn load(dir: &Path) -> io::Result<(FileLogSink, u64, Vec<LogRecord>)> {
+        let path = FileLogSink::journal_path(dir);
+        let mut buf = Vec::new();
+        File::open(&path)?.read_to_end(&mut buf)?;
+
+        let mut base = 0u64;
+        let mut records: Vec<(u64, LogRecord)> = Vec::new();
+        let mut next_lsn = 0u64;
+        for frame in frames(&buf) {
+            let mut c = Cursor { buf: frame };
+            let Some(tag) = c.u8() else { break };
+            match tag {
+                TAG_WAL_RECORD => {
+                    let mut bytes = Bytes::from(c.buf.to_vec());
+                    let Ok(record) = codec::decode(&mut bytes) else {
+                        break;
+                    };
+                    records.push((next_lsn, record));
+                    next_lsn += 1;
+                }
+                TAG_WAL_TRUNCATE => {
+                    let Some(new_base) = c.u64() else { break };
+                    base = base.max(new_base);
+                    records.retain(|(lsn, _)| *lsn >= base);
+                    // A compacted journal opens with a marker *before* its
+                    // records: the marker also declares where the surviving
+                    // numbering starts.
+                    next_lsn = next_lsn.max(base);
+                }
+                _ => break,
+            }
+        }
+
+        // Compact: a single truncate marker, then the surviving records.
+        let tmp = path.with_extension("journal.tmp");
+        let mut out = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        let mut marker = vec![TAG_WAL_TRUNCATE];
+        marker.extend_from_slice(&base.to_le_bytes());
+        append_frame(&mut out, &marker, false)?;
+        let mut scratch = BytesMut::new();
+        for (_, record) in &records {
+            scratch.clear();
+            codec::encode(record, &mut scratch);
+            let mut payload = Vec::with_capacity(1 + scratch.len());
+            payload.push(TAG_WAL_RECORD);
+            payload.extend_from_slice(&scratch);
+            append_frame(&mut out, &payload, false)?;
+        }
+        out.sync_data()?;
+        std::fs::rename(&tmp, &path)?;
+
+        // The truncate marker resets the replay LSN numbering on the next
+        // load, so renumber from the marker: records keep arriving in LSN
+        // order and the marker declares where that order starts.
+        let records = records.into_iter().map(|(_, r)| r).collect();
+        Ok((
+            FileLogSink {
+                file: Mutex::new(out),
+            },
+            base,
+            records,
+        ))
+    }
+}
+
+impl LogSink for FileLogSink {
+    fn append_batch(&self, records: &[LogRecord]) {
+        let mut file = self.file.lock();
+        let mut scratch = BytesMut::new();
+        for record in records {
+            scratch.clear();
+            codec::encode(record, &mut scratch);
+            let mut payload = Vec::with_capacity(1 + scratch.len());
+            payload.push(TAG_WAL_RECORD);
+            payload.extend_from_slice(&scratch);
+            if let Err(e) = append_frame(&mut file, &payload, false) {
+                panic!("wal journal append failed, durability is lost: {e}");
+            }
+        }
+    }
+
+    fn sync(&self) {
+        if let Err(e) = self.file.lock().sync_data() {
+            panic!("wal journal sync failed, durability is lost: {e}");
+        }
+    }
+
+    fn truncated(&self, new_base: u64) {
+        let mut payload = vec![TAG_WAL_TRUNCATE];
+        payload.extend_from_slice(&new_base.to_le_bytes());
+        let mut file = self.file.lock();
+        if let Err(e) = append_frame(&mut file, &payload, false) {
+            panic!("wal journal append failed, durability is lost: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rda-disk-meta-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn meta_journal_roundtrip() {
+        let dir = tmpdir("meta-rt");
+        let store = FileMetaStore::create(&dir).unwrap();
+        let meta = TwinMeta {
+            ts: [5, 9],
+            state: [TwinState::Obsolete, TwinState::Committed],
+        };
+        store.twin_meta(1, meta);
+        store.chain_steal(42, 7);
+        store.chain_steal(42, 9);
+        store.chain_steal(43, 1);
+        store.chain_clear_txn(43);
+        store.chain_clear_page(42, 9);
+        let intent = IntentRecord {
+            page: 3,
+            data: vec![1, 2, 3],
+            parity: vec![(0, 1, vec![4, 5])],
+        };
+        store.intent_set(&intent);
+        drop(store);
+
+        let (_store, snap) = FileMetaStore::load(&dir, 4).unwrap();
+        assert_eq!(snap.twin_metas[1], meta);
+        assert_eq!(snap.twin_metas[0], TwinMeta::fresh());
+        assert_eq!(snap.chains, vec![(42, vec![7])]);
+        assert_eq!(snap.intent, Some(intent));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn intent_clear_survives() {
+        let dir = tmpdir("meta-clear");
+        let store = FileMetaStore::create(&dir).unwrap();
+        store.intent_set(&IntentRecord {
+            page: 1,
+            data: vec![0],
+            parity: vec![],
+        });
+        store.intent_clear();
+        drop(store);
+        let (_store, snap) = FileMetaStore::load(&dir, 1).unwrap();
+        assert!(snap.intent.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let dir = tmpdir("meta-torn");
+        let store = FileMetaStore::create(&dir).unwrap();
+        store.chain_steal(1, 1);
+        drop(store);
+        // Append half a frame: a length prefix promising more than exists.
+        let path = FileMetaStore::journal_path(&dir);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[200, 0, 0, 0, TAG_CHAIN_STEAL, 9]).unwrap();
+        drop(f);
+        let (_store, snap) = FileMetaStore::load(&dir, 1).unwrap();
+        assert_eq!(snap.chains, vec![(1, vec![1])]);
+        // And the compaction healed the journal.
+        let (_store, snap) = FileMetaStore::load(&dir, 1).unwrap();
+        assert_eq!(snap.chains, vec![(1, vec![1])]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_journal_roundtrip_with_truncation() {
+        let dir = tmpdir("wal-rt");
+        let sink = FileLogSink::create(&dir).unwrap();
+        let records: Vec<LogRecord> = (0..4)
+            .map(|i| LogRecord::Bot {
+                txn: rda_wal::TxnId(i),
+            })
+            .collect();
+        sink.append_batch(&records);
+        sink.sync();
+        sink.truncated(2);
+        drop(sink);
+
+        let (_sink, base, survivors) = FileLogSink::load(&dir).unwrap();
+        assert_eq!(base, 2);
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(
+            survivors[0],
+            LogRecord::Bot {
+                txn: rda_wal::TxnId(2)
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_compaction_preserves_base_numbering() {
+        let dir = tmpdir("wal-renumber");
+        let sink = FileLogSink::create(&dir).unwrap();
+        sink.append_batch(&[
+            LogRecord::Bot {
+                txn: rda_wal::TxnId(0),
+            },
+            LogRecord::Bot {
+                txn: rda_wal::TxnId(1),
+            },
+            LogRecord::Bot {
+                txn: rda_wal::TxnId(2),
+            },
+        ]);
+        sink.truncated(1);
+        drop(sink);
+        let (sink, base, survivors) = FileLogSink::load(&dir).unwrap();
+        assert_eq!((base, survivors.len()), (1, 2));
+        // Appends after a compaction keep extending the same numbering.
+        sink.append_batch(&[LogRecord::Bot {
+            txn: rda_wal::TxnId(3),
+        }]);
+        drop(sink);
+        let (_sink, base, survivors) = FileLogSink::load(&dir).unwrap();
+        assert_eq!((base, survivors.len()), (1, 3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

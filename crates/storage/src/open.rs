@@ -1,0 +1,221 @@
+//! Creating and reopening a file-backed [`Database`].
+//!
+//! A database directory holds, side by side:
+//!
+//! * `manifest.txt` — the formatted geometry, validated on reopen;
+//! * `<n>.data` / `<n>.sum` — one page file + checksum file per disk;
+//! * `meta.journal` — twin headers, steal chain, staged intent;
+//! * `wal.journal` — the durable mirror of the write-ahead log.
+//!
+//! [`create_database`] formats a fresh directory; [`reopen_database`]
+//! replays the journals into a [`RestoredState`] and hands the engine a
+//! database in needs-recovery state — the caller runs
+//! [`Database::recover`] before new work, exactly like the simulated
+//! crash/recover cycle.
+
+use crate::disk::{DurabilityMode, FileDisk};
+use crate::meta::{FileLogSink, FileMetaStore};
+use crate::queue::WriteQueue;
+use rda_array::{DiskId, Geometry};
+use rda_core::{BackendSetup, Database, DbConfig, RestoredState};
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A [`Database`] running over file-backed disks. Downstream crates name
+/// this alias; the raw device type stays confined to `rda-disk`.
+pub type FileDb = Database<FileDisk>;
+
+/// Why a database directory could not be created or reopened.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A file-system operation failed.
+    Io(io::Error),
+    /// The directory's manifest is missing, malformed, or describes a
+    /// different geometry than the supplied configuration.
+    Manifest(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Manifest(msg) => write!(f, "manifest error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Manifest(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> StorageError {
+        StorageError::Io(e)
+    }
+}
+
+const MANIFEST: &str = "manifest.txt";
+
+/// The geometry fingerprint a directory was formatted with. Plain text,
+/// one `key=value` per line, compared verbatim on reopen.
+fn manifest_contents(cfg: &DbConfig) -> String {
+    let geo = Geometry::new(&cfg.array);
+    format!(
+        "rda-disk-format=1\n\
+         organization={:?}\n\
+         n={}\n\
+         groups={}\n\
+         twin={}\n\
+         page_size={}\n\
+         disks={}\n\
+         blocks_per_disk={}\n",
+        cfg.array.organization,
+        cfg.array.n,
+        cfg.array.groups,
+        cfg.array.twin,
+        cfg.array.page_size,
+        geo.disks(),
+        geo.blocks_per_disk(),
+    )
+}
+
+/// Export the writer queues' counters through the database's metrics
+/// registry, so `metrics_json()` reports backend pressure alongside the
+/// protocol counters.
+fn register_queue_metrics(db: &FileDb, queues: Vec<Arc<WriteQueue>>) {
+    let metrics = db.metrics();
+    let qs = Arc::new(queues);
+    let q = Arc::clone(&qs);
+    metrics.register_view("disk_queue_depth", move || {
+        q.iter().map(|q| q.stats().depth).sum()
+    });
+    let q = Arc::clone(&qs);
+    metrics.register_view("disk_writes_enqueued", move || {
+        q.iter().map(|q| q.stats().enqueued).sum()
+    });
+    let q = Arc::clone(&qs);
+    metrics.register_view("disk_writes_coalesced", move || {
+        q.iter().map(|q| q.stats().coalesced).sum()
+    });
+    let q = qs;
+    metrics.register_view("disk_write_batches", move || {
+        q.iter().map(|q| q.stats().batches).sum()
+    });
+}
+
+/// Format `dir` as a fresh file-backed database and open it.
+///
+/// Refuses to clobber a directory that already holds a manifest — reopen
+/// that one instead, or remove it first.
+///
+/// # Errors
+/// [`StorageError::Manifest`] if `dir` already holds a database;
+/// [`StorageError::Io`] on any file-system failure.
+pub fn create_database(
+    dir: &Path,
+    cfg: DbConfig,
+    mode: DurabilityMode,
+) -> Result<FileDb, StorageError> {
+    std::fs::create_dir_all(dir)?;
+    let manifest = dir.join(MANIFEST);
+    if manifest.exists() {
+        return Err(StorageError::Manifest(format!(
+            "{} already holds a database; use reopen_database",
+            dir.display()
+        )));
+    }
+    std::fs::write(&manifest, manifest_contents(&cfg))?;
+    let meta = Arc::new(FileMetaStore::create(dir)?);
+    let log = Arc::new(FileLogSink::create(dir)?);
+    let (disks, queues) = make_disks(dir, &cfg, mode, FileDisk::create)?;
+    let db = Database::open_with(
+        cfg,
+        BackendSetup {
+            disks,
+            meta_sink: Some(meta),
+            log_sink: Some(log),
+            restored: None,
+        },
+    );
+    register_queue_metrics(&db, queues);
+    Ok(db)
+}
+
+/// Reopen the database living in `dir` over whatever its files survived
+/// with. The returned database is in needs-recovery state: run
+/// [`Database::recover`] before starting new transactions.
+///
+/// # Errors
+/// [`StorageError::Manifest`] if the manifest is absent or disagrees
+/// with `cfg`; [`StorageError::Io`] on any file-system failure.
+pub fn reopen_database(
+    dir: &Path,
+    cfg: DbConfig,
+    mode: DurabilityMode,
+) -> Result<FileDb, StorageError> {
+    let manifest = dir.join(MANIFEST);
+    let found = std::fs::read_to_string(&manifest)
+        .map_err(|e| StorageError::Manifest(format!("cannot read {}: {e}", manifest.display())))?;
+    let want = manifest_contents(&cfg);
+    if found != want {
+        return Err(StorageError::Manifest(format!(
+            "{} was formatted with a different geometry (found: {} / expected: {})",
+            dir.display(),
+            found.replace('\n', " "),
+            want.replace('\n', " "),
+        )));
+    }
+    let (meta, snap) = FileMetaStore::load(dir, cfg.array.groups)?;
+    let (log, log_base, log_records) = FileLogSink::load(dir)?;
+    let (disks, queues) = make_disks(dir, &cfg, mode, FileDisk::open)?;
+    let restored = RestoredState {
+        twin_metas: snap.twin_metas,
+        chains: snap.chains,
+        intent: snap.intent,
+        log_base,
+        log_records,
+    };
+    let db = Database::open_with(
+        cfg,
+        BackendSetup {
+            disks,
+            meta_sink: Some(Arc::new(meta)),
+            log_sink: Some(Arc::new(log)),
+            restored: Some(restored),
+        },
+    );
+    register_queue_metrics(&db, queues);
+    Ok(db)
+}
+
+/// Build one [`FileDisk`] per configured spindle via `make` (create or
+/// open), capturing each disk's queue handle for the metric views.
+fn make_disks(
+    dir: &Path,
+    cfg: &DbConfig,
+    mode: DurabilityMode,
+    make: fn(&Path, DiskId, u64, usize, DurabilityMode) -> io::Result<FileDisk>,
+) -> Result<(Vec<FileDisk>, Vec<Arc<WriteQueue>>), StorageError> {
+    let geo = Geometry::new(&cfg.array);
+    let mut disks = Vec::with_capacity(usize::from(geo.disks()));
+    let mut queues = Vec::with_capacity(usize::from(geo.disks()));
+    for d in 0..geo.disks() {
+        let disk = make(
+            dir,
+            DiskId(d),
+            geo.blocks_per_disk(),
+            cfg.array.page_size,
+            mode,
+        )?;
+        queues.push(disk.queue_handle());
+        disks.push(disk);
+    }
+    Ok((disks, queues))
+}

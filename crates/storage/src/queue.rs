@@ -1,0 +1,282 @@
+//! The per-disk submission/completion queue feeding one writer thread.
+//!
+//! Writes are accepted into a pending map keyed by block — a second write
+//! to a block still queued simply replaces the image (write coalescing,
+//! which is what collapses the parity twin pair's repeated updates into
+//! one platter write). The writer thread drains the whole pending map as
+//! a batch, writes it in block order, and then signals any barrier
+//! waiters. Reads are served from the queue first (pending, then the
+//! in-flight batch), so the device is always read-your-writes even while
+//! the platter lags.
+//!
+//! A failed file write poisons the queue: the error is sticky, every
+//! later enqueue or barrier surfaces it, and only a disk replacement
+//! clears it. That mirrors how a real controller fails hard rather than
+//! silently dropping a write.
+
+use crate::io::DiskFiles;
+use rda_array::Page;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Counters describing queue traffic, exported as metric views.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    /// Writes currently queued or in flight.
+    pub depth: u64,
+    /// Writes accepted since creation.
+    pub enqueued: u64,
+    /// Writes absorbed by an already-queued image of the same block.
+    pub coalesced: u64,
+    /// Batches the writer thread has drained.
+    pub batches: u64,
+}
+
+struct QueueInner {
+    /// Accepted writes not yet picked up, newest image per block.
+    pending: BTreeMap<u64, Page>,
+    /// The batch the writer thread is currently putting on the platter.
+    writing: Arc<BTreeMap<u64, Page>>,
+    /// First file-I/O failure; sticky until the disk is replaced.
+    error: Option<String>,
+    shutdown: bool,
+    enqueued: u64,
+    coalesced: u64,
+    batches: u64,
+}
+
+/// Shared state between a [`FileDisk`](crate::FileDisk) and its writer
+/// thread.
+pub(crate) struct WriteQueue {
+    files: Arc<DiskFiles>,
+    /// Fsync after every drained batch (the `SyncEachBatch` durability
+    /// mode) instead of only at explicit barriers.
+    sync_each_batch: bool,
+    inner: Mutex<QueueInner>,
+    /// Signalled when work arrives or shutdown is requested.
+    work: Condvar,
+    /// Signalled when the queue drains (or poisons).
+    idle: Condvar,
+}
+
+impl WriteQueue {
+    /// Lock the queue state; a panicking writer thread (journal
+    /// poisoning) must not wedge the device, so poisoning is ignored —
+    /// the sticky error field is the real failure channel.
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn new(files: Arc<DiskFiles>, sync_each_batch: bool) -> Arc<WriteQueue> {
+        Arc::new(WriteQueue {
+            files,
+            sync_each_batch,
+            inner: Mutex::new(QueueInner {
+                pending: BTreeMap::new(),
+                writing: Arc::new(BTreeMap::new()),
+                error: None,
+                shutdown: false,
+                enqueued: 0,
+                coalesced: 0,
+                batches: 0,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        })
+    }
+
+    /// The writer thread's body: drain batches until shutdown.
+    pub(crate) fn run_worker(self: &Arc<WriteQueue>) {
+        loop {
+            let batch = {
+                let mut inner = self.lock();
+                loop {
+                    if !inner.pending.is_empty() {
+                        break;
+                    }
+                    if inner.shutdown {
+                        return;
+                    }
+                    inner = self
+                        .work
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                let batch = Arc::new(std::mem::take(&mut inner.pending));
+                inner.writing = Arc::clone(&batch);
+                inner.batches += 1;
+                batch
+            };
+            let mut failure: Option<String> = None;
+            for (&block, page) in batch.iter() {
+                if let Err(e) = self.files.write_block(block, page) {
+                    failure = Some(format!("write of block {block} failed: {e}"));
+                    break;
+                }
+            }
+            if failure.is_none() && self.sync_each_batch {
+                if let Err(e) = self.files.sync() {
+                    failure = Some(format!("batch sync failed: {e}"));
+                }
+            }
+            let mut inner = self.lock();
+            inner.writing = Arc::new(BTreeMap::new());
+            if let Some(msg) = failure {
+                inner.error.get_or_insert(msg);
+            }
+            if inner.pending.is_empty() || inner.error.is_some() {
+                self.idle.notify_all();
+            }
+        }
+    }
+
+    /// Accept a write (or surface the sticky error).
+    pub(crate) fn enqueue(&self, block: u64, page: Page) -> Result<(), String> {
+        let mut inner = self.lock();
+        if let Some(msg) = &inner.error {
+            return Err(msg.clone());
+        }
+        inner.enqueued += 1;
+        if inner.pending.insert(block, page).is_some() {
+            inner.coalesced += 1;
+        }
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// The freshest queued image of `block`, if any — pending beats the
+    /// in-flight batch. Errors out if the queue is poisoned (the platter
+    /// content is no longer trustworthy).
+    pub(crate) fn cached(&self, block: u64) -> Result<Option<Page>, String> {
+        let inner = self.lock();
+        if let Some(msg) = &inner.error {
+            return Err(msg.clone());
+        }
+        Ok(inner
+            .pending
+            .get(&block)
+            .or_else(|| inner.writing.get(&block))
+            .cloned())
+    }
+
+    /// Block until every accepted write has reached the files (not
+    /// necessarily stable storage — that is the caller's fsync decision).
+    pub(crate) fn drain(&self) -> Result<(), String> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(msg) = &inner.error {
+                return Err(msg.clone());
+            }
+            if inner.pending.is_empty() && inner.writing.is_empty() {
+                return Ok(());
+            }
+            inner = self
+                .idle
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Forget queued writes and clear the sticky error — the platter is
+    /// being factory-reset underneath us (disk replacement).
+    pub(crate) fn reset(&self) {
+        let mut inner = self.lock();
+        inner.pending.clear();
+        inner.error = None;
+        drop(inner);
+        // Let any in-flight batch finish against the old files first.
+        let _ = self.drain();
+    }
+
+    /// Ask the writer thread to exit once the queue is empty.
+    pub(crate) fn shutdown(&self) {
+        let mut inner = self.lock();
+        inner.shutdown = true;
+        self.work.notify_all();
+    }
+
+    pub(crate) fn stats(&self) -> QueueStats {
+        let inner = self.lock();
+        QueueStats {
+            depth: (inner.pending.len() + inner.writing.len()) as u64,
+            enqueued: inner.enqueued,
+            coalesced: inner.coalesced,
+            batches: inner.batches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn queue(tag: &str) -> (Arc<WriteQueue>, std::thread::JoinHandle<()>, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("rda-disk-queue-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let files = Arc::new(DiskFiles::create(&dir, 0, 16, 32).unwrap());
+        let q = WriteQueue::new(files, false);
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.run_worker())
+        };
+        (q, worker, dir)
+    }
+
+    #[test]
+    fn writes_drain_to_files() {
+        let (q, worker, dir) = queue("drain");
+        q.enqueue(3, Page::from_bytes(&[3u8; 32])).unwrap();
+        q.enqueue(5, Page::from_bytes(&[5u8; 32])).unwrap();
+        q.drain().unwrap();
+        let files = DiskFiles::open(&dir, 0, 16, 32).unwrap();
+        assert!(matches!(
+            files.read_block(3).unwrap(),
+            crate::io::BlockImage::Intact(p) if p.as_ref()[0] == 3
+        ));
+        q.shutdown();
+        worker.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reads_see_queued_writes() {
+        let (q, worker, dir) = queue("ryw");
+        q.enqueue(7, Page::from_bytes(&[9u8; 32])).unwrap();
+        // Whether still pending, in flight, or already on the platter, the
+        // freshest image must win; cached() covers the first two.
+        let seen = q.cached(7).unwrap();
+        if let Some(p) = seen {
+            assert_eq!(p.as_ref()[0], 9);
+        }
+        q.drain().unwrap();
+        assert!(
+            q.cached(7).unwrap().is_none(),
+            "drained queue serves nothing"
+        );
+        q.shutdown();
+        worker.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coalescing_keeps_last_image() {
+        let (q, worker, dir) = queue("coalesce");
+        for i in 0..10u8 {
+            q.enqueue(2, Page::from_bytes(&[i; 32])).unwrap();
+        }
+        q.drain().unwrap();
+        let stats = q.stats();
+        assert_eq!(stats.enqueued, 10);
+        assert!(stats.coalesced > 0, "same-block rewrites must coalesce");
+        let files = DiskFiles::open(&dir, 0, 16, 32).unwrap();
+        assert!(matches!(
+            files.read_block(2).unwrap(),
+            crate::io::BlockImage::Intact(p) if p.as_ref()[0] == 9
+        ));
+        q.shutdown();
+        worker.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

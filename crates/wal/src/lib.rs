@@ -35,7 +35,7 @@ mod store;
 pub use manager::LogManager;
 pub use record::{CheckpointKind, LogRecord, TxnId};
 pub use scan::{Analysis, TxnOutcome};
-pub use store::{LogConfig, LogStore, Lsn};
+pub use store::{LogConfig, LogSink, LogStore, Lsn};
 
 /// Errors from log encode/decode (a decode failure indicates a torn or
 /// corrupted record — in this simulated setting it is always a bug).

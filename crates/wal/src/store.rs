@@ -51,6 +51,30 @@ impl Default for LogConfig {
     }
 }
 
+/// A durable mirror of the log stream, for backends with real media.
+///
+/// The in-memory [`LogStore`] is the model's source of truth for LSNs,
+/// billing, and reads; a sink only has to keep an equivalent byte stream
+/// on stable storage so a restarted process can rebuild the store via
+/// [`LogStore::restore`]. `SimDisk`-backed databases install no sink and
+/// behave exactly as before.
+///
+/// Ordering contract: [`LogSink::append_batch`] + [`LogSink::sync`] are called
+/// *synchronously inside* [`LogManager::force`](crate::LogManager::force),
+/// before the force returns — so any data-page write enqueued after a
+/// force observes the WAL rule on the real medium too.
+pub trait LogSink: Send + Sync {
+    /// Append a batch of records to the durable mirror, in order.
+    fn append_batch(&self, records: &[LogRecord]);
+
+    /// Make everything appended so far stable (fsync or equivalent).
+    fn sync(&self);
+
+    /// The store discarded every record below `new_base`; the mirror may
+    /// reclaim the space.
+    fn truncated(&self, new_base: u64);
+}
+
 struct StoreInner {
     /// Durable records with their starting byte offset in the log stream.
     /// Index `i` holds the record with LSN `base + i`.
@@ -68,23 +92,55 @@ pub struct LogStore {
     cfg: LogConfig,
     inner: Mutex<StoreInner>,
     stats: Arc<IoStats>,
+    sink: Option<Arc<dyn LogSink>>,
 }
 
 impl LogStore {
     /// Create an empty store.
     #[must_use]
     pub fn new(cfg: LogConfig) -> Arc<LogStore> {
+        LogStore::restore(cfg, 0, Vec::new(), None)
+    }
+
+    /// Create an empty store mirrored to `sink` (a real log device).
+    #[must_use]
+    pub fn with_sink(cfg: LogConfig, sink: Arc<dyn LogSink>) -> Arc<LogStore> {
+        LogStore::restore(cfg, 0, Vec::new(), Some(sink))
+    }
+
+    /// Rebuild a store from records recovered off a real medium after a
+    /// restart: `records` are the surviving records starting at LSN
+    /// `base`. They are *not* re-appended to `sink` (it already holds
+    /// them); byte offsets restart at zero, which only affects page-billing
+    /// granularity, not LSNs.
+    #[must_use]
+    pub fn restore(
+        cfg: LogConfig,
+        base: u64,
+        records: Vec<LogRecord>,
+        sink: Option<Arc<dyn LogSink>>,
+    ) -> Arc<LogStore> {
         assert!(cfg.page_size > 0, "log page size must be positive");
         assert!(cfg.copies > 0, "log must have at least one copy");
+        let mut offset = 0u64;
+        let records: Vec<(u64, LogRecord)> = records
+            .into_iter()
+            .map(|r| {
+                let at = offset;
+                offset += codec::encoded_len(&r) as u64;
+                (at, r)
+            })
+            .collect();
         Arc::new(LogStore {
             cfg,
             inner: Mutex::new(StoreInner {
-                records: Vec::new(),
-                base: 0,
-                bytes: 0,
+                records,
+                base,
+                bytes: offset,
                 billed_through: None,
             }),
             stats: Arc::new(IoStats::new()),
+            sink,
         })
     }
 
@@ -129,6 +185,11 @@ impl LogStore {
         let drop_count = (cut - inner.base) as usize;
         inner.records.drain(..drop_count);
         inner.base = cut;
+        if drop_count > 0 {
+            if let Some(sink) = &self.sink {
+                sink.truncated(cut);
+            }
+        }
         drop_count as u64
     }
 
@@ -154,6 +215,13 @@ impl LogStore {
         let first = Lsn(inner.base + inner.records.len() as u64);
         if batch.is_empty() {
             return first;
+        }
+        // Mirror to the real medium first (append + sync before the model
+        // counts the records durable), still under the store lock so the
+        // sink sees batches in LSN order.
+        if let Some(sink) = &self.sink {
+            sink.append_batch(&batch);
+            sink.sync();
         }
         let start = inner.bytes;
         let mut offset = start;

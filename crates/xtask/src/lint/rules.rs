@@ -21,6 +21,7 @@ pub const RATCHET_CRATES: &[&str] = &[
     "crates/bench",
     "crates/obs",
     "crates/check",
+    "crates/storage",
 ];
 
 /// Count `.unwrap()` / `.expect(` call sites per ratcheted file.
@@ -149,22 +150,41 @@ pub fn errors_doc(files: &[SourceFile], violations: &mut Vec<String>) {
     }
 }
 
-/// The raw disk type must not leak above `rda-array`: everything else
-/// goes through `DiskArray`, which owns the parity protocol and the
-/// transfer accounting the paper's cost model depends on.
+/// Raw `BlockDevice` implementations must not leak above the crate that
+/// owns them: `SimDisk` stays inside `rda-array` and `FileDisk` inside
+/// `rda-disk`. Everything else goes through `DiskArray` (which owns the
+/// parity protocol and the transfer accounting the paper's cost model
+/// depends on) or through the `rda-disk` open functions (which own the
+/// manifest, journals and writer threads).
 pub fn array_discipline(files: &[SourceFile], violations: &mut Vec<String>) {
+    const CONFINED: &[(&str, &str, &str)] = &[
+        (
+            "SimDisk",
+            "crates/array/",
+            "bypasses parity maintenance and transfer accounting — go \
+             through `DiskArray`",
+        ),
+        (
+            "FileDisk",
+            "crates/storage/",
+            "bypasses the manifest, journals and writer-thread lifecycle — \
+             go through `create_database`/`reopen_database`",
+        ),
+    ];
     for f in files {
-        if f.rel_path.starts_with("crates/array/") {
-            continue;
-        }
-        for pos in token_positions(&f.code, "SimDisk") {
-            violations.push(format!(
-                "[array-discipline] {}:{}: direct `SimDisk` access outside \
-                 rda-array bypasses parity maintenance and transfer accounting \
-                 — go through `DiskArray`",
-                f.rel_path,
-                line_of(&f.code, pos)
-            ));
+        for (token, home, why) in CONFINED {
+            if f.rel_path.starts_with(home) {
+                continue;
+            }
+            for pos in token_positions(&f.code, token) {
+                violations.push(format!(
+                    "[array-discipline] {}:{}: direct `{token}` access outside \
+                     {} {why}",
+                    f.rel_path,
+                    line_of(&f.code, pos),
+                    home.trim_end_matches('/'),
+                ));
+            }
         }
     }
 }

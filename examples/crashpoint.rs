@@ -43,6 +43,9 @@ fn workers_arg() -> Option<usize> {
 
 fn main() {
     let workers = workers_arg();
+    // Stderr only: the stdout report JSON must stay byte-identical
+    // whatever backend banner we print.
+    eprintln!("backend: simulated array (in-memory)");
 
     // A handful of short update transactions over a 32-page database,
     // with one scripted abort in the mix.

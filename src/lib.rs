@@ -34,6 +34,10 @@
 //!   through the fault seam) replayed against both the real engine and a
 //!   sequential reference model, with delta-debugging shrinking and a
 //!   replayable regression corpus.
+//! * [`disk`] — the file-backed storage backend: real files behind the
+//!   same `BlockDevice` seam, per-disk writer threads with coalescing
+//!   write queues, append-only side-table journals, and a literal
+//!   kill-the-process crash model (`create_database`/`reopen_database`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use rda_array as array;
 pub use rda_buffer as buffer;
 pub use rda_check as check;
 pub use rda_core as core;
+pub use rda_disk as disk;
 pub use rda_faults as faults;
 pub use rda_kv as kv;
 pub use rda_model as model;
