@@ -15,15 +15,17 @@
 //!
 //! `--smoke` shrinks every workload for CI; `--out PATH` redirects the
 //! report; `--trace` runs every workload with the structured event
-//! trace enabled (a 1Ki-event ring); `--overhead-check` additionally
-//! runs the whole suite with tracing off vs on
-//! (interleaved, adaptive best-of-5..12) and fails when the enabled ring
-//! costs more than 5%. Wall-clocks depend on the host, so `host_cpus`
-//! is recorded alongside every run.
+//! trace enabled (a 1Ki-event ring) *plus* the commit-path span events;
+//! `--overhead-check` additionally runs the whole suite — including a
+//! file-backed workload with the crash-persistent flight recorder — with
+//! all observability off vs on (interleaved, adaptive best-of-5..12) and
+//! fails when the instrumented side costs more than 5%. Wall-clocks
+//! depend on the host, so `host_cpus` is recorded alongside every run.
 //!
 //! Run with: `cargo run --release -p rda-bench --bin perf`
 
 use rda_core::{Database, DbConfig, EngineKind};
+use rda_disk::{create_database_with, DurabilityMode, StorageOptions};
 use rda_faults::{explore, ExploreMode, ExplorerConfig};
 use rda_sim::{run_threaded, run_workload, SimConfig, WorkloadSpec};
 use std::fmt::Write as _;
@@ -91,8 +93,9 @@ fn throughput_json(committed: u64, wall: Duration, extra: &str) -> String {
 /// and through 2- and 4-thread shared-database runs.
 fn bench_throughput(smoke: bool, trace: bool, json: &mut String) {
     let txns = if smoke { 80 } else { 400 };
-    let db_cfg =
-        DbConfig::paper_like(EngineKind::Rda, 200, 32).trace(if trace { TRACE_RING } else { 0 });
+    let db_cfg = DbConfig::paper_like(EngineKind::Rda, 200, 32)
+        .trace(if trace { TRACE_RING } else { 0 })
+        .spans(trace);
     let spec = WorkloadSpec::high_update(200, 24);
 
     let mut sim = SimConfig::new(db_cfg.clone());
@@ -130,8 +133,9 @@ fn bench_throughput(smoke: bool, trace: bool, json: &mut String) {
 
 /// Section 3: patrol-scrub bandwidth over a populated array.
 fn bench_scrub(smoke: bool, trace: bool, json: &mut String) -> Result<(), String> {
-    let db_cfg =
-        DbConfig::paper_like(EngineKind::Rda, 200, 32).trace(if trace { TRACE_RING } else { 0 });
+    let db_cfg = DbConfig::paper_like(EngineKind::Rda, 200, 32)
+        .trace(if trace { TRACE_RING } else { 0 })
+        .spans(trace);
     let page_size = db_cfg.array.page_size as u64;
     let db = Database::open(db_cfg);
 
@@ -181,8 +185,12 @@ fn bench_explorer(smoke: bool, trace: bool, json: &mut String) -> Result<(), Str
     }
     // The explorer opens one short-lived database per crashpoint, each
     // seeing only tens of billed I/Os — a right-sized ring keeps the
-    // per-open slot allocation from dwarfing the runs it observes.
-    let db_cfg = DbConfig::small_test(EngineKind::Rda).trace(if trace { 64 } else { 0 });
+    // per-open slot allocation from dwarfing the runs it observes. Span
+    // payloads carry no wall clocks, so the byte-identity assertion must
+    // hold with them recorded too.
+    let db_cfg = DbConfig::small_test(EngineKind::Rda)
+        .trace(if trace { 64 } else { 0 })
+        .spans(trace);
     let base = ExplorerConfig {
         exhaustive_limit: 4096,
         ..ExplorerConfig::new(ExploreMode::Crash)
@@ -227,6 +235,45 @@ fn bench_explorer(smoke: bool, trace: bool, json: &mut String) -> Result<(), Str
     Ok(())
 }
 
+/// A file-backed workload, so the overhead check prices the black box
+/// too: with `instrumented` the database runs the event ring, the
+/// commit-path spans *and* the flight recorder flushing `obs.journal`
+/// at every commit barrier; without it, none of them.
+fn flight_wall(smoke: bool, instrumented: bool) -> Result<Duration, String> {
+    let txns = if smoke { 24u64 } else { 96 };
+    let dir = std::env::temp_dir().join(format!(
+        "rda-perf-flight-{}-{instrumented}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = DbConfig::small_test(EngineKind::Rda)
+        .trace(if instrumented { TRACE_RING } else { 0 })
+        .spans(instrumented);
+    let start = Instant::now();
+    let db = create_database_with(
+        &dir,
+        cfg,
+        DurabilityMode::FsyncOnBarrier,
+        StorageOptions {
+            flight_recorder: instrumented,
+        },
+    )
+    .map_err(|e| format!("flight bench create: {e}"))?;
+    for i in 0..txns {
+        let mut tx = db.begin();
+        for page in 0..3u32 {
+            tx.write((i as u32 * 3 + page) % 16, &i.to_le_bytes())
+                .map_err(|e| format!("flight bench write: {e}"))?;
+        }
+        tx.commit()
+            .map_err(|e| format!("flight bench commit: {e}"))?;
+    }
+    drop(db);
+    let wall = start.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(wall)
+}
+
 /// One full pass over the suite's workload sections (the JSON they
 /// render is discarded), returning the end-to-end wall-clock.
 fn suite_wall(smoke: bool, trace: bool) -> Result<Duration, String> {
@@ -235,12 +282,15 @@ fn suite_wall(smoke: bool, trace: bool) -> Result<Duration, String> {
     bench_throughput(smoke, trace, &mut scratch);
     bench_scrub(smoke, trace, &mut scratch)?;
     bench_explorer(smoke, trace, &mut scratch)?;
+    flight_wall(smoke, trace)?;
     Ok(start.elapsed())
 }
 
-/// `--overhead-check`: the whole smoke suite with tracing off vs on,
-/// interleaved best-of-N so ambient host noise hits both sides evenly.
-/// Errors when the enabled event ring costs more than 5% end to end.
+/// `--overhead-check`: the whole smoke suite — sim workloads plus the
+/// file-backed flight-recorder workload — with all observability off vs
+/// on (event ring, commit-path spans, black-box flushing), interleaved
+/// best-of-N so ambient host noise hits both sides evenly. Errors when
+/// the instrumented side costs more than 5% end to end.
 ///
 /// Rounds are adaptive: at least 5, up to 12. Best-of-N is a
 /// consistent estimator of each side's true floor, so extra rounds
@@ -267,8 +317,8 @@ fn bench_overhead(smoke: bool, json: &mut String) -> Result<(), String> {
     }
     let _ = write!(
         json,
-        ",\"obs_overhead\":{{\"ring\":{TRACE_RING},\"off_ms\":{:.3},\"on_ms\":{:.3},\
-         \"overhead_pct\":{overhead_pct:.2}}}",
+        ",\"obs_overhead\":{{\"ring\":{TRACE_RING},\"spans\":true,\"flight_recorder\":true,\
+         \"off_ms\":{:.3},\"on_ms\":{:.3},\"overhead_pct\":{overhead_pct:.2}}}",
         best[0] * 1e3,
         best[1] * 1e3,
     );

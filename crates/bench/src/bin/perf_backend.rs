@@ -1,7 +1,8 @@
-//! PR 7 perf harness: the storage-backend axis.
+//! PR 7/9 perf harness: the storage-backend axis.
 //!
 //! Runs one deterministic transaction workload through the same engine
-//! over three backends and emits `BENCH_pr7.json`:
+//! over three backends and emits `BENCH_pr9.json` (the PR 7 shape plus
+//! the write-queue pressure block):
 //!
 //! * `sim` — the in-memory simulated array (`Database::open`), the
 //!   baseline every earlier BENCH file measured;
@@ -11,7 +12,10 @@
 //!   batch (the O_DSYNC-style mode).
 //!
 //! Per backend: committed txns, wall clock, txns/s, MiB/s of page
-//! payload, and p50/p99 commit latency. Wall-clocks depend on the host,
+//! payload, and p50/p99 commit latency. The file backends additionally
+//! report their write-queue counters (depth high-water, coalesce ratio,
+//! sticky errors) and the fsync / queue-residency latency histograms
+//! that `rda-disk` feeds. Wall-clocks depend on the host,
 //! so the report records `host_cpus`, the directory the file backends
 //! ran in, and that directory's filesystem type from `/proc/mounts`
 //! (CI runs on tmpfs; a real disk directory can be chosen with
@@ -39,7 +43,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: "BENCH_pr7.json".to_string(),
+        out: "BENCH_pr9.json".to_string(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -173,6 +177,42 @@ fn file_backend(dir: &Path, mode: DurabilityMode) -> Result<FileDb, String> {
     create_database(dir, cfg(), mode).map_err(|e| format!("create file backend: {e}"))
 }
 
+/// `{"p50_us":…,"p99_us":…,"count":…}` for one registered latency
+/// histogram (values observed in nanoseconds).
+fn histogram_json(db: &FileDb, name: &str) -> String {
+    // The histogram was registered by `create_database`; looking it up
+    // with the same name returns that instance, bounds ignored.
+    let h = db.metrics().histogram(name, &[1]);
+    format!(
+        "{{\"p50_us\":{:.1},\"p99_us\":{:.1},\"count\":{}}}",
+        h.quantile(0.50) / 1e3,
+        h.quantile(0.99) / 1e3,
+        h.count(),
+    )
+}
+
+/// The write-queue pressure block a file backend reports: the queue
+/// counters `rda-disk` exports as metric views, plus the fsync and
+/// enqueue-to-platter residency histograms.
+fn queue_json(db: &FileDb) -> String {
+    let values: std::collections::BTreeMap<String, u64> =
+        db.metrics().counter_values().into_iter().collect();
+    let get = |key: &str| values.get(key).copied().unwrap_or(0);
+    let enqueued = get("disk_writes_enqueued");
+    let coalesced = get("disk_writes_coalesced");
+    format!(
+        "{{\"depth_hw\":{},\"enqueued\":{enqueued},\"coalesced\":{coalesced},\
+         \"coalesce_ratio\":{:.4},\"batches\":{},\"sticky_errors\":{},\
+         \"fsync\":{},\"residency\":{}}}",
+        get("disk_queue_depth_hw"),
+        coalesced as f64 / (enqueued as f64).max(1.0),
+        get("disk_write_batches"),
+        get("disk_sticky_errors"),
+        histogram_json(db, "disk_fsync_nanos"),
+        histogram_json(db, "disk_queue_residency_nanos"),
+    )
+}
+
 fn run(args: &Args) -> Result<String, String> {
     let txns = if args.smoke { 60 } else { 400 };
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
@@ -181,7 +221,7 @@ fn run(args: &Args) -> Result<String, String> {
     let fs_type = fs_type_of(&base);
 
     let mut json = format!(
-        "{{\"bench\":\"pr7-backend\",\"smoke\":{},\"txns\":{txns},\
+        "{{\"bench\":\"pr9-backend\",\"smoke\":{},\"txns\":{txns},\
          \"pages_per_txn\":{PAGES_PER_TXN},\
          \"host\":{{\"cpus\":{host_cpus},\"dir\":{:?},\"fs_type\":\"{fs_type}\"}},",
         args.smoke,
@@ -198,9 +238,12 @@ fn run(args: &Args) -> Result<String, String> {
         let dir = base.join(format!("rda-bench-backend-{name}-{}", std::process::id()));
         let db = file_backend(&dir, mode)?;
         let stats = run_workload(&db, txns)?;
+        let queue = queue_json(&db);
         drop(db);
         let _ = std::fs::remove_dir_all(&dir);
-        let _ = write!(json, ",\"{name}\":{}", stats_json(&stats));
+        let mut section = stats_json(&stats);
+        section.truncate(section.len() - 1); // reopen the object…
+        let _ = write!(json, ",\"{name}\":{section},\"queue\":{queue}}}");
     }
 
     json.push('}');

@@ -140,6 +140,7 @@ impl DbKnobs {
             checkpoint: CheckpointPolicy::Manual,
             strict_read_locks: self.strict,
             trace_events: 1 << 15,
+            span_events: false,
             mutations,
         }
     }

@@ -105,6 +105,13 @@ pub struct DbConfig {
     /// drivers and the crashpoint explorer open their databases from a
     /// cloned `DbConfig`, this is how tracing reaches every replay.
     pub trace_events: usize,
+    /// Record commit-path span events (`TxnBegin`, `LogForce`,
+    /// `CommitBarrier`, `CommitAck`) into the trace ring. Off by default
+    /// so protocol traces keep their historical shape; requires
+    /// [`DbConfig::trace_events`] > 0 to have any effect. Span payloads
+    /// carry no clocks, so enabling them keeps traces deterministic for
+    /// a deterministic schedule.
+    pub span_events: bool,
     /// Deliberate protocol breakages for mutation-sensitivity testing.
     /// All off by default; see [`ProtocolMutations`].
     pub mutations: ProtocolMutations,
@@ -137,6 +144,7 @@ impl DbConfig {
             checkpoint: CheckpointPolicy::Manual,
             strict_read_locks: false,
             trace_events: 0,
+            span_events: false,
             mutations: ProtocolMutations::default(),
         }
     }
@@ -163,6 +171,7 @@ impl DbConfig {
             checkpoint: CheckpointPolicy::Manual,
             strict_read_locks: false,
             trace_events: 0,
+            span_events: false,
             mutations: ProtocolMutations::default(),
         }
     }
@@ -171,6 +180,14 @@ impl DbConfig {
     #[must_use]
     pub fn trace(mut self, events: usize) -> DbConfig {
         self.trace_events = events;
+        self
+    }
+
+    /// Builder-style: record commit-path span events (see
+    /// [`DbConfig::span_events`]).
+    #[must_use]
+    pub fn spans(mut self, on: bool) -> DbConfig {
+        self.span_events = on;
         self
     }
 
@@ -262,9 +279,15 @@ mod tests {
         let c = DbConfig::small_test(EngineKind::Wal)
             .granularity(LogGranularity::Record)
             .eot(EotPolicy::NoForce)
-            .checkpoint(CheckpointPolicy::AccEvery { ops: 100 });
+            .checkpoint(CheckpointPolicy::AccEvery { ops: 100 })
+            .spans(true);
         assert_eq!(c.granularity, LogGranularity::Record);
         assert_eq!(c.eot, EotPolicy::NoForce);
         assert_eq!(c.checkpoint, CheckpointPolicy::AccEvery { ops: 100 });
+        assert!(c.span_events);
+        assert!(
+            !DbConfig::small_test(EngineKind::Rda).span_events,
+            "span events must default to off"
+        );
     }
 }

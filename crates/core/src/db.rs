@@ -460,6 +460,36 @@ impl<D: BlockDevice> Database<D> {
         self.engine.lock().obs.metrics.to_prometheus()
     }
 
+    /// Non-deterministic JSON summary of every latency histogram
+    /// (interpolated p50/p99/p999 + mean) — the timing complement of
+    /// [`Database::metrics_counters_json`].
+    #[must_use]
+    pub fn metrics_histograms_json(&self) -> String {
+        self.engine.lock().obs.metrics.histograms_json()
+    }
+
+    /// The `n` most lock-contended pages as
+    /// `[{"page":P,"conflicts":C},...]`, most contended first.
+    #[must_use]
+    pub fn top_contended_json(&self, n: usize) -> String {
+        self.engine.lock().obs.locks.top_contended_json(n)
+    }
+
+    /// Install `hook` to run after every commit/checkpoint durability
+    /// barrier — the seam the file backend's flight recorder flushes
+    /// through. Replaces any previous hook. The hook runs with the
+    /// engine lock held; it must not call back into the database.
+    pub fn set_barrier_hook(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        self.engine.lock().barrier_hook = Some(hook);
+    }
+
+    /// Hand the engine the pre-crash flight record the backend read at
+    /// reopen; the next [`Database::recover`] attaches it to its
+    /// [`RecoveryReport`].
+    pub fn set_prior_flight(&self, flight: rda_obs::FlightRecord) {
+        self.engine.lock().prior_flight = Some(flight);
+    }
+
     /// Run the cross-layer invariant auditor (parity-vs-twins XOR
     /// recompute, `Dirty_Set` cross-checks, lock/chain leak detection) on
     /// the current state. Reads the array through the unbilled peek

@@ -35,7 +35,10 @@ use crate::locks::LockTable;
 use crate::twin::{TwinDirectory, TwinMeta};
 use rda_array::{BlockDevice, DataPageId, DefaultDisk, DiskArray, GroupId, Page, ParitySlot};
 use rda_buffer::BufferPool;
-use rda_obs::{Counter, EventKind, Histogram, MetricsRegistry, ObsHub, StealKind};
+use rda_obs::{
+    monotonic_nanos, Counter, EventKind, FlightRecord, Histogram, MetricsRegistry, ObsHub,
+    StealKind,
+};
 use rda_wal::{CheckpointKind, LogManager, LogRecord, LogStore, TxnId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -67,6 +70,9 @@ pub(crate) struct TxnState {
     pub rec_ops: HashMap<DataPageId, Vec<RecOp>>,
     /// How many of `rec_ops[page]` have had their before-diffs logged.
     pub undo_logged_upto: HashMap<DataPageId, usize>,
+    /// [`monotonic_nanos`] at `begin`, closing into the commit-latency
+    /// histogram at commit-ack time.
+    pub begin_nanos: u64,
 }
 
 impl TxnState {
@@ -163,7 +169,35 @@ pub(crate) struct EngineMetrics {
     pub lock_conflicts: Counter,
     pub recoveries: Counter,
     pub pages_per_commit: Arc<Histogram>,
+    /// begin → commit-ack wall time per committed transaction.
+    pub commit_nanos: Arc<Histogram>,
+    /// First-conflict → acquisition wall time per contended page lock.
+    pub lock_wait_nanos: Arc<Histogram>,
+    /// Time inside `log.force()` on the commit path.
+    pub log_force_nanos: Arc<Histogram>,
+    /// Time inside the commit durability barrier (queue drain + fsync on
+    /// the file backend; effectively zero on the simulated array).
+    pub barrier_nanos: Arc<Histogram>,
 }
+
+/// Bucket bounds for nanosecond-scale latency histograms: 1µs → 1s in
+/// half-decade steps (wall clocks feed these, so they are excluded from
+/// every deterministic export — see `MetricsRegistry::counters_json`).
+const NANOS_BOUNDS: [u64; 13] = [
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+];
 
 impl EngineMetrics {
     fn register(metrics: &MetricsRegistry) -> EngineMetrics {
@@ -178,6 +212,10 @@ impl EngineMetrics {
             recoveries: metrics.counter("engine_recoveries_total"),
             pages_per_commit: metrics
                 .histogram("engine_pages_per_commit", &[1, 2, 4, 8, 16, 32, 64]),
+            commit_nanos: metrics.histogram("engine_commit_nanos", &NANOS_BOUNDS),
+            lock_wait_nanos: metrics.histogram("engine_lock_wait_nanos", &NANOS_BOUNDS),
+            log_force_nanos: metrics.histogram("engine_log_force_nanos", &NANOS_BOUNDS),
+            barrier_nanos: metrics.histogram("engine_barrier_nanos", &NANOS_BOUNDS),
         }
     }
 }
@@ -197,6 +235,12 @@ pub struct Engine<D: BlockDevice = DefaultDisk> {
     pub(crate) needs_recovery: bool,
     pub(crate) obs: ObsHub,
     pub(crate) metrics: EngineMetrics,
+    /// Called after every commit/checkpoint durability barrier — the
+    /// backend's flight recorder hangs its black-box flush here.
+    pub(crate) barrier_hook: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// The pre-crash flight record the backend read back at reopen,
+    /// handed to the first [`RecoveryReport`](crate::RecoveryReport).
+    pub(crate) prior_flight: Option<FlightRecord>,
 }
 
 impl Engine {
@@ -224,6 +268,7 @@ impl<D: BlockDevice> Engine<D> {
         if cfg.trace_events > 0 {
             obs.tracer.enable(cfg.trace_events);
         }
+        obs.tracer.set_spans(cfg.span_events);
         let array = Arc::new(DiskArray::with_disks(
             cfg.array.clone(),
             Arc::clone(&obs.tracer),
@@ -310,6 +355,8 @@ impl<D: BlockDevice> Engine<D> {
             dur,
             obs,
             metrics,
+            barrier_hook: None,
+            prior_flight: None,
         }
     }
 
@@ -345,10 +392,29 @@ impl<D: BlockDevice> Engine<D> {
     /// this model has no blocking waits) in the trace and metrics.
     fn note_lock_conflict(&self, page: DataPageId, txn: TxnId) {
         self.metrics.lock_conflicts.inc();
+        self.obs
+            .locks
+            .note_conflict(page.0, txn.0, monotonic_nanos());
         self.obs.tracer.emit(|| EventKind::LockWait {
             page: page.0,
             txn: txn.0,
         });
+    }
+
+    /// Note a successful page-lock acquisition: if this `(txn, page)`
+    /// pair conflicted earlier, the retry that finally won closes one
+    /// lock-wait sample into the histogram.
+    fn note_lock_acquired(&self, page: DataPageId, txn: TxnId) {
+        if !self.obs.locks.has_pending() {
+            return; // uncontended fast path: one relaxed load
+        }
+        if let Some(wait) = self
+            .obs
+            .locks
+            .note_acquired(page.0, txn.0, monotonic_nanos())
+        {
+            self.metrics.lock_wait_nanos.observe(wait);
+        }
     }
 
     // ---- parity slot selection -----------------------------------------
@@ -820,7 +886,16 @@ impl<D: BlockDevice> Engine<D> {
         self.check_ready()?;
         let txn = TxnId(self.next_txn);
         self.next_txn += 1;
-        self.active.insert(txn, TxnState::default());
+        self.active.insert(
+            txn,
+            TxnState {
+                begin_nanos: monotonic_nanos(),
+                ..TxnState::default()
+            },
+        );
+        self.obs
+            .tracer
+            .emit_span(|| EventKind::TxnBegin { txn: txn.0 });
         Ok(txn)
     }
 
@@ -835,6 +910,7 @@ impl<D: BlockDevice> Engine<D> {
                 self.note_lock_conflict(page, txn);
                 return Err(e);
             }
+            self.note_lock_acquired(page, txn);
         }
         let data = self.buffered_read(page)?;
         Ok(data.as_ref().to_vec())
@@ -862,6 +938,7 @@ impl<D: BlockDevice> Engine<D> {
             self.note_lock_conflict(page, txn);
             return Err(e);
         }
+        self.note_lock_acquired(page, txn);
         // An update access reads the page first (the paper's model: every
         // access is a page request; updates modify the fetched page).
         let current = self.buffered_read(page)?;
@@ -906,6 +983,7 @@ impl<D: BlockDevice> Engine<D> {
             self.note_lock_conflict(page, txn);
             return Err(e);
         }
+        self.note_lock_acquired(page, txn);
         let current = self.buffered_read(page)?;
         let mut new = current.clone();
         new.as_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
@@ -1026,8 +1104,27 @@ impl<D: BlockDevice> Engine<D> {
         // depends on (FORCE write-backs, earlier steals) must be on stable
         // storage before the commit record is. A no-op on the simulated
         // array; on a real backend it drains the per-disk write queues.
+        self.obs
+            .tracer
+            .emit_span(|| EventKind::CommitBarrier { txn: txn.0 });
+        let barrier_start = monotonic_nanos();
         self.dur.array.write_barrier()?;
+        let force_start = monotonic_nanos();
+        self.metrics
+            .barrier_nanos
+            .observe(force_start - barrier_start);
+        self.obs
+            .tracer
+            .emit_span(|| EventKind::LogForce { txn: txn.0 });
         self.log.force();
+        self.metrics
+            .log_force_nanos
+            .observe(monotonic_nanos() - force_start);
+        // The commit's durability point: let the black box flush its
+        // snapshot while the queues are known-drained.
+        if let Some(hook) = &self.barrier_hook {
+            hook();
+        }
 
         // The twin flip: the working parity of every group this
         // transaction dirtied becomes the committed parity. Zero I/O.
@@ -1048,9 +1145,21 @@ impl<D: BlockDevice> Engine<D> {
         self.dur.chain.clear_txn(txn);
         self.locks.release_txn(txn);
         self.buffer.release_txn(txn.0);
-        self.active.remove(&txn);
+        let begin_nanos = self
+            .active
+            .remove(&txn)
+            .map(|st| st.begin_nanos)
+            .unwrap_or_default();
+        self.obs.locks.forget_txn(txn.0);
         self.metrics.commits.inc();
         self.metrics.pages_per_commit.observe(written.len() as u64);
+        self.metrics
+            .commit_nanos
+            .observe(monotonic_nanos().saturating_sub(begin_nanos));
+        self.obs.tracer.emit_span(|| EventKind::CommitAck {
+            txn: txn.0,
+            pages: written.len() as u32,
+        });
         self.paranoid_audit("txn_commit");
         Ok(())
     }
@@ -1112,6 +1221,7 @@ impl<D: BlockDevice> Engine<D> {
         self.locks.release_txn(txn);
         self.buffer.release_txn(txn.0);
         self.active.remove(&txn);
+        self.obs.locks.forget_txn(txn.0);
         self.metrics.aborts.inc();
         self.paranoid_audit("txn_abort");
         Ok(())
@@ -1411,6 +1521,11 @@ impl<D: BlockDevice> Engine<D> {
             active,
         });
         self.log.force();
+        // A checkpoint is a durability barrier too: give the black box
+        // its flush opportunity.
+        if let Some(hook) = &self.barrier_hook {
+            hook();
+        }
         self.ops_since_ckpt = 0;
         Ok(())
     }

@@ -25,7 +25,7 @@ use crate::config::{EotPolicy, LogGranularity};
 use crate::engine::Engine;
 use crate::error::{DbError, Result};
 use rda_array::{BlockDevice, DataPageId, DiskId, GroupId, Page, ParitySlot};
-use rda_obs::{EventKind, RecoveryPhase, Timeline};
+use rda_obs::{EventKind, FlightRecord, RecoveryPhase, Timeline};
 use rda_wal::{Analysis, LogRecord, Lsn, TxnId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -58,10 +58,15 @@ pub struct RecoveryReport {
     pub torn_twins_healed: u64,
     /// Per-phase breakdown (wall-clock + billed array I/O counts).
     pub timeline: Timeline,
+    /// The last pre-crash flight record (black-box snapshot) the backend
+    /// recovered from `obs.journal`, when one survived. `None` on the
+    /// simulated array and on backends without a flight recorder.
+    pub flight: Option<FlightRecord>,
 }
 
-/// Equality deliberately ignores [`RecoveryReport::timeline`]: its I/O
-/// counts are deterministic but its wall-clock durations are not, and
+/// Equality deliberately ignores [`RecoveryReport::timeline`] and
+/// [`RecoveryReport::flight`]: the timeline's wall-clock durations and
+/// the flight record's pre-crash wall state are not deterministic, and
 /// report equality is what replay-determinism tests compare.
 impl PartialEq for RecoveryReport {
     fn eq(&self, other: &Self) -> bool {
@@ -106,6 +111,9 @@ impl<D: BlockDevice> Engine<D> {
         let mut report = RecoveryReport {
             winners: analysis.winners(),
             losers: analysis.losers(),
+            // The black box's pre-crash snapshot rides the first report
+            // after reopen (recovery is idempotent; reruns see `None`).
+            flight: self.prior_flight.take(),
             ..RecoveryReport::default()
         };
         self.metrics.recoveries.inc();

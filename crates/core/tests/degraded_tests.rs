@@ -33,6 +33,7 @@ fn cfg(engine: EngineKind, frames: usize) -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        span_events: false,
         mutations: ProtocolMutations::default(),
     }
 }

@@ -66,6 +66,7 @@ fn config(engine: EngineKind, eot: EotPolicy, frames: usize) -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        span_events: false,
         mutations: ProtocolMutations::default(),
     }
 }

@@ -35,6 +35,7 @@ fn cfg(frames: usize) -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        span_events: false,
         mutations: ProtocolMutations::default(),
     }
 }

@@ -61,6 +61,7 @@ fn cfg() -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        span_events: false,
         mutations: ProtocolMutations::default(),
     }
 }

@@ -118,6 +118,30 @@ pub enum EventKind {
         /// Global 1-based billed-I/O index the fault latched onto.
         io_index: u64,
     },
+    /// Commit-path span: a transaction entered the system.
+    TxnBegin {
+        /// The new transaction.
+        txn: u64,
+    },
+    /// Commit-path span: commit reached the log force (WAL records and
+    /// the commit record are about to be made durable).
+    LogForce {
+        /// Committing transaction.
+        txn: u64,
+    },
+    /// Commit-path span: commit issued the durability barrier (queue
+    /// drain + fsync on the file backend, a no-op wait on `SimDisk`).
+    CommitBarrier {
+        /// Committing transaction.
+        txn: u64,
+    },
+    /// Commit-path span: commit returned to the caller.
+    CommitAck {
+        /// Committed transaction.
+        txn: u64,
+        /// Pages the transaction wrote.
+        pages: u32,
+    },
 }
 
 impl EventKind {
@@ -136,6 +160,10 @@ impl EventKind {
             EventKind::DiskRead { .. } => "DiskRead",
             EventKind::DiskWrite { .. } => "DiskWrite",
             EventKind::FaultFired { .. } => "FaultFired",
+            EventKind::TxnBegin { .. } => "TxnBegin",
+            EventKind::LogForce { .. } => "LogForce",
+            EventKind::CommitBarrier { .. } => "CommitBarrier",
+            EventKind::CommitAck { .. } => "CommitAck",
         }
     }
 }
@@ -199,6 +227,12 @@ impl fmt::Display for TraceEvent {
                 write!(f, "DiskWrite      disk {disk} block {block}")
             }
             EventKind::FaultFired { io_index } => write!(f, "FaultFired     io {io_index}"),
+            EventKind::TxnBegin { txn } => write!(f, "TxnBegin       txn {txn}"),
+            EventKind::LogForce { txn } => write!(f, "LogForce       txn {txn}"),
+            EventKind::CommitBarrier { txn } => write!(f, "CommitBarrier  txn {txn}"),
+            EventKind::CommitAck { txn, pages } => {
+                write!(f, "CommitAck      txn {txn} pages {pages}")
+            }
         }
     }
 }

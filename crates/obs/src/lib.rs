@@ -20,28 +20,35 @@
 //! instance and is what `rda-core` hands out.
 
 mod event;
+mod flight;
 mod invariants;
 mod metrics;
 mod pack;
+mod profile;
 mod timeline;
 mod trace;
 
 pub use event::{EventKind, StealKind, TraceEvent};
+pub use flight::FlightRecord;
 pub use invariants::{protocol_violations, protocol_violations_windowed};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use profile::{monotonic_nanos, LockProfile};
 pub use timeline::{PhaseStat, RecoveryPhase, Timeline};
 pub use trace::{TraceSnapshot, Tracer};
 
 use std::sync::Arc;
 
 /// One database instance's observability bundle: the shared event
-/// tracer (also the billed-I/O clock) and the metrics registry.
+/// tracer (also the billed-I/O clock), the metrics registry, and the
+/// lock-contention profile.
 #[derive(Clone, Default)]
 pub struct ObsHub {
     /// The shared event tracer / I/O clock.
     pub tracer: Arc<Tracer>,
     /// The shared metrics registry.
     pub metrics: Arc<MetricsRegistry>,
+    /// The shared lock-wait profile.
+    pub locks: Arc<LockProfile>,
 }
 
 impl ObsHub {
@@ -49,5 +56,20 @@ impl ObsHub {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Assemble the black-box snapshot the flight recorder persists:
+    /// the current trace ring plus the deterministic counter values,
+    /// stamped with flush number `flush_seq`.
+    #[must_use]
+    pub fn flight_record(&self, flush_seq: u64) -> FlightRecord {
+        let snap = self.tracer.snapshot();
+        FlightRecord {
+            flush_seq,
+            io_clock: self.tracer.io_clock(),
+            dropped: snap.dropped,
+            events: snap.events,
+            counters: self.metrics.counter_values(),
+        }
     }
 }

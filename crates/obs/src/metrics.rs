@@ -115,6 +115,40 @@ impl Histogram {
         }
         out
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the containing bucket — the `histogram_quantile` shape
+    /// Prometheus uses. An empty histogram reports `0.0`; a quantile
+    /// landing in the `+Inf` bucket is clamped to the largest finite
+    /// bound (there is no upper edge to interpolate toward).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let cumulative = self.cumulative();
+        let total = cumulative.last().map_or(0, |&(_, c)| c);
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)] // observation counts, not ids
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut prev_cum = 0u64;
+        let mut prev_bound = 0u64;
+        #[allow(clippy::cast_precision_loss)]
+        for (bound, cum) in cumulative {
+            let Some(b) = bound else {
+                return prev_bound as f64;
+            };
+            if cum as f64 >= rank {
+                let in_bucket = cum - prev_cum;
+                if in_bucket > 0 {
+                    let frac = ((rank - prev_cum as f64) / in_bucket as f64).clamp(0.0, 1.0);
+                    return prev_bound as f64 + frac * (b - prev_bound) as f64;
+                }
+            }
+            prev_cum = cum;
+            prev_bound = b;
+        }
+        prev_bound as f64
+    }
 }
 
 enum Metric {
@@ -198,6 +232,61 @@ impl MetricsRegistry {
             }
             first = false;
             let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Snapshot of every counter and view as `(name, value)` pairs in
+    /// sorted name order — the compact metrics image the flight
+    /// recorder persists (histograms are summarized elsewhere).
+    #[must_use]
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let map = self.metrics.lock();
+        map.iter()
+            .filter_map(|(name, metric)| match metric {
+                Metric::Counter(c) => Some((name.clone(), c.get())),
+                Metric::View(f) => Some((name.clone(), f())),
+                Metric::Histogram(_) => None,
+            })
+            .collect()
+    }
+
+    /// Non-deterministic JSON of every histogram, summarized as
+    /// interpolated quantiles plus mean/count:
+    /// `{"name":{"p50":..,"p99":..,"p999":..,"mean":..,"count":N},...}`.
+    /// This is the timing-flavored complement of
+    /// [`MetricsRegistry::counters_json`]: histograms here are fed by
+    /// wall-clock nanos, so this export must never enter a byte-for-byte
+    /// determinism comparison.
+    #[must_use]
+    pub fn histograms_json(&self) -> String {
+        let map = self.metrics.lock();
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, metric) in map.iter() {
+            let Metric::Histogram(h) = metric else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let count = h.count();
+            #[allow(clippy::cast_precision_loss)] // summary stats, not ids
+            let mean = if count == 0 {
+                0.0
+            } else {
+                h.sum() as f64 / count as f64
+            };
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"p50\":{:.1},\"p99\":{:.1},\"p999\":{:.1},\
+                 \"mean\":{mean:.1},\"count\":{count}}}",
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.quantile(0.999),
+            );
         }
         out.push('}');
         out
@@ -328,5 +417,93 @@ mod tests {
         let prom = reg.to_prometheus();
         assert!(prom.contains("lat_bucket{le=\"+Inf\"} 5"));
         assert!(prom.contains("lat_count 5"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q", &[10, 20, 40]);
+        // 10 observations uniformly in (0, 10]: all land in bucket <=10.
+        for _ in 0..10 {
+            h.observe(5);
+        }
+        // p50 of 10 obs in bucket (0,10] → rank 5 of 10 → 10 * 5/10 = 5.
+        assert!((h.quantile(0.5) - 5.0).abs() < 1e-9, "{}", h.quantile(0.5));
+        // All mass below 10: p100 interpolates to the bucket's top edge.
+        assert!((h.quantile(1.0) - 10.0).abs() < 1e-9);
+        // Add 10 more in (10,20]: p50 now sits exactly on the 10 edge.
+        for _ in 0..10 {
+            h.observe(15);
+        }
+        assert!((h.quantile(0.5) - 10.0).abs() < 1e-9);
+        // p75 → rank 15 of 20 → 5 into the 10-wide (10,20] bucket → 15.
+        assert!((h.quantile(0.75) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("edge", &[10, 20]);
+        // Empty histogram: no mass to rank.
+        assert_eq!(h.quantile(0.5), 0.0);
+        // Everything in +Inf: clamp to the largest finite bound.
+        h.observe(1_000);
+        assert!((h.quantile(0.99) - 20.0).abs() < 1e-9);
+        // A histogram with no finite bounds at all degenerates to 0.
+        let inf_only = reg.histogram("inf_only", &[]);
+        inf_only.observe(7);
+        assert_eq!(inf_only.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histograms_json_summarizes_and_counters_stay_clean() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops").add(3);
+        let h = reg.histogram("lat_ns", &[100, 1_000]);
+        for v in [50, 150, 5_000] {
+            h.observe(v);
+        }
+        let json = reg.histograms_json();
+        assert!(json.contains("\"lat_ns\":{\"p50\""), "{json}");
+        assert!(json.contains("\"count\":3"), "{json}");
+        assert!(!json.contains("ops"), "counters must not leak: {json}");
+        assert_eq!(reg.counters_json(), "{\"ops\":3}");
+        assert_eq!(reg.counter_values(), vec![("ops".to_string(), 3)]);
+    }
+
+    #[test]
+    fn hammered_histogram_stays_consistent() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let h = reg.histogram("hammer", &[8, 64, 512, 4_096]);
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.observe(w * 1_000 + (i % 97));
+                }
+            }));
+        }
+        // A concurrent reader must never see torn totals panic the
+        // summarizers (values may be mid-flight, shapes must hold).
+        let reader = {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let json = reg.histograms_json();
+                    assert!(json.starts_with('{') && json.ends_with('}'));
+                    let _ = reg.to_prometheus();
+                }
+            })
+        };
+        for t in handles {
+            t.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(h.count(), 40_000);
+        let (_, total) = *h.cumulative().last().unwrap();
+        assert_eq!(total, 40_000, "bucket counts must sum to count");
+        let p999 = h.quantile(0.999);
+        assert!(p999 > 0.0 && p999 <= 4_096.0, "{p999}");
     }
 }

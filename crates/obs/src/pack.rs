@@ -25,6 +25,10 @@ const TAG_LOCK_WAIT: u64 = 8;
 const TAG_DISK_READ: u64 = 9;
 const TAG_DISK_WRITE: u64 = 10;
 const TAG_FAULT_FIRED: u64 = 11;
+const TAG_TXN_BEGIN: u64 = 12;
+const TAG_LOG_FORCE: u64 = 13;
+const TAG_COMMIT_BARRIER: u64 = 14;
+const TAG_COMMIT_ACK: u64 = 15;
 
 fn w0(tag: u64, extra: u64, group: u32) -> u64 {
     tag | (extra << 8) | (u64::from(group) << 32)
@@ -65,6 +69,10 @@ pub(crate) fn pack(kind: EventKind) -> (u64, u64, u64) {
         EventKind::DiskRead { disk, block } => (TAG_DISK_READ, u64::from(disk), block),
         EventKind::DiskWrite { disk, block } => (TAG_DISK_WRITE, u64::from(disk), block),
         EventKind::FaultFired { io_index } => (TAG_FAULT_FIRED, 0, io_index),
+        EventKind::TxnBegin { txn } => (TAG_TXN_BEGIN, 0, txn),
+        EventKind::LogForce { txn } => (TAG_LOG_FORCE, 0, txn),
+        EventKind::CommitBarrier { txn } => (TAG_COMMIT_BARRIER, 0, txn),
+        EventKind::CommitAck { txn, pages } => (TAG_COMMIT_ACK, u64::from(pages), txn),
     }
 }
 
@@ -109,6 +117,13 @@ pub(crate) fn unpack((w0, w1, w2): (u64, u64, u64)) -> Option<EventKind> {
             block: w2,
         },
         TAG_FAULT_FIRED => EventKind::FaultFired { io_index: w2 },
+        TAG_TXN_BEGIN => EventKind::TxnBegin { txn: w2 },
+        TAG_LOG_FORCE => EventKind::LogForce { txn: w2 },
+        TAG_COMMIT_BARRIER => EventKind::CommitBarrier { txn: w2 },
+        TAG_COMMIT_ACK => EventKind::CommitAck {
+            txn: w2,
+            pages: page,
+        },
         _ => return None,
     })
 }
@@ -158,6 +173,13 @@ mod tests {
             },
             EventKind::DiskWrite { disk: 0, block: 1 },
             EventKind::FaultFired { io_index: 123 },
+            EventKind::TxnBegin { txn: 91 },
+            EventKind::LogForce { txn: u64::MAX },
+            EventKind::CommitBarrier { txn: 92 },
+            EventKind::CommitAck {
+                txn: 93,
+                pages: u32::MAX,
+            },
         ];
         for kind in samples {
             assert_eq!(unpack(pack(kind)), Some(kind), "{kind:?}");

@@ -84,6 +84,10 @@ impl Slot {
 #[derive(Default)]
 pub struct Tracer {
     enabled: AtomicBool,
+    /// Commit-path span events (`TxnBegin`/`LogForce`/`CommitBarrier`/
+    /// `CommitAck`) are gated separately so protocol traces keep their
+    /// historical shape unless a profiler opts in.
+    spans: AtomicBool,
     io_clock: AtomicU64,
     /// Next sequence number to claim. Slot index is `seq & (cap - 1)`.
     next: AtomicU64,
@@ -153,6 +157,33 @@ impl Tracer {
     pub fn is_enabled(&self) -> bool {
         // ordering: Relaxed — advisory flag, no data is guarded by it.
         self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Opt in (or out of) commit-path span events. Spans only reach the
+    /// ring while the tracer itself is enabled.
+    pub fn set_spans(&self, on: bool) {
+        // ordering: Relaxed — advisory gate, same contract as enabled.
+        self.spans.store(on, Ordering::Relaxed);
+    }
+
+    /// Are commit-path span events being recorded?
+    #[must_use]
+    pub fn spans_enabled(&self) -> bool {
+        // ordering: Relaxed — advisory flag, no data is guarded by it.
+        self.enabled.load(Ordering::Relaxed) && self.spans.load(Ordering::Relaxed)
+    }
+
+    /// Record a commit-path span event. Like [`Tracer::emit`], but
+    /// additionally gated on [`Tracer::set_spans`]: a disabled span gate
+    /// costs one more relaxed load and never constructs the payload.
+    #[inline]
+    pub fn emit_span<F: FnOnce() -> EventKind>(&self, f: F) {
+        // ordering: Relaxed — advisory gates; push re-validates the ring.
+        if self.enabled.load(Ordering::Relaxed) && self.spans.load(Ordering::Relaxed) {
+            // ordering: Relaxed — clock snapshot for the event label.
+            let at = self.io_clock.load(Ordering::Relaxed);
+            self.push(at, f());
+        }
     }
 
     /// Current value of the billed-I/O clock.
@@ -358,6 +389,34 @@ mod tests {
             snap.events[0].kind,
             EventKind::IntentReplay { page: 2 }
         ));
+    }
+
+    #[test]
+    fn span_events_need_both_gates() {
+        let t = Tracer::new();
+        t.enable(8);
+        // Tracer on, spans off: span emits are invisible.
+        t.emit_span(|| EventKind::TxnBegin { txn: 1 });
+        assert!(t.snapshot().events.is_empty());
+        t.set_spans(true);
+        assert!(t.spans_enabled());
+        t.emit_span(|| EventKind::TxnBegin { txn: 2 });
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert!(matches!(
+            snap.events[0].kind,
+            EventKind::TxnBegin { txn: 2 }
+        ));
+        // Spans on but tracer off: still nothing (and the closure is
+        // never run).
+        t.disable();
+        assert!(!t.spans_enabled());
+        let mut ran = false;
+        t.emit_span(|| {
+            ran = true;
+            EventKind::CommitAck { txn: 3, pages: 1 }
+        });
+        assert!(!ran);
     }
 
     #[test]

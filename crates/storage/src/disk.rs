@@ -19,6 +19,7 @@ use crate::io::{BlockImage, DiskFiles};
 use crate::queue::{QueueStats, WriteQueue};
 use parking_lot::Mutex;
 use rda_array::{ArrayError, BlockDevice, DiskId, FaultAction, HookState, Page};
+use rda_obs::monotonic_nanos;
 use std::collections::HashSet;
 use std::io;
 use std::path::Path;
@@ -302,9 +303,11 @@ impl BlockDevice for FileDisk {
     fn barrier(&self) -> rda_array::Result<()> {
         self.queue.drain().map_err(|msg| self.backend_err(msg))?;
         if self.mode == DurabilityMode::FsyncOnBarrier {
-            self.files
-                .sync()
-                .map_err(|e| self.backend_err(format!("barrier sync failed: {e}")))?;
+            let sync_start = monotonic_nanos();
+            let synced = self.files.sync();
+            self.queue
+                .observe_fsync(monotonic_nanos().saturating_sub(sync_start));
+            synced.map_err(|e| self.backend_err(format!("barrier sync failed: {e}")))?;
         }
         Ok(())
     }

@@ -1,0 +1,300 @@
+//! The crash-persistent black box: `obs.journal`.
+//!
+//! A [`FlightRecorder`] periodically — and at every commit/checkpoint
+//! durability barrier, via the engine's barrier hook — appends a
+//! compact [`FlightRecord`] snapshot (trace ring + counter values) to
+//! an append-only journal framed exactly like `meta.journal`
+//! (`crate::meta::append_frame` / `frames`): length-prefixed frames
+//! whose torn tail is silently dropped at load. After a crash,
+//! `reopen_database` reads the last intact snapshot back and attaches
+//! it to the first `RecoveryReport`, so the kill-process test can
+//! assert *what* the engine was doing at death.
+//!
+//! Durability stance: flushes use plain `write(2)` with **no fsync** —
+//! a SIGKILL (the crash this box is built for) only kills the process,
+//! and the page cache survives, so the data is crash-consistent for
+//! process death at zero added latency on the commit path. A power
+//! failure may lose the final snapshots; the flight record is a
+//! diagnostic artifact, not part of the recovery protocol, so that
+//! trade is taken deliberately.
+//!
+//! The journal is bounded: once the appended bytes since the last
+//! rewrite exceed a few MiB, the file is compacted down to its newest
+//! snapshot via the same tmp-write + rename dance `meta.rs` uses.
+
+use crate::meta::{append_frame, frames};
+use rda_obs::{FlightRecord, ObsHub};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};
+use std::time::Duration;
+
+const JOURNAL: &str = "obs.journal";
+/// Appended-bytes threshold that triggers a compaction rewrite.
+const COMPACT_BYTES: u64 = 8 * 1024 * 1024;
+/// Cadence of the background flusher thread.
+const PERIOD: Duration = Duration::from_millis(200);
+
+struct RecorderState {
+    file: File,
+    /// Bytes appended since the last create/compact, for the bound.
+    appended: u64,
+    /// `(io_clock, last event seq, counter sum)` of the last snapshot,
+    /// so an idle database does not grow the journal with duplicates.
+    last_sig: Option<(u64, u64, u64)>,
+    flushes: u64,
+    shutdown: bool,
+}
+
+/// The black-box writer. One per file-backed database; the engine's
+/// barrier hook and a background timer thread both call
+/// [`FlightRecorder::flush`].
+pub struct FlightRecorder {
+    hub: ObsHub,
+    path: PathBuf,
+    state: Mutex<RecorderState>,
+    /// Wakes the timer thread early on shutdown.
+    tick: Condvar,
+}
+
+impl FlightRecorder {
+    /// Create (or truncate) `dir/obs.journal` and start the periodic
+    /// flusher thread. The thread holds only a [`Weak`] reference: when
+    /// the last strong handle (the engine's barrier hook) drops, the
+    /// thread exits on its next tick.
+    ///
+    /// # Errors
+    /// I/O errors creating the journal file.
+    pub fn create(dir: &Path, hub: ObsHub) -> io::Result<Arc<FlightRecorder>> {
+        let path = dir.join(JOURNAL);
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        let rec = Arc::new(FlightRecorder {
+            hub,
+            path,
+            state: Mutex::new(RecorderState {
+                file,
+                appended: 0,
+                last_sig: None,
+                flushes: 0,
+                shutdown: false,
+            }),
+            tick: Condvar::new(),
+        });
+        let weak: Weak<FlightRecorder> = Arc::downgrade(&rec);
+        std::thread::Builder::new()
+            .name("rda-flight".into())
+            .spawn(move || loop {
+                let Some(rec) = weak.upgrade() else {
+                    return;
+                };
+                {
+                    let state = rec.lock();
+                    if state.shutdown {
+                        return;
+                    }
+                    let (state, _timeout) = rec
+                        .tick
+                        .wait_timeout(state, PERIOD)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if state.shutdown {
+                        return;
+                    }
+                }
+                // Timer flushes are best-effort; the sticky failure
+                // channel for real I/O trouble is the write queue.
+                let _ = rec.flush();
+            })?;
+        Ok(rec)
+    }
+
+    /// Read the newest intact snapshot out of `dir/obs.journal`, if the
+    /// file exists and holds at least one complete, decodable frame.
+    /// The torn tail a crash may have left is ignored, exactly like the
+    /// meta journal's.
+    #[must_use]
+    pub fn load(dir: &Path) -> Option<FlightRecord> {
+        let mut buf = Vec::new();
+        File::open(dir.join(JOURNAL))
+            .ok()?
+            .read_to_end(&mut buf)
+            .ok()?;
+        frames(&buf)
+            .into_iter()
+            .rev()
+            .find_map(FlightRecord::decode)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RecorderState> {
+        // A panicking flusher must not wedge the commit path; the state
+        // it guards is diagnostic only.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append one snapshot now (no-op if nothing changed since the last
+    /// one). Called from the engine's durability-barrier hook and from
+    /// the timer thread.
+    ///
+    /// # Errors
+    /// I/O errors appending to or compacting the journal.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut state = self.lock();
+        if state.shutdown {
+            return Ok(());
+        }
+        let record = self.hub.flight_record(state.flushes + 1);
+        let sig = (
+            record.io_clock,
+            record.events.last().map_or(0, |e| e.seq + 1),
+            record.counters.iter().map(|(_, v)| *v).sum(),
+        );
+        if state.last_sig == Some(sig) {
+            return Ok(());
+        }
+        let payload = record.encode();
+        if state.appended + payload.len() as u64 > COMPACT_BYTES {
+            self.compact(&mut state, &payload)?;
+        } else {
+            append_frame(&mut state.file, &payload, false)?;
+            state.appended += 4 + payload.len() as u64;
+        }
+        state.flushes += 1;
+        state.last_sig = Some(sig);
+        Ok(())
+    }
+
+    /// Rewrite the journal as a single frame holding `payload` — the
+    /// same tmp + rename pattern the meta journal compacts with, so a
+    /// crash mid-compaction leaves either the old or the new file.
+    fn compact(&self, state: &mut RecorderState, payload: &[u8]) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&u32::try_from(payload.len()).unwrap_or(0).to_le_bytes())?;
+        f.write_all(payload)?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, &self.path)?;
+        state.file = OpenOptions::new().append(true).open(&self.path)?;
+        state.appended = 4 + payload.len() as u64;
+        Ok(())
+    }
+
+    /// Snapshots written so far.
+    #[must_use]
+    pub fn flushes(&self) -> u64 {
+        self.lock().flushes
+    }
+
+    /// Stop the timer thread and refuse further flushes (used by tests;
+    /// dropping every strong handle achieves the same lazily).
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.tick.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_obs::EventKind;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rda-flight-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn hub_with_events() -> ObsHub {
+        let hub = ObsHub::new();
+        hub.tracer.enable(64);
+        hub.tracer.set_spans(true);
+        hub.metrics.counter("test_ops").add(5);
+        hub.tracer.emit_span(|| EventKind::TxnBegin { txn: 3 });
+        hub.tracer
+            .record_io(|| EventKind::DiskWrite { disk: 0, block: 9 });
+        hub
+    }
+
+    #[test]
+    fn flush_then_load_roundtrips() {
+        let d = dir("roundtrip");
+        let hub = hub_with_events();
+        let rec = FlightRecorder::create(&d, hub.clone()).unwrap();
+        rec.flush().unwrap();
+        // Unchanged state: second flush is a dedup no-op.
+        rec.flush().unwrap();
+        assert_eq!(rec.flushes(), 1);
+        hub.tracer
+            .emit_span(|| EventKind::CommitAck { txn: 3, pages: 1 });
+        rec.flush().unwrap();
+        assert_eq!(rec.flushes(), 2);
+        rec.shutdown();
+        let loaded = FlightRecorder::load(&d).expect("snapshot loads");
+        assert_eq!(loaded.flush_seq, 2);
+        assert_eq!(loaded.io_clock, 1);
+        assert_eq!(loaded.events.len(), 3);
+        assert!(loaded
+            .counters
+            .iter()
+            .any(|(n, v)| n == "test_ops" && *v == 5));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let d = dir("torn");
+        let hub = hub_with_events();
+        let rec = FlightRecorder::create(&d, hub.clone()).unwrap();
+        rec.flush().unwrap();
+        rec.shutdown();
+        drop(rec);
+        // Append a frame whose declared length exceeds its bytes — the
+        // shape a crash mid-append leaves behind.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(d.join(JOURNAL))
+            .unwrap();
+        f.write_all(&[200, 0, 0, 0, 7, 7, 7]).unwrap();
+        drop(f);
+        let loaded = FlightRecorder::load(&d).expect("intact snapshot survives the torn tail");
+        assert_eq!(loaded.flush_seq, 1);
+        assert_eq!(loaded.events.len(), 2);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_journal_loads_none() {
+        let d = dir("missing");
+        assert!(FlightRecorder::load(&d).is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn compaction_bounds_the_journal() {
+        let d = dir("compact");
+        let hub = ObsHub::new();
+        let rec = FlightRecorder::create(&d, hub.clone()).unwrap();
+        let c = hub.metrics.counter("spin");
+        // Force the appended-bytes bound with many distinct snapshots.
+        {
+            let mut state = rec.lock();
+            state.appended = COMPACT_BYTES; // next flush must compact
+        }
+        c.inc();
+        rec.flush().unwrap();
+        rec.shutdown();
+        let len = std::fs::metadata(d.join(JOURNAL)).unwrap().len();
+        assert!(len < 4096, "compacted journal stays small ({len} bytes)");
+        let loaded = FlightRecorder::load(&d).expect("compacted snapshot loads");
+        assert!(loaded.counters.iter().any(|(n, _)| n == "spin"));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

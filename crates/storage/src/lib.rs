@@ -37,12 +37,17 @@
 //! ```
 
 mod disk;
+mod flight;
 mod io;
 mod meta;
 mod open;
 mod queue;
 
 pub use disk::{DurabilityMode, FileDisk};
+pub use flight::FlightRecorder;
 pub use meta::{FileLogSink, FileMetaStore};
-pub use open::{create_database, reopen_database, FileDb, StorageError};
+pub use open::{
+    create_database, create_database_with, reopen_database, reopen_database_with, FileDb,
+    StorageError, StorageOptions,
+};
 pub use queue::QueueStats;

@@ -43,8 +43,10 @@ const TAG_WAL_RECORD: u8 = 16;
 const TAG_WAL_TRUNCATE: u8 = 17;
 
 /// Append one length-prefixed frame, optionally forcing it to stable
-/// storage before returning.
-fn append_frame(file: &mut File, payload: &[u8], sync: bool) -> io::Result<()> {
+/// storage before returning. Shared with the flight recorder's
+/// `obs.journal` (see `crate::flight`), which reuses this torn-tail
+/// framing for its black-box snapshots.
+pub(crate) fn append_frame(file: &mut File, payload: &[u8], sync: bool) -> io::Result<()> {
     file.write_all(&(payload.len() as u32).to_le_bytes())?;
     file.write_all(payload)?;
     if sync {
@@ -55,7 +57,7 @@ fn append_frame(file: &mut File, payload: &[u8], sync: bool) -> io::Result<()> {
 
 /// Split a journal byte stream into complete frames, dropping the
 /// (possibly torn) tail.
-fn frames(buf: &[u8]) -> Vec<&[u8]> {
+pub(crate) fn frames(buf: &[u8]) -> Vec<&[u8]> {
     let mut out = Vec::new();
     let mut pos = 0usize;
     while buf.len() - pos >= 4 {

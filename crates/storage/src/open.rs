@@ -14,6 +14,7 @@
 //! crash/recover cycle.
 
 use crate::disk::{DurabilityMode, FileDisk};
+use crate::flight::FlightRecorder;
 use crate::meta::{FileLogSink, FileMetaStore};
 use crate::queue::WriteQueue;
 use rda_array::{DiskId, Geometry};
@@ -22,6 +23,26 @@ use std::fmt;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
+
+/// Tunables for opening a file-backed database beyond the durability
+/// mode. `..Default::default()` keeps everything on.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageOptions {
+    /// Run the crash-persistent black box: flush trace + counters to
+    /// `obs.journal` at every durability barrier and every ~200 ms, and
+    /// (on reopen) attach the pre-crash snapshot to the first
+    /// [`RecoveryReport`](rda_core::RecoveryReport). Turn off to measure
+    /// its overhead or to open a directory read-mostly.
+    pub flight_recorder: bool,
+}
+
+impl Default for StorageOptions {
+    fn default() -> StorageOptions {
+        StorageOptions {
+            flight_recorder: true,
+        }
+    }
+}
 
 /// A [`Database`] running over file-backed disks. Downstream crates name
 /// this alias; the raw device type stays confined to `rda-disk`.
@@ -90,11 +111,37 @@ fn manifest_contents(cfg: &DbConfig) -> String {
 /// registry, so `metrics_json()` reports backend pressure alongside the
 /// protocol counters.
 fn register_queue_metrics(db: &FileDb, queues: Vec<Arc<WriteQueue>>) {
+    // Latency bounds from 1 µs to 1 s in half-decade steps — fsyncs and
+    // queue residency both live inside this envelope.
+    const NANOS_BOUNDS: [u64; 13] = [
+        1_000,
+        5_000,
+        10_000,
+        50_000,
+        100_000,
+        500_000,
+        1_000_000,
+        5_000_000,
+        10_000_000,
+        50_000_000,
+        100_000_000,
+        500_000_000,
+        1_000_000_000,
+    ];
     let metrics = db.metrics();
+    let residency = metrics.histogram("disk_queue_residency_nanos", &NANOS_BOUNDS);
+    let fsync = metrics.histogram("disk_fsync_nanos", &NANOS_BOUNDS);
+    for q in &queues {
+        q.set_histograms(Arc::clone(&residency), Arc::clone(&fsync));
+    }
     let qs = Arc::new(queues);
     let q = Arc::clone(&qs);
     metrics.register_view("disk_queue_depth", move || {
         q.iter().map(|q| q.stats().depth).sum()
+    });
+    let q = Arc::clone(&qs);
+    metrics.register_view("disk_queue_depth_hw", move || {
+        q.iter().map(|q| q.stats().depth_hw).max().unwrap_or(0)
     });
     let q = Arc::clone(&qs);
     metrics.register_view("disk_writes_enqueued", move || {
@@ -104,10 +151,27 @@ fn register_queue_metrics(db: &FileDb, queues: Vec<Arc<WriteQueue>>) {
     metrics.register_view("disk_writes_coalesced", move || {
         q.iter().map(|q| q.stats().coalesced).sum()
     });
-    let q = qs;
+    let q = Arc::clone(&qs);
     metrics.register_view("disk_write_batches", move || {
         q.iter().map(|q| q.stats().batches).sum()
     });
+    let q = qs;
+    metrics.register_view("disk_sticky_errors", move || {
+        q.iter().map(|q| q.stats().sticky_errors).sum()
+    });
+}
+
+/// Start the black box over `dir` and hook it into the engine's
+/// durability barriers. The engine's hook holds the only strong handle,
+/// so the recorder (and its timer thread) lives exactly as long as the
+/// database.
+fn attach_flight_recorder(db: &FileDb, dir: &Path) -> Result<(), StorageError> {
+    let rec = FlightRecorder::create(dir, db.obs())?;
+    db.set_barrier_hook(Arc::new(move || {
+        // Best-effort: the black box must never fail a commit.
+        let _ = rec.flush();
+    }));
+    Ok(())
 }
 
 /// Format `dir` as a fresh file-backed database and open it.
@@ -122,6 +186,19 @@ pub fn create_database(
     dir: &Path,
     cfg: DbConfig,
     mode: DurabilityMode,
+) -> Result<FileDb, StorageError> {
+    create_database_with(dir, cfg, mode, StorageOptions::default())
+}
+
+/// [`create_database`] with explicit [`StorageOptions`].
+///
+/// # Errors
+/// As [`create_database`].
+pub fn create_database_with(
+    dir: &Path,
+    cfg: DbConfig,
+    mode: DurabilityMode,
+    opts: StorageOptions,
 ) -> Result<FileDb, StorageError> {
     std::fs::create_dir_all(dir)?;
     let manifest = dir.join(MANIFEST);
@@ -145,6 +222,9 @@ pub fn create_database(
         },
     );
     register_queue_metrics(&db, queues);
+    if opts.flight_recorder {
+        attach_flight_recorder(&db, dir)?;
+    }
     Ok(db)
 }
 
@@ -159,6 +239,19 @@ pub fn reopen_database(
     dir: &Path,
     cfg: DbConfig,
     mode: DurabilityMode,
+) -> Result<FileDb, StorageError> {
+    reopen_database_with(dir, cfg, mode, StorageOptions::default())
+}
+
+/// [`reopen_database`] with explicit [`StorageOptions`].
+///
+/// # Errors
+/// As [`reopen_database`].
+pub fn reopen_database_with(
+    dir: &Path,
+    cfg: DbConfig,
+    mode: DurabilityMode,
+    opts: StorageOptions,
 ) -> Result<FileDb, StorageError> {
     let manifest = dir.join(MANIFEST);
     let found = std::fs::read_to_string(&manifest)
@@ -192,6 +285,14 @@ pub fn reopen_database(
         },
     );
     register_queue_metrics(&db, queues);
+    if opts.flight_recorder {
+        // Surface what the previous incarnation was doing when it died,
+        // *before* the recorder truncates obs.journal for this run.
+        if let Some(prior) = FlightRecorder::load(dir) {
+            db.set_prior_flight(prior);
+        }
+        attach_flight_recorder(&db, dir)?;
+    }
     Ok(db)
 }
 

@@ -16,33 +16,45 @@
 
 use crate::io::DiskFiles;
 use rda_array::Page;
+use rda_obs::{monotonic_nanos, Histogram};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Counters describing queue traffic, exported as metric views.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueueStats {
     /// Writes currently queued or in flight.
     pub depth: u64,
+    /// Highest depth ever observed at an enqueue.
+    pub depth_hw: u64,
     /// Writes accepted since creation.
     pub enqueued: u64,
     /// Writes absorbed by an already-queued image of the same block.
     pub coalesced: u64,
     /// Batches the writer thread has drained.
     pub batches: u64,
+    /// Times the queue has been poisoned by a failed file write; the
+    /// error itself stays sticky until the disk is replaced.
+    pub sticky_errors: u64,
 }
 
 struct QueueInner {
     /// Accepted writes not yet picked up, newest image per block.
     pending: BTreeMap<u64, Page>,
+    /// When each pending block was *first* enqueued (coalescing keeps the
+    /// oldest stamp — the block has been waiting since then), feeding the
+    /// queue-residency histogram.
+    pending_since: BTreeMap<u64, u64>,
     /// The batch the writer thread is currently putting on the platter.
     writing: Arc<BTreeMap<u64, Page>>,
     /// First file-I/O failure; sticky until the disk is replaced.
     error: Option<String>,
     shutdown: bool,
+    depth_hw: u64,
     enqueued: u64,
     coalesced: u64,
     batches: u64,
+    sticky_errors: u64,
 }
 
 /// Shared state between a [`FileDisk`](crate::FileDisk) and its writer
@@ -57,6 +69,12 @@ pub(crate) struct WriteQueue {
     work: Condvar,
     /// Signalled when the queue drains (or poisons).
     idle: Condvar,
+    /// Enqueue-to-platter residency per write, installed (once, at open
+    /// time) by the metrics wiring; absent outside instrumented opens.
+    residency: OnceLock<Arc<Histogram>>,
+    /// Wall time of each fsync this disk performs — batch syncs here,
+    /// barrier syncs reported in by [`FileDisk`](crate::FileDisk).
+    fsync: OnceLock<Arc<Histogram>>,
 }
 
 impl WriteQueue {
@@ -73,22 +91,42 @@ impl WriteQueue {
             sync_each_batch,
             inner: Mutex::new(QueueInner {
                 pending: BTreeMap::new(),
+                pending_since: BTreeMap::new(),
                 writing: Arc::new(BTreeMap::new()),
                 error: None,
                 shutdown: false,
+                depth_hw: 0,
                 enqueued: 0,
                 coalesced: 0,
                 batches: 0,
+                sticky_errors: 0,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
+            residency: OnceLock::new(),
+            fsync: OnceLock::new(),
         })
+    }
+
+    /// Install the latency histograms. First caller wins; the queue works
+    /// fine without them (uninstrumented unit tests).
+    pub(crate) fn set_histograms(&self, residency: Arc<Histogram>, fsync: Arc<Histogram>) {
+        let _ = self.residency.set(residency);
+        let _ = self.fsync.set(fsync);
+    }
+
+    /// Record one fsync's wall time (the disk's barrier path calls this
+    /// for syncs it performs itself).
+    pub(crate) fn observe_fsync(&self, nanos: u64) {
+        if let Some(h) = self.fsync.get() {
+            h.observe(nanos);
+        }
     }
 
     /// The writer thread's body: drain batches until shutdown.
     pub(crate) fn run_worker(self: &Arc<WriteQueue>) {
         loop {
-            let batch = {
+            let (batch, stamps) = {
                 let mut inner = self.lock();
                 loop {
                     if !inner.pending.is_empty() {
@@ -103,9 +141,10 @@ impl WriteQueue {
                         .unwrap_or_else(PoisonError::into_inner);
                 }
                 let batch = Arc::new(std::mem::take(&mut inner.pending));
+                let stamps = std::mem::take(&mut inner.pending_since);
                 inner.writing = Arc::clone(&batch);
                 inner.batches += 1;
-                batch
+                (batch, stamps)
             };
             let mut failure: Option<String> = None;
             for (&block, page) in batch.iter() {
@@ -115,13 +154,24 @@ impl WriteQueue {
                 }
             }
             if failure.is_none() && self.sync_each_batch {
+                let sync_start = monotonic_nanos();
                 if let Err(e) = self.files.sync() {
                     failure = Some(format!("batch sync failed: {e}"));
+                }
+                self.observe_fsync(monotonic_nanos() - sync_start);
+            }
+            if let Some(h) = self.residency.get() {
+                let landed = monotonic_nanos();
+                for since in stamps.values() {
+                    h.observe(landed.saturating_sub(*since));
                 }
             }
             let mut inner = self.lock();
             inner.writing = Arc::new(BTreeMap::new());
             if let Some(msg) = failure {
+                if inner.error.is_none() {
+                    inner.sticky_errors += 1;
+                }
                 inner.error.get_or_insert(msg);
             }
             if inner.pending.is_empty() || inner.error.is_some() {
@@ -139,7 +189,11 @@ impl WriteQueue {
         inner.enqueued += 1;
         if inner.pending.insert(block, page).is_some() {
             inner.coalesced += 1;
+        } else {
+            inner.pending_since.insert(block, monotonic_nanos());
         }
+        let depth = (inner.pending.len() + inner.writing.len()) as u64;
+        inner.depth_hw = inner.depth_hw.max(depth);
         self.work.notify_one();
         Ok(())
     }
@@ -182,6 +236,7 @@ impl WriteQueue {
     pub(crate) fn reset(&self) {
         let mut inner = self.lock();
         inner.pending.clear();
+        inner.pending_since.clear();
         inner.error = None;
         drop(inner);
         // Let any in-flight batch finish against the old files first.
@@ -199,9 +254,11 @@ impl WriteQueue {
         let inner = self.lock();
         QueueStats {
             depth: (inner.pending.len() + inner.writing.len()) as u64,
+            depth_hw: inner.depth_hw,
             enqueued: inner.enqueued,
             coalesced: inner.coalesced,
             batches: inner.batches,
+            sticky_errors: inner.sticky_errors,
         }
     }
 }
@@ -255,6 +312,35 @@ mod tests {
             q.cached(7).unwrap().is_none(),
             "drained queue serves nothing"
         );
+        q.shutdown();
+        worker.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn high_water_residency_and_fsync_instrumentation() {
+        let (q, worker, dir) = queue("hw");
+        let reg = rda_obs::MetricsRegistry::new();
+        let residency = reg.histogram("res_ns", &[1_000, 1_000_000_000]);
+        let fsync = reg.histogram("fsync_ns", &[1_000, 1_000_000_000]);
+        q.set_histograms(Arc::clone(&residency), Arc::clone(&fsync));
+        for block in 0..8u64 {
+            q.enqueue(block, Page::from_bytes(&[1u8; 32])).unwrap();
+        }
+        q.drain().unwrap();
+        let stats = q.stats();
+        assert!(stats.depth_hw >= 1, "high-water saw at least one entry");
+        assert!(stats.depth_hw <= 8, "high-water bounded by enqueues");
+        assert_eq!(stats.sticky_errors, 0);
+        assert_eq!(
+            residency.count(),
+            8,
+            "every landed write got a residency sample"
+        );
+        // This queue was built without sync_each_batch; barrier-side
+        // fsyncs are reported in by the disk.
+        q.observe_fsync(123);
+        assert_eq!(fsync.count(), 1);
         q.shutdown();
         worker.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);

@@ -204,3 +204,67 @@ fn torn_write_schedule_then_restart_recovers() {
         "at least one schedule must actually crash the workload"
     );
 }
+
+#[test]
+fn flight_record_survives_reopen_and_torn_journal_tail() {
+    let dir = tmpdir("flight-reopen");
+    let cfg_traced = || cfg().trace(256).spans(true);
+    let db = create_database(&dir, cfg_traced(), DurabilityMode::FsyncOnBarrier).unwrap();
+    for i in 0..4u64 {
+        let mut tx = db.begin();
+        tx.write(i as u32, &stamp(i)).unwrap();
+        tx.commit().unwrap();
+    }
+    drop(db);
+
+    // Maul the journal the way a kill mid-append would: a frame header
+    // promising more bytes than exist. The intact snapshots before it
+    // must still load.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("obs.journal"))
+            .unwrap();
+        f.write_all(&[0xFF, 0x00, 0x00, 0x00, 1, 2, 3]).unwrap();
+    }
+
+    let db = reopen_database(&dir, cfg_traced(), DurabilityMode::FsyncOnBarrier).unwrap();
+    let report = db.recover().unwrap();
+    let flight = report
+        .flight
+        .as_ref()
+        .expect("pre-crash flight record attached despite the torn tail");
+    assert!(flight.flush_seq >= 1);
+    assert!(
+        !flight.events.is_empty(),
+        "flight record carries the commit-path spans"
+    );
+    assert!(
+        flight
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, rda_core::EventKind::CommitAck { .. })),
+        "a commit acknowledgment made it into the black box"
+    );
+    // Only the first recovery owns the pre-crash record; the flight
+    // recorder is already journaling this incarnation.
+    drop(db);
+
+    // With the recorder disabled, reopen attaches nothing.
+    let db = rda_disk::reopen_database_with(
+        &dir,
+        cfg_traced(),
+        DurabilityMode::FsyncOnBarrier,
+        rda_disk::StorageOptions {
+            flight_recorder: false,
+        },
+    )
+    .unwrap();
+    let report = db.recover().unwrap();
+    assert!(
+        report.flight.is_none(),
+        "flight_recorder: false must not load or write obs.journal"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

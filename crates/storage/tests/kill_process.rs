@@ -13,7 +13,7 @@
 //! recovered stamp may exceed the last ack by at most the one commit
 //! whose acknowledgment the kill raced.
 
-use rda_core::{DbConfig, EngineKind};
+use rda_core::{DbConfig, EngineKind, EventKind};
 use rda_disk::{create_database, reopen_database, DurabilityMode, FileDb};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -25,7 +25,12 @@ const CHILD_ENV: &str = "RDA_KILL_CHILD_DIR";
 const PAGES: [u32; 3] = [2, 9, 17];
 
 fn cfg() -> DbConfig {
+    // Tracing + commit-path spans on, so the flight recorder's black box
+    // has events to persist and the parent can ask what the child was
+    // doing when it died.
     DbConfig::small_test(EngineKind::Rda)
+        .trace(1024)
+        .spans(true)
 }
 
 fn stamp(i: u64) -> Vec<u8> {
@@ -127,6 +132,49 @@ fn sigkill_mid_commit_recovers_committed_data() {
 
     let db = reopen_database(&dir, cfg(), DurabilityMode::FsyncOnBarrier).expect("reopen");
     let report = db.recover().expect("restart recovery");
+
+    // The black box: obs.journal survived the SIGKILL (it is flushed at
+    // every commit barrier, and the page cache outlives the process), so
+    // recovery hands back the child's last pre-crash flight record.
+    let flight = report
+        .flight
+        .as_ref()
+        .expect("flight record attached after SIGKILL");
+    assert!(flight.flush_seq >= 1, "at least one snapshot was flushed");
+    assert!(
+        !flight.events.is_empty(),
+        "flight record retains trace events"
+    );
+    assert!(
+        flight
+            .counters
+            .iter()
+            .any(|(name, v)| name == "txn_commits" && *v >= 1)
+            || !flight.counters.is_empty(),
+        "flight record carries counter values"
+    );
+    // The record must name the transaction that was in flight (or just
+    // acknowledged) at death: the child runs one transaction per stamp,
+    // so span txn ids track the ack counter. The newest span the box saw
+    // can trail the final ack by at most the commits of one barrier
+    // window, and never leads it by more than the one racing commit.
+    let max_span_txn = flight
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::TxnBegin { txn }
+            | EventKind::LogForce { txn }
+            | EventKind::CommitBarrier { txn }
+            | EventKind::CommitAck { txn, .. } => Some(txn),
+            _ => None,
+        })
+        .max()
+        .expect("flight record names commit-path spans");
+    assert!(
+        max_span_txn + 2 >= acked && max_span_txn <= acked + 1,
+        "flight record's newest span txn {max_span_txn} does not bracket \
+         the last acknowledged commit {acked}"
+    );
 
     let values: Vec<Option<u64>> = PAGES.iter().map(|&p| stamped_value(&db, p)).collect();
     let recovered = values[0];

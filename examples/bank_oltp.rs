@@ -55,6 +55,7 @@ fn main() {
         checkpoint: CheckpointPolicy::AccEvery { ops: 64 },
         strict_read_locks: false,
         trace_events: 0,
+        span_events: false,
         mutations: ProtocolMutations::default(),
     };
     let db = Database::open(cfg);

@@ -32,6 +32,7 @@ fn run(org: Organization) {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        span_events: false,
         mutations: ProtocolMutations::default(),
     };
     let db = Database::open(cfg);

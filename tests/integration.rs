@@ -32,6 +32,7 @@ fn engine_cfg(engine: EngineKind) -> DbConfig {
         checkpoint: CheckpointPolicy::Manual,
         strict_read_locks: false,
         trace_events: 0,
+        span_events: false,
         mutations: ProtocolMutations::default(),
     }
 }
