@@ -152,6 +152,13 @@ impl StatsSnapshot {
     pub fn transfers(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Add another snapshot's counters into this one (merging per-shard
+    /// arrays into an aggregate view).
+    pub fn accumulate(&mut self, other: &StatsSnapshot) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
 }
 
 #[cfg(test)]

@@ -202,11 +202,14 @@ fn queue_json(db: &FileDb) -> String {
     let coalesced = get("disk_writes_coalesced");
     format!(
         "{{\"depth_hw\":{},\"enqueued\":{enqueued},\"coalesced\":{coalesced},\
-         \"coalesce_ratio\":{:.4},\"batches\":{},\"sticky_errors\":{},\
+         \"coalesce_ratio\":{:.4},\"batches\":{},\"barriers\":{},\
+         \"fsyncs\":{},\"sticky_errors\":{},\
          \"fsync\":{},\"residency\":{}}}",
         get("disk_queue_depth_hw"),
         coalesced as f64 / (enqueued as f64).max(1.0),
         get("disk_write_batches"),
+        get("disk_barriers"),
+        get("disk_fsyncs"),
         get("disk_sticky_errors"),
         histogram_json(db, "disk_fsync_nanos"),
         histogram_json(db, "disk_queue_residency_nanos"),

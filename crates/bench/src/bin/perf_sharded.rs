@@ -1,0 +1,182 @@
+//! PR 10 perf harness: the sharded engine under genuine OS-thread
+//! parallelism, with group commit on.
+//!
+//! For each thread count (1, 2, 4, 8) the harness opens a database with
+//! `shards == threads` — the tentpole claim is that shards scale with
+//! threads — and runs the same per-thread transaction budget in two
+//! swept key modes:
+//!
+//! * **disjoint** — thread `t` draws pages only from parity groups
+//!   `g ≡ t (mod threads)`, so with the striped shard map every
+//!   transaction stays in its own shard: no lock conflicts, no 2PC,
+//!   the lock-free-across-shards fast path.
+//! * **overlapping** — every thread draws from the full page range:
+//!   lock conflicts and cross-shard 2PC commits at natural rates,
+//!   reported per section as `conflict_rate` and
+//!   `cross_shard_commit_rate`.
+//!
+//! Every section reports exact driver-side p50/p99 commit-ack latency
+//! (gate wait included) plus the group-commit batch counters, and the
+//! report closes with the scaling ratio `threads_4_vs_1` over the
+//! disjoint sections, recorded next to `host_cpus` so a reader can
+//! judge the number against the machine that produced it.
+//!
+//! Run with: `cargo run --release -p rda-bench --bin perf_sharded`
+
+use rda_core::{DbConfig, EngineKind, GroupCommit};
+use rda_sim::{run_sharded_threaded, ShardedKeyMode, ShardedRunResult};
+use std::fmt::Write as _;
+
+struct Args {
+    smoke: bool,
+    check_scaling: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        check_scaling: false,
+        out: "BENCH_pr10.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--check-scaling" => args.check_scaling = true,
+            "--out" => match argv.next() {
+                Some(path) => args.out = path,
+                None => usage(),
+            },
+            other => match other.strip_prefix("--out=") {
+                Some(path) => args.out = path.to_string(),
+                None => usage(),
+            },
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perf_sharded [--smoke] [--check-scaling] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// One measured section: `shards == threads`, group commit armed with a
+/// zero linger window (pure opportunistic batching — batches form under
+/// committer concurrency, a lone committer never waits).
+fn section(threads: usize, txns_per_thread: usize, mode: ShardedKeyMode) -> ShardedRunResult {
+    let cfg = DbConfig::paper_like(EngineKind::Rda, 320, 64)
+        .shards(u32::try_from(threads).unwrap_or(1))
+        .group_commit(GroupCommit {
+            window_micros: 0,
+            max_batch: 32,
+        });
+    run_sharded_threaded(&cfg, threads, txns_per_thread, 3, mode, 0x1992_0A10)
+}
+
+fn section_json(r: &ShardedRunResult) -> String {
+    format!(
+        "{{\"committed\":{},\"wall_ms\":{:.3},\"txns_per_sec\":{:.1},\
+         \"conflict_aborts\":{},\"conflict_retries\":{},\"conflict_rate\":{:.4},\
+         \"cross_shard_commits\":{},\"cross_shard_aborts\":{},\
+         \"cross_shard_commit_rate\":{:.4},\"gc_batches\":{},\"gc_txns\":{},\
+         \"p50_commit_us\":{:.1},\"p99_commit_us\":{:.1},\"failures\":{}}}",
+        r.committed,
+        r.elapsed_ns as f64 / 1e6,
+        r.txns_per_sec(),
+        r.conflict_aborts,
+        r.conflict_retries,
+        r.conflict_rate(),
+        r.cross_shard_commits,
+        r.cross_shard_aborts,
+        r.cross_shard_commit_rate(),
+        r.gc_batches,
+        r.gc_txns,
+        r.p50_commit_ns as f64 / 1e3,
+        r.p99_commit_ns as f64 / 1e3,
+        r.failures,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let txns_per_thread = if args.smoke { 400 } else { 3000 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"pr10-sharded\",\"smoke\":{},\"host_cpus\":{host_cpus},\
+         \"txns_per_thread\":{txns_per_thread},\"pages_per_txn\":3,",
+        args.smoke,
+    );
+
+    let mut disjoint_tps: Vec<(usize, f64)> = Vec::new();
+    let mut failed: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        for mode in [ShardedKeyMode::Disjoint, ShardedKeyMode::Overlapping] {
+            let r = section(threads, txns_per_thread, mode);
+            eprintln!(
+                "threads_{threads} {}: {:.0} txns/s, conflict_rate {:.4}, \
+                 cross-shard rate {:.4}, p99 {:.1}us",
+                mode.name(),
+                r.txns_per_sec(),
+                r.conflict_rate(),
+                r.cross_shard_commit_rate(),
+                r.p99_commit_ns as f64 / 1e3,
+            );
+            if r.failures > 0 && failed.is_none() {
+                failed = Some(format!(
+                    "threads_{threads} {}: {} failures, first: {:?}",
+                    mode.name(),
+                    r.failures,
+                    r.first_failure
+                ));
+            }
+            if mode == ShardedKeyMode::Disjoint {
+                disjoint_tps.push((threads, r.txns_per_sec()));
+            }
+            let _ = write!(
+                json,
+                "\"threads_{threads}_{}\":{},",
+                mode.name(),
+                section_json(&r)
+            );
+        }
+    }
+
+    let tps = |n: usize| {
+        disjoint_tps
+            .iter()
+            .find(|(t, _)| *t == n)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    let ratio_4 = if tps(1) > 0.0 { tps(4) / tps(1) } else { 0.0 };
+    let ratio_2 = if tps(1) > 0.0 { tps(2) / tps(1) } else { 0.0 };
+    let met = ratio_4 >= 2.5;
+    let _ = write!(
+        json,
+        "\"scaling\":{{\"mode\":\"disjoint\",\"threads_2_vs_1\":{ratio_2:.3},\
+         \"threads_4_vs_1\":{ratio_4:.3},\"target_4_vs_1\":2.5,\"met\":{met}}}}}",
+    );
+
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!(
+        "report written to {} (threads_4 disjoint speedup: {ratio_4:.2}x on {host_cpus} cpus)",
+        args.out
+    );
+    if let Some(msg) = failed {
+        eprintln!("engine failures during bench: {msg}");
+        std::process::exit(1);
+    }
+    if args.check_scaling && host_cpus >= 4 && !met {
+        eprintln!(
+            "scaling gate: threads_4 disjoint {ratio_4:.2}x < 2.5x on a {host_cpus}-core host"
+        );
+        std::process::exit(1);
+    }
+}

@@ -121,6 +121,17 @@ impl BufferStats {
         }
         self.hits as f64 / total as f64
     }
+
+    /// Add another snapshot's counters into this one (merging per-shard
+    /// buffer partitions into an aggregate view).
+    pub fn accumulate(&mut self, other: &BufferStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.steals += other.steals;
+        self.writebacks += other.writebacks;
+        self.drops += other.drops;
+        self.eviction_scans += other.eviction_scans;
+    }
 }
 
 /// The pool's live counters: lock-free atomics shared via `Arc`, so a

@@ -22,6 +22,14 @@
 //!    a minimal, deterministically-failing schedule, and the **corpus**
 //!    ([`corpus`]) stores such repros as JSON for replay in CI forever
 //!    after.
+//! 5. A **threaded runner** ([`run_threaded`]) replays the same
+//!    vocabulary against the *sharded* engine ([`rda_core::ShardedDb`])
+//!    with one OS thread per transaction slot, dispatched turn-based so
+//!    the run stays deterministic; cross-shard 2PC commits interrupted
+//!    by a crash are resolved through the recovery-reported intent
+//!    replays. Its sweep ([`threaded_sweep`]), shrinker
+//!    ([`shrink_threaded`]) and corpus (`corpus-threaded/`) mirror the
+//!    sequential ones.
 //!
 //! The checker's teeth are proved by mutation: compile a protocol
 //! mutation into the engine
@@ -37,6 +45,7 @@ mod model;
 mod schedule;
 mod shrink;
 mod sweep;
+mod threaded;
 
 pub mod corpus;
 
@@ -50,3 +59,9 @@ pub use rda_core::ProtocolMutations;
 pub use schedule::{DbKnobs, FaultPoint, SchedOp, Schedule, MAX_SLOTS, PAGES};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use sweep::{check_index, sweep, Failure, ScheduleResult, SweepConfig, SweepReport};
+pub use threaded::{
+    check_threaded_index, generate_threaded, load_threaded_dir, replay_threaded_dir, run_threaded,
+    shrink_threaded, threaded_corpus_dir, threaded_sweep, ShrinkThreadedOutcome,
+    ThreadedCorpusEntry, ThreadedFailure, ThreadedKnobs, ThreadedReport, ThreadedResult,
+    ThreadedSchedule, ThreadedSweepConfig,
+};

@@ -142,6 +142,8 @@ impl DbKnobs {
             trace_events: 1 << 15,
             span_events: false,
             mutations,
+            shards: 1,
+            group_commit: None,
         }
     }
 }
@@ -295,7 +297,7 @@ impl Schedule {
     }
 }
 
-fn op_to_json(op: &SchedOp) -> Json {
+pub(crate) fn op_to_json(op: &SchedOp) -> Json {
     let mut members = Vec::with_capacity(4);
     let tag = |s: &str| Json::Str(s.to_string());
     match *op {
@@ -352,7 +354,7 @@ fn op_to_json(op: &SchedOp) -> Json {
     Json::Obj(members)
 }
 
-fn op_from_json(value: &Json) -> Result<SchedOp, String> {
+pub(crate) fn op_from_json(value: &Json) -> Result<SchedOp, String> {
     let slot = || {
         value
             .get("slot")

@@ -1,0 +1,1500 @@
+//! Concurrent schedules: the checker grown real threads.
+//!
+//! A [`ThreadedSchedule`] is the same seeded interleaving vocabulary as
+//! [`Schedule`](crate::Schedule), executed against the **sharded engine**
+//! ([`ShardedDb`]) with every transaction slot owned by its own OS
+//! thread. The interleaving is replayed *turn-based*: the coordinator
+//! dispatches one op at a time to the owning slot's thread and waits for
+//! its reply before dispatching the next, so the total order of
+//! engine-visible operations is exactly the schedule's op order — which
+//! is what makes the run deterministic (byte-identical traces, digests,
+//! and sweep reports at any worker count) while still crossing real
+//! thread boundaries on every operation: transaction handles live on
+//! their threads, lock conflicts happen between threads, and commits run
+//! the group-commit gate from a thread that is not the opener's.
+//!
+//! The oracle is the same sequential [`RefModel`], stepped by the
+//! coordinator in the dispatch order. The one genuinely
+//! interleaving-dependent verdict — a cross-shard commit interrupted by
+//! a crash — is resolved through the engine's own 2PC decision record:
+//! [`ShardedDb::recover_sequential`] reports the global ids whose
+//! staged intents it replayed, and the coordinator commits exactly those
+//! transactions model-side before declaring the crash (everything else
+//! in flight is a loser, same as the sequential checker).
+
+use crate::checker::CheckOutcome;
+use crate::generate::{fault_kind_cycle, mix, Rng};
+use crate::json::Json;
+use crate::model::{Expected, RefModel};
+use crate::schedule::{op_from_json, op_to_json, FaultPoint, SchedOp, MAX_SLOTS, PAGES};
+use rda_array::ArrayError;
+use rda_core::{
+    CheckpointPolicy, DbConfig, DbError, EngineKind, EotPolicy, GroupCommit, LogGranularity,
+    ProtocolMutations, ShardedDb, ShardedTxn,
+};
+use rda_faults::{crashpoint_schedule, FaultInjector, FaultKind, FaultPlan, FaultSpec};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// The knobs a threaded schedule varies on top of [`DbKnobs`]
+/// (crate::DbKnobs): shard count and the group-commit gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadedKnobs {
+    /// Buffer frames per shard.
+    pub frames: usize,
+    /// FORCE (true) or ¬FORCE (false) end-of-transaction policy.
+    pub force: bool,
+    /// Strict two-phase read locks.
+    pub strict: bool,
+    /// Engine shards (1 ≤ shards ≤ 4 on the checker's 4-group array).
+    pub shards: u32,
+    /// Commit through the group-commit gate?
+    pub group_commit: bool,
+}
+
+impl ThreadedKnobs {
+    /// Materialize the full [`DbConfig`]: the checker's standard small
+    /// geometry (rotated parity, n = 4, 4 groups, 16 pages) plus this
+    /// knob setting. The gate window is kept tiny — under turn-based
+    /// dispatch every batch has one member, so the window is pure
+    /// leader-path latency.
+    #[must_use]
+    pub fn config(&self, mutations: ProtocolMutations) -> DbConfig {
+        DbConfig {
+            engine: EngineKind::Rda,
+            array: rda_array::ArrayConfig::new(rda_array::Organization::RotatedParity, 4, 4)
+                .twin(true)
+                .page_size(64),
+            buffer: rda_buffer::BufferConfig {
+                frames: self.frames,
+                steal: true,
+                policy: rda_buffer::ReplacePolicy::Clock,
+            },
+            log: rda_wal::LogConfig {
+                page_size: 256,
+                copies: 2,
+                amortized: false,
+            },
+            granularity: LogGranularity::Page,
+            eot: if self.force {
+                EotPolicy::Force
+            } else {
+                EotPolicy::NoForce
+            },
+            checkpoint: CheckpointPolicy::Manual,
+            strict_read_locks: self.strict,
+            trace_events: 1 << 15,
+            span_events: false,
+            mutations,
+            shards: self.shards,
+            group_commit: self.group_commit.then_some(GroupCommit {
+                window_micros: 50,
+                max_batch: 8,
+            }),
+        }
+    }
+}
+
+/// A complete threaded checker input: slot = thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadedSchedule {
+    /// Human-readable name.
+    pub name: String,
+    /// Knobs (shards, gate, and the sequential trio).
+    pub knobs: ThreadedKnobs,
+    /// The interleaving: ops in dispatch order, each executed on the
+    /// owning slot's thread.
+    pub ops: Vec<SchedOp>,
+    /// At most one planted fault (global I/O numbering — the injector is
+    /// shared across shards, so the billed clock is machine-wide).
+    pub fault: Option<FaultPoint>,
+}
+
+impl ThreadedSchedule {
+    /// A copy with `fault` planted and the fault appended to the name.
+    #[must_use]
+    pub fn with_fault(&self, fault: FaultPoint) -> ThreadedSchedule {
+        ThreadedSchedule {
+            name: format!("{}+{}@{}", self.name, fault.kind.name(), fault.at_io),
+            knobs: self.knobs,
+            ops: self.ops.clone(),
+            fault: Some(fault),
+        }
+    }
+
+    /// Does any step kill a disk explicitly?
+    #[must_use]
+    pub fn has_fail_disk(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op, SchedOp::FailDisk { .. }))
+    }
+
+    /// The distinct transaction slots (= threads) addressed, ascending.
+    #[must_use]
+    pub fn slots(&self) -> Vec<usize> {
+        let mut slots: Vec<usize> = self.ops.iter().filter_map(SchedOp::slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        slots
+    }
+
+    /// Serialize to the stable corpus JSON shape (the sequential shape
+    /// plus `shards` and `group_commit` in `config`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            (
+                "config".to_string(),
+                Json::Obj(vec![
+                    (
+                        "frames".to_string(),
+                        Json::Int(i64::try_from(self.knobs.frames).unwrap_or(i64::MAX)),
+                    ),
+                    (
+                        "eot".to_string(),
+                        Json::Str(if self.knobs.force { "force" } else { "noforce" }.to_string()),
+                    ),
+                    ("strict".to_string(), Json::Bool(self.knobs.strict)),
+                    (
+                        "shards".to_string(),
+                        Json::Int(i64::from(self.knobs.shards)),
+                    ),
+                    (
+                        "group_commit".to_string(),
+                        Json::Bool(self.knobs.group_commit),
+                    ),
+                ]),
+            ),
+            (
+                "ops".to_string(),
+                Json::Arr(self.ops.iter().map(op_to_json).collect()),
+            ),
+            (
+                "fault".to_string(),
+                match self.fault {
+                    Some(f) => Json::Obj(vec![
+                        ("mode".to_string(), Json::Str(f.kind.name().to_string())),
+                        ("at_io".to_string(), Json::Int(f.at_io.cast_signed())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Deserialize from the corpus JSON shape.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(value: &Json) -> Result<ThreadedSchedule, String> {
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("threaded schedule missing 'name'")?
+            .to_string();
+        let config = value.get("config").ok_or("schedule missing 'config'")?;
+        let frames = config
+            .get("frames")
+            .and_then(Json::as_u64)
+            .ok_or("config missing 'frames'")? as usize;
+        let force = match config.get("eot").and_then(Json::as_str) {
+            Some("force") => true,
+            Some("noforce") => false,
+            other => return Err(format!("config 'eot' must be force|noforce, got {other:?}")),
+        };
+        let strict = config
+            .get("strict")
+            .and_then(Json::as_bool)
+            .ok_or("config missing 'strict'")?;
+        let shards = config
+            .get("shards")
+            .and_then(Json::as_u64)
+            .filter(|&s| (1..=u64::from(PAGES / 4)).contains(&s))
+            .ok_or("config missing valid 'shards'")? as u32;
+        let group_commit = config
+            .get("group_commit")
+            .and_then(Json::as_bool)
+            .ok_or("config missing 'group_commit'")?;
+        let ops = value
+            .get("ops")
+            .and_then(Json::as_arr)
+            .ok_or("schedule missing 'ops'")?
+            .iter()
+            .map(op_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let fault = match value.get("fault") {
+            None | Some(Json::Null) => None,
+            Some(f) => {
+                let kind = match f.get("mode").and_then(Json::as_str) {
+                    Some("crash") => FaultKind::Crash,
+                    Some("torn_write") => FaultKind::TornWrite,
+                    Some("fail_disk") => FaultKind::FailDisk,
+                    other => return Err(format!("bad fault mode {other:?}")),
+                };
+                let at_io = f
+                    .get("at_io")
+                    .and_then(Json::as_u64)
+                    .ok_or("fault missing 'at_io'")?;
+                Some(FaultPoint { kind, at_io })
+            }
+        };
+        Ok(ThreadedSchedule {
+            name,
+            knobs: ThreadedKnobs {
+                frames,
+                force,
+                strict,
+                shards,
+                group_commit,
+            },
+            ops,
+            fault,
+        })
+    }
+}
+
+/// Command dispatched to a slot's worker thread (one at a time).
+enum Cmd {
+    Begin,
+    Read(u32),
+    Write(u32, u8),
+    Commit,
+    Abort,
+    /// Machine died: drop the transaction handle without reporting its
+    /// abort outcome (best-effort, errors tolerated, same as the
+    /// sequential checker's dead handles).
+    DropTxn,
+}
+
+/// A worker thread's reply to one command.
+enum Reply {
+    /// Begin done; the new transaction's global id.
+    Begun(u64),
+    /// Read done; first byte of the image.
+    Value(Option<u8>),
+    /// Write/abort/drop done.
+    Done,
+    /// Commit acknowledged; did the transaction span multiple shards?
+    Committed { cross: bool },
+    /// Fail-fast lock conflict (transaction alive).
+    Conflict,
+    /// The machine died under this op.
+    Crashed,
+    /// Any other error.
+    Error(String),
+}
+
+/// One slot's worker loop: owns the slot's [`ShardedTxn`] and executes
+/// commands against the shared database. All waiting happens in the
+/// coordinator; the worker only ever has one command in flight.
+fn worker(
+    db: &ShardedDb,
+    rx: &mpsc::Receiver<Cmd>,
+    tx: &mpsc::Sender<(usize, Reply)>,
+    slot: usize,
+) {
+    let mut txn: Option<ShardedTxn> = None;
+    let reply_of = |e: DbError| match e {
+        DbError::LockConflict { .. } => Reply::Conflict,
+        DbError::Array(ArrayError::Crashed) => Reply::Crashed,
+        other => Reply::Error(other.to_string()),
+    };
+    while let Ok(cmd) = rx.recv() {
+        let reply = match cmd {
+            Cmd::Begin => {
+                let t = db.begin();
+                let gid = t.id();
+                txn = Some(t);
+                Reply::Begun(gid)
+            }
+            Cmd::Read(page) => match txn.as_mut() {
+                Some(t) => match t.read(page) {
+                    Ok(image) => Reply::Value(image.first().copied()),
+                    Err(e) => reply_of(e),
+                },
+                None => Reply::Done,
+            },
+            Cmd::Write(page, val) => match txn.as_mut() {
+                Some(t) => match t.write(page, &[val]) {
+                    Ok(()) => Reply::Done,
+                    Err(e) => reply_of(e),
+                },
+                None => Reply::Done,
+            },
+            Cmd::Commit => match txn.take() {
+                Some(t) => {
+                    let cross = t.shards_touched().len() > 1;
+                    match t.commit() {
+                        Ok(_) => Reply::Committed { cross },
+                        Err(e) => reply_of(e),
+                    }
+                }
+                None => Reply::Done,
+            },
+            Cmd::Abort => match txn.take() {
+                Some(t) => match t.abort() {
+                    Ok(()) => Reply::Done,
+                    Err(e) => reply_of(e),
+                },
+                None => Reply::Done,
+            },
+            Cmd::DropTxn => {
+                txn = None;
+                Reply::Done
+            }
+        };
+        if tx.send((slot, reply)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Coordinator-side state of one threaded replay.
+struct TRun {
+    db: ShardedDb,
+    injector: Arc<FaultInjector>,
+    model: RefModel,
+    /// Per-slot global transaction ids (None = slot idle).
+    slot_gids: Vec<Option<u64>>,
+    failed_disks: BTreeSet<u16>,
+    /// Per-shard trace windows occupied by restart recovery.
+    windows: Vec<Vec<(u64, u64)>>,
+    /// Synthetic event tokens (cross-shard commits, intent replays) for
+    /// corpus `requires` assertions.
+    extra_events: Vec<String>,
+    violations: Vec<String>,
+    crashes: u64,
+    wedged: bool,
+}
+
+/// The per-run thread fabric: one command channel per slot, one shared
+/// reply channel.
+struct Fabric {
+    cmd: Vec<Option<mpsc::Sender<Cmd>>>,
+    reply: mpsc::Receiver<(usize, Reply)>,
+}
+
+impl Fabric {
+    /// Dispatch `cmd` to `slot`'s thread and wait for its reply — the
+    /// turn-based token pass that makes the run deterministic.
+    fn call(&self, slot: usize, cmd: Cmd) -> Reply {
+        let Some(tx) = self.cmd[slot].as_ref() else {
+            return Reply::Done;
+        };
+        if tx.send(cmd).is_err() {
+            return Reply::Error("worker thread gone".to_string());
+        }
+        match self.reply.recv() {
+            Ok((from, reply)) => {
+                debug_assert_eq!(from, slot, "turn-based: replies arrive in dispatch order");
+                reply
+            }
+            Err(_) => Reply::Error("worker thread gone".to_string()),
+        }
+    }
+}
+
+impl TRun {
+    fn shard_last_seq(&self, s: u32) -> u64 {
+        self.db
+            .shard(s)
+            .trace_snapshot()
+            .events
+            .last()
+            .map_or(0, |e| e.seq)
+    }
+
+    /// Any error while the injector's crash latch is down is the machine
+    /// dying (lower layers sometimes wrap the refusal).
+    fn is_crash_reply(&self, reply: &Reply) -> bool {
+        matches!(reply, Reply::Crashed) || self.injector.is_latched()
+    }
+
+    /// Mark every disk the array itself reports failed (a planted
+    /// disk-death fault kills a disk without telling the coordinator
+    /// which one).
+    fn scan_failed_disks(&mut self) {
+        let per = self.db.disks_per_shard();
+        for s in 0..self.db.shard_count() {
+            for local in 0..per {
+                if self.db.shard(s).disk_failed(local) {
+                    self.failed_disks.insert(s as u16 * per + local);
+                }
+            }
+        }
+    }
+
+    /// Rebuild every disk whose media recovery is owed. Ok(false) means
+    /// the machine died mid-rebuild (already power-cycled); Err = wedged.
+    fn rebuild_owed(&mut self) -> Result<bool, ()> {
+        for disk in self.failed_disks.clone() {
+            match self.db.media_recover(disk) {
+                Ok(_) => {
+                    self.failed_disks.remove(&disk);
+                }
+                Err(ref e) if self.is_crash_err(e) => {
+                    self.crashes += 1;
+                    self.db.crash();
+                    return Ok(false);
+                }
+                Err(e) => {
+                    self.violations
+                        .push(format!("media recovery of disk {disk} failed: {e}"));
+                    self.wedged = true;
+                    return Err(());
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn is_crash_err(&self, e: &DbError) -> bool {
+        matches!(e, DbError::Array(ArrayError::Crashed)) || self.injector.is_latched()
+    }
+
+    /// The machine is down: drop every slot's handle (on its own
+    /// thread), power-cycle, drive deterministic sequential recovery to
+    /// convergence, resolve in-flight cross-shard commits through the
+    /// replayed-intent list, and fold the crash into the model.
+    fn crash_and_recover(&mut self, fabric: &Fabric) {
+        self.crashes += 1;
+        let starts: Vec<u64> = (0..self.db.shard_count())
+            .map(|s| self.shard_last_seq(s) + 1)
+            .collect();
+        self.db.crash();
+        for slot in 0..self.slot_gids.len() {
+            if self.slot_gids[slot].is_some() {
+                let _ = fabric.call(slot, Cmd::DropTxn);
+            }
+        }
+        let mut replayed: Vec<u64> = Vec::new();
+        'restart: for attempt in 0.. {
+            if attempt >= 8 {
+                self.violations
+                    .push("restart recovery did not converge after 8 attempts".to_string());
+                self.wedged = true;
+                break;
+            }
+            // Re-fail half-blank disks from an interrupted rebuild so
+            // recovery reads their groups degraded, not as silent zeroes.
+            for disk in self.failed_disks.clone() {
+                if !self.db.disk_failed(disk) {
+                    self.db.fail_disk(disk);
+                }
+            }
+            match self.db.recover_sequential() {
+                Ok(rec) => {
+                    replayed.extend(rec.replayed);
+                    match self.rebuild_owed() {
+                        Ok(true) => break,
+                        Ok(false) => {}
+                        Err(()) => break 'restart,
+                    }
+                }
+                // Recovery had to write a page of a dead disk: find and
+                // rebuild it, then go around.
+                Err(DbError::Array(ArrayError::DiskFailed(_))) => {
+                    self.scan_failed_disks();
+                    match self.rebuild_owed() {
+                        Ok(_) => {}
+                        Err(()) => break 'restart,
+                    }
+                }
+                Err(ref e) if self.is_crash_err(e) => {
+                    self.crashes += 1;
+                    self.db.crash();
+                }
+                Err(e) => {
+                    self.violations
+                        .push(format!("restart recovery failed: {e}"));
+                    self.wedged = true;
+                    break;
+                }
+            }
+        }
+        // The per-txn commit oracle for the interleaving-dependent case:
+        // a cross-shard commit interrupted mid-apply was *decided* (its
+        // intent was staged), and recovery has now applied it everywhere
+        // — so it commits model-side. Everything else in flight is a
+        // loser.
+        for gid in replayed {
+            if let Some(slot) = self.slot_gids.iter().position(|g| *g == Some(gid)) {
+                self.model.commit(slot);
+                self.extra_events.push("IntentReplayed".to_string());
+            }
+        }
+        self.model.crash();
+        for gid in &mut self.slot_gids {
+            *gid = None;
+        }
+        for (s, start) in starts.iter().enumerate() {
+            let end = self.shard_last_seq(s as u32);
+            self.windows[s].push((*start, end));
+        }
+    }
+}
+
+/// Replay `sched` against the sharded engine with one thread per slot.
+/// See the module docs for the turn-based discipline.
+#[must_use]
+pub fn run_threaded(sched: &ThreadedSchedule, mutations: ProtocolMutations) -> CheckOutcome {
+    let cfg = sched.knobs.config(mutations);
+    let db = ShardedDb::open(cfg);
+    let plan = match sched.fault {
+        Some(f) => FaultPlan::single(FaultSpec::at_io(f.kind, f.at_io)),
+        None => FaultPlan::empty(),
+    };
+    let injector = Arc::new(FaultInjector::new(plan));
+    db.install_fault_hook(Arc::clone(&injector) as Arc<dyn rda_array::FaultHook>);
+
+    let shard_count = db.shard_count();
+    let mut run = TRun {
+        db,
+        injector,
+        model: RefModel::new(PAGES, sched.knobs.strict),
+        slot_gids: vec![None; MAX_SLOTS],
+        failed_disks: BTreeSet::new(),
+        windows: vec![Vec::new(); shard_count as usize],
+        extra_events: Vec::new(),
+        violations: Vec::new(),
+        crashes: 0,
+        wedged: false,
+    };
+
+    let slots = sched.slots();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut cmd_txs: Vec<Option<mpsc::Sender<Cmd>>> = (0..MAX_SLOTS).map(|_| None).collect();
+    let workload_ios = std::thread::scope(|scope| {
+        for &slot in &slots {
+            let (tx, rx) = mpsc::channel();
+            cmd_txs[slot] = Some(tx);
+            let db = run.db.clone();
+            let reply = reply_tx.clone();
+            scope.spawn(move || worker(&db, &rx, &reply, slot));
+        }
+        let fabric = Fabric {
+            cmd: cmd_txs,
+            reply: reply_rx,
+        };
+        for (i, op) in sched.ops.iter().enumerate() {
+            if run.wedged {
+                break;
+            }
+            step(&mut run, &fabric, i, *op);
+        }
+        let ios = run.injector.ios_seen();
+        if !run.wedged {
+            finalize(&mut run, &fabric);
+        }
+        // Dropping the fabric closes every command channel; workers exit.
+        ios
+    });
+
+    // Per-shard protocol invariants, each shard's recovery windows
+    // excluded, violations shard-prefixed.
+    let mut trace = String::new();
+    let mut events: Vec<String> = Vec::new();
+    for s in 0..shard_count {
+        let snap = run.db.shard(s).trace_snapshot();
+        if snap.dropped > 0 {
+            run.violations.push(format!(
+                "shard {s}: trace ring overflowed ({} events dropped)",
+                snap.dropped
+            ));
+        } else {
+            run.violations.extend(
+                rda_core::protocol_violations_windowed(&snap.events, &run.windows[s as usize])
+                    .into_iter()
+                    .map(|v| format!("shard {s} trace: {v}")),
+            );
+        }
+        for ev in &snap.events {
+            let _ = writeln!(trace, "s{s} {ev}");
+            events.push(match ev.kind {
+                rda_core::EventKind::Steal { kind, .. } => format!("Steal:{}", kind.name()),
+                ref kind => kind.name().to_string(),
+            });
+        }
+    }
+    events.extend(run.extra_events.iter().cloned());
+
+    CheckOutcome {
+        violations: run.violations,
+        workload_ios,
+        crashes: run.crashes,
+        fault_fired: !run.injector.fired().is_empty(),
+        trace,
+        events,
+    }
+}
+
+/// Execute one schedule step: dispatch to the owning thread, diff the
+/// reply against the model — the same oracle as the sequential checker.
+fn step(run: &mut TRun, fabric: &Fabric, index: usize, op: SchedOp) {
+    match op {
+        SchedOp::Begin { slot } => {
+            if run.model.is_active(slot) {
+                return;
+            }
+            match fabric.call(slot, Cmd::Begin) {
+                Reply::Begun(gid) => {
+                    run.slot_gids[slot] = Some(gid);
+                    run.model.begin(slot);
+                }
+                reply => unexpected(run, index, slot, "begin", &reply),
+            }
+        }
+        SchedOp::Read { slot, page } => {
+            if !run.model.is_active(slot) {
+                return;
+            }
+            match fabric.call(slot, Cmd::Read(page)) {
+                Reply::Value(got) => match run.model.read(slot, page) {
+                    Expected::Value(want) => {
+                        if got != Some(want) {
+                            run.violations.push(format!(
+                                "op {index}: thread {slot} read page {page} = {got:?}, model says {want}"
+                            ));
+                        }
+                    }
+                    Expected::Conflict => run.violations.push(format!(
+                        "op {index}: thread {slot} read page {page} succeeded, model expected a lock conflict"
+                    )),
+                },
+                Reply::Conflict => {
+                    if run.model.read(slot, page) != Expected::Conflict {
+                        run.violations.push(format!(
+                            "op {index}: thread {slot} read page {page} hit a lock conflict the model did not predict"
+                        ));
+                    }
+                }
+                ref reply if run.is_crash_reply(reply) => run.crash_and_recover(fabric),
+                reply => unexpected(run, index, slot, "read", &reply),
+            }
+        }
+        SchedOp::Write { slot, page, val } => {
+            if !run.model.is_active(slot) {
+                return;
+            }
+            match fabric.call(slot, Cmd::Write(page, val)) {
+                Reply::Done => {
+                    if run.model.write(slot, page, val) == Expected::Conflict {
+                        run.violations.push(format!(
+                            "op {index}: thread {slot} write page {page} succeeded, model expected a lock conflict"
+                        ));
+                    }
+                }
+                Reply::Conflict => {
+                    if run.model.write(slot, page, val) != Expected::Conflict {
+                        run.violations.push(format!(
+                            "op {index}: thread {slot} write page {page} hit a lock conflict the model did not predict"
+                        ));
+                    }
+                }
+                ref reply if run.is_crash_reply(reply) => run.crash_and_recover(fabric),
+                reply => unexpected(run, index, slot, "write", &reply),
+            }
+        }
+        SchedOp::Commit { slot } => {
+            if !run.model.is_active(slot) {
+                return;
+            }
+            match fabric.call(slot, Cmd::Commit) {
+                // Commit acknowledged is durable-commit, gate or not.
+                Reply::Committed { cross } => {
+                    run.model.commit(slot);
+                    run.slot_gids[slot] = None;
+                    if cross {
+                        run.extra_events.push("CrossShardCommit".to_string());
+                    }
+                }
+                ref reply if run.is_crash_reply(reply) => run.crash_and_recover(fabric),
+                reply => unexpected(run, index, slot, "commit", &reply),
+            }
+        }
+        SchedOp::Abort { slot } => {
+            if !run.model.is_active(slot) {
+                return;
+            }
+            match fabric.call(slot, Cmd::Abort) {
+                Reply::Done => {
+                    run.model.abort(slot);
+                    run.slot_gids[slot] = None;
+                }
+                ref reply if run.is_crash_reply(reply) => run.crash_and_recover(fabric),
+                reply => unexpected(run, index, slot, "abort", &reply),
+            }
+        }
+        SchedOp::CrashRestart => run.crash_and_recover(fabric),
+        SchedOp::FailDisk { disk } => {
+            if run.failed_disks.contains(&disk) || disk >= run.db.disks() {
+                return;
+            }
+            run.db.fail_disk(disk);
+            run.failed_disks.insert(disk);
+        }
+        SchedOp::MediaRecover { disk } => {
+            if !run.failed_disks.contains(&disk) || run.db.active_transactions() > 0 {
+                return; // requires quiescence; the final cleanup rebuilds
+            }
+            match run.db.media_recover(disk) {
+                Ok(_) => {
+                    run.failed_disks.remove(&disk);
+                }
+                Err(ref e) if run.is_crash_err(e) => run.crash_and_recover(fabric),
+                Err(e) => run.violations.push(format!(
+                    "op {index}: media recovery of disk {disk} failed: {e}"
+                )),
+            }
+        }
+    }
+}
+
+fn unexpected(run: &mut TRun, index: usize, slot: usize, what: &str, reply: &Reply) {
+    let desc = match reply {
+        Reply::Error(e) => e.clone(),
+        Reply::Begun(_) => "unexpected begin ack".to_string(),
+        Reply::Value(_) => "unexpected read value".to_string(),
+        Reply::Done => "unexpected plain ack".to_string(),
+        Reply::Committed { .. } => "unexpected commit ack".to_string(),
+        Reply::Conflict => "unexpected lock conflict".to_string(),
+        Reply::Crashed => "unexpected crash".to_string(),
+    };
+    run.violations
+        .push(format!("op {index}: thread {slot} {what} failed: {desc}"));
+}
+
+/// End of schedule: quiesce, repair, and run every terminal oracle
+/// (durability vs. model, parity verify, cross-layer audit — all
+/// shard-merged).
+fn finalize(run: &mut TRun, fabric: &Fabric) {
+    // 1. Abort the stragglers (slot order, deterministic).
+    for slot in 0..run.slot_gids.len() {
+        if run.wedged {
+            return;
+        }
+        if run.slot_gids[slot].is_none() {
+            continue;
+        }
+        match fabric.call(slot, Cmd::Abort) {
+            Reply::Done => {
+                run.model.abort(slot);
+                run.slot_gids[slot] = None;
+            }
+            ref reply if run.is_crash_reply(reply) => run.crash_and_recover(fabric),
+            Reply::Error(e) => run
+                .violations
+                .push(format!("final abort of thread {slot} failed: {e}")),
+            _ => {}
+        }
+    }
+    // 2. Safety net: a fault that latched without any call observing it.
+    if run.injector.is_latched() {
+        run.crash_and_recover(fabric);
+    }
+    // 3. Rebuild any disk still dead so the durability oracle reads a
+    //    healthy array.
+    let mut guard = 0;
+    while !run.failed_disks.is_empty() && !run.wedged {
+        guard += 1;
+        if guard > 4 {
+            run.violations
+                .push("final disk rebuilds did not converge".to_string());
+            return;
+        }
+        for disk in run.failed_disks.clone() {
+            match run.db.media_recover(disk) {
+                Ok(_) => {
+                    run.failed_disks.remove(&disk);
+                }
+                Err(ref e) if run.is_crash_err(e) => {
+                    run.crash_and_recover(fabric);
+                    break;
+                }
+                Err(e) => {
+                    run.violations
+                        .push(format!("final rebuild of disk {disk} failed: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+    if run.wedged {
+        return;
+    }
+    // 4. Durability oracle: committed state (global page order) must
+    //    equal the model's.
+    match run.db.state_dump() {
+        Ok(pages) => {
+            for page in 0..run.model.pages() {
+                let got = pages
+                    .get(page as usize)
+                    .and_then(|image| image.first())
+                    .copied();
+                let want = run.model.committed_byte(page);
+                if got != Some(want) {
+                    run.violations.push(format!(
+                        "durability: page {page} = {got:?} after quiescence, model committed {want}"
+                    ));
+                }
+            }
+        }
+        Err(e) => run
+            .violations
+            .push(format!("state dump failed at quiescence: {e}")),
+    }
+    // 5. Physical parity invariants, every shard.
+    match run.db.verify() {
+        Ok(list) => run
+            .violations
+            .extend(list.into_iter().map(|v| format!("parity: {v}"))),
+        Err(e) => run.violations.push(format!("parity verify failed: {e}")),
+    }
+    // 6. Cross-layer audit, shard-merged.
+    let audit = run.db.audit();
+    run.violations
+        .extend(audit.violations().iter().map(|v| format!("audit: {v}")));
+    // 7. No 2PC decision may outlive its application.
+    let staged = run.db.staged_intents();
+    if staged > 0 {
+        run.violations.push(format!(
+            "{staged} cross-shard intent(s) still staged after quiescence"
+        ));
+    }
+}
+
+/// Salt folded into the master seed so the threaded stream is
+/// independent of the sequential generator's at the same seed.
+const THREADED_SALT: u64 = 0x7468_7264_7363_6864; // "thrdschd"
+
+/// Generate the `index`-th threaded schedule of the stream named by
+/// `seed`: seeded shard/gate knobs, per-thread scripts, a seeded
+/// round-robin interleaving, and whole-machine events. Page choice is
+/// spread over all four parity groups so multi-page transactions
+/// routinely cross shards.
+#[must_use]
+pub fn generate_threaded(seed: u64, index: u64) -> ThreadedSchedule {
+    let mut rng = Rng::new(mix(seed ^ THREADED_SALT, index));
+    let knobs = ThreadedKnobs {
+        frames: [2, 3, 4, 6][rng.below(4) as usize],
+        force: rng.chance(70),
+        strict: rng.chance(50),
+        shards: [1, 2, 4][rng.below(3) as usize],
+        group_commit: rng.chance(50),
+    };
+
+    let threads = 2 + rng.below(3) as usize; // 2..=4 concurrent threads
+    let mut scripts: Vec<Vec<SchedOp>> = Vec::with_capacity(threads);
+    for slot in 0..threads {
+        let nops = 1 + rng.below(4) as usize;
+        let mut ops = Vec::with_capacity(nops + 1);
+        for _ in 0..nops {
+            // Half the traffic lands anywhere (cross-shard candidates),
+            // half on the thread's "home" group (single-shard traffic).
+            let page = if rng.chance(50) {
+                rng.below(u64::from(PAGES)) as u32
+            } else {
+                (slot as u32 % 4) * 4 + rng.below(4) as u32
+            };
+            ops.push(if rng.chance(70) {
+                SchedOp::Write {
+                    slot,
+                    page,
+                    val: (rng.next_u64() & 0xFF) as u8 | 1,
+                }
+            } else {
+                SchedOp::Read { slot, page }
+            });
+        }
+        ops.push(if rng.chance(20) {
+            SchedOp::Abort { slot }
+        } else {
+            SchedOp::Commit { slot }
+        });
+        scripts.push(ops);
+    }
+
+    // Interleave: seeded round-robin, Begin injected at first touch.
+    let mut ops = Vec::new();
+    let mut cursor = vec![0usize; threads];
+    let mut begun = vec![false; threads];
+    loop {
+        let open: Vec<usize> = (0..threads)
+            .filter(|&s| cursor[s] < scripts[s].len())
+            .collect();
+        if open.is_empty() {
+            break;
+        }
+        let slot = open[rng.below(open.len() as u64) as usize];
+        debug_assert!(slot < MAX_SLOTS);
+        if !begun[slot] {
+            begun[slot] = true;
+            ops.push(SchedOp::Begin { slot });
+        }
+        ops.push(scripts[slot][cursor[slot]]);
+        cursor[slot] += 1;
+    }
+
+    // Whole-machine events.
+    if rng.chance(25) {
+        let at = rng.below(ops.len() as u64 + 1) as usize;
+        ops.insert(at, SchedOp::CrashRestart);
+    }
+    if rng.chance(15) {
+        // 6 disks per shard (rotated parity, n = 4, twin).
+        let disk = rng.below(6 * u64::from(knobs.shards)) as u16;
+        let at = rng.below(ops.len() as u64 + 1) as usize;
+        ops.insert(at, SchedOp::FailDisk { disk });
+        let later = at + 1 + rng.below((ops.len() - at) as u64) as usize;
+        ops.insert(later, SchedOp::MediaRecover { disk });
+    }
+
+    ThreadedSchedule {
+        name: format!("t{seed:016x}-{index}"),
+        knobs,
+        ops,
+        fault: None,
+    }
+}
+
+/// Schedules per barrier chunk — fixed (never derived from `workers`) so
+/// early-stop sweeps are worker-count independent.
+const CHUNK: u64 = 8;
+
+/// Threaded sweep parameters (shape-identical to
+/// [`SweepConfig`](crate::SweepConfig); kept separate so the two streams
+/// can diverge independently).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedSweepConfig {
+    /// Master seed; schedule `i` derives from the salted
+    /// `mix(seed, i)` stream.
+    pub seed: u64,
+    /// How many threaded schedules to generate.
+    pub schedules: u64,
+    /// Sampled fault points per schedule.
+    pub faults_per_schedule: u64,
+    /// Worker threads for the sweep itself (≥ 1; each schedule
+    /// additionally runs its own slot threads). Does not affect the
+    /// report.
+    pub workers: usize,
+    /// Protocol mutations compiled into the engine under test.
+    pub mutations: ProtocolMutations,
+    /// Stop at the first chunk that produced a failure.
+    pub stop_on_failure: bool,
+}
+
+impl ThreadedSweepConfig {
+    /// A small default threaded sweep over `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> ThreadedSweepConfig {
+        ThreadedSweepConfig {
+            seed,
+            schedules: 100,
+            faults_per_schedule: 2,
+            workers: 1,
+            mutations: ProtocolMutations::default(),
+            stop_on_failure: false,
+        }
+    }
+}
+
+/// A failing threaded check, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct ThreadedFailure {
+    /// Which variant failed: `golden` or `<kind>@<io>`.
+    pub variant: String,
+    /// The exact schedule (fault included) that failed.
+    pub schedule: ThreadedSchedule,
+    /// The violations it produced.
+    pub violations: Vec<String>,
+}
+
+/// Result of checking one generated threaded schedule and its variants.
+#[derive(Debug, Clone)]
+pub struct ThreadedResult {
+    /// Index in the sweep.
+    pub index: u64,
+    /// Generated schedule name.
+    pub name: String,
+    /// Array I/Os of the golden run's workload (global, all shards).
+    pub workload_ios: u64,
+    /// Differential checks executed (golden + fault variants).
+    pub checks: u64,
+    /// FNV digest over every check's trace + violations.
+    pub digest: u64,
+    /// First failure, if any.
+    pub failure: Option<ThreadedFailure>,
+}
+
+/// A whole threaded sweep's outcome.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport {
+    /// Master seed.
+    pub seed: u64,
+    /// Schedules requested.
+    pub requested: u64,
+    /// Were protocol mutations active?
+    pub mutated: bool,
+    /// Per-schedule results, in index order.
+    pub results: Vec<ThreadedResult>,
+}
+
+impl ThreadedReport {
+    /// Every failure, in schedule order.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&ThreadedFailure> {
+        self.results
+            .iter()
+            .filter_map(|r| r.failure.as_ref())
+            .collect()
+    }
+
+    /// Did every check pass?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.results.iter().all(|r| r.failure.is_none())
+    }
+
+    /// Total differential checks executed.
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.results.iter().map(|r| r.checks).sum()
+    }
+
+    /// Deterministic JSON — byte-identical at any worker count.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let results = self
+            .results
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("index".to_string(), Json::Int(r.index.cast_signed())),
+                    ("name".to_string(), Json::Str(r.name.clone())),
+                    (
+                        "workload_ios".to_string(),
+                        Json::Int(r.workload_ios.cast_signed()),
+                    ),
+                    ("checks".to_string(), Json::Int(r.checks.cast_signed())),
+                    (
+                        "digest".to_string(),
+                        Json::Str(format!("{:016x}", r.digest)),
+                    ),
+                    (
+                        "failure".to_string(),
+                        match &r.failure {
+                            None => Json::Null,
+                            Some(f) => Json::Obj(vec![
+                                ("variant".to_string(), Json::Str(f.variant.clone())),
+                                (
+                                    "violations".to_string(),
+                                    Json::Arr(
+                                        f.violations.iter().map(|v| Json::Str(v.clone())).collect(),
+                                    ),
+                                ),
+                                ("schedule".to_string(), f.schedule.to_json()),
+                            ]),
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("seed".to_string(), Json::Int(self.seed.cast_signed())),
+            (
+                "requested".to_string(),
+                Json::Int(self.requested.cast_signed()),
+            ),
+            ("mutated".to_string(), Json::Bool(self.mutated)),
+            ("clean".to_string(), Json::Bool(self.is_clean())),
+            ("checks".to_string(), Json::Int(self.checks().cast_signed())),
+            ("results".to_string(), Json::Arr(results)),
+        ])
+        .to_string()
+    }
+}
+
+/// Check one generated threaded schedule: golden run, then each sampled
+/// fault variant until the first failure.
+#[must_use]
+pub fn check_threaded_index(cfg: &ThreadedSweepConfig, index: u64) -> ThreadedResult {
+    let base = generate_threaded(cfg.seed, index);
+    let golden = run_threaded(&base, cfg.mutations);
+    let mut digest = golden.digest();
+    let mut checks = 1;
+    let workload_ios = golden.workload_ios;
+    let mut failure = fail_of(&base, "golden", &golden);
+
+    if failure.is_none() && workload_ios > 0 && cfg.faults_per_schedule > 0 {
+        let (points, _) = crashpoint_schedule(
+            workload_ios,
+            0,
+            cfg.faults_per_schedule,
+            mix(cfg.seed ^ THREADED_SALT, index) | 1,
+        );
+        for (j, &k) in points.iter().enumerate() {
+            // Same double-failure guard as the sequential sweep: a
+            // schedule that already kills a disk gets only crash faults.
+            let mut kind = fault_kind_cycle(j);
+            if base.has_fail_disk() && matches!(kind, FaultKind::FailDisk | FaultKind::TornWrite) {
+                kind = FaultKind::Crash;
+            }
+            let variant = base.with_fault(FaultPoint { kind, at_io: k });
+            let outcome = run_threaded(&variant, cfg.mutations);
+            digest ^= outcome.digest().rotate_left((j as u32 + 1) % 63);
+            checks += 1;
+            let label = variant.fault.map_or_else(
+                || "golden".to_string(),
+                |f| format!("{}@{}", f.kind.name(), f.at_io),
+            );
+            failure = fail_of(&variant, &label, &outcome);
+            if failure.is_some() {
+                break;
+            }
+        }
+    }
+
+    ThreadedResult {
+        index,
+        name: base.name,
+        workload_ios,
+        checks,
+        digest,
+        failure,
+    }
+}
+
+fn fail_of(
+    sched: &ThreadedSchedule,
+    variant: &str,
+    outcome: &CheckOutcome,
+) -> Option<ThreadedFailure> {
+    if outcome.ok() {
+        return None;
+    }
+    Some(ThreadedFailure {
+        variant: variant.to_string(),
+        schedule: sched.clone(),
+        violations: outcome.violations.clone(),
+    })
+}
+
+/// Run the threaded sweep with the same chunked, index-slotted
+/// parallelism as the sequential [`sweep`](crate::sweep): the report is
+/// a pure function of the configuration minus `workers`.
+#[must_use]
+pub fn threaded_sweep(cfg: &ThreadedSweepConfig) -> ThreadedReport {
+    let mut results: Vec<ThreadedResult> = Vec::with_capacity(cfg.schedules as usize);
+    let workers = cfg.workers.max(1);
+    let mut next = 0;
+    while next < cfg.schedules {
+        let chunk: Vec<u64> = (next..(next + CHUNK).min(cfg.schedules)).collect();
+        next += CHUNK;
+        let mut slot_results: Vec<Option<ThreadedResult>> = vec![None; chunk.len()];
+        if workers == 1 {
+            for (slot, &index) in chunk.iter().enumerate() {
+                slot_results[slot] = Some(check_threaded_index(cfg, index));
+            }
+        } else {
+            let counter = std::sync::atomic::AtomicUsize::new(0);
+            let slots = std::sync::Mutex::new(&mut slot_results);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers.min(chunk.len()) {
+                    scope.spawn(|_| loop {
+                        // ordering: Relaxed — work-queue index claim;
+                        // atomicity alone guarantees each slot is taken
+                        // once, and results publish via the mutex.
+                        let slot = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if slot >= chunk.len() {
+                            break;
+                        }
+                        let result = check_threaded_index(cfg, chunk[slot]);
+                        if let Ok(mut guard) = slots.lock() {
+                            guard[slot] = Some(result);
+                        }
+                    });
+                }
+            })
+            .unwrap_or_else(|_| unreachable!("threaded sweep worker panicked"));
+        }
+        let mut tripped = false;
+        for result in slot_results.into_iter().flatten() {
+            tripped |= result.failure.is_some();
+            results.push(result);
+        }
+        if cfg.stop_on_failure && tripped {
+            break;
+        }
+    }
+    ThreadedReport {
+        seed: cfg.seed,
+        requested: cfg.schedules,
+        mutated: cfg.mutations.any(),
+        results,
+    }
+}
+
+/// A threaded shrink run's result.
+#[derive(Debug, Clone)]
+pub struct ShrinkThreadedOutcome {
+    /// The smallest still-failing schedule found.
+    pub schedule: ThreadedSchedule,
+    /// Its violations (identical across two replays).
+    pub violations: Vec<String>,
+    /// Candidate evaluations spent (each is two replays).
+    pub evals: u64,
+}
+
+/// Does `sched` fail the same way twice? Returns the violation list when
+/// it does.
+fn fails_deterministically(
+    sched: &ThreadedSchedule,
+    mutations: ProtocolMutations,
+    evals: &mut u64,
+) -> Option<Vec<String>> {
+    *evals += 1;
+    let first = run_threaded(sched, mutations);
+    if first.ok() {
+        return None;
+    }
+    let second = run_threaded(sched, mutations);
+    (second.violations == first.violations).then_some(first.violations)
+}
+
+/// Greedy delta-debugging on a thread-interleaved repro — the same
+/// passes as the sequential [`shrink`](crate::shrink) (drop a whole
+/// thread's role, drop single ops end-first, drop the planted fault),
+/// each candidate accepted only if it still fails identically twice.
+#[must_use]
+pub fn shrink_threaded(
+    base: &ThreadedSchedule,
+    mutations: ProtocolMutations,
+    budget: u64,
+) -> ShrinkThreadedOutcome {
+    let mut evals = 0;
+    let mut best = base.clone();
+    let mut violations = fails_deterministically(&best, mutations, &mut evals)
+        .unwrap_or_else(|| vec!["shrink input did not fail deterministically".to_string()]);
+
+    let mut progress = true;
+    while progress && evals < budget {
+        progress = false;
+
+        // Pass 1: drop a whole thread's role.
+        for slot in best.slots() {
+            if evals >= budget {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.ops.retain(|op| op.slot() != Some(slot));
+            if candidate.ops.len() == best.ops.len() {
+                continue;
+            }
+            if let Some(v) = fails_deterministically(&candidate, mutations, &mut evals) {
+                candidate.name = format!("{}~", best.name.trim_end_matches('~'));
+                best = candidate;
+                violations = v;
+                progress = true;
+            }
+        }
+
+        // Pass 2: drop single ops, scanning from the end.
+        let mut i = best.ops.len();
+        while i > 0 && evals < budget {
+            i -= 1;
+            let mut candidate = best.clone();
+            candidate.ops.remove(i);
+            if let Some(v) = fails_deterministically(&candidate, mutations, &mut evals) {
+                candidate.name = format!("{}~", best.name.trim_end_matches('~'));
+                best = candidate;
+                violations = v;
+                progress = true;
+            }
+        }
+
+        // Pass 3: drop the planted fault.
+        if best.fault.is_some() && evals < budget {
+            let mut candidate = best.clone();
+            candidate.fault = None;
+            if let Some(v) = fails_deterministically(&candidate, mutations, &mut evals) {
+                candidate.name = format!("{}~", best.name.trim_end_matches('~'));
+                best = candidate;
+                violations = v;
+                progress = true;
+            }
+        }
+    }
+
+    ShrinkThreadedOutcome {
+        schedule: best,
+        violations,
+        evals,
+    }
+}
+
+/// One threaded corpus entry: a schedule and what its replay must
+/// observe (mirrors [`corpus::CorpusEntry`](crate::corpus::CorpusEntry)
+/// for the threaded vocabulary).
+#[derive(Debug, Clone)]
+pub struct ThreadedCorpusEntry {
+    /// The schedule to replay.
+    pub schedule: ThreadedSchedule,
+    /// Must the replay fail (true) or pass (false)?
+    pub expect_fail: bool,
+    /// Protocol mutations to compile into the engine for this entry.
+    pub mutations: ProtocolMutations,
+    /// Event tokens (engine events plus the threaded runner's synthetic
+    /// `CrossShardCommit` / `IntentReplayed`) the replay must exercise.
+    pub requires: Vec<String>,
+}
+
+impl ThreadedCorpusEntry {
+    /// Serialize to the corpus JSON shape.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(mut members) = self.schedule.to_json() else {
+            unreachable!("ThreadedSchedule::to_json always returns an object")
+        };
+        members.push((
+            "expect".to_string(),
+            Json::Str(if self.expect_fail { "fail" } else { "clean" }.to_string()),
+        ));
+        members.push((
+            "mutations".to_string(),
+            Json::Obj(vec![(
+                "skip_commit_twin_flip".to_string(),
+                Json::Bool(self.mutations.skip_commit_twin_flip),
+            )]),
+        ));
+        members.push((
+            "requires".to_string(),
+            Json::Arr(self.requires.iter().map(|r| Json::Str(r.clone())).collect()),
+        ));
+        Json::Obj(members)
+    }
+
+    /// Parse an entry from JSON text.
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed field.
+    pub fn parse(text: &str) -> Result<ThreadedCorpusEntry, String> {
+        let value = Json::parse(text)?;
+        let schedule = ThreadedSchedule::from_json(&value)?;
+        let expect_fail = match value.get("expect").and_then(Json::as_str) {
+            Some("fail") => true,
+            Some("clean") | None => false,
+            other => return Err(format!("'expect' must be clean|fail, got {other:?}")),
+        };
+        let mut mutations = ProtocolMutations::default();
+        if let Some(m) = value.get("mutations") {
+            mutations.skip_commit_twin_flip = m
+                .get("skip_commit_twin_flip")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+        }
+        let requires = value
+            .get("requires")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|r| {
+                r.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "'requires' entries must be strings".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ThreadedCorpusEntry {
+            schedule,
+            expect_fail,
+            mutations,
+            requires,
+        })
+    }
+
+    /// Replay this entry and check every expectation (pass/fail verdict,
+    /// two-replay determinism, required events).
+    ///
+    /// # Errors
+    /// One message per unmet expectation.
+    pub fn replay(&self) -> Result<(), String> {
+        let outcome = run_threaded(&self.schedule, self.mutations);
+        let name = &self.schedule.name;
+        if self.expect_fail && outcome.ok() {
+            return Err(format!(
+                "threaded corpus '{name}': expected a failure, replay passed"
+            ));
+        }
+        if !self.expect_fail && !outcome.ok() {
+            return Err(format!(
+                "threaded corpus '{name}': expected clean, got {:?}",
+                outcome.violations
+            ));
+        }
+        let again = run_threaded(&self.schedule, self.mutations);
+        if again.violations != outcome.violations || again.digest() != outcome.digest() {
+            return Err(format!(
+                "threaded corpus '{name}': replay is not deterministic"
+            ));
+        }
+        for token in &self.requires {
+            if !outcome.events.iter().any(|e| e == token) {
+                return Err(format!(
+                    "threaded corpus '{name}': required event '{token}' never fired"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The threaded corpus directory baked into this crate.
+#[must_use]
+pub fn threaded_corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus-threaded")
+}
+
+/// Load every `*.json` threaded entry under `dir`, sorted by file name.
+///
+/// # Errors
+/// I/O errors, and parse errors naming the offending file.
+pub fn load_threaded_dir(
+    dir: &std::path::Path,
+) -> Result<Vec<(String, ThreadedCorpusEntry)>, String> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("threaded corpus dir {}: {e}", dir.display()))?
+        .filter_map(std::result::Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    let mut entries = Vec::with_capacity(files.len());
+    for path in files {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let entry =
+            ThreadedCorpusEntry::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        entries.push((stem, entry));
+    }
+    Ok(entries)
+}
+
+/// Replay the whole threaded corpus under `dir`; returns the entry
+/// count.
+///
+/// # Errors
+/// The first entry whose expectations are unmet (file name included).
+pub fn replay_threaded_dir(dir: &std::path::Path) -> Result<usize, String> {
+    let entries = load_threaded_dir(dir)?;
+    for (name, entry) in &entries {
+        entry.replay().map_err(|e| format!("[{name}] {e}"))?;
+    }
+    Ok(entries.len())
+}

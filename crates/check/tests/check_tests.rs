@@ -4,7 +4,9 @@
 //! schedule JSON round-trip the corpus depends on.
 
 use rda_check::{
-    corpus, generate, run_schedule, shrink, sweep, ProtocolMutations, Schedule, SweepConfig,
+    corpus, generate, generate_threaded, replay_threaded_dir, run_schedule, run_threaded, shrink,
+    shrink_threaded, sweep, threaded_corpus_dir, threaded_sweep, ProtocolMutations, Schedule,
+    SweepConfig, ThreadedSchedule, ThreadedSweepConfig,
 };
 
 /// With the commit-time twin flip compiled out, the sweep must find a
@@ -115,4 +117,91 @@ fn fault_variant_round_trips() {
     let parsed = rda_check::Json::parse(&json).expect("parse");
     let back = Schedule::from_json(&parsed).expect("round-trip");
     assert_eq!(back, variant);
+}
+
+/// The threaded sweep against the sharded engine stays clean and its
+/// report is byte-identical at any worker count — the property that
+/// lets CI shard the sweep freely.
+#[test]
+fn threaded_sweep_is_clean_and_worker_count_independent() {
+    let base = ThreadedSweepConfig {
+        seed: 0x1992,
+        schedules: 32,
+        faults_per_schedule: 2,
+        workers: 1,
+        mutations: ProtocolMutations::default(),
+        stop_on_failure: false,
+    };
+    let seq = threaded_sweep(&base);
+    assert_eq!(seq.results.len(), 32);
+    let failures = seq.failures();
+    assert!(
+        failures.is_empty(),
+        "threaded sweep found a counterexample: '{}' ({}) — {:?}",
+        failures[0].schedule.name,
+        failures[0].variant,
+        failures[0].violations
+    );
+    let par = threaded_sweep(&ThreadedSweepConfig { workers: 4, ..base });
+    assert_eq!(seq.to_json(), par.to_json());
+}
+
+/// Every threaded corpus entry replays with its expectations met —
+/// including the cross-shard 2PC, intent-replay, group-commit-crash and
+/// disk-death scenarios.
+#[test]
+fn threaded_corpus_replays_green() {
+    let count = replay_threaded_dir(&threaded_corpus_dir())
+        .unwrap_or_else(|e| panic!("threaded corpus replay failed: {e}"));
+    assert!(count >= 4, "threaded corpus has shrunk to {count} entries");
+}
+
+/// The threaded checker has teeth: with the commit-time twin flip
+/// compiled out, the sweep over multi-threaded schedules must find a
+/// counterexample and the shrinker must reduce it.
+#[test]
+fn threaded_mutation_is_caught_and_shrinks() {
+    let cfg = ThreadedSweepConfig {
+        seed: 0x1992,
+        schedules: 60,
+        faults_per_schedule: 1,
+        workers: 2,
+        mutations: ProtocolMutations {
+            skip_commit_twin_flip: true,
+        },
+        stop_on_failure: true,
+    };
+    let report = threaded_sweep(&cfg);
+    let failures = report.failures();
+    let first = failures
+        .first()
+        .expect("threaded mutation sweep found no counterexample: the runner has no teeth");
+    let shrunk = shrink_threaded(&first.schedule, cfg.mutations, 400);
+    assert!(
+        !run_threaded(&shrunk.schedule, cfg.mutations).ok(),
+        "shrunk threaded schedule no longer fails"
+    );
+    assert!(
+        shrunk.schedule.ops.len() <= 12,
+        "threaded mutation repro did not shrink below 12 ops (got {})",
+        shrunk.schedule.ops.len()
+    );
+}
+
+/// Threaded schedules survive the JSON round-trip exactly (shards and
+/// group-commit knobs included).
+#[test]
+fn threaded_schedule_json_round_trips() {
+    for index in 0..50 {
+        let sched = generate_threaded(0xC0DE, index);
+        let json = sched.to_json().to_string();
+        let parsed = rda_check::Json::parse(&json)
+            .unwrap_or_else(|e| panic!("emitted threaded JSON unparseable: {e}"));
+        let back = ThreadedSchedule::from_json(&parsed)
+            .unwrap_or_else(|e| panic!("threaded round-trip failed: {e}"));
+        assert_eq!(
+            back, sched,
+            "threaded schedule {index} changed across the round-trip"
+        );
+    }
 }

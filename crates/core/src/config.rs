@@ -75,6 +75,29 @@ impl ProtocolMutations {
     }
 }
 
+/// Group-commit tuning: concurrent committers batch their durability
+/// barrier so one fsync-equivalent (SimDisk billed barrier or FileDisk
+/// `FsyncOnBarrier` drain) acknowledges many transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommit {
+    /// Bounded wait: how long a batch leader lingers for followers before
+    /// forcing, in microseconds. `0` forces immediately (the batch is
+    /// whoever had already prepared), keeping single-committer latency
+    /// untouched while still exercising the gated code path.
+    pub window_micros: u64,
+    /// Cap on transactions acknowledged by one barrier.
+    pub max_batch: usize,
+}
+
+impl Default for GroupCommit {
+    fn default() -> GroupCommit {
+        GroupCommit {
+            window_micros: 100,
+            max_batch: 32,
+        }
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
@@ -115,6 +138,16 @@ pub struct DbConfig {
     /// Deliberate protocol breakages for mutation-sensitivity testing.
     /// All off by default; see [`ProtocolMutations`].
     pub mutations: ProtocolMutations,
+    /// Engine shards for [`crate::ShardedDb`]: parity groups are striped
+    /// round-robin over this many independent engines (own lock table,
+    /// Dirty_Set, steal chains, buffer partition, WAL). `1` (the default)
+    /// is the classic single-engine database; `Database::open` ignores the
+    /// field, `ShardedDb::open` requires `1 ≤ shards ≤ groups`.
+    pub shards: u32,
+    /// Group commit: `Some` routes `Transaction::commit` through the
+    /// commit gate, batching concurrent committers' durability barriers.
+    /// `None` (the default) keeps the classic one-barrier-per-commit path.
+    pub group_commit: Option<GroupCommit>,
 }
 
 impl DbConfig {
@@ -146,6 +179,8 @@ impl DbConfig {
             trace_events: 0,
             span_events: false,
             mutations: ProtocolMutations::default(),
+            shards: 1,
+            group_commit: None,
         }
     }
 
@@ -173,6 +208,8 @@ impl DbConfig {
             trace_events: 0,
             span_events: false,
             mutations: ProtocolMutations::default(),
+            shards: 1,
+            group_commit: None,
         }
     }
 
@@ -219,6 +256,21 @@ impl DbConfig {
         self
     }
 
+    /// Builder-style: stripe parity groups over `n` engine shards (see
+    /// [`crate::ShardedDb`]).
+    #[must_use]
+    pub fn shards(mut self, n: u32) -> DbConfig {
+        self.shards = n;
+        self
+    }
+
+    /// Builder-style: enable group commit with the given tuning.
+    #[must_use]
+    pub fn group_commit(mut self, g: GroupCommit) -> DbConfig {
+        self.group_commit = Some(g);
+        self
+    }
+
     /// Validate internal consistency (RDA needs twin parity, etc.).
     ///
     /// # Panics
@@ -229,6 +281,19 @@ impl DbConfig {
             assert!(
                 self.array.twin,
                 "RDA recovery requires a twin-parity array (ArrayConfig::twin(true))"
+            );
+        }
+        assert!(self.shards >= 1, "shards must be at least 1");
+        assert!(
+            self.shards <= self.array.groups,
+            "cannot stripe {} parity groups over {} shards",
+            self.array.groups,
+            self.shards
+        );
+        if let Some(g) = self.group_commit {
+            assert!(
+                g.max_batch >= 1,
+                "group-commit max_batch must be at least 1"
             );
         }
     }

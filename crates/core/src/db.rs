@@ -30,6 +30,14 @@ impl DbStats {
         self.array.transfers() + self.log.transfers()
     }
 
+    /// Add another database's counters into this one (merging per-shard
+    /// stats into an aggregate view).
+    pub fn accumulate(&mut self, other: &DbStats) {
+        self.array.accumulate(&other.array);
+        self.log.accumulate(&other.log);
+        self.buffer.accumulate(&other.buffer);
+    }
+
     /// Transfers between `earlier` and `self`.
     #[must_use]
     pub fn delta(&self, earlier: &DbStats) -> DbStats {
@@ -61,6 +69,9 @@ impl DbStats {
 /// in through [`Database::open_with`].
 pub struct Database<D: BlockDevice = DefaultDisk> {
     engine: Arc<Mutex<Engine<D>>>,
+    /// Present when the configuration enables group commit; routes
+    /// `Transaction::commit` through the batching gate.
+    gate: Option<Arc<crate::gate::CommitGate>>,
 }
 
 // Manual impl: `#[derive(Clone)]` would wrongly require `D: Clone`.
@@ -68,6 +79,7 @@ impl<D: BlockDevice> Clone for Database<D> {
     fn clone(&self) -> Self {
         Database {
             engine: Arc::clone(&self.engine),
+            gate: self.gate.clone(),
         }
     }
 }
@@ -80,9 +92,10 @@ impl Database {
     /// [`DbConfig::validate`]).
     #[must_use]
     pub fn open(cfg: DbConfig) -> Database {
-        Database {
-            engine: Arc::new(Mutex::new(Engine::open(cfg))),
-        }
+        let group_commit = cfg.group_commit;
+        let engine = Arc::new(Mutex::new(Engine::open(cfg)));
+        let gate = Self::build_gate(group_commit, &engine);
+        Database { engine, gate }
     }
 }
 
@@ -98,9 +111,20 @@ impl<D: BlockDevice> Database<D> {
     /// not match the configured geometry.
     #[must_use]
     pub fn open_with(cfg: DbConfig, setup: BackendSetup<D>) -> Database<D> {
-        Database {
-            engine: Arc::new(Mutex::new(Engine::open_with(cfg, setup))),
-        }
+        let group_commit = cfg.group_commit;
+        let engine = Arc::new(Mutex::new(Engine::open_with(cfg, setup)));
+        let gate = Self::build_gate(group_commit, &engine);
+        Database { engine, gate }
+    }
+
+    fn build_gate(
+        group_commit: Option<crate::config::GroupCommit>,
+        engine: &Arc<Mutex<Engine<D>>>,
+    ) -> Option<Arc<crate::gate::CommitGate>> {
+        group_commit.map(|gc| {
+            let registry = engine.lock().obs.metrics.clone();
+            Arc::new(crate::gate::CommitGate::new(gc, &registry))
+        })
     }
 
     /// Begin a transaction.
@@ -117,6 +141,7 @@ impl<D: BlockDevice> Database<D> {
             .expect("database needs recovery before begin()");
         Transaction {
             engine: Arc::clone(&self.engine),
+            gate: self.gate.clone(),
             id,
             finished: false,
         }
@@ -522,6 +547,7 @@ impl<D: BlockDevice> Database<D> {
 /// (best-effort).
 pub struct Transaction<D: BlockDevice = DefaultDisk> {
     engine: Arc<Mutex<Engine<D>>>,
+    gate: Option<Arc<crate::gate::CommitGate>>,
     id: TxnId,
     finished: bool,
 }
@@ -574,7 +600,12 @@ impl<D: BlockDevice> Transaction<D> {
     /// errors when the commit-time parity flip or log force fails.
     pub fn commit(mut self) -> Result<TxnId> {
         self.finished = true;
-        self.engine.lock().txn_commit(self.id)?;
+        match &self.gate {
+            // Group commit: batch this committer's durability barrier
+            // with any concurrent ones.
+            Some(gate) => gate.commit(&self.engine, self.id)?,
+            None => self.engine.lock().txn_commit(self.id)?,
+        }
         Ok(self.id)
     }
 
@@ -594,8 +625,16 @@ impl<D: BlockDevice> Drop for Transaction<D> {
         if !self.finished {
             let mut engine = self.engine.lock();
             // After a crash the transaction is already gone; ignore.
+            // `Array(Crashed)` is the same death observed mid-flight: the
+            // power latch is down, the abort's I/O is refused, and restart
+            // recovery will undo the transaction as a loser.
             match engine.txn_abort(self.id) {
-                Ok(()) | Err(DbError::UnknownTxn(_) | DbError::NeedsRecovery) => {}
+                Ok(())
+                | Err(
+                    DbError::UnknownTxn(_)
+                    | DbError::NeedsRecovery
+                    | DbError::Array(rda_array::ArrayError::Crashed),
+                ) => {}
                 Err(e) => panic!("abort on drop failed: {e}"),
             }
         }

@@ -1013,7 +1013,23 @@ impl<D: BlockDevice> Engine<D> {
     /// Commit a transaction (§4: FORCE flush if configured, REDO logging,
     /// durable EOT, then the free twin flip — `commit_working` touches no
     /// parity page).
+    ///
+    /// Internally this is `prepare → barrier → finalize`; the pieces are
+    /// separate so the group-commit gate can interleave several prepared
+    /// transactions ahead of one shared durability barrier.
     pub(crate) fn txn_commit(&mut self, txn: TxnId) -> Result<()> {
+        let written = self.txn_commit_prepare(txn)?;
+        self.commit_force_barrier(&[txn])?;
+        self.txn_commit_finalize(txn, &written)
+    }
+
+    /// Commit phase 1: FORCE write-backs, REDO log records, and the
+    /// commit record itself (plus the TOC checkpoint record under FORCE).
+    /// On return the commit record is *appended but not forced*, all locks
+    /// are still held, and no twin has flipped — the transaction is
+    /// durable iff a later log force reaches stable storage, which is
+    /// exactly the state a group-commit batch accumulates.
+    pub(crate) fn txn_commit_prepare(&mut self, txn: TxnId) -> Result<Vec<DataPageId>> {
         self.check_ready()?;
         if !self.active.contains_key(&txn) {
             return Err(DbError::UnknownTxn(txn));
@@ -1100,32 +1116,49 @@ impl<D: BlockDevice> Engine<D> {
                 active: vec![],
             });
         }
-        // Commit durability barrier: every platter write this commit
-        // depends on (FORCE write-backs, earlier steals) must be on stable
-        // storage before the commit record is. A no-op on the simulated
-        // array; on a real backend it drains the per-disk write queues.
-        self.obs
-            .tracer
-            .emit_span(|| EventKind::CommitBarrier { txn: txn.0 });
+        Ok(written)
+    }
+
+    /// Commit phase 2: the durability point shared by every transaction in
+    /// `txns`. One barrier + one log force acks the whole batch — the
+    /// group-commit amortization: every platter write the batch depends on
+    /// (FORCE write-backs, earlier steals) must be on stable storage
+    /// before the commit records are. A no-op barrier on the simulated
+    /// array; on a real backend it drains the per-disk write queues.
+    pub(crate) fn commit_force_barrier(&mut self, txns: &[TxnId]) -> Result<()> {
+        self.check_ready()?;
+        for txn in txns {
+            self.obs
+                .tracer
+                .emit_span(|| EventKind::CommitBarrier { txn: txn.0 });
+        }
         let barrier_start = monotonic_nanos();
         self.dur.array.write_barrier()?;
         let force_start = monotonic_nanos();
         self.metrics
             .barrier_nanos
             .observe(force_start - barrier_start);
-        self.obs
-            .tracer
-            .emit_span(|| EventKind::LogForce { txn: txn.0 });
+        for txn in txns {
+            self.obs
+                .tracer
+                .emit_span(|| EventKind::LogForce { txn: txn.0 });
+        }
         self.log.force();
         self.metrics
             .log_force_nanos
             .observe(monotonic_nanos() - force_start);
-        // The commit's durability point: let the black box flush its
+        // The batch's durability point: let the black box flush its
         // snapshot while the queues are known-drained.
         if let Some(hook) = &self.barrier_hook {
             hook();
         }
+        Ok(())
+    }
 
+    /// Commit phase 3: the post-durability bookkeeping for one member of a
+    /// forced batch — twin flips, lock/buffer release, metrics, ack.
+    pub(crate) fn txn_commit_finalize(&mut self, txn: TxnId, written: &[DataPageId]) -> Result<()> {
+        self.check_ready()?;
         // The twin flip: the working parity of every group this
         // transaction dirtied becomes the committed parity. Zero I/O.
         for (g, info) in self.dirty.take_txn(txn) {

@@ -44,10 +44,12 @@ mod config;
 mod db;
 mod engine;
 mod error;
+mod gate;
 mod group;
 mod locks;
 mod recovery;
 mod scrub;
+mod shard;
 mod twin;
 
 pub use archive::Archive;
@@ -55,14 +57,17 @@ pub use audit::AuditReport;
 pub use backend::{BackendSetup, IntentRecord, MetaSink, RestoredState};
 pub use chain::ChainDirectory;
 pub use config::{
-    CheckpointPolicy, DbConfig, EngineKind, EotPolicy, LogGranularity, ProtocolMutations,
+    CheckpointPolicy, DbConfig, EngineKind, EotPolicy, GroupCommit, LogGranularity,
+    ProtocolMutations,
 };
 pub use db::{Database, DbStats, Transaction};
 pub use error::{DbError, Result};
+pub use gate::CommitGate;
 pub use group::{DirtyInfo, DirtySet, StealClass};
 pub use locks::LockTable;
 pub use recovery::RecoveryReport;
 pub use scrub::ScrubReport;
+pub use shard::{ShardMap, ShardedDb, ShardedRecovery, ShardedStats, ShardedTxn};
 pub use twin::{TwinDirectory, TwinMeta, TwinState};
 
 // Re-export the identifiers users see in APIs.
@@ -72,7 +77,7 @@ pub use rda_wal::{LogRecord, LogSink, TxnId};
 // Re-export the observability surface so downstream crates (sim, faults,
 // bench, examples) need no direct `rda-obs` dependency to consume it.
 pub use rda_obs::{
-    monotonic_nanos, protocol_violations, protocol_violations_windowed, Counter, EventKind,
-    FlightRecord, Histogram, LockProfile, MetricsRegistry, ObsHub, PhaseStat, RecoveryPhase,
-    StealKind, Timeline, TraceEvent, TraceSnapshot, Tracer,
+    merge_shard_snapshots, monotonic_nanos, protocol_violations, protocol_violations_windowed,
+    Counter, EventKind, FlightRecord, Histogram, LockProfile, MetricsRegistry, ObsHub, PhaseStat,
+    RecoveryPhase, ShardTaggedEvent, StealKind, Timeline, TraceEvent, TraceSnapshot, Tracer,
 };

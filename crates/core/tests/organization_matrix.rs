@@ -33,6 +33,8 @@ fn cfg(org: Organization, engine: EngineKind, frames: usize) -> DbConfig {
         trace_events: 0,
         span_events: false,
         mutations: ProtocolMutations::default(),
+        shards: 1,
+        group_commit: None,
     }
 }
 

@@ -68,6 +68,8 @@ fn config(engine: EngineKind, eot: EotPolicy, frames: usize) -> DbConfig {
         trace_events: 0,
         span_events: false,
         mutations: ProtocolMutations::default(),
+        shards: 1,
+        group_commit: None,
     }
 }
 

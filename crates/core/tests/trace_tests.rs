@@ -37,6 +37,8 @@ fn cfg(frames: usize) -> DbConfig {
         trace_events: 0,
         span_events: false,
         mutations: ProtocolMutations::default(),
+        shards: 1,
+        group_commit: None,
     }
 }
 

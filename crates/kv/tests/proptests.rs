@@ -63,6 +63,8 @@ fn cfg() -> DbConfig {
         trace_events: 0,
         span_events: false,
         mutations: ProtocolMutations::default(),
+        shards: 1,
+        group_commit: None,
     }
 }
 

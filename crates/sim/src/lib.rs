@@ -16,6 +16,7 @@
 
 mod compare;
 mod driver;
+mod sharded;
 mod threaded;
 mod trace;
 mod workload;
@@ -24,6 +25,7 @@ pub use compare::{
     compare_engines, compare_engines_under_crashes, model_vs_sim, Comparison, ModelCheck,
 };
 pub use driver::{run_scripts, run_workload, SimConfig, SimResult};
+pub use sharded::{run_sharded_threaded, ShardedKeyMode, ShardedRunResult};
 pub use threaded::{run_threaded, run_workload_threaded, ThreadedResult};
 pub use trace::Trace;
 pub use workload::{Access, AccessKind, TxnScript, WorkloadSpec};

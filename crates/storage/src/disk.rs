@@ -301,6 +301,7 @@ impl BlockDevice for FileDisk {
     }
 
     fn barrier(&self) -> rda_array::Result<()> {
+        self.queue.note_barrier();
         self.queue.drain().map_err(|msg| self.backend_err(msg))?;
         if self.mode == DurabilityMode::FsyncOnBarrier {
             let sync_start = monotonic_nanos();
@@ -415,6 +416,22 @@ mod tests {
                 got: 16
             }
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn one_barrier_fsync_covers_many_writes() {
+        let dir = tmpdir("barrier-batch");
+        let d = disk(&dir);
+        for block in 0..8 {
+            d.write(block, &Page::from_bytes(&[block as u8 + 1; 32]))
+                .unwrap();
+        }
+        BlockDevice::barrier(&d).unwrap();
+        let stats = d.queue.stats();
+        assert_eq!(stats.enqueued, 8);
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.fsyncs, 1, "eight writes, one platter sync");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -155,6 +155,14 @@ fn register_queue_metrics(db: &FileDb, queues: Vec<Arc<WriteQueue>>) {
     metrics.register_view("disk_write_batches", move || {
         q.iter().map(|q| q.stats().batches).sum()
     });
+    let q = Arc::clone(&qs);
+    metrics.register_view("disk_barriers", move || {
+        q.iter().map(|q| q.stats().barriers).sum()
+    });
+    let q = Arc::clone(&qs);
+    metrics.register_view("disk_fsyncs", move || {
+        q.iter().map(|q| q.stats().fsyncs).sum()
+    });
     let q = qs;
     metrics.register_view("disk_sticky_errors", move || {
         q.iter().map(|q| q.stats().sticky_errors).sum()

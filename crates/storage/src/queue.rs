@@ -33,6 +33,13 @@ pub struct QueueStats {
     pub coalesced: u64,
     /// Batches the writer thread has drained.
     pub batches: u64,
+    /// Durability barriers the owning disk has issued (each drains the
+    /// queue; whether it also fsyncs depends on the durability mode).
+    pub barriers: u64,
+    /// Fsyncs actually performed — batch syncs and barrier syncs alike.
+    /// Under group commit `enqueued / fsyncs` is the batching ratio: one
+    /// platter sync covering many acknowledged commits.
+    pub fsyncs: u64,
     /// Times the queue has been poisoned by a failed file write; the
     /// error itself stays sticky until the disk is replaced.
     pub sticky_errors: u64,
@@ -54,6 +61,8 @@ struct QueueInner {
     enqueued: u64,
     coalesced: u64,
     batches: u64,
+    barriers: u64,
+    fsyncs: u64,
     sticky_errors: u64,
 }
 
@@ -99,6 +108,8 @@ impl WriteQueue {
                 enqueued: 0,
                 coalesced: 0,
                 batches: 0,
+                barriers: 0,
+                fsyncs: 0,
                 sticky_errors: 0,
             }),
             work: Condvar::new(),
@@ -116,11 +127,18 @@ impl WriteQueue {
     }
 
     /// Record one fsync's wall time (the disk's barrier path calls this
-    /// for syncs it performs itself).
+    /// for syncs it performs itself). Also tallies the sync in
+    /// [`QueueStats::fsyncs`], histogram installed or not.
     pub(crate) fn observe_fsync(&self, nanos: u64) {
+        self.lock().fsyncs += 1;
         if let Some(h) = self.fsync.get() {
             h.observe(nanos);
         }
+    }
+
+    /// Tally one durability barrier issued against this disk.
+    pub(crate) fn note_barrier(&self) {
+        self.lock().barriers += 1;
     }
 
     /// The writer thread's body: drain batches until shutdown.
@@ -258,6 +276,8 @@ impl WriteQueue {
             enqueued: inner.enqueued,
             coalesced: inner.coalesced,
             batches: inner.batches,
+            barriers: inner.barriers,
+            fsyncs: inner.fsyncs,
             sticky_errors: inner.sticky_errors,
         }
     }

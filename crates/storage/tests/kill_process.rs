@@ -13,7 +13,7 @@
 //! recovered stamp may exceed the last ack by at most the one commit
 //! whose acknowledgment the kill raced.
 
-use rda_core::{DbConfig, EngineKind, EventKind};
+use rda_core::{DbConfig, EngineKind, EventKind, GroupCommit};
 use rda_disk::{create_database, reopen_database, DurabilityMode, FileDb};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -21,8 +21,16 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 const CHILD_ENV: &str = "RDA_KILL_CHILD_DIR";
+const GC_CHILD_ENV: &str = "RDA_KILL_GC_DIR";
 /// The three pages every transaction stamps together (atomicity witness).
 const PAGES: [u32; 3] = [2, 9, 17];
+/// Concurrent-load child: writer thread `t` stamps its own page triple,
+/// disjoint from every other thread's (no lock conflicts; the only
+/// shared path is the group-commit gate).
+const GC_THREADS: usize = 4;
+const fn gc_pages(t: usize) -> [u32; 3] {
+    [t as u32, 8 + t as u32, 16 + t as u32]
+}
 
 fn cfg() -> DbConfig {
     // Tracing + commit-path spans on, so the flight recorder's black box
@@ -207,6 +215,190 @@ fn sigkill_mid_commit_recovers_committed_data() {
             .expect("post-recovery write");
     }
     tx.commit().expect("post-recovery commit");
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn gc_cfg() -> DbConfig {
+    cfg().group_commit(GroupCommit {
+        window_micros: 300,
+        max_batch: 8,
+    })
+}
+
+/// Group-commit child mode: four writer threads, each committing stamps
+/// to its own page triple forever and acknowledging to `acks-<t>.log`
+/// only after `commit()` returned. Concurrent committers batch through
+/// the gate, so the SIGKILL lands mid-batch with high probability.
+fn run_gc_child(dir: &Path) -> ! {
+    let db = create_database(dir, gc_cfg(), DurabilityMode::FsyncOnBarrier).expect("child create");
+    std::thread::scope(|scope| {
+        for t in 0..GC_THREADS {
+            let db = &db;
+            let acks_path = dir.join(format!("acks-{t}.log"));
+            scope.spawn(move || {
+                let mut acks = std::fs::File::create(acks_path).expect("acks file");
+                let mut i: u64 = 1;
+                loop {
+                    let mut tx = db.begin();
+                    for page in gc_pages(t) {
+                        tx.write(page, &stamp(i)).expect("child write");
+                    }
+                    tx.commit().expect("child commit");
+                    writeln!(acks, "{i}").expect("ack write");
+                    acks.flush().expect("ack flush");
+                    i += 1;
+                }
+            });
+        }
+    });
+    unreachable!("writer threads never return");
+}
+
+/// In group-commit child mode this never returns; normally a no-op.
+#[test]
+fn gc_child_workload() {
+    if let Ok(dir) = std::env::var(GC_CHILD_ENV) {
+        run_gc_child(Path::new(&dir));
+    }
+}
+
+fn last_ack_at(dir: &Path, t: usize) -> Option<u64> {
+    let text = std::fs::read_to_string(dir.join(format!("acks-{t}.log"))).ok()?;
+    text.lines().last()?.trim().parse().ok()
+}
+
+/// SIGKILL a child running four concurrent writers with group commit on;
+/// after reopen + recovery every acknowledged commit must be readable,
+/// no thread may have gained more than the one racing commit, the parity
+/// audit must be clean, and the flight record must name the in-flight
+/// batch (commit-path spans + group-commit counters).
+#[test]
+fn sigkill_mid_group_commit_batch_recovers_acked_commits() {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "rda-disk-kill-gc-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or_default()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let mut child = Command::new(exe)
+        .args([
+            "gc_child_workload",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env(GC_CHILD_ENV, &dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child");
+
+    // Wait until every thread has demonstrably committed a few times,
+    // then kill without warning — almost surely mid-batch.
+    let deadline = Instant::now() + Duration::from_mins(1);
+    loop {
+        let slowest = (0..GC_THREADS)
+            .map(|t| last_ack_at(&dir, t).unwrap_or(0))
+            .min()
+            .unwrap_or(0);
+        if slowest >= 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child writers produced no acks in time (status: {:?})",
+            child.try_wait()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL child");
+    let _ = child.wait();
+
+    let acked: Vec<u64> = (0..GC_THREADS)
+        .map(|t| last_ack_at(&dir, t).expect("acks survive the kill"))
+        .collect();
+
+    let db = reopen_database(&dir, gc_cfg(), DurabilityMode::FsyncOnBarrier).expect("reopen");
+    let report = db.recover().expect("restart recovery");
+
+    // Per-thread oracle: every acked commit survived; at most the one
+    // commit whose acknowledgment the kill raced materialized on top;
+    // and the triple is internally consistent (batch atomicity).
+    for (t, &acked_t) in acked.iter().enumerate() {
+        let values: Vec<Option<u64>> = gc_pages(t).iter().map(|&p| stamped_value(&db, p)).collect();
+        let recovered = values[0];
+        assert!(
+            values.iter().all(|v| *v == recovered),
+            "thread {t}: atomicity across pages: {values:?} (report: {report:?})"
+        );
+        let recovered = recovered.expect("at least one commit was acknowledged");
+        assert!(
+            recovered >= acked_t,
+            "thread {t}: acknowledged commit {acked_t} lost; recovered only {recovered} \
+             (report: {report:?})"
+        );
+        assert!(
+            recovered <= acked_t + 1,
+            "thread {t}: recovered {recovered} but only {acked_t} acknowledged — an \
+             unacknowledged commit beyond the racing one materialized (report: {report:?})"
+        );
+    }
+
+    // The flight record names the in-flight batch: commit-path spans for
+    // batch members plus the gate's batch counters survived the SIGKILL.
+    let flight = report
+        .flight
+        .as_ref()
+        .expect("flight record attached after SIGKILL");
+    assert!(
+        flight.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::CommitBarrier { .. } | EventKind::CommitAck { .. }
+        )),
+        "flight record carries commit-path spans for the dying batch"
+    );
+    let counter = |name: &str| {
+        flight
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    let batches = counter("group_commit_batches_total").unwrap_or(0);
+    let batched = counter("group_commit_txns_total").unwrap_or(0);
+    assert!(
+        batches >= 1,
+        "flight record shows no group-commit batches: {:?}",
+        flight.counters
+    );
+    assert!(
+        batched >= batches,
+        "batched txns {batched} < batches {batches}"
+    );
+
+    let audit = db.audit();
+    assert!(
+        audit.is_clean(),
+        "audit after SIGKILL recovery: {:?}",
+        audit.violations
+    );
+
+    // The recovered database accepts new work on every thread's pages.
+    for (t, &acked_t) in acked.iter().enumerate() {
+        let mut tx = db.begin();
+        for page in gc_pages(t) {
+            tx.write(page, &stamp(acked_t + 2))
+                .expect("post-recovery write");
+        }
+        tx.commit().expect("post-recovery commit");
+    }
     drop(db);
     let _ = std::fs::remove_dir_all(&dir);
 }

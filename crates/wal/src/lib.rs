@@ -32,7 +32,7 @@ mod record;
 mod scan;
 mod store;
 
-pub use manager::LogManager;
+pub use manager::{ForceStats, LogManager};
 pub use record::{CheckpointKind, LogRecord, TxnId};
 pub use scan::{Analysis, TxnOutcome};
 pub use store::{LogConfig, LogSink, LogStore, Lsn};

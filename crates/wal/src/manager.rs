@@ -2,7 +2,21 @@
 
 use crate::{LogRecord, LogStore, Lsn};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Force-coalescing tally: how many durable forces this writer has
+/// issued and how many records they covered. `records / forces` is the
+/// batching ratio — under group commit one force acknowledges the log
+/// tails of many transactions at once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForceStats {
+    /// Forces that actually made records durable (empty forces are free
+    /// and not counted).
+    pub forces: u64,
+    /// Records those forces covered, in total.
+    pub records: u64,
+}
 
 /// The volatile front end of the write-ahead log.
 ///
@@ -14,6 +28,8 @@ use std::sync::Arc;
 pub struct LogManager {
     store: Arc<LogStore>,
     volatile: Mutex<Vec<LogRecord>>,
+    forces: AtomicU64,
+    records_forced: AtomicU64,
 }
 
 impl LogManager {
@@ -23,6 +39,8 @@ impl LogManager {
         LogManager {
             store,
             volatile: Mutex::new(Vec::new()),
+            forces: AtomicU64::new(0),
+            records_forced: AtomicU64::new(0),
         }
     }
 
@@ -46,8 +64,27 @@ impl LogManager {
     /// writes. Returns the LSN one past the last durable record.
     pub fn force(&self) -> Lsn {
         let batch = std::mem::take(&mut *self.volatile.lock());
+        if !batch.is_empty() {
+            // ordering: independent monotonic tallies; readers only want
+            // eventually-consistent totals, so Relaxed suffices.
+            self.forces.fetch_add(1, Ordering::Relaxed);
+            let n = batch.len() as u64;
+            // ordering: Relaxed — same contract as `forces` above.
+            self.records_forced.fetch_add(n, Ordering::Relaxed);
+        }
         self.store.append_durable(batch);
         Lsn(self.store.len())
+    }
+
+    /// The force-coalescing tally so far.
+    #[must_use]
+    pub fn force_stats(&self) -> ForceStats {
+        ForceStats {
+            // ordering: Relaxed — same counters as above, read side.
+            forces: self.forces.load(Ordering::Relaxed),
+            // ordering: Relaxed — read side of the tally pair.
+            records: self.records_forced.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of unforced records.
@@ -116,5 +153,32 @@ mod tests {
         let log = LogManager::new(Arc::clone(&store));
         log.force();
         assert_eq!(store.stats().writes(), 0);
+        assert_eq!(
+            log.force_stats(),
+            ForceStats::default(),
+            "empty force is not a force"
+        );
+    }
+
+    #[test]
+    fn one_force_covers_a_whole_batch() {
+        let store = LogStore::new(LogConfig::default());
+        let log = LogManager::new(Arc::clone(&store));
+        for t in 1..=5 {
+            log.append(LogRecord::Bot { txn: TxnId(t) });
+        }
+        log.force();
+        let stats = log.force_stats();
+        assert_eq!(stats.forces, 1, "five appends coalesce into one force");
+        assert_eq!(stats.records, 5);
+        log.append(LogRecord::Commit { txn: TxnId(1) });
+        log.force();
+        assert_eq!(
+            log.force_stats(),
+            ForceStats {
+                forces: 2,
+                records: 6
+            }
+        );
     }
 }

@@ -57,6 +57,8 @@ fn main() {
         trace_events: 0,
         span_events: false,
         mutations: ProtocolMutations::default(),
+        shards: 1,
+        group_commit: None,
     };
     let db = Database::open(cfg);
 

@@ -34,6 +34,8 @@ fn run(org: Organization) {
         trace_events: 0,
         span_events: false,
         mutations: ProtocolMutations::default(),
+        shards: 1,
+        group_commit: None,
     };
     let db = Database::open(cfg);
     let pages = db.data_pages();

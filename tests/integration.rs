@@ -34,6 +34,8 @@ fn engine_cfg(engine: EngineKind) -> DbConfig {
         trace_events: 0,
         span_events: false,
         mutations: ProtocolMutations::default(),
+        shards: 1,
+        group_commit: None,
     }
 }
 
