@@ -301,6 +301,15 @@ fn worker(
     let reply_of = |e: DbError| match e {
         DbError::LockConflict { .. } => Reply::Conflict,
         DbError::Array(ArrayError::Crashed) => Reply::Crashed,
+        // A decided cross-shard commit interrupted by the machine dying:
+        // the crash is the machine event to handle here; the decision
+        // itself is resolved against the replayed-intent list after
+        // recovery (see crash_and_recover).
+        DbError::CommitInDoubt { ref cause, .. }
+            if matches!(**cause, DbError::Array(ArrayError::Crashed)) =>
+        {
+            Reply::Crashed
+        }
         other => Reply::Error(other.to_string()),
     };
     while let Ok(cmd) = rx.recv() {

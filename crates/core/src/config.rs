@@ -83,7 +83,14 @@ pub struct GroupCommit {
     /// Bounded wait: how long a batch leader lingers for followers before
     /// forcing, in microseconds. `0` forces immediately (the batch is
     /// whoever had already prepared), keeping single-committer latency
-    /// untouched while still exercising the gated code path.
+    /// untouched while still exercising the gated code path. The linger
+    /// is also skipped whenever the leader's transaction is the only one
+    /// in flight, so an uncontended commit never pays the window as ack
+    /// latency. Cross-shard note: a `ShardedDb` transaction commits its
+    /// sub-transactions sequentially, each through its shard's own gate,
+    /// so a gated cross-shard commit's worst-case ack latency is the sum
+    /// of the per-shard lingers (`touched_shards × window_micros`); the
+    /// uncontended-leader skip makes the common case far cheaper.
     pub window_micros: u64,
     /// Cap on transactions acknowledged by one barrier.
     pub max_batch: usize,

@@ -46,6 +46,19 @@ pub enum DbError {
     /// The database crashed and must run restart recovery before serving
     /// new work.
     NeedsRecovery,
+    /// A cross-shard commit whose decision is durably staged but whose
+    /// application was interrupted partway: the transaction **will**
+    /// commit — the staged intent is replayed by
+    /// `ShardedDb::recover` / `ShardedDb::resolve_in_doubt` — so this is
+    /// *not* a presumed-abort failure and the caller must **not** retry
+    /// the transaction (the retry and the replay would both apply).
+    /// Query `ShardedDb::in_doubt(gid)` to watch for resolution.
+    CommitInDoubt {
+        /// The cross-shard transaction's global id.
+        gid: u64,
+        /// The sub-commit error that interrupted application.
+        cause: Box<DbError>,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -76,6 +89,13 @@ impl fmt::Display for DbError {
             }
             DbError::NeedsRecovery => {
                 write!(f, "database crashed; run restart recovery first")
+            }
+            DbError::CommitInDoubt { gid, cause } => {
+                write!(
+                    f,
+                    "cross-shard commit of G{gid} in doubt (decided; recovery will \
+                     finish applying it — do not retry): {cause}"
+                )
             }
         }
     }
@@ -110,6 +130,18 @@ mod tests {
             page_size: 16,
         };
         assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn commit_in_doubt_names_gid_and_cause() {
+        let e = DbError::CommitInDoubt {
+            gid: 42,
+            cause: Box::new(DbError::Array(ArrayError::Crashed)),
+        };
+        let text = e.to_string();
+        assert!(text.contains("G42"));
+        assert!(text.contains("in doubt"));
+        assert!(text.contains("power lost"), "cause rendered: {text}");
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! write-backs, REDO records, the commit record itself) under the engine
 //! lock, then *enqueue* at the gate instead of forcing the log. Whoever
 //! finds the gate leaderless becomes the batch leader: it lingers for a
-//! bounded window collecting followers, then takes the engine lock once
+//! bounded window collecting followers (skipped when no other
+//! transaction is in flight — an uncontended leader would only be adding
+//! the window to its own ack latency), then takes the engine lock once
 //! and retires the whole batch with a single durability barrier + log
 //! force (`commit_force_barrier`) followed by per-transaction finalize
 //! (twin flips, lock release, ack). One fsync-equivalent acknowledges
@@ -110,11 +112,20 @@ impl CommitGate {
     /// barrier + per-transaction finalize under a single engine lock
     /// acquisition. Publishes per-transaction results and steps down.
     fn run_batch<D: BlockDevice>(&self, engine: &Mutex<Engine<D>>) {
+        // How many committers could plausibly still join this batch?
+        // Sampled before touching gate state (gate and engine locks are
+        // never held together). Every queued committer is still counted
+        // in `active` — prepare does not retire it — so once the queue
+        // holds every active transaction there is nobody left to linger
+        // for: an uncontended leader forces immediately instead of
+        // paying the whole window as pure ack latency.
+        let in_flight = engine.lock().active.len();
         let batch: Vec<Prepared> = {
             let mut st = self.state.lock();
-            if self.cfg.window_micros > 0 && st.queue.len() < self.cfg.max_batch {
+            let target = self.cfg.max_batch.min(in_flight);
+            if self.cfg.window_micros > 0 && st.queue.len() < target {
                 let deadline = Instant::now() + Duration::from_micros(self.cfg.window_micros);
-                while st.queue.len() < self.cfg.max_batch {
+                while st.queue.len() < target {
                     let left = deadline.saturating_duration_since(Instant::now());
                     if left == Duration::ZERO {
                         break;
@@ -206,6 +217,27 @@ mod tests {
             let got = db.read_page(t).unwrap();
             assert_eq!(&got[..4], &per_thread.to_le_bytes());
         }
+    }
+
+    #[test]
+    fn uncontended_leader_skips_the_linger_window() {
+        // A long window must not be paid as ack latency when the leader's
+        // own transaction is the only one in flight.
+        let db = Database::open(gated(200_000)); // 200 ms window
+        let start = std::time::Instant::now();
+        for i in 1u32..=3 {
+            let mut tx = db.begin();
+            tx.write(3, &i.to_le_bytes()).unwrap();
+            tx.commit().unwrap();
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(200),
+            "3 uncontended commits must not linger (took {:?})",
+            start.elapsed()
+        );
+        assert_eq!(&db.read_page(3).unwrap()[..4], &3u32.to_le_bytes());
+        db.crash_and_recover().unwrap();
+        assert_eq!(&db.read_page(3).unwrap()[..4], &3u32.to_le_bytes());
     }
 
     #[test]

@@ -37,20 +37,56 @@
 //! 3. **Apply**: sub-transactions commit one shard at a time in
 //!    ascending shard order (never two engine locks at once; the order
 //!    makes the analyze lock-order pass's life easy and deadlock
-//!    impossible), then the intent is cleared.
+//!    impossible). Each durable sub-commit is recorded in the intent's
+//!    per-shard *done marks* (same modeled NVRAM), then the intent is
+//!    cleared once every shard has applied.
 //!
 //! A crash anywhere after (2) is repaired by [`ShardedDb::recover`]: the
 //! per-shard restart recoveries first roll back every undecided
 //! sub-transaction, then the coordinator *replays* each staged intent as
-//! fresh per-shard transactions — idempotent, because replay rewrites
-//! the same final images — and clears it. The transaction therefore
-//! becomes visible atomically: either no shard shows it (undecided) or,
-//! after recovery, every shard does (decided).
+//! fresh per-shard transactions and clears it. Replay skips shards whose
+//! done mark is set: a durably applied sub-commit released its page
+//! locks, so later transactions may have legitimately committed over the
+//! same pages — rewriting the intent's recorded images there would lose
+//! those acknowledged commits. On the shards replay does touch, nothing
+//! newer can have intervened (see the fence below), so rewriting the
+//! recorded images is idempotent. The transaction therefore becomes
+//! visible atomically: either no shard shows it (undecided) or, after
+//! recovery, every shard does (decided).
+//!
+//! ## In-doubt commits
+//!
+//! A sub-commit failure after (2) leaves the transaction **in doubt**:
+//! decided — it *will* commit — but not applied everywhere.
+//! [`ShardedTxn::commit`] then returns [`DbError::CommitInDoubt`]
+//! (carrying the global id) rather than an ordinary error, because a
+//! caller that mistook the failure for presumed abort and retried would
+//! have both the retry and the intent replay applied. Callers observe
+//! resolution with [`ShardedDb::in_doubt`] and can finish the
+//! application on a live system with [`ShardedDb::resolve_in_doubt`]
+//! (crash-free equivalent of the recovery replay).
+//!
+//! Until an intent is resolved, the pages it has yet to reach are
+//! *fenced*: the decided transaction logically still owns them even
+//! though its sub-transactions' locks may have been torn down by the
+//! failure, so a commit that wrote any such page fails fast with a lock
+//! conflict naming the in-doubt transaction as holder. The fence check
+//! and intent staging serialize on the journal lock, and any writer of a
+//! fenced page necessarily acquired the page lock after the failed
+//! sub-commit released it (page locks are held write→commit), which is
+//! after staging — so no committed write can slip between the decision
+//! and its replay.
 //!
 //! Scope: `ShardedDb` runs over simulated disks (the `DefaultDisk`
 //! backend). Sharding the file-backed storage layout is future work;
 //! group commit (the other half of this feature) works on both backends
-//! through [`Database`] itself.
+//! through [`Database`] itself. Note the latency interaction: a
+//! cross-shard commit runs its sub-commits sequentially, each through
+//! its shard's own commit gate, so the worst-case ack latency of a gated
+//! cross-shard commit is the *sum* of the per-shard linger windows
+//! (bounded by `touched_shards × window_micros`); the gate's
+//! uncontended-leader fast path skips the linger when a shard has no
+//! other committer in flight, which is the common cross-shard case.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -58,6 +94,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rda_array::DataPageId;
 use rda_obs::{merge_shard_snapshots, ShardTaggedEvent};
+use rda_wal::TxnId;
 
 use crate::db::{Database, DbStats, Transaction};
 use crate::error::{DbError, Result};
@@ -131,6 +168,15 @@ enum IntentOp {
     },
 }
 
+impl IntentOp {
+    /// The global page this operation touches.
+    fn page(&self) -> u32 {
+        match self {
+            IntentOp::Write { page, .. } | IntentOp::Update { page, .. } => *page,
+        }
+    }
+}
+
 /// A decided-but-not-fully-applied cross-shard commit: the 2PC decision
 /// record, staged in the coordinator's modeled-NVRAM journal before any
 /// shard applies and cleared after all have.
@@ -140,6 +186,11 @@ struct CrossShardIntent {
     txn: u64,
     /// The transaction's operations in execution order.
     ops: Vec<IntentOp>,
+    /// Shards whose sub-commit of this transaction is already durable.
+    /// Intent replay must never rewrite these: their page locks were
+    /// released at sub-commit, so later transactions may have committed
+    /// over the same pages, and the recorded images are stale for them.
+    done: Vec<u32>,
 }
 
 /// The 2PC coordinator: global transaction ids, the durable intent
@@ -158,6 +209,20 @@ struct Coordinator {
     // `ShardedDb::stats` after the measured activity.
     cross_commits: AtomicU64,
     cross_aborts: AtomicU64,
+}
+
+impl Coordinator {
+    /// Durably record (modeled NVRAM, like the journal itself) that shard
+    /// `s` finished applying `gid`'s sub-commit, so intent replay skips
+    /// that shard.
+    fn mark_shard_done(&self, gid: u64, s: u32) {
+        let mut intents = self.intents.lock();
+        if let Some(intent) = intents.iter_mut().find(|i| i.txn == gid) {
+            if !intent.done.contains(&s) {
+                intent.done.push(s);
+            }
+        }
+    }
 }
 
 /// What [`ShardedDb::recover`] reports: each shard's restart-recovery
@@ -198,6 +263,32 @@ struct ShardedInner {
     shards: Vec<Database>,
     map: ShardMap,
     coord: Coordinator,
+}
+
+impl ShardedInner {
+    /// Does a staged intent still own one of `ops`' pages — i.e. the
+    /// page's shard has not applied that intent yet? Returns the fenced
+    /// page and the owning transaction's global id. See the module docs:
+    /// committing over such a page would later be overwritten by intent
+    /// replay, losing the commit.
+    fn intent_conflict(&self, ops: &[IntentOp]) -> Option<(u32, u64)> {
+        if ops.is_empty() {
+            return None;
+        }
+        let intents = self.coord.intents.lock();
+        for intent in intents.iter() {
+            for op in &intent.ops {
+                let page = op.page();
+                if intent.done.contains(&self.map.shard_of_page(page)) {
+                    continue;
+                }
+                if ops.iter().any(|mine| mine.page() == page) {
+                    return Some((page, intent.txn));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// A database of N independent engine shards keyed by parity group. See
@@ -389,11 +480,18 @@ impl ShardedDb {
     }
 
     /// Apply and clear every staged cross-shard intent (see module docs).
+    /// Shards already recorded done are skipped: their sub-commit was
+    /// durable before the failure, and later transactions may have
+    /// committed over the same pages since — rewriting the recorded
+    /// images there would silently lose those acknowledged commits.
     fn replay_intents(&self) -> Result<Vec<u64>> {
         let staged: Vec<CrossShardIntent> = self.inner.coord.intents.lock().clone();
         let mut replayed = Vec::new();
         for intent in staged {
             for (s, ops) in self.ops_by_shard(&intent.ops) {
+                if intent.done.contains(&s) {
+                    continue;
+                }
                 let db = &self.inner.shards[s as usize];
                 let mut tx = db.begin();
                 for op in ops {
@@ -409,6 +507,10 @@ impl ShardedDb {
                     }
                 }
                 tx.commit()?;
+                // Replay is re-entrant: once this shard's replay is
+                // durable, a crash before the intent clears must not
+                // rewrite the shard a second time.
+                self.inner.coord.mark_shard_done(intent.txn, s);
             }
             self.inner
                 .coord
@@ -427,12 +529,7 @@ impl ShardedDb {
         for s in 0..self.inner.map.shards {
             let mine: Vec<&IntentOp> = ops
                 .iter()
-                .filter(|op| {
-                    let page = match op {
-                        IntentOp::Write { page, .. } | IntentOp::Update { page, .. } => *page,
-                    };
-                    self.inner.map.shard_of_page(page) == s
-                })
+                .filter(|op| self.inner.map.shard_of_page(op.page()) == s)
                 .collect();
             if !mine.is_empty() {
                 by_shard.push((s, mine));
@@ -556,6 +653,31 @@ impl ShardedDb {
     #[must_use]
     pub fn staged_intents(&self) -> usize {
         self.inner.coord.intents.lock().len()
+    }
+
+    /// Is `gid`'s cross-shard commit decided but not yet applied on every
+    /// shard it touched? True between a commit that returned
+    /// [`DbError::CommitInDoubt`] and the next successful
+    /// [`ShardedDb::recover`] / [`ShardedDb::resolve_in_doubt`]. Once
+    /// false again, the transaction is durably committed everywhere — an
+    /// in-doubt gid never resolves to an abort, because staging the
+    /// intent *is* the commit decision.
+    #[must_use]
+    pub fn in_doubt(&self, gid: u64) -> bool {
+        self.inner.coord.intents.lock().iter().any(|i| i.txn == gid)
+    }
+
+    /// Finish applying every staged cross-shard intent on a live system —
+    /// the crash-free resolution for [`DbError::CommitInDoubt`]. Only
+    /// shards whose sub-commit has not completed are touched; returns the
+    /// global ids resolved.
+    ///
+    /// # Errors
+    /// The first replay error (a lock conflict with a live transaction,
+    /// a shard still awaiting restart recovery, …). Unresolved intents
+    /// stay staged for the next attempt or for [`ShardedDb::recover`].
+    pub fn resolve_in_doubt(&self) -> Result<Vec<u64>> {
+        self.replay_intents()
     }
 
     /// Every shard's trace, merged into one shard-tagged event stream
@@ -682,12 +804,26 @@ impl ShardedTxn {
     /// the 2PC protocol from the module docs.
     ///
     /// # Errors
-    /// As [`Transaction::commit`]. A multi-shard commit that errors
-    /// after its decision was staged leaves the intent for
-    /// [`ShardedDb::recover`] to apply — the transaction then becomes
-    /// visible atomically at recovery, never partially.
+    /// As [`Transaction::commit`], plus [`DbError::LockConflict`] when
+    /// one of this transaction's pages is fenced by an in-doubt intent
+    /// (the conflict names the in-doubt transaction as holder). A
+    /// multi-shard commit that errors after its decision was staged
+    /// returns [`DbError::CommitInDoubt`]: the transaction **will**
+    /// commit — [`ShardedDb::recover`] or
+    /// [`ShardedDb::resolve_in_doubt`] finishes applying it atomically —
+    /// so the caller must not retry it.
     pub fn commit(mut self) -> Result<u64> {
         self.finished = true;
+        // A decided-but-unapplied intent still logically owns the pages
+        // it has yet to reach (module docs, "In-doubt commits"): fail
+        // fast like any lock conflict rather than commit data that
+        // intent replay would silently overwrite.
+        if let Some((page, holder)) = self.inner.intent_conflict(&self.ops) {
+            return Err(DbError::LockConflict {
+                page: DataPageId(page),
+                holder: TxnId(holder),
+            });
+        }
         let touched: Vec<u32> = (0..self.inner.map.shards)
             .filter(|s| self.subs[*s as usize].is_some())
             .collect();
@@ -705,13 +841,33 @@ impl ShardedTxn {
                 self.inner.coord.intents.lock().push(CrossShardIntent {
                     txn: self.gid,
                     ops: self.ops.clone(),
+                    done: Vec::new(),
                 });
                 // … then apply shard by shard, ascending, one engine at
-                // a time (never two engine locks held at once).
+                // a time (never two engine locks held at once). Each
+                // durable sub-commit is recorded as done so intent
+                // replay never rewrites it, and a failed sub-commit does
+                // not stop the later shards: every shard that can apply
+                // now does, narrowing replay to the shards that failed.
+                let mut first_err: Option<DbError> = None;
                 for s in touched {
                     if let Some(tx) = self.subs[s as usize].take() {
-                        tx.commit().map_err(|e| self.globalize(s, e))?;
+                        match tx.commit() {
+                            Ok(_) => self.inner.coord.mark_shard_done(self.gid, s),
+                            Err(e) => {
+                                let e = self.globalize(s, e);
+                                first_err.get_or_insert(e);
+                            }
+                        }
                     }
+                }
+                if let Some(cause) = first_err {
+                    // Decided but not applied everywhere: in doubt, not
+                    // aborted. The staged intent carries the outcome.
+                    return Err(DbError::CommitInDoubt {
+                        gid: self.gid,
+                        cause: Box::new(cause),
+                    });
                 }
                 self.inner
                     .coord
@@ -942,17 +1098,136 @@ mod tests {
         tx.write(0, b"decided").unwrap();
         tx.write(4, b"decided").unwrap();
         let err = tx.commit().expect_err("planted crash fires");
-        assert!(matches!(err, DbError::Array(_)), "crash surfaces: {err:?}");
+        assert!(
+            matches!(err, DbError::CommitInDoubt { gid: g, .. } if g == gid),
+            "decided commit is in doubt, not aborted: {err:?}"
+        );
         assert_eq!(db.staged_intents(), 1, "decision survived the crash");
+        assert!(db.in_doubt(gid));
 
         db.crash();
         let rec = db.recover().unwrap();
         assert_eq!(rec.replayed, vec![gid], "intent replayed");
         assert_eq!(db.staged_intents(), 0);
+        assert!(!db.in_doubt(gid), "resolved: committed everywhere");
         // The transaction is visible atomically on both shards.
         assert_eq!(&db.read_page(0).unwrap()[..7], b"decided");
         assert_eq!(&db.read_page(4).unwrap()[..7], b"decided");
         assert!(db.verify().unwrap().is_empty());
+        assert!(db.audit().is_clean());
+    }
+
+    #[test]
+    fn replay_never_rewrites_a_shard_that_committed_before_the_failure() {
+        // T1 spans both shards; shard 0's sub-commit lands durably, then
+        // shard 1 dies mid-sub-commit (hook on shard 1 only — the rest of
+        // the machine stays live). T2 then commits a newer value to T1's
+        // shard-0 page. Crash + recover must replay T1's intent onto
+        // shard 1 only: shard 0 keeps T2's later acknowledged commit.
+        let warm = ShardedDb::open(cfg(2));
+        let hook = Arc::new(CrashAt {
+            k: u64::MAX,
+            seen: AtomicU64::new(0),
+            latched: AtomicBool::new(false),
+            fired: AtomicBool::new(false),
+        });
+        warm.shard(1).install_fault_hook(hook.clone());
+        let mut tx = warm.begin();
+        tx.write(0, b"warm-img").unwrap();
+        tx.write(4, b"warm-img").unwrap();
+        tx.commit().unwrap();
+        // ordering: Acquire — read after quiesce.
+        let shard1_ios = hook.seen.load(Ordering::Acquire);
+        assert!(shard1_ios > 0, "shard 1's sub-commit performs I/O");
+
+        let db = ShardedDb::open(cfg(2));
+        let hook = Arc::new(CrashAt {
+            k: shard1_ios,
+            seen: AtomicU64::new(0),
+            latched: AtomicBool::new(false),
+            fired: AtomicBool::new(false),
+        });
+        db.shard(1).install_fault_hook(hook);
+        let mut t1 = db.begin();
+        let gid = t1.id();
+        t1.write(0, b"t1-image").unwrap();
+        t1.write(4, b"t1-image").unwrap();
+        let err = t1.commit().expect_err("shard 1 dies mid-apply");
+        assert!(matches!(err, DbError::CommitInDoubt { gid: g, .. } if g == gid));
+        assert!(db.in_doubt(gid));
+
+        // Shard 0 is live and T1's sub-commit there is durable (and
+        // marked done), so its pages are not fenced: T2's commit is
+        // acknowledged.
+        let mut t2 = db.begin();
+        t2.write(0, b"t2-newer").unwrap();
+        t2.commit().unwrap();
+
+        db.crash();
+        let rec = db.recover().unwrap();
+        assert_eq!(rec.replayed, vec![gid]);
+        assert!(!db.in_doubt(gid));
+        assert_eq!(
+            &db.read_page(0).unwrap()[..8],
+            b"t2-newer",
+            "replay must not resurrect T1's stale shard-0 image over T2"
+        );
+        assert_eq!(&db.read_page(4).unwrap()[..8], b"t1-image");
+        assert!(db.verify().unwrap().is_empty());
+        assert!(db.audit().is_clean());
+    }
+
+    #[test]
+    fn in_doubt_intent_fences_unapplied_pages_until_resolved() {
+        let db = ShardedDb::open(cfg(2));
+        // Hand-stage a decided intent as the apply phase would leave it
+        // after a live-shard failure: page 0 (shard 0) applied, page 4
+        // (shard 1) not.
+        db.inner.coord.intents.lock().push(CrossShardIntent {
+            txn: 777,
+            ops: vec![
+                IntentOp::Write {
+                    page: 0,
+                    data: b"decided0".to_vec(),
+                },
+                IntentOp::Write {
+                    page: 4,
+                    data: b"decided4".to_vec(),
+                },
+            ],
+            done: vec![0],
+        });
+        assert!(db.in_doubt(777));
+
+        // The unapplied half still owns page 4: commits over it fail
+        // fast, naming the in-doubt transaction as holder.
+        let mut tx = db.begin();
+        tx.write(4, b"racer").unwrap();
+        let err = tx.commit().expect_err("fenced by the staged intent");
+        assert!(
+            matches!(err, DbError::LockConflict { page, holder } if page.0 == 4 && holder.0 == 777),
+            "fence surfaces as a lock conflict: {err:?}"
+        );
+        // The applied half's page is free: later commits there are
+        // legitimate and must survive resolution.
+        let mut tx = db.begin();
+        tx.write(0, b"survivor").unwrap();
+        tx.commit().unwrap();
+
+        // Live resolution applies only the missing half and lifts the
+        // fence.
+        assert_eq!(db.resolve_in_doubt().unwrap(), vec![777]);
+        assert!(!db.in_doubt(777));
+        assert_eq!(db.staged_intents(), 0);
+        assert_eq!(
+            &db.read_page(0).unwrap()[..8],
+            b"survivor",
+            "done shard untouched by resolution"
+        );
+        assert_eq!(&db.read_page(4).unwrap()[..8], b"decided4");
+        let mut tx = db.begin();
+        tx.write(4, b"after").unwrap();
+        tx.commit().unwrap();
         assert!(db.audit().is_clean());
     }
 
